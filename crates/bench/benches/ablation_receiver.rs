@@ -1,0 +1,39 @@
+//! OTFS receiver ablation: two-step TF-MMSE vs delay-Doppler message
+//! passing (paper ref [21]) through the full coded pipeline on a
+//! doubly-selective channel.
+
+use rem_bench::header;
+use rem_channel::doppler::kmh_to_ms;
+use rem_channel::models::ChannelModel;
+use rem_num::rng::rng_from_seed;
+use rem_phy::link::{measure_bler, LinkConfig, OtfsReceiver, Waveform};
+
+fn main() {
+    header("Ablation: OTFS receivers (ETU @300 km/h, coded BLER)");
+    let blocks = 150;
+    println!("{:>7} {:>12} {:>16}", "SNR dB", "two-step", "message passing");
+    for snr in [-2.0, 0.0, 2.0, 4.0, 8.0] {
+        let mut r1 = rng_from_seed(31);
+        let two = measure_bler(
+            &LinkConfig::signaling(Waveform::Otfs),
+            ChannelModel::Etu,
+            kmh_to_ms(300.0),
+            2.6e9,
+            snr,
+            blocks,
+            &mut r1,
+        );
+        let mut r2 = rng_from_seed(31);
+        let mp_cfg = LinkConfig {
+            otfs_receiver: OtfsReceiver::MessagePassing,
+            ..LinkConfig::signaling(Waveform::Otfs)
+        };
+        let mp = measure_bler(&mp_cfg, ChannelModel::Etu, kmh_to_ms(300.0), 2.6e9, snr, blocks, &mut r2);
+        println!("{snr:>7} {two:>12.3} {mp:>16.3}");
+    }
+    println!("\nOn real (off-grid) channels the coded pipelines land close: the MP");
+    println!("detector models only the thresholded sparse taps, so fractional");
+    println!("delay/Doppler leakage becomes unmodelled interference, offsetting its");
+    println!("gain over the two-step receiver. On on-grid channels (see the");
+    println!("`mp_detect` unit tests) MP wins decisively.");
+}

@@ -1,0 +1,71 @@
+//! Library performance benchmarks: the DSP kernels every REM
+//! operation rides on (FFT, SFFT, SVD, Viterbi, MP detection) and the
+//! end-to-end block pipeline. Criterion timings — run with
+//! `cargo bench -p rem-bench --bench dsp_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rem_channel::models::ChannelModel;
+use rem_channel::DdGrid;
+use rem_num::fft::fft_vec;
+use rem_num::rng::{complex_gaussian, rng_from_seed};
+use rem_num::svd::svd;
+use rem_num::{CMatrix, Complex64};
+use rem_phy::link::{simulate_block, LinkConfig, Waveform};
+use rem_phy::mp_detect::{apply_dd_channel, mp_detect, DdTap, MpConfig};
+use rem_phy::otfs::sfft;
+use rem_phy::Modulation;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+
+    // FFT: power-of-two and Bluestein paths.
+    let x1024: Vec<Complex64> = (0..1024).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+    let x1200: Vec<Complex64> = (0..1200).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+    c.bench_function("fft_1024_radix2", |b| b.iter(|| black_box(fft_vec(black_box(&x1024)))));
+    c.bench_function("fft_1200_bluestein", |b| b.iter(|| black_box(fft_vec(black_box(&x1200)))));
+
+    // SFFT of an LTE subframe and a 4-RB grid.
+    let g12 = CMatrix::from_fn(12, 14, |_, _| complex_gaussian(&mut rng, 1.0));
+    let g48 = CMatrix::from_fn(48, 14, |_, _| complex_gaussian(&mut rng, 1.0));
+    c.bench_function("sfft_12x14", |b| b.iter(|| black_box(sfft(black_box(&g12)))));
+    c.bench_function("sfft_48x14", |b| b.iter(|| black_box(sfft(black_box(&g48)))));
+
+    // SVD at the cross-band working size.
+    let h = CMatrix::from_fn(24, 16, |_, _| complex_gaussian(&mut rng, 1.0));
+    c.bench_function("svd_24x16", |b| b.iter(|| black_box(svd(black_box(&h)))));
+
+    // Full coded block through the HST channel (the Fig 10 unit).
+    let cfg = LinkConfig::signaling(Waveform::Otfs);
+    let ch = ChannelModel::Hst.realize(&mut rng, 97.2, 2.6e9);
+    let payload: Vec<bool> = (0..cfg.max_payload_bits()).map(|i| i % 3 == 0).collect();
+    let mut block_rng = rng_from_seed(2);
+    c.bench_function("otfs_coded_block_12x14", |b| {
+        b.iter(|| black_box(simulate_block(&cfg, &ch, 10.0, &payload, &mut block_rng)))
+    });
+
+    // MP detection on an 8x8 grid with 3 taps.
+    let taps = vec![
+        DdTap { dk: 0, dl: 0, gain: Complex64::ONE },
+        DdTap { dk: 1, dl: 1, gain: rem_num::c64(0.3, 0.2) },
+        DdTap { dk: 2, dl: 0, gain: rem_num::c64(0.0, 0.25) },
+    ];
+    let xdd = CMatrix::from_fn(8, 8, |_, _| rem_num::c64(0.7071, 0.7071));
+    let y = apply_dd_channel(&xdd, &taps);
+    c.bench_function("mp_detect_8x8_3taps", |b| {
+        b.iter(|| {
+            black_box(mp_detect(
+                black_box(&y),
+                &taps,
+                Modulation::Qpsk,
+                0.01,
+                &MpConfig::default(),
+            ))
+        })
+    });
+
+    let _ = DdGrid::lte_subframe();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig 13: cross-band estimation on the HSR regime — REM vs the R2F2
+//! and OptML baselines (80/20 train/test for OptML, 6-path config for
+//! both baselines, per the paper's protocol).
+
+use rem_bench::{header, print_cdf};
+use rem_crossband::estimator::{R2f2Estimator, RemEstimator};
+use rem_crossband::harness::{
+    evaluate, generate_scenarios, test_split, train_optml, Regime, ScenarioConfig,
+};
+use rem_crossband::optml::OptMlConfig;
+use rem_num::rng::rng_from_seed;
+
+fn main() {
+    header("Fig 13: cross-band estimation with the HSR dataset");
+    let cfg = ScenarioConfig::default();
+    let n = std::env::args().find_map(|a| a.parse::<usize>().ok()).unwrap_or(150);
+    let scenarios = generate_scenarios(Regime::Hsr, &cfg, n, &mut rng_from_seed(6));
+    let test = test_split(&scenarios);
+
+    let rem = evaluate(&RemEstimator::default(), test, 0.1, 3.0);
+    let r2f2 = evaluate(&R2f2Estimator::default(), test, 0.1, 3.0);
+    let optml_est = train_optml(&scenarios, &OptMlConfig::default(), &cfg.grid, 7);
+    let optml = evaluate(&optml_est, test, 0.1, 3.0);
+
+    for res in [&rem, &r2f2, &optml] {
+        println!();
+        print_cdf(&format!("{} SNR error", res.name), &res.snr_errors_db, 10, "dB");
+        println!("  {}: mean error {:.2} dB, precision {:.2}", res.name, res.mean_snr_error_db(), res.precision);
+    }
+    println!("\npaper: REM precision 0.95 vs OptML 0.65 vs R2F2 0.11;");
+    println!("REM mean SNR error 86.8% below R2F2, 51.9% below OptML");
+}

@@ -1,0 +1,40 @@
+//! Fig 14a: feedback delays, legacy sequential measurement vs REM's
+//! cross-band estimation (CDF) — both from the analytic timing model
+//! and from the campaign simulator's recorded attempts.
+
+use rem_bench::{header, print_cdf, ROUTE_KM};
+use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_mobility::feedback::{sample_feedback_delays, MeasurementTiming};
+use rem_num::rng::rng_from_seed;
+use rem_num::stats::mean;
+use rem_sim::simulate_run;
+
+fn main() {
+    header("Fig 14a: feedback delay CDF, legacy vs REM (timing model)");
+    let t = MeasurementTiming::default();
+    let mut rng = rng_from_seed(8);
+    let samples = sample_feedback_delays(5000, &t, &mut rng);
+    let legacy: Vec<f64> = samples.iter().map(|s| s.0).collect();
+    let rem: Vec<f64> = samples.iter().map(|s| s.1).collect();
+    print_cdf("legacy", &legacy, 10, "ms");
+    print_cdf("REM", &rem, 10, "ms");
+    println!(
+        "means: legacy {:.1} ms -> REM {:.1} ms (paper: 802.5 -> 242.4 ms)",
+        mean(&legacy),
+        mean(&rem)
+    );
+
+    header("Fig 14a': realized feedback delays from the campaign replays");
+    let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, 300.0);
+    let mut l = RunMetrics::default();
+    let mut r = RunMetrics::default();
+    for seed in [1, 2] {
+        merge(&mut l, simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, seed)));
+        merge(&mut r, simulate_run(&RunConfig::new(spec.clone(), Plane::Rem, seed)));
+    }
+    println!(
+        "realized means: legacy {:.0} ms -> REM {:.0} ms",
+        mean(&l.feedback_delays_ms),
+        mean(&r.feedback_delays_ms)
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig 14b: cross-band estimation runtime — REM's closed-form SVD
+//! pipeline vs R2F2's iterative fitting vs OptML's network inference.
+//! (Criterion benchmark; the paper reports 158.1 ms / 2.4 s / 416.3 ms
+//! on their hardware — the *ordering and ratios* are the target.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rem_crossband::estimator::{CrossBandEstimator, R2f2Estimator, RemEstimator};
+use rem_crossband::harness::{generate_scenarios, train_optml, Regime, ScenarioConfig};
+use rem_crossband::optml::OptMlConfig;
+use rem_num::rng::rng_from_seed;
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let cfg = ScenarioConfig::default();
+    let scenarios = generate_scenarios(Regime::Hsr, &cfg, 25, &mut rng_from_seed(9));
+    let obs = scenarios.last().unwrap().obs.clone();
+
+    let rem = RemEstimator::default();
+    let r2f2 = R2f2Estimator::default();
+    let optml = train_optml(
+        &scenarios,
+        &OptMlConfig { hidden: 32, epochs: 10, lr: 0.01 },
+        &cfg.grid,
+        10,
+    );
+
+    let mut g = c.benchmark_group("fig14b_crossband_runtime");
+    g.sample_size(20);
+    g.bench_function("REM (SVD closed form)", |b| {
+        b.iter(|| black_box(rem.predict_band2_tf(black_box(&obs))))
+    });
+    g.bench_function("R2F2 (iterative fit)", |b| {
+        b.iter(|| black_box(r2f2.predict_band2_tf(black_box(&obs))))
+    });
+    g.bench_function("OptML (NN inference)", |b| {
+        b.iter(|| black_box(optml.predict_band2_tf(black_box(&obs))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig 15: failures after removing the aggressive (proactive)
+//! policies. REM's Theorem-2 repair clamps negative offsets; the
+//! question is whether losing proactive handovers costs failures —
+//! it does not, because REM's faster feedback and robust signaling
+//! already prevent the late handovers the proactive offsets targeted.
+
+use rem_bench::{header, pct, ROUTE_KM, SEEDS};
+use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_sim::simulate_run;
+
+fn agg(spec: &DatasetSpec, plane: Plane, clamp: bool) -> RunMetrics {
+    let mut m = RunMetrics::default();
+    for &seed in &SEEDS {
+        let mut cfg = RunConfig::new(spec.clone(), plane, seed);
+        cfg.rem_clamp_offsets = clamp;
+        merge(&mut m, simulate_run(&cfg));
+    }
+    m
+}
+
+fn main() {
+    header("Fig 15: failures (w/o coverage holes) after conflict repair");
+    println!(
+        "{:>10} {:>12} {:>14} {:>16}",
+        "km/h", "legacy OFDM", "REM (clamped)", "REM (unclamped)"
+    );
+    for (speed, spec) in [
+        (150.0, DatasetSpec::beijing_shanghai(ROUTE_KM, 150.0)),
+        (250.0, DatasetSpec::beijing_shanghai(ROUTE_KM, 250.0)),
+        (325.0, DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0)),
+    ] {
+        let legacy = agg(&spec, Plane::Legacy, true);
+        let rem = agg(&spec, Plane::Rem, true);
+        let rem_raw = agg(&spec, Plane::Rem, false);
+        println!(
+            "{speed:>10} {:>12} {:>14} {:>16}",
+            pct(legacy.failure_ratio_no_holes()),
+            pct(rem.failure_ratio_no_holes()),
+            pct(rem_raw.failure_ratio_no_holes()),
+        );
+    }
+    println!("\npaper: REM retains negligible failures after fixing conflicts —");
+    println!("operators no longer need the conflict-prone proactive policies.");
+}

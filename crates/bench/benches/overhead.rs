@@ -1,0 +1,64 @@
+//! Signaling overhead (paper §7.2 closing claim: "REM retains marginal
+//! overhead of signaling traffic and latency without hurting data
+//! transfer"). Counts the signaling messages each plane generates on
+//! identical replays, plus the SFFT processing cost REM adds
+//! (O(MN log MN), §5.1 — compare the measured kernel in
+//! `dsp_throughput`).
+
+use rem_bench::{header, ROUTE_KM, SEEDS};
+use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_sim::simulate_run;
+
+fn agg(spec: &DatasetSpec, plane: Plane) -> RunMetrics {
+    let mut m = RunMetrics::default();
+    for &seed in &SEEDS {
+        merge(&mut m, simulate_run(&RunConfig::new(spec.clone(), plane, seed)));
+    }
+    m
+}
+
+fn main() {
+    header("Signaling overhead: legacy vs REM on identical replays");
+    println!(
+        "{:<24} {:>8} {:>9} {:>9} {:>10} {:>10} {:>11}",
+        "scenario", "plane", "reports", "commands", "reconfigs", "HARQ tx", "msgs/min"
+    );
+    for (name, spec) in [
+        ("BT 250 km/h", DatasetSpec::beijing_taiyuan(ROUTE_KM, 250.0)),
+        ("BS 325 km/h", DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0)),
+        ("LA 50 km/h", DatasetSpec::la_driving(ROUTE_KM, 50.0)),
+    ] {
+        for plane in [Plane::Legacy, Plane::Rem] {
+            let m = agg(&spec, plane);
+            println!(
+                "{:<24} {:>8} {:>9} {:>9} {:>10} {:>10} {:>11.1}",
+                name,
+                format!("{plane:?}"),
+                m.signaling.reports,
+                m.signaling.commands,
+                m.signaling.reconfigs,
+                m.signaling.harq_transmissions,
+                m.signaling_rate_per_min(),
+            );
+        }
+    }
+    println!("\nREM sends no reconfigurations (no multi-stage policy) and fewer");
+    println!("retransmissions (OTFS messages rarely need HARQ); its extra cost is");
+    println!("the SFFT pre/post-processing — see `dsp_throughput` (~34 us/subframe).");
+
+    header("Data-speed benefit (paper §8): measurement gaps saved");
+    use rem_mobility::feedback::{continuous_interfreq_overhead, MeasurementGapCfg};
+    for (freqs, pat, name) in [
+        (1usize, MeasurementGapCfg::pattern0(), "1 inter-freq, 6ms/40ms"),
+        (2, MeasurementGapCfg::pattern1(), "2 inter-freq, 6ms/80ms"),
+        (3, MeasurementGapCfg::pattern1(), "3 inter-freq, 6ms/80ms"),
+    ] {
+        let oh = continuous_interfreq_overhead(freqs, &pat);
+        println!(
+            "  {:<26} legacy (no multi-stage) loses {:>5.1}% of spectrum; REM loses 0%",
+            name,
+            oh * 100.0
+        );
+    }
+    println!("  (paper: 38.3-61.7% — cross-band estimation removes the gaps entirely)");
+}

@@ -1,0 +1,39 @@
+//! Table 4: dataset overview — the generator's self-reported statistics
+//! next to the paper's.
+
+use rem_bench::header;
+use rem_core::{DatasetSpec, Plane, RunConfig};
+use rem_num::rng::rng_from_seed;
+use rem_sim::simulate_run;
+
+fn main() {
+    header("Table 4: overview of (synthetic) extreme mobility datasets");
+    let scenarios = [
+        (DatasetSpec::la_driving(60.0, 50.0), "619 km, 932 cells (503 BS), 1157 HOs"),
+        (DatasetSpec::beijing_taiyuan(60.0, 250.0), "1136 km, 1281 cells (878 BS), 2030 HOs"),
+        (DatasetSpec::beijing_shanghai(60.0, 300.0), "51367 km, 3139 cells (1735 BS), 23779 HOs"),
+    ];
+    for (spec, paper) in scenarios {
+        let mut rng = rng_from_seed(1);
+        let dep = spec.deployment.generate(&mut rng);
+        let m = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 1));
+        let carriers: Vec<String> = spec
+            .deployment
+            .carriers
+            .iter()
+            .map(|c| format!("{:.1}MHz/{}MHz", c.carrier_hz / 1e6, c.bandwidth_mhz))
+            .collect();
+        println!("\n{} @ {} km/h", spec.name, spec.speed_kmh);
+        println!("  route: {:.0} km (scaled run)", spec.deployment.route_m / 1e3);
+        println!("  cells: {} ({} base stations), co-sited fraction {:.1}%",
+            dep.num_cells(), dep.sites.len(), dep.cosited_fraction() * 100.0);
+        println!("  carriers: {}", carriers.join(", "));
+        println!("  handovers: {} ({:.1}/km), feedback msgs: {}",
+            m.handovers.len(),
+            m.handovers.len() as f64 / (spec.deployment.route_m / 1e3),
+            m.feedback_delays_ms.len());
+        println!("  paper (full-scale): {paper}");
+    }
+    println!("\nNote: routes are scaled down (60 km) for bench runtime; densities, not");
+    println!("totals, are the calibration target. See tests/dataset_calibration.rs.");
+}

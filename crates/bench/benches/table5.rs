@@ -1,0 +1,68 @@
+//! Table 5: reduction of failures and policy conflicts, legacy (LGC)
+//! vs REM, across datasets and speed bins.
+
+use rem_bench::{eps, header, pct, ROUTE_KM, SEEDS};
+use rem_core::{Comparison, DatasetSpec, ExperimentReport};
+use rem_mobility::FailureCause;
+
+fn row(label: &str, l: f64, r: f64) {
+    println!("  {:<26} {:>8} {:>8} {:>8}", label, pct(l), pct(r), eps(Comparison::epsilon(l, r)));
+}
+
+fn main() {
+    header("Table 5: failure/conflict reduction, LGC vs REM");
+    let mut report = ExperimentReport::new("table5")
+        .with_context("route_km", &format!("{ROUTE_KM}"))
+        .with_context("seeds", &format!("{SEEDS:?}"));
+    let scenarios = [
+        ("Low mobility 0-100", DatasetSpec::la_driving(ROUTE_KM, 50.0), "4.3->3.0% (0.43x)"),
+        ("Beijing-Taiyuan 200-300", DatasetSpec::beijing_taiyuan(ROUTE_KM, 250.0), "8.1->4.2% (0.9x)"),
+        ("Beijing-Shanghai 100-200", DatasetSpec::beijing_shanghai(ROUTE_KM, 150.0), "5.2->2.4% (1.2x)"),
+        ("Beijing-Shanghai 200-300", DatasetSpec::beijing_shanghai(ROUTE_KM, 250.0), "10.6->2.63% (3.0x)"),
+        ("Beijing-Shanghai 300-350", DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0), "12.5->3.5% (2.6x)"),
+    ];
+    for (name, spec, paper) in scenarios {
+        let cmp = Comparison::run(&spec, &SEEDS);
+        println!("\n{name}   [paper total: {paper}]");
+        println!("  {:<26} {:>8} {:>8} {:>8}", "", "LGC", "REM", "eps");
+        row("total failure ratio", cmp.legacy.failure_ratio(), cmp.rem.failure_ratio());
+        row(
+            "failure w/o coverage hole",
+            cmp.legacy.failure_ratio_no_holes(),
+            cmp.rem.failure_ratio_no_holes(),
+        );
+        for cause in FailureCause::all() {
+            row(
+                cause.label(),
+                cmp.legacy.failure_ratio_by(cause),
+                cmp.rem.failure_ratio_by(cause),
+            );
+        }
+        row(
+            "total HO in conflicts",
+            cmp.legacy.handovers_in_loops_fraction(),
+            cmp.rem.handovers_in_loops_fraction(),
+        );
+        println!(
+            "  {:<26} {:>8} {:>8}",
+            "conflict loops (count)",
+            cmp.legacy.conflict_loops().count(),
+            cmp.rem.conflict_loops().count()
+        );
+        report.push_row(
+            name,
+            &[
+                ("legacy_fail", cmp.legacy.failure_ratio()),
+                ("rem_fail", cmp.rem.failure_ratio()),
+                ("legacy_fail_no_holes", cmp.legacy.failure_ratio_no_holes()),
+                ("rem_fail_no_holes", cmp.rem.failure_ratio_no_holes()),
+                ("legacy_loops", cmp.legacy.conflict_loops().count() as f64),
+                ("rem_loops", cmp.rem.conflict_loops().count() as f64),
+            ],
+        );
+    }
+    match report.save() {
+        Ok(path) => println!("\nJSON written to {}", path.display()),
+        Err(e) => eprintln!("could not write JSON report: {e}"),
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the table/figure regeneration benches.
+//!
+//! Every bench target prints the series/rows of one paper table or
+//! figure next to the paper's reported values, so `cargo bench` output
+//! doubles as the EXPERIMENTS.md evidence.
+
+use rem_num::stats::Ecdf;
+
+/// Route length (km) used by campaign benches. Longer routes tighten
+/// the statistics at the cost of runtime.
+pub const ROUTE_KM: f64 = 60.0;
+
+/// Seeds aggregated per configuration.
+pub const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+/// Prints an ECDF as `(x, percent)` rows.
+pub fn print_cdf(label: &str, data: &[f64], points: usize, unit: &str) {
+    let e = Ecdf::new(data);
+    println!("-- CDF: {label} ({} samples) --", e.len());
+    for (x, p) in e.series(points) {
+        println!("  {x:>10.2} {unit:<4} {:>6.1}%", p * 100.0);
+    }
+}
+
+/// Formats a ratio as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats the paper's epsilon reduction factor.
+pub fn eps(e: f64) -> String {
+    if e.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{e:.1}x")
+    }
+}

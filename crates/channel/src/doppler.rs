@@ -1,0 +1,153 @@
+//! Doppler and coherence-time helpers (paper §2).
+//!
+//! A client moving at speed `v` under carrier frequency `f` sees a
+//! maximum Doppler shift `nu_max = v f / c` and an OFDM coherence time
+//! `Tc` proportional to `1 / nu_max`. The paper quantifies `Tc ≈ c /
+//! (f v)`, e.g. ~1.2–6.2 ms for 200–350 km/h on LTE bands, versus the
+//! 40–640 ms measurement triggering intervals operators configure —
+//! the two-orders-of-magnitude gap at the heart of §3.1.
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Converts km/h to m/s.
+#[inline]
+pub fn kmh_to_ms(kmh: f64) -> f64 {
+    kmh / 3.6
+}
+
+/// Maximum Doppler shift `nu_max = v f / c` in Hz for speed in m/s and
+/// carrier in Hz.
+#[inline]
+pub fn max_doppler_hz(speed_ms: f64, carrier_hz: f64) -> f64 {
+    speed_ms * carrier_hz / SPEED_OF_LIGHT
+}
+
+/// OFDM coherence time using the paper's estimate `Tc ≈ c / (f v)`
+/// (i.e. `1 / nu_max`), in seconds. Returns `f64::INFINITY` for a
+/// static client.
+#[inline]
+pub fn coherence_time_s(speed_ms: f64, carrier_hz: f64) -> f64 {
+    let nu = max_doppler_hz(speed_ms, carrier_hz);
+    if nu == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / nu
+    }
+}
+
+/// Doppler shift of a single path arriving at angle `theta` (radians)
+/// relative to the direction of motion: `nu = nu_max cos(theta)`.
+#[inline]
+pub fn path_doppler_hz(speed_ms: f64, carrier_hz: f64, theta: f64) -> f64 {
+    max_doppler_hz(speed_ms, carrier_hz) * theta.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion() {
+        assert!((kmh_to_ms(360.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doppler_at_350kmh_2ghz() {
+        // 350 km/h at 2 GHz: ~648 Hz.
+        let nu = max_doppler_hz(kmh_to_ms(350.0), 2e9);
+        assert!((nu - 648.6).abs() < 1.0, "nu={nu}");
+    }
+
+    #[test]
+    fn paper_coherence_time_range() {
+        // Paper §3.1: Tc in [1.16 ms, 6.18 ms] for f in [874.2, 2665] MHz
+        // and v in [200, 350] km/h.
+        let tc_min = coherence_time_s(kmh_to_ms(350.0), 2665e6);
+        let tc_max = coherence_time_s(kmh_to_ms(200.0), 874.2e6);
+        assert!((tc_min * 1e3 - 1.16).abs() < 0.02, "tc_min={}", tc_min * 1e3);
+        assert!((tc_max * 1e3 - 6.18).abs() < 0.03, "tc_max={}", tc_max * 1e3);
+    }
+
+    #[test]
+    fn paper_low_mobility_example() {
+        // §2: vehicle at 60 km/h under 900 MHz -> Tc ≈ 20 ms.
+        let tc = coherence_time_s(kmh_to_ms(60.0), 900e6);
+        assert!((tc * 1e3 - 20.0).abs() < 0.5, "tc={}", tc * 1e3);
+    }
+
+    #[test]
+    fn static_client_has_infinite_coherence() {
+        assert!(coherence_time_s(0.0, 2e9).is_infinite());
+    }
+
+    #[test]
+    fn path_doppler_geometry() {
+        let v = kmh_to_ms(300.0);
+        let f = 2e9;
+        let nu_max = max_doppler_hz(v, f);
+        assert!((path_doppler_hz(v, f, 0.0) - nu_max).abs() < 1e-9);
+        assert!(path_doppler_hz(v, f, std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!((path_doppler_hz(v, f, std::f64::consts::PI) + nu_max).abs() < 1e-9);
+    }
+}
+
+/// Doppler shift seen from a trackside base station as the train moves
+/// (the 3GPP HST scenario's deterministic trajectory): the shift is
+/// `nu_max * cos(theta(t))` where `theta` is the angle between the
+/// direction of motion and the line of sight,
+/// `cos(theta) = (bs_along - pos) / distance`.
+///
+/// Positive while approaching, sweeping through 0 abeam of the mast,
+/// negative when receding — the S-curve of TS 36.101 B.3.
+pub fn hst_doppler_hz(
+    pos_along_m: f64,
+    bs_along_m: f64,
+    bs_lateral_m: f64,
+    speed_ms: f64,
+    carrier_hz: f64,
+) -> f64 {
+    let dx = bs_along_m - pos_along_m;
+    let dist = (dx * dx + bs_lateral_m * bs_lateral_m).sqrt();
+    if dist <= 0.0 {
+        return 0.0;
+    }
+    max_doppler_hz(speed_ms, carrier_hz) * dx / dist
+}
+
+#[cfg(test)]
+mod hst_tests {
+    use super::*;
+
+    #[test]
+    fn hst_doppler_s_curve() {
+        let v = kmh_to_ms(350.0);
+        let f = 2.6e9;
+        let nu_max = max_doppler_hz(v, f);
+        // Far ahead: near +nu_max.
+        let ahead = hst_doppler_hz(0.0, 5_000.0, 100.0, v, f);
+        assert!(ahead > 0.99 * nu_max, "ahead={ahead}");
+        // Abeam: zero.
+        let abeam = hst_doppler_hz(1_000.0, 1_000.0, 100.0, v, f);
+        assert!(abeam.abs() < 1e-9);
+        // Far behind: near -nu_max.
+        let behind = hst_doppler_hz(10_000.0, 5_000.0, 100.0, v, f);
+        assert!(behind < -0.99 * nu_max, "behind={behind}");
+        // Bounded everywhere.
+        for x in (0..100).map(|i| i as f64 * 100.0) {
+            assert!(hst_doppler_hz(x, 5_000.0, 100.0, v, f).abs() <= nu_max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hst_doppler_transition_width_scales_with_lateral() {
+        // A larger lateral offset stretches the zero crossing.
+        let v = kmh_to_ms(300.0);
+        let f = 2e9;
+        let slope_near = hst_doppler_hz(990.0, 1_000.0, 50.0, v, f)
+            - hst_doppler_hz(1_010.0, 1_000.0, 50.0, v, f);
+        let slope_far = hst_doppler_hz(990.0, 1_000.0, 500.0, v, f)
+            - hst_doppler_hz(1_010.0, 1_000.0, 500.0, v, f);
+        assert!(slope_near > slope_far, "near={slope_near} far={slope_far}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Time-correlated small-scale fading (Jakes sum-of-sinusoids).
+//!
+//! The per-message link model draws independent fades; for trace-level
+//! studies (SNR time series, correlated HARQ retransmissions) a
+//! *process* with the right temporal statistics is needed: Rayleigh
+//! envelope, autocorrelation `J0(2 pi f_d tau)`, coherence time
+//! `~1/f_d`. The classic Jakes simulator sums equal-power sinusoids at
+//! Doppler shifts `f_d cos(theta_k)` with random phases.
+
+use rand::Rng;
+use rem_num::{c64, Complex64, SimRng};
+use std::f64::consts::PI;
+
+/// A Jakes sum-of-sinusoids fading process with unit average power.
+#[derive(Clone, Debug)]
+pub struct JakesFader {
+    max_doppler_hz: f64,
+    /// Per-oscillator `(doppler_hz, phase_i, phase_q)`.
+    oscillators: Vec<(f64, f64, f64)>,
+}
+
+impl JakesFader {
+    /// Creates a fader with `n_osc` oscillators (16–32 gives smooth
+    /// statistics) for maximum Doppler `max_doppler_hz`.
+    pub fn new(max_doppler_hz: f64, n_osc: usize, rng: &mut SimRng) -> Self {
+        assert!(n_osc > 0, "need at least one oscillator");
+        let oscillators = (0..n_osc)
+            .map(|k| {
+                // Angles spread over the circle with random offset
+                // (avoids the classic Jakes correlation artifacts).
+                let theta =
+                    2.0 * PI * (k as f64 + rng.gen_range(0.0..1.0)) / n_osc as f64;
+                (
+                    max_doppler_hz * theta.cos(),
+                    rng.gen_range(0.0..2.0 * PI),
+                    rng.gen_range(0.0..2.0 * PI),
+                )
+            })
+            .collect();
+        Self { max_doppler_hz, oscillators }
+    }
+
+    /// The configured maximum Doppler (Hz).
+    pub fn max_doppler_hz(&self) -> f64 {
+        self.max_doppler_hz
+    }
+
+    /// Complex channel gain at time `t` (seconds). Unit average power.
+    pub fn gain_at(&self, t: f64) -> Complex64 {
+        let n = self.oscillators.len() as f64;
+        let scale = (1.0 / n).sqrt();
+        let mut acc = Complex64::ZERO;
+        for &(fd, pi_, pq) in &self.oscillators {
+            let ang = 2.0 * PI * fd * t;
+            acc += c64((ang + pi_).cos(), (ang + pq).sin()).scale(scale);
+        }
+        // Components each have variance 1/2 -> unit total power.
+        acc
+    }
+
+    /// Power gain (linear) at time `t`.
+    pub fn power_at(&self, t: f64) -> f64 {
+        self.gain_at(t).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    fn fader(fd: f64, seed: u64) -> JakesFader {
+        JakesFader::new(fd, 24, &mut rng_from_seed(seed))
+    }
+
+    #[test]
+    fn unit_average_power() {
+        let f = fader(100.0, 1);
+        let n = 20_000;
+        let p: f64 = (0..n).map(|i| f.power_at(i as f64 * 1e-3)).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.1, "p={p}");
+    }
+
+    #[test]
+    fn envelope_fades_deeply_sometimes() {
+        // Rayleigh-like: deep fades (<-10 dB) occur with ~10% probability.
+        let f = fader(200.0, 2);
+        let n = 20_000;
+        let deep = (0..n).filter(|&i| f.power_at(i as f64 * 1e-3) < 0.1).count();
+        let frac = deep as f64 / n as f64;
+        assert!((0.03..0.25).contains(&frac), "deep-fade fraction {frac}");
+    }
+
+    #[test]
+    fn autocorrelation_decays_on_coherence_scale() {
+        // Correlation high within Tc/4, low beyond several Tc.
+        let fd = 100.0; // Tc ~ 10 ms
+        let f = fader(fd, 3);
+        let n = 4000;
+        let samples: Vec<Complex64> =
+            (0..n).map(|i| f.gain_at(i as f64 * 1e-4)).collect();
+        let corr = |lag: usize| -> f64 {
+            let mut acc = Complex64::ZERO;
+            for i in 0..(n - lag) {
+                acc += samples[i] * samples[i + lag].conj();
+            }
+            acc.abs() / (n - lag) as f64
+        };
+        let c0 = corr(0);
+        let c_small = corr(25); // 2.5 ms
+        let c_large = corr(400); // 40 ms = 4 Tc
+        assert!(c_small / c0 > 0.5, "small-lag corr {}", c_small / c0);
+        assert!(c_large / c0 < 0.5, "large-lag corr {}", c_large / c0);
+    }
+
+    #[test]
+    fn faster_doppler_decorrelates_faster() {
+        let slow = fader(50.0, 4);
+        let fast = fader(500.0, 4);
+        let corr_at = |f: &JakesFader, tau: f64| -> f64 {
+            let n = 3000;
+            let mut acc = Complex64::ZERO;
+            for i in 0..n {
+                let t = i as f64 * 1e-4;
+                acc += f.gain_at(t) * f.gain_at(t + tau).conj();
+            }
+            acc.abs() / n as f64
+        };
+        let tau = 2e-3;
+        assert!(corr_at(&slow, tau) > corr_at(&fast, tau));
+    }
+
+    #[test]
+    fn zero_doppler_is_static() {
+        let f = fader(0.0, 5);
+        let g0 = f.gain_at(0.0);
+        let g1 = f.gain_at(10.0);
+        assert!(g0.dist(g1) < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fader(120.0, 9);
+        let b = fader(120.0, 9);
+        assert!(a.gain_at(0.123).dist(b.gain_at(0.123)) < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the channel substrate.
+
+use proptest::prelude::*;
+use rem_channel::delaydoppler::{dd_channel_matrix, gamma_matrix, p_matrix, phi_matrix, snap_to_grid, DdGrid};
+use rem_channel::doppler::{coherence_time_s, max_doppler_hz};
+use rem_channel::path::{MultipathChannel, Path};
+use rem_num::c64;
+
+fn channel_strategy() -> impl Strategy<Value = MultipathChannel> {
+    proptest::collection::vec(
+        ((-1.0f64..1.0, -1.0f64..1.0), 0.0f64..4e-6, -800.0f64..800.0),
+        1..6,
+    )
+    .prop_map(|paths| {
+        MultipathChannel::new(
+            paths
+                .into_iter()
+                .map(|((re, im), tau, nu)| Path::new(c64(re, im), tau, nu))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn carrier_scaling_preserves_delays_and_gains(ch in channel_strategy(),
+                                                  f1 in 0.7e9f64..3e9, f2 in 0.7e9f64..3e9) {
+        let scaled = ch.scaled_to_carrier(f1, f2);
+        for (a, b) in ch.paths().iter().zip(scaled.paths()) {
+            prop_assert_eq!(a.gain, b.gain);
+            prop_assert_eq!(a.delay_s, b.delay_s);
+            prop_assert!((b.doppler_hz - a.doppler_hz * f2 / f1).abs() < 1e-9 * (1.0 + a.doppler_hz.abs()));
+        }
+    }
+
+    #[test]
+    fn advancing_preserves_total_power(ch in channel_strategy(), dt in 0.0f64..1.0) {
+        let adv = ch.advanced_by(dt);
+        prop_assert!((adv.total_power() - ch.total_power()).abs() < 1e-9 * ch.total_power().max(1e-12));
+    }
+
+    #[test]
+    fn normalization_yields_unit_power(ch in channel_strategy()) {
+        let mut c = ch;
+        if c.total_power() > 1e-12 {
+            c.normalize_power();
+            prop_assert!((c.total_power() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tf_gain_bounded_by_gain_sum(ch in channel_strategy(), t in 0.0f64..0.01, f in -10e6f64..10e6) {
+        let bound: f64 = ch.paths().iter().map(|p| p.gain.abs()).sum();
+        prop_assert!(ch.tf_gain(t, f).abs() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn coherence_time_inverse_to_speed(v1 in 1.0f64..50.0, f in 0.7e9f64..3e9) {
+        let t1 = coherence_time_s(v1, f);
+        let t2 = coherence_time_s(2.0 * v1, f);
+        prop_assert!((t1 / t2 - 2.0).abs() < 1e-9);
+        prop_assert!((max_doppler_hz(v1, f) * t1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dd_matrix_equals_factor_product(ch in channel_strategy()) {
+        let grid = DdGrid::lte(10, 8);
+        let h = dd_channel_matrix(&grid, &ch);
+        let prod = gamma_matrix(&grid, &ch)
+            .matmul(&p_matrix(&ch))
+            .matmul(&phi_matrix(&grid, &ch));
+        prop_assert!(h.frobenius_dist(&prod) < 1e-9 * h.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn snapped_channel_is_on_grid(ch in channel_strategy()) {
+        let grid = DdGrid::lte(12, 14);
+        let s = snap_to_grid(&grid, &ch);
+        for p in s.paths() {
+            let k = p.delay_s / grid.delta_tau();
+            let l = p.doppler_hz / grid.delta_nu();
+            prop_assert!((k - k.round()).abs() < 1e-6);
+            prop_assert!((l - l.round()).abs() < 1e-6);
+            prop_assert!(p.delay_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dd_energy_of_on_grid_channel_matches_path_power(
+        mags in proptest::collection::vec(0.1f64..1.0, 1..4)
+    ) {
+        // Distinct on-grid placements: energy identity holds exactly.
+        let grid = DdGrid::lte(16, 12);
+        let paths: Vec<Path> = mags
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Path::new(c64(m, 0.0), (i as f64 + 1.0) * grid.delta_tau(),
+                                     (i as f64) * grid.delta_nu()))
+            .collect();
+        let ch = MultipathChannel::new(paths);
+        let h = dd_channel_matrix(&grid, &ch);
+        let energy: f64 = h.frobenius_norm().powi(2);
+        prop_assert!((energy - ch.total_power()).abs() < 1e-6 * ch.total_power());
+    }
+}
+
+/// Paper Appendix A: the delay-Doppler representation is stable — the
+/// path profile magnitudes `{|h_p|, tau_p, nu_p}` are invariant as the
+/// channel evolves, while the time-frequency response decorrelates
+/// within a coherence time.
+#[test]
+fn appendix_a_delay_doppler_stability() {
+    use rem_channel::models::ChannelModel;
+    use rem_num::rng::rng_from_seed;
+
+    let mut rng = rng_from_seed(42);
+    let speed = 97.2; // 350 km/h
+    let carrier = 2.6e9;
+    let ch0 = ChannelModel::Hst.realize(&mut rng, speed, carrier);
+    let tc = rem_channel::doppler::coherence_time_s(speed, carrier);
+
+    // Advance by 3.5 coherence times (non-integer so the dominant
+    // path phase does not wrap back to its start).
+    let ch1 = ch0.advanced_by(3.5 * tc);
+
+    // Time-frequency response: decorrelated (large relative change).
+    let g0 = ch0.tf_gain(0.0, 0.0);
+    let g1 = ch1.tf_gain(0.0, 0.0);
+    let tf_change = g0.dist(g1) / g0.abs().max(1e-12);
+    assert!(tf_change > 0.5, "TF should decorrelate: change={tf_change}");
+
+    // Delay-Doppler profile: magnitudes/delays/Dopplers identical.
+    for (a, b) in ch0.paths().iter().zip(ch1.paths()) {
+        assert!((a.gain.abs() - b.gain.abs()).abs() < 1e-12);
+        assert_eq!(a.delay_s, b.delay_s);
+        assert_eq!(a.doppler_hz, b.doppler_hz);
+    }
+}
+
+/// 5G numerologies shorten symbols: delta_tau grows coarser in delay,
+/// finer in Doppler, and the ICI term shrinks quadratically with SCS.
+#[test]
+fn nr_numerology_scaling() {
+    use rem_channel::delaydoppler::DdGrid;
+    use rem_channel::noise::ici_relative_power;
+
+    let mu0 = DdGrid::nr(0, 12, 14);
+    let mu1 = DdGrid::nr(1, 12, 14);
+    let mu2 = DdGrid::nr(2, 12, 14);
+    assert!((mu0.delta_f - 15e3).abs() < 1e-9);
+    assert!((mu1.delta_f - 30e3).abs() < 1e-9);
+    assert!((mu2.delta_f - 60e3).abs() < 1e-9);
+    assert!((mu1.duration_s() - mu0.duration_s() / 2.0).abs() < 1e-12);
+    // ICI at 870 Hz Doppler: each numerology step divides it by 4.
+    let i0 = ici_relative_power(870.0, mu0.t_sym);
+    let i1 = ici_relative_power(870.0, mu1.t_sym);
+    assert!((i0 / i1 - 4.0).abs() < 1e-9);
+}

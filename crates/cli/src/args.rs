@@ -1,0 +1,115 @@
+//! A tiny, dependency-free argument parser: `--key value` flags with
+//! typed lookups and helpful errors.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus positional arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Parse error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parses a raw token stream (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+                out.flags.insert(key.to_string(), val);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Numeric flag with a default.
+    pub fn num_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// Integer flag with a default.
+    pub fn int_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(toks("--speed 300 input.json --seeds 4")).unwrap();
+        assert_eq!(a.get_or("speed", "0"), "300");
+        assert_eq!(a.int_or("seeds", 1).unwrap(), 4);
+        assert_eq!(a.positional(), &["input.json".to_string()]);
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = Args::parse(toks("--x 1")).unwrap();
+        assert_eq!(a.num_or("y", 2.5).unwrap(), 2.5);
+        assert!(a.require("z").is_err());
+        assert_eq!(a.require("x").unwrap(), "1");
+    }
+
+    #[test]
+    fn bad_values_error() {
+        let a = Args::parse(toks("--n abc")).unwrap();
+        assert!(a.int_or("n", 0).is_err());
+        assert!(a.num_or("n", 0.0).is_err());
+    }
+
+    #[test]
+    fn dangling_flag_errors() {
+        assert!(Args::parse(toks("--alone")).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! `rem` — command-line front end for the REM reproduction.
+//!
+//! ```text
+//! rem compare --dataset bs --speed 300 --route-km 40 --seeds 2
+//! rem trace   --dataset bt --plane legacy --out trace.jsonl
+//! rem audit   policies.json
+//! rem bler    --model hst --speed 350 --snr 6 --blocks 200
+//! rem storm   --clients 8 --dataset bs --speed 300
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use rem_core::{Comparison, DatasetSpec, Plane, RunConfig};
+use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
+use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
+use rem_mobility::CellPolicy;
+use rem_sim::{simulate_run, simulate_train};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| "help".into());
+    let rest: Vec<String> = argv.collect();
+    let result = match cmd.as_str() {
+        "compare" => cmd_compare(rest),
+        "trace" => cmd_trace(rest),
+        "audit" => cmd_audit(rest),
+        "bler" => cmd_bler(rest),
+        "storm" => cmd_storm(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command '{other}' (try `rem help`)"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn print_help() {
+    println!(
+        "rem — Reliable Extreme Mobility management (SIGCOMM'20 reproduction)
+
+USAGE: rem <command> [--flag value ...]
+
+COMMANDS:
+  compare   Paired legacy-vs-REM replay on a synthetic dataset
+              --dataset bt|bs|la|nr (default bs)
+              --speed <km/h>       (default 300)
+              --route-km <km>      (default 40)
+              --seeds <n>          (default 2)
+  trace     Export a MobileInsight-style signaling trace (JSON lines)
+              --dataset/--speed/--route-km as above
+              --plane legacy|rem   (default legacy)
+              --seed <n>           (default 42)
+              --out <file>         (default trace.jsonl)
+  audit     Audit a JSON file of cell policies for conflicts, apply
+            REM's simplification, verify Theorem 2
+              <file>               JSON array of CellPolicy
+  bler      Coded signaling BLER, legacy OFDM vs REM OTFS
+              --model hst|eva|etu|epa  (default hst)
+              --speed <km/h>           (default 350)
+              --snr <dB>               (default 6)
+              --blocks <n>             (default 200)
+  storm     Whole-train signaling burst statistics
+              --clients <n>        (default 8)
+              --dataset/--speed/--route-km/--plane as above"
+    );
+}
+
+fn dataset(a: &Args) -> Result<DatasetSpec, ArgError> {
+    let route = a.num_or("route-km", 40.0)?;
+    let speed = a.num_or("speed", 300.0)?;
+    match a.get_or("dataset", "bs") {
+        "bt" => Ok(DatasetSpec::beijing_taiyuan(route, speed)),
+        "bs" => Ok(DatasetSpec::beijing_shanghai(route, speed)),
+        "la" => Ok(DatasetSpec::la_driving(route, speed)),
+        "nr" => Ok(DatasetSpec::nr_smallcell(route, speed)),
+        other => Err(ArgError(format!("unknown dataset '{other}' (bt|bs|la|nr)"))),
+    }
+}
+
+fn plane(a: &Args) -> Result<Plane, ArgError> {
+    match a.get_or("plane", "legacy") {
+        "legacy" => Ok(Plane::Legacy),
+        "rem" => Ok(Plane::Rem),
+        other => Err(ArgError(format!("unknown plane '{other}' (legacy|rem)"))),
+    }
+}
+
+fn cmd_compare(rest: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(rest)?;
+    let spec = dataset(&a)?;
+    let n_seeds = a.int_or("seeds", 2)? as usize;
+    let seeds: Vec<u64> = (1..=n_seeds as u64).collect();
+    println!("{} @ {} km/h, {:.0} km x {} seeds", spec.name, spec.speed_kmh, spec.deployment.route_m / 1e3, n_seeds);
+    let cmp = Comparison::run(&spec, &seeds);
+    println!("\n{:<26} {:>10} {:>10}", "", "legacy", "REM");
+    println!("{:<26} {:>10} {:>10}", "handovers", cmp.legacy.handovers.len(), cmp.rem.handovers.len());
+    println!(
+        "{:<26} {:>9.1}% {:>9.1}%",
+        "failure ratio",
+        cmp.legacy.failure_ratio() * 100.0,
+        cmp.rem.failure_ratio() * 100.0
+    );
+    println!(
+        "{:<26} {:>9.1}% {:>9.1}%",
+        "failure (w/o holes)",
+        cmp.legacy.failure_ratio_no_holes() * 100.0,
+        cmp.rem.failure_ratio_no_holes() * 100.0
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "conflict loops",
+        cmp.legacy.conflict_loops().count(),
+        cmp.rem.conflict_loops().count()
+    );
+    println!(
+        "{:<26} {:>8.0}ms {:>8.0}ms",
+        "mean feedback delay",
+        rem_num::stats::mean(&cmp.legacy.feedback_delays_ms),
+        rem_num::stats::mean(&cmp.rem.feedback_delays_ms)
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "signaling messages",
+        cmp.legacy.signaling.total_messages(),
+        cmp.rem.signaling.total_messages()
+    );
+    Ok(())
+}
+
+fn cmd_trace(rest: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(rest)?;
+    let spec = dataset(&a)?;
+    let mut cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 42)?);
+    cfg.record_trace = true;
+    let out = a.get_or("out", "trace.jsonl").to_string();
+    let m = simulate_run(&cfg);
+    std::fs::write(&out, m.trace.to_jsonl())
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    println!(
+        "wrote {} events to {out} ({} reports, {} commands, {} RLFs)",
+        m.trace.len(),
+        m.trace.count("MEAS_REPORT"),
+        m.trace.count("HO_COMMAND"),
+        m.trace.count("RLF"),
+    );
+    Ok(())
+}
+
+fn cmd_audit(rest: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(rest)?;
+    let file = a
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("audit needs a policy JSON file".into()))?;
+    let body = std::fs::read_to_string(file)
+        .map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
+    let policies: Vec<CellPolicy> = serde_json::from_str(&body)
+        .map_err(|e| ArgError(format!("bad policy JSON: {e}")))?;
+
+    println!("loaded {} policies from {file}", policies.len());
+    let conflicts = scan_conflicts(&policies, |_, _| true);
+    for c in &conflicts {
+        println!(
+            "  conflict {:?} <-> {:?}: {} ({})",
+            c.a,
+            c.b,
+            c.kinds,
+            if c.intra_frequency { "intra-frequency" } else { "inter-frequency" }
+        );
+    }
+    let g = a3_graph_from_policies(&policies);
+    println!("Theorem 2 holds: {}", g.theorem2_holds());
+    println!("persistent loop possible: {}", g.has_persistent_loop());
+    for cycle in g.find_conflict_cycles(4) {
+        println!("  negative cycle: {cycle:?}");
+    }
+
+    let fixed = rem_policies(&policies, &SimplifyConfig::default());
+    let g2 = a3_graph_from_policies(&fixed);
+    println!(
+        "after REM simplification: conflicts {}, Theorem 2 {}, loops {}",
+        scan_conflicts(&fixed, |_, _| true).len(),
+        g2.theorem2_holds(),
+        g2.has_persistent_loop()
+    );
+    Ok(())
+}
+
+fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
+    use rem_channel::doppler::kmh_to_ms;
+    use rem_channel::models::ChannelModel;
+    use rem_num::rng::rng_from_seed;
+    use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+
+    let a = Args::parse(rest)?;
+    let model = match a.get_or("model", "hst") {
+        "hst" => ChannelModel::Hst,
+        "eva" => ChannelModel::Eva,
+        "etu" => ChannelModel::Etu,
+        "epa" => ChannelModel::Epa,
+        other => return Err(ArgError(format!("unknown model '{other}'"))),
+    };
+    let speed = kmh_to_ms(a.num_or("speed", 350.0)?);
+    let snr = a.num_or("snr", 6.0)?;
+    let blocks = a.int_or("blocks", 200)? as usize;
+    let mut r1 = rng_from_seed(1);
+    let ofdm = measure_bler(&LinkConfig::signaling(Waveform::Ofdm), model, speed, 2.6e9, snr, blocks, &mut r1);
+    let mut r2 = rng_from_seed(1);
+    let otfs = measure_bler(&LinkConfig::signaling(Waveform::Otfs), model, speed, 2.6e9, snr, blocks, &mut r2);
+    println!("{model:?} @ {:.0} km/h, SNR {snr} dB, {blocks} blocks:", a.num_or("speed", 350.0)?);
+    println!("  legacy OFDM BLER: {ofdm:.3}");
+    println!("  REM OTFS BLER:    {otfs:.3}");
+    Ok(())
+}
+
+fn cmd_storm(rest: Vec<String>) -> Result<(), ArgError> {
+    let a = Args::parse(rest)?;
+    let spec = dataset(&a)?;
+    let cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 7)?);
+    let clients = a.int_or("clients", 8)? as usize;
+    let t = simulate_train(&cfg, clients, 400.0, 1_000.0);
+    println!(
+        "{} clients, {} messages total: mean {:.1} msg/s, peak {:.1} msg/s over {:.0} ms windows",
+        t.n_clients, t.total_messages, t.mean_rate_per_s, t.peak_rate_per_s, t.window_ms
+    );
+    println!("handovers {} / failures {}", t.handovers, t.failures);
+    Ok(())
+}

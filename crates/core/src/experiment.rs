@@ -1,0 +1,143 @@
+//! Paired legacy-vs-REM experiments (the paper's replay methodology).
+//!
+//! A [`Comparison`] runs both signaling planes over the *same* radio
+//! environment (same seed — the environment RNG stream is shared) and
+//! derives the reduction factors `ε = (K_legacy − K_rem) / K_rem`
+//! reported in Table 5.
+
+use rem_mobility::FailureCause;
+use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Results of one paired replay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Dataset name.
+    pub dataset: String,
+    /// Client speed (km/h).
+    pub speed_kmh: f64,
+    /// Legacy plane metrics.
+    pub legacy: RunMetrics,
+    /// REM plane metrics.
+    pub rem: RunMetrics,
+}
+
+impl Comparison {
+    /// Runs both planes over `seeds` and aggregates.
+    pub fn run(spec: &DatasetSpec, seeds: &[u64]) -> Self {
+        let mut legacy = RunMetrics::default();
+        let mut rem = RunMetrics::default();
+        for &seed in seeds {
+            let l = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, seed));
+            let r = simulate_run(&RunConfig::new(spec.clone(), Plane::Rem, seed));
+            merge(&mut legacy, l);
+            merge(&mut rem, r);
+        }
+        Self { dataset: spec.name.clone(), speed_kmh: spec.speed_kmh, legacy, rem }
+    }
+
+    /// The paper's reduction factor `ε = (K_lgc − K_rem) / K_rem` for a
+    /// pair of counts; `f64::INFINITY` when REM has zero.
+    pub fn epsilon(k_legacy: f64, k_rem: f64) -> f64 {
+        if k_rem <= 0.0 {
+            if k_legacy <= 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (k_legacy - k_rem) / k_rem
+        }
+    }
+
+    /// ε over total failure counts.
+    pub fn total_failure_epsilon(&self) -> f64 {
+        Self::epsilon(self.legacy.failures.len() as f64, self.rem.failures.len() as f64)
+    }
+
+    /// ε over failures excluding coverage holes.
+    pub fn no_hole_failure_epsilon(&self) -> f64 {
+        let count = |m: &RunMetrics| {
+            m.failures.iter().filter(|f| f.cause != FailureCause::CoverageHole).count() as f64
+        };
+        Self::epsilon(count(&self.legacy), count(&self.rem))
+    }
+
+    /// ε for one failure cause.
+    pub fn cause_epsilon(&self, cause: FailureCause) -> f64 {
+        let count =
+            |m: &RunMetrics| m.failures.iter().filter(|f| f.cause == cause).count() as f64;
+        Self::epsilon(count(&self.legacy), count(&self.rem))
+    }
+}
+
+/// Concatenates run metrics (used to aggregate over seeds).
+pub fn merge(into: &mut RunMetrics, from: RunMetrics) {
+    // Offset times so records from different seeds don't interleave.
+    let offset = into.duration_s * 1e3;
+    into.duration_s += from.duration_s;
+    into.handovers.extend(from.handovers.into_iter().map(|mut h| {
+        h.t_ms += offset;
+        h
+    }));
+    into.failures.extend(from.failures.into_iter().map(|mut f| {
+        f.t_ms += offset;
+        f
+    }));
+    into.loops.extend(from.loops.into_iter().map(|mut l| {
+        l.start_ms += offset;
+        l.end_ms += offset;
+        l
+    }));
+    into.bler_before_failure_ul.extend(from.bler_before_failure_ul);
+    into.bler_before_failure_dl.extend(from.bler_before_failure_dl);
+    into.feedback_delays_ms.extend(from.feedback_delays_ms);
+    into.signaling.reports += from.signaling.reports;
+    into.signaling.commands += from.signaling.commands;
+    into.signaling.reconfigs += from.signaling.reconfigs;
+    into.signaling.harq_transmissions += from.signaling.harq_transmissions;
+    into.trace.events.extend(from.trace.events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_semantics() {
+        assert_eq!(Comparison::epsilon(0.0, 0.0), 0.0);
+        assert!(Comparison::epsilon(3.0, 0.0).is_infinite());
+        assert!((Comparison::epsilon(12.0, 3.0) - 3.0).abs() < 1e-12);
+        // Paper notation: "3.0x reduction" for 10.6% -> 2.63%.
+        assert!((Comparison::epsilon(10.6, 2.63) - 3.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn paired_run_shows_rem_advantage_at_speed() {
+        let spec = DatasetSpec::beijing_taiyuan(20.0, 300.0);
+        let cmp = Comparison::run(&spec, &[11]);
+        assert!(
+            cmp.rem.failure_ratio_no_holes() <= cmp.legacy.failure_ratio_no_holes(),
+            "rem={} legacy={}",
+            cmp.rem.failure_ratio_no_holes(),
+            cmp.legacy.failure_ratio_no_holes()
+        );
+        assert_eq!(cmp.rem.conflict_loops().count(), 0);
+    }
+
+    #[test]
+    fn merge_concatenates_and_offsets() {
+        let spec = DatasetSpec::beijing_taiyuan(10.0, 250.0);
+        let a = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 1));
+        let b = simulate_run(&RunConfig::new(spec, Plane::Legacy, 2));
+        let (na, nb) = (a.handovers.len(), b.handovers.len());
+        let dur_a = a.duration_s;
+        let mut m = RunMetrics::default();
+        merge(&mut m, a);
+        merge(&mut m, b);
+        assert_eq!(m.handovers.len(), na + nb);
+        if nb > 0 {
+            assert!(m.handovers[na].t_ms >= dur_a * 1e3);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # rem-core
+//!
+//! The public facade of the REM reproduction ("Beyond 5G: Reliable
+//! Extreme Mobility Management", SIGCOMM 2020): paired legacy-vs-REM
+//! replay experiments, the TCP coupling of Fig 9, and re-exports of
+//! every subsystem crate.
+//!
+//! ## The system in one paragraph
+//!
+//! 4G/5G mobility management keys every decision off wireless signal
+//! strength, which is fragile under extreme-mobility Doppler; REM
+//! shifts to *movement-based* management in the delay-Doppler domain:
+//! an OTFS signaling overlay rides on the legacy OFDM grid
+//! ([`rem_phy::scheduler`]), the client measures one cell per base
+//! station and derives the rest via SVD cross-band estimation
+//! ([`rem_crossband`]), and policies collapse to provably conflict-free
+//! single-stage A3 rules ([`rem_mobility::rem_policy`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use rem_core::{Comparison, DatasetSpec};
+//!
+//! let spec = DatasetSpec::beijing_taiyuan(50.0, 300.0);
+//! let cmp = Comparison::run(&spec, &[1, 2, 3]);
+//! println!(
+//!     "legacy {:.1}% -> REM {:.1}% failures ({:.1}x reduction)",
+//!     cmp.legacy.failure_ratio() * 100.0,
+//!     cmp.rem.failure_ratio() * 100.0,
+//!     cmp.no_hole_failure_epsilon(),
+//! );
+//! ```
+
+pub mod experiment;
+pub mod report;
+pub mod tcp_coupling;
+
+pub use experiment::{merge, Comparison};
+pub use report::{ExperimentReport, ReportRow};
+pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, STALL_GAP_MS};
+
+// Subsystem re-exports so downstream users depend on one crate.
+pub use rem_channel;
+pub use rem_crossband;
+pub use rem_mobility;
+pub use rem_net;
+pub use rem_num;
+pub use rem_phy;
+pub use rem_sim;
+
+pub use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};

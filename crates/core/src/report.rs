@@ -1,0 +1,122 @@
+//! Machine-readable experiment reports.
+//!
+//! Every bench prints its table for humans; this module captures the
+//! same numbers as JSON so EXPERIMENTS.md entries are regenerable and
+//! diffable across commits (`target/rem-results/<name>.json` by
+//! convention).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One experiment's structured output: named rows of named values.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "table5" or "fig10a".
+    pub name: String,
+    /// Free-form context (dataset, seeds, parameters).
+    pub context: BTreeMap<String, String>,
+    /// Rows: label -> (metric -> value).
+    pub rows: Vec<ReportRow>,
+}
+
+/// One labelled row of metric values.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// Row label ("Beijing-Shanghai 300-350", "SNR 8 dB", ...).
+    pub label: String,
+    /// Metric name -> value.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Adds a context entry (builder style).
+    pub fn with_context(mut self, key: &str, value: &str) -> Self {
+        self.context.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: &str, values: &[(&str, f64)]) {
+        self.rows.push(ReportRow {
+            label: label.to_string(),
+            values: values.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Parses a report back.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The conventional output path: `target/rem-results/<name>.json`.
+    pub fn default_path(&self) -> PathBuf {
+        Path::new("target").join("rem-results").join(format!("{}.json", self.name))
+    }
+
+    /// Writes to the conventional path (creating directories) and
+    /// returns it.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = self.default_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, row_label: &str, metric: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == row_label)
+            .and_then(|r| r.values.get(metric))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("table5").with_context("seeds", "1,2,3");
+        r.push_row("BS 300-350", &[("legacy_fail", 0.248), ("rem_fail", 0.082)]);
+        r.push_row("BS 200-300", &[("legacy_fail", 0.208), ("rem_fail", 0.046)]);
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let back = ExperimentReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.name, "table5");
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.get("BS 300-350", "rem_fail"), Some(0.082));
+        assert_eq!(back.context.get("seeds").map(String::as_str), Some("1,2,3"));
+    }
+
+    #[test]
+    fn lookup_semantics() {
+        let r = sample();
+        assert_eq!(r.get("nope", "legacy_fail"), None);
+        assert_eq!(r.get("BS 300-350", "nope"), None);
+    }
+
+    #[test]
+    fn default_path_shape() {
+        let r = sample();
+        let p = r.default_path();
+        assert!(p.ends_with("rem-results/table5.json"));
+    }
+}

@@ -1,0 +1,117 @@
+//! A common interface over the three cross-band estimators.
+//!
+//! Each estimator receives band 1's (possibly noisy) time-frequency
+//! observation and must predict band 2's time-frequency response; the
+//! evaluation metrics (Fig 12/13) compare predicted vs true band-2 SNR
+//! and the handover decisions both imply.
+
+use crate::optml::OptMl;
+use crate::r2f2::{fit_paths, predict_band2 as r2f2_predict, R2f2Config};
+use crate::svd_estimator::{estimate_band2, SvdEstimatorConfig};
+use rem_channel::DdGrid;
+use rem_num::CMatrix;
+use rem_phy::chanest::tf_to_dd;
+use rem_phy::otfs::sfft;
+
+/// A band-1 observation handed to an estimator.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The OFDM/delay-Doppler grid geometry.
+    pub grid: DdGrid,
+    /// Band 1's sampled (noisy) time-frequency response.
+    pub h1_tf: CMatrix,
+    /// Band 1 carrier frequency (Hz).
+    pub f1_hz: f64,
+    /// Band 2 carrier frequency (Hz).
+    pub f2_hz: f64,
+}
+
+/// Anything that can predict band 2's TF response from band 1's.
+pub trait CrossBandEstimator {
+    /// Short display name ("REM", "R2F2", "OptML").
+    fn name(&self) -> &'static str;
+    /// Predicts band 2's time-frequency channel matrix.
+    fn predict_band2_tf(&self, obs: &Observation) -> CMatrix;
+}
+
+/// REM: ISFFT to delay-Doppler, Algorithm 1, SFFT back.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RemEstimator {
+    /// Algorithm 1 configuration.
+    pub cfg: SvdEstimatorConfig,
+}
+
+impl CrossBandEstimator for RemEstimator {
+    fn name(&self) -> &'static str {
+        "REM"
+    }
+
+    fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+        let h1_dd = tf_to_dd(&obs.h1_tf);
+        let est = estimate_band2(&obs.grid, &h1_dd, obs.f1_hz, obs.f2_hz, &self.cfg);
+        // Back to the time-frequency domain (SFFT inverts the ISFFT).
+        sfft(&est.h2_dd)
+    }
+}
+
+/// R2F2: static multipath fit in the time-frequency domain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct R2f2Estimator {
+    /// Matching-pursuit configuration.
+    pub cfg: R2f2Config,
+}
+
+impl CrossBandEstimator for R2f2Estimator {
+    fn name(&self) -> &'static str {
+        "R2F2"
+    }
+
+    fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+        let paths = fit_paths(&obs.grid, &obs.h1_tf, &self.cfg);
+        r2f2_predict(&obs.grid, &paths, obs.f1_hz, obs.f2_hz)
+    }
+}
+
+/// OptML: trained network inference.
+#[derive(Clone, Debug)]
+pub struct OptMlEstimator {
+    /// The trained model.
+    pub model: OptMl,
+}
+
+impl CrossBandEstimator for OptMlEstimator {
+    fn name(&self) -> &'static str {
+        "OptML"
+    }
+
+    fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+        self.model.predict(&obs.grid, &obs.h1_tf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_channel::{MultipathChannel, Path};
+    use rem_num::c64;
+
+    #[test]
+    fn rem_estimator_round_trips_static_channel() {
+        let grid = DdGrid::lte(16, 12);
+        let ch = MultipathChannel::new(vec![
+            Path::new(c64(1.0, 0.0), 0.0, 0.0),
+            Path::new(c64(0.0, 0.5), 3.0 * grid.delta_tau(), 0.0),
+        ]);
+        let h1 = ch.tf_grid(grid.m, grid.n, grid.delta_f, grid.t_sym);
+        let obs = Observation { grid, h1_tf: h1.clone(), f1_hz: 2e9, f2_hz: 2e9 };
+        let pred = RemEstimator::default().predict_band2_tf(&obs);
+        let rel = pred.frobenius_dist(&h1) / h1.frobenius_norm();
+        assert!(rel < 0.05, "rel={rel}");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(RemEstimator::default().name(), "REM");
+        assert_eq!(R2f2Estimator::default().name(), "R2F2");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # rem-crossband
+//!
+//! Cross-band channel estimation: REM's SVD-based Algorithm 1 (paper
+//! §5.2) plus structural reimplementations of the paper's comparators —
+//! R2F2-style static multipath fitting and OptML-style learned
+//! prediction — with the SNR-error / decision-precision metrics and the
+//! scenario harness behind Figs 12–14.
+//!
+//! ```
+//! use rem_crossband::harness::{evaluate, generate_scenarios, Regime, ScenarioConfig};
+//! use rem_crossband::estimator::RemEstimator;
+//! use rem_num::rng::rng_from_seed;
+//!
+//! let cfg = ScenarioConfig::default();
+//! let scenarios = generate_scenarios(Regime::Hsr, &cfg, 5, &mut rng_from_seed(1));
+//! let res = evaluate(&RemEstimator::default(), &scenarios, 0.1, 3.0);
+//! assert!(res.precision > 0.5);
+//! ```
+
+pub mod estimator;
+pub mod harness;
+pub mod metrics;
+pub mod optml;
+pub mod r2f2;
+pub mod svd_estimator;
+
+pub use estimator::{CrossBandEstimator, Observation, OptMlEstimator, R2f2Estimator, RemEstimator};
+pub use svd_estimator::{estimate_band2, CrossbandEstimate, SvdEstimatorConfig};

@@ -1,0 +1,167 @@
+//! Evaluation metrics for cross-band estimation (paper Figs 12–13).
+//!
+//! Two quantities: the *SNR error* — the absolute dB gap between the
+//! SNR implied by the predicted channel and the true one — and the
+//! *handover decision precision* — whether the estimate triggers the
+//! same A3 events as a direct measurement would.
+
+use rem_num::stats::lin_to_db;
+use rem_num::CMatrix;
+
+/// Mean wideband SNR (dB) implied by a TF channel matrix and a noise
+/// variance: `10 log10(mean |H|^2 / noise_var)`.
+pub fn mean_snr_db(tf: &CMatrix, noise_var: f64) -> f64 {
+    lin_to_db(tf.mean_power().max(1e-30) / noise_var)
+}
+
+/// Absolute SNR prediction error in dB (grid-mean form).
+pub fn snr_error_db(pred_tf: &CMatrix, true_tf: &CMatrix, noise_var: f64) -> f64 {
+    (mean_snr_db(pred_tf, noise_var) - mean_snr_db(true_tf, noise_var)).abs()
+}
+
+/// Time-resolved SNR error (dB): mean over OFDM symbols of the per-
+/// symbol SNR gap. This is what separates Doppler-aware estimation
+/// from static fits — a prediction with the right average power but no
+/// time structure still scores poorly when the channel rotates within
+/// the grid (the paper's Fig 13 critique of R2F2/OptML).
+pub fn time_resolved_snr_error_db(pred_tf: &CMatrix, true_tf: &CMatrix, noise_var: f64) -> f64 {
+    assert_eq!(pred_tf.shape(), true_tf.shape());
+    let (m, n) = pred_tf.shape();
+    let mut acc = 0.0;
+    for col in 0..n {
+        let p: f64 = (0..m).map(|r| pred_tf[(r, col)].norm_sqr()).sum::<f64>() / m as f64;
+        let t: f64 = (0..m).map(|r| true_tf[(r, col)].norm_sqr()).sum::<f64>() / m as f64;
+        acc += (lin_to_db(p.max(1e-30) / noise_var) - lin_to_db(t.max(1e-30) / noise_var)).abs();
+    }
+    acc / n as f64
+}
+
+/// Would an A3 event fire? `target > serving + offset` (paper Table 1).
+pub fn a3_fires(target_snr_db: f64, serving_snr_db: f64, offset_db: f64) -> bool {
+    target_snr_db > serving_snr_db + offset_db
+}
+
+/// Accumulates handover-decision agreement between estimated and
+/// directly-measured target-cell quality.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrecisionCounter {
+    correct: usize,
+    total: usize,
+}
+
+impl PrecisionCounter {
+    /// Records one decision: does the estimate trigger the same A3
+    /// outcome as the ground truth?
+    pub fn record(
+        &mut self,
+        est_target_snr_db: f64,
+        true_target_snr_db: f64,
+        serving_snr_db: f64,
+        a3_offset_db: f64,
+    ) {
+        let est = a3_fires(est_target_snr_db, serving_snr_db, a3_offset_db);
+        let truth = a3_fires(true_target_snr_db, serving_snr_db, a3_offset_db);
+        if est == truth {
+            self.correct += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Fraction of agreeing decisions; 1.0 when empty.
+    pub fn precision(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Decisions recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::{c64, CMatrix};
+
+    #[test]
+    fn snr_of_unit_channel() {
+        let tf = CMatrix::from_fn(4, 4, |_, _| c64(1.0, 0.0));
+        assert!((mean_snr_db(&tf, 0.1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_error_symmetry() {
+        let a = CMatrix::from_fn(4, 4, |_, _| c64(1.0, 0.0));
+        let b = CMatrix::from_fn(4, 4, |_, _| c64(2.0, 0.0));
+        let e1 = snr_error_db(&a, &b, 0.1);
+        let e2 = snr_error_db(&b, &a, 0.1);
+        assert!((e1 - e2).abs() < 1e-12);
+        assert!((e1 - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn a3_threshold_semantics() {
+        assert!(a3_fires(10.0, 6.0, 3.0));
+        assert!(!a3_fires(8.0, 6.0, 3.0));
+        // Strict inequality at the boundary.
+        assert!(!a3_fires(9.0, 6.0, 3.0));
+    }
+
+    #[test]
+    fn precision_counts_agreement() {
+        let mut p = PrecisionCounter::default();
+        // Agree: both fire.
+        p.record(12.0, 11.0, 6.0, 3.0);
+        // Agree: neither fires.
+        p.record(5.0, 4.0, 6.0, 3.0);
+        // Disagree: estimate fires, truth does not.
+        p.record(12.0, 7.0, 6.0, 3.0);
+        assert_eq!(p.total(), 3);
+        assert!((p.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_precision_is_one() {
+        assert_eq!(PrecisionCounter::default().precision(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod time_resolved_tests {
+    use super::*;
+    use rem_num::{c64, CMatrix};
+
+    #[test]
+    fn time_resolved_zero_for_identical_grids() {
+        let a = CMatrix::from_fn(4, 6, |r, c| c64(r as f64 + 1.0, c as f64));
+        assert!(time_resolved_snr_error_db(&a, &a, 0.1) < 1e-9);
+    }
+
+    #[test]
+    fn time_resolved_catches_missing_time_structure() {
+        // True channel power doubles halfway through; a constant
+        // prediction with the correct *mean* power still errs per-symbol.
+        let truth = CMatrix::from_fn(4, 8, |_, c| {
+            if c < 4 { c64(1.0, 0.0) } else { c64(2f64.sqrt(), 0.0) }
+        });
+        let mean_pow = truth.mean_power().sqrt();
+        let flat = CMatrix::from_fn(4, 8, |_, _| c64(mean_pow, 0.0));
+        // Grid-mean error is ~0...
+        assert!(snr_error_db(&flat, &truth, 0.1) < 0.1);
+        // ...but the time-resolved error is not.
+        assert!(time_resolved_snr_error_db(&flat, &truth, 0.1) > 0.5);
+    }
+
+    #[test]
+    fn time_resolved_symmetric() {
+        let a = CMatrix::from_fn(3, 5, |r, c| c64(1.0 + r as f64 * 0.2, c as f64 * 0.1));
+        let b = CMatrix::from_fn(3, 5, |r, c| c64(0.5 + c as f64 * 0.3, r as f64 * 0.2));
+        let e1 = time_resolved_snr_error_db(&a, &b, 0.1);
+        let e2 = time_resolved_snr_error_db(&b, &a, 0.1);
+        assert!((e1 - e2).abs() < 1e-9);
+    }
+}

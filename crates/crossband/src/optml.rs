@@ -1,0 +1,328 @@
+//! OptML-style learned cross-band prediction baseline (paper ref [24]).
+//!
+//! OptML ("Fast and Efficient Cross Band Channel Prediction Using
+//! Machine Learning", MobiCom'19) trains a model mapping one band's
+//! observed channel to another band's. We reimplement it as a small
+//! fully-connected network (tanh hidden layers, linear output) trained
+//! with SGD on 80% of the generated channels, evaluated on the held-out
+//! 20% — the paper's own protocol (§7.2).
+//!
+//! Structurally faithful properties: the feature set is built from
+//! magnitude profiles without any Doppler notion (the paper's critique:
+//! "they do not consider the Doppler effect in mobility"), and
+//! inference costs a dense forward pass rather than REM's closed form.
+
+use rand::Rng;
+use rem_channel::DdGrid;
+use rem_num::{CMatrix, Complex64, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A minimal multilayer perceptron: tanh hidden layers, linear output,
+/// trained by plain SGD on mean-squared error.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    /// `weights[l][i * in + j]`: weight from input `j` to unit `i` of
+    /// layer `l`.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes (first = input
+    /// dim, last = output dim), Xavier-ish initialisation.
+    pub fn new(sizes: &[usize], rng: &mut SimRng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layers");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let scale = (2.0 / (fan_in + fan_out) as f64).sqrt();
+            weights.push(
+                (0..fan_in * fan_out).map(|_| scale * rem_num::rng::standard_normal(rng)).collect(),
+            );
+            biases.push(vec![0.0; fan_out]);
+        }
+        Self { sizes: sizes.to_vec(), weights, biases }
+    }
+
+    /// Number of layers with parameters.
+    fn depth(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forward pass; returns the output activations.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_full(x).pop().unwrap()
+    }
+
+    /// Forward pass keeping every layer's activations (for backprop).
+    fn forward_full(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(x.len(), self.sizes[0], "input dim mismatch");
+        let mut acts = vec![x.to_vec()];
+        for l in 0..self.depth() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let prev = &acts[l];
+            let mut out = vec![0.0; fan_out];
+            #[allow(clippy::needless_range_loop)] // row-slice index math
+            for i in 0..fan_out {
+                let mut z = self.biases[l][i];
+                let row = &self.weights[l][i * fan_in..(i + 1) * fan_in];
+                for (w, a) in row.iter().zip(prev) {
+                    z += w * a;
+                }
+                out[i] = if l == self.depth() - 1 { z } else { z.tanh() };
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// One SGD step on a single `(x, y)` example; returns the example's
+    /// squared-error loss before the update.
+    pub fn train_step(&mut self, x: &[f64], y: &[f64], lr: f64) -> f64 {
+        let acts = self.forward_full(x);
+        let out = acts.last().unwrap();
+        assert_eq!(y.len(), out.len(), "target dim mismatch");
+        let loss: f64 = out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum();
+
+        // Output-layer delta (linear): dL/dz = 2 (o - t).
+        let mut delta: Vec<f64> = out.iter().zip(y).map(|(o, t)| 2.0 * (o - t)).collect();
+        for l in (0..self.depth()).rev() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let prev = &acts[l];
+            // Gradient step for this layer and backprop to the previous.
+            let mut prev_delta = vec![0.0; fan_in];
+            #[allow(clippy::needless_range_loop)] // row-slice index math
+            for i in 0..fan_out {
+                let d = delta[i];
+                let row = &mut self.weights[l][i * fan_in..(i + 1) * fan_in];
+                for (j, w) in row.iter_mut().enumerate() {
+                    prev_delta[j] += *w * d;
+                    *w -= lr * d * prev[j];
+                }
+                self.biases[l][i] -= lr * d;
+            }
+            if l > 0 {
+                // Through the tanh of layer l's input activations.
+                for (pd, a) in prev_delta.iter_mut().zip(&acts[l][..]) {
+                    *pd *= 1.0 - a * a;
+                }
+            }
+            delta = prev_delta;
+        }
+        loss
+    }
+
+    /// Trains for `epochs` passes over the dataset with shuffling.
+    pub fn train(
+        &mut self,
+        data: &[(Vec<f64>, Vec<f64>)],
+        epochs: usize,
+        lr: f64,
+        rng: &mut SimRng,
+    ) -> f64 {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            last = 0.0;
+            for &i in &order {
+                last += self.train_step(&data[i].0, &data[i].1, lr);
+            }
+            last /= data.len().max(1) as f64;
+        }
+        last
+    }
+}
+
+/// Doppler-free feature vector from a band-1 TF observation:
+/// per-subcarrier time-averaged magnitudes plus per-symbol
+/// grid-averaged magnitudes (all in a fixed scale).
+pub fn features(grid: &DdGrid, h1_tf: &CMatrix) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.m + grid.n);
+    for m in 0..grid.m {
+        let s: f64 = (0..grid.n).map(|n| h1_tf[(m, n)].abs()).sum();
+        out.push(s / grid.n as f64);
+    }
+    for n in 0..grid.n {
+        let s: f64 = (0..grid.m).map(|m| h1_tf[(m, n)].abs()).sum();
+        out.push(s / grid.m as f64);
+    }
+    out
+}
+
+/// Learning target: band-2 per-subcarrier time-averaged magnitudes.
+pub fn target(grid: &DdGrid, h2_tf: &CMatrix) -> Vec<f64> {
+    (0..grid.m)
+        .map(|m| (0..grid.n).map(|n| h2_tf[(m, n)].abs()).sum::<f64>() / grid.n as f64)
+        .collect()
+}
+
+/// Expands a predicted per-subcarrier magnitude profile into a TF
+/// matrix (zero phase, constant over time — OptML predicts magnitude
+/// structure, which suffices for SNR-based handover decisions).
+pub fn profile_to_tf(grid: &DdGrid, profile: &[f64]) -> CMatrix {
+    CMatrix::from_fn(grid.m, grid.n, |m, _| Complex64::from_real(profile[m].max(0.0)))
+}
+
+/// The trained OptML predictor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OptMl {
+    mlp: Mlp,
+    grid_m: usize,
+    grid_n: usize,
+}
+
+/// OptML hyperparameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OptMlConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Default for OptMlConfig {
+    fn default() -> Self {
+        Self { hidden: 64, epochs: 60, lr: 0.01 }
+    }
+}
+
+impl OptMl {
+    /// Trains on `(band1 TF observation, band2 TF truth)` pairs.
+    pub fn train(
+        grid: &DdGrid,
+        pairs: &[(CMatrix, CMatrix)],
+        cfg: &OptMlConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let data: Vec<(Vec<f64>, Vec<f64>)> =
+            pairs.iter().map(|(h1, h2)| (features(grid, h1), target(grid, h2))).collect();
+        let in_dim = grid.m + grid.n;
+        let mut mlp = Mlp::new(&[in_dim, cfg.hidden, cfg.hidden, grid.m], rng);
+        mlp.train(&data, cfg.epochs, cfg.lr, rng);
+        Self { mlp, grid_m: grid.m, grid_n: grid.n }
+    }
+
+    /// Predicts band 2's TF magnitude structure from a band-1
+    /// observation.
+    pub fn predict(&self, grid: &DdGrid, h1_tf: &CMatrix) -> CMatrix {
+        assert_eq!((grid.m, grid.n), (self.grid_m, self.grid_n), "grid mismatch");
+        let profile = self.mlp.forward(&features(grid, h1_tf));
+        profile_to_tf(grid, &profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    #[test]
+    fn forward_dims() {
+        let mut rng = rng_from_seed(1);
+        let mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        assert_eq!(mlp.forward(&[0.1, -0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn learns_identity_map() {
+        let mut rng = rng_from_seed(2);
+        let mut mlp = Mlp::new(&[2, 16, 2], &mut rng);
+        let data: Vec<(Vec<f64>, Vec<f64>)> = (0..200)
+            .map(|_| {
+                let x = vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+                (x.clone(), x)
+            })
+            .collect();
+        let loss = mlp.train(&data, 200, 0.02, &mut rng);
+        assert!(loss < 0.01, "loss={loss}");
+        let y = mlp.forward(&[0.5, -0.3]);
+        assert!((y[0] - 0.5).abs() < 0.15 && (y[1] + 0.3).abs() < 0.15, "{y:?}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x1 * x2 requires the hidden layer (not linearly separable).
+        let mut rng = rng_from_seed(3);
+        let mut mlp = Mlp::new(&[2, 24, 1], &mut rng);
+        let data: Vec<(Vec<f64>, Vec<f64>)> = (0..400)
+            .map(|_| {
+                let a: f64 = rng.gen_range(-1.0..1.0);
+                let b: f64 = rng.gen_range(-1.0..1.0);
+                (vec![a, b], vec![a * b])
+            })
+            .collect();
+        let loss = mlp.train(&data, 300, 0.02, &mut rng);
+        assert!(loss < 0.02, "loss={loss}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = rng_from_seed(4);
+        let mut mlp = Mlp::new(&[4, 8, 4], &mut rng);
+        let data: Vec<(Vec<f64>, Vec<f64>)> = (0..100)
+            .map(|i| {
+                let x: Vec<f64> = (0..4).map(|k| ((i * k) as f64 * 0.1).sin()).collect();
+                let y: Vec<f64> = x.iter().map(|v| 0.5 * v).collect();
+                (x, y)
+            })
+            .collect();
+        let first: f64 = data.iter().map(|(x, y)| {
+            let o = mlp.forward(x);
+            o.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        }).sum::<f64>() / data.len() as f64;
+        let last = mlp.train(&data, 100, 0.02, &mut rng);
+        assert!(last < first, "first={first} last={last}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mlp::new(&[3, 4, 2], &mut rng_from_seed(7));
+        let b = Mlp::new(&[3, 4, 2], &mut rng_from_seed(7));
+        assert_eq!(a.forward(&[1.0, 2.0, 3.0]), b.forward(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn features_and_target_dims() {
+        let grid = DdGrid::lte(12, 14);
+        let tf = CMatrix::from_fn(12, 14, |r, c| rem_num::c64(r as f64, c as f64));
+        assert_eq!(features(&grid, &tf).len(), 26);
+        assert_eq!(target(&grid, &tf).len(), 12);
+    }
+
+    #[test]
+    fn optml_learns_band_scaling_structure() {
+        // Synthetic task: band-2 magnitude = 0.8 * band-1 magnitude.
+        let grid = DdGrid::lte(8, 6);
+        let mut rng = rng_from_seed(9);
+        let pairs: Vec<(CMatrix, CMatrix)> = (0..150)
+            .map(|_| {
+                let base: Vec<f64> = (0..8).map(|_| rng.gen_range(0.2..1.5)).collect();
+                let h1 = CMatrix::from_fn(8, 6, |m, _| rem_num::c64(base[m], 0.0));
+                let h2 = CMatrix::from_fn(8, 6, |m, _| rem_num::c64(0.8 * base[m], 0.0));
+                (h1, h2)
+            })
+            .collect();
+        let cfg = OptMlConfig { hidden: 32, epochs: 80, lr: 0.01 };
+        let model = OptMl::train(&grid, &pairs, &cfg, &mut rng);
+        // Held-out check.
+        let base: Vec<f64> = (0..8).map(|_| rng.gen_range(0.2..1.5)).collect();
+        let h1 = CMatrix::from_fn(8, 6, |m, _| rem_num::c64(base[m], 0.0));
+        let pred = model.predict(&grid, &h1);
+        for m in 0..8 {
+            let want = 0.8 * base[m];
+            let got = pred[(m, 0)].re;
+            assert!((got - want).abs() < 0.2, "sc {m}: got {got} want {want}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for Algorithm 1 and its baselines.
+
+use proptest::prelude::*;
+use rem_channel::delaydoppler::{dd_channel_matrix, DdGrid};
+use rem_channel::{MultipathChannel, Path};
+use rem_crossband::{estimate_band2, SvdEstimatorConfig};
+use rem_num::c64;
+
+/// Random channels with pairwise-distinct delay bins *and* pairwise-
+/// distinct Doppler bins — Theorem 1's condition (ii) requires both
+/// (two paths sharing either coordinate make Γ or Φ rank-deficient).
+fn on_grid_channel() -> impl Strategy<Value = MultipathChannel> {
+    (
+        proptest::collection::btree_set(0usize..8, 1..4),
+        proptest::collection::btree_set(0usize..6, 3),
+        proptest::collection::vec((0.2f64..1.0, 0.0f64..6.28), 4),
+    )
+        .prop_map(|(ks, ls, gains)| {
+            let grid = DdGrid::lte(16, 12);
+            let n = ks.len().min(ls.len());
+            let paths: Vec<Path> = ks
+                .into_iter()
+                .zip(ls)
+                .zip(gains)
+                .take(n)
+                .map(|((k, l), (mag, ph))| {
+                    Path::new(
+                        c64(mag * ph.cos(), mag * ph.sin()),
+                        k as f64 * grid.delta_tau(),
+                        l as f64 * grid.delta_nu(),
+                    )
+                })
+                .collect();
+            MultipathChannel::new(paths)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same-band estimation is (near-)exact for on-grid channels.
+    #[test]
+    fn same_band_identity(ch in on_grid_channel()) {
+        let grid = DdGrid::lte(16, 12);
+        let h1 = dd_channel_matrix(&grid, &ch);
+        let est = estimate_band2(&grid, &h1, 2e9, 2e9, &SvdEstimatorConfig::default());
+        let rel = est.h2_dd.frobenius_dist(&h1) / h1.frobenius_norm().max(1e-12);
+        prop_assert!(rel < 0.02, "rel={rel}");
+    }
+
+    /// Cross-band estimation preserves total channel power (delays and
+    /// attenuations are frequency independent).
+    #[test]
+    fn power_preserved_across_bands(ch in on_grid_channel(), f2 in 1.0f64..3.0) {
+        let grid = DdGrid::lte(16, 12);
+        let h1 = dd_channel_matrix(&grid, &ch);
+        let est = estimate_band2(&grid, &h1, 2e9, f2 * 1e9, &SvdEstimatorConfig::default());
+        let p1 = h1.frobenius_norm();
+        let p2 = est.h2_dd.frobenius_norm();
+        prop_assert!((p1 - p2).abs() / p1.max(1e-12) < 0.05, "p1={p1} p2={p2}");
+    }
+
+    /// Recovered magnitudes match the true path magnitudes (as the
+    /// dominant singular values), sorted descending.
+    #[test]
+    fn recovered_magnitudes_match(ch in on_grid_channel()) {
+        let grid = DdGrid::lte(16, 12);
+        let h1 = dd_channel_matrix(&grid, &ch);
+        let est = estimate_band2(&grid, &h1, 2e9, 2e9, &SvdEstimatorConfig::default());
+        let mut true_mags: Vec<f64> = ch.paths().iter().map(|p| p.gain.abs()).collect();
+        true_mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in est.paths.iter().zip(&true_mags) {
+            // Rank truncation may drop the weakest; compare matched ones.
+            prop_assert!((got.magnitude - want).abs() < 0.15 * want.max(0.2),
+                "got={} want={}", got.magnitude, want);
+        }
+    }
+
+    /// Doppler scaling is exactly linear in the carrier ratio.
+    #[test]
+    fn doppler_scaling_is_linear(ch in on_grid_channel()) {
+        let grid = DdGrid::lte(16, 12);
+        let h1 = dd_channel_matrix(&grid, &ch);
+        let cfg = SvdEstimatorConfig::default();
+        let e1 = estimate_band2(&grid, &h1, 2e9, 2.5e9, &cfg);
+        let e2 = estimate_band2(&grid, &h1, 2e9, 3.0e9, &cfg);
+        // The recovered band-1 profiles are identical regardless of f2.
+        for (a, b) in e1.paths.iter().zip(&e2.paths) {
+            prop_assert!((a.doppler_hz - b.doppler_hz).abs() < 1e-6);
+            prop_assert!((a.delay_s - b.delay_s).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Capacity-based handover comparison (paper §5.3 step 3 and §8).
+//!
+//! Legacy A4/A5 load-balancing rules exist because heterogeneous cells
+//! (different bandwidths) cannot be compared by signal strength alone
+//! — the paper's Fig 3 conflict is exactly two cells disagreeing about
+//! a 5 MHz vs 20 MHz tradeoff. With a stable SNR metric, Shannon
+//! capacity `C = B log2(1 + SNR)` *is* directly comparable, and any
+//! desired capacity preference reduces to an equivalent A3 offset.
+
+use rem_num::stats::db_to_lin;
+
+/// Shannon capacity in Mbit/s for a bandwidth (MHz) and SNR (dB).
+pub fn capacity_mbps(bandwidth_mhz: f64, snr_db: f64) -> f64 {
+    bandwidth_mhz * (1.0 + db_to_lin(snr_db)).log2()
+}
+
+/// The A3 offset (dB) equivalent to "target capacity exceeds serving
+/// capacity", linearised at the serving operating point `snr_op_db`:
+/// the smallest `delta` such that
+/// `capacity(bw_target, snr_op + delta) >= capacity(bw_serving, snr_op)`.
+///
+/// A wider target needs a *negative* offset (it wins even when its SNR
+/// is worse); a narrower target needs a positive one. Solved by
+/// bisection on the monotone capacity curve.
+pub fn capacity_equivalent_a3_offset(
+    bw_serving_mhz: f64,
+    bw_target_mhz: f64,
+    snr_op_db: f64,
+) -> f64 {
+    let want = capacity_mbps(bw_serving_mhz, snr_op_db);
+    let f = |delta: f64| capacity_mbps(bw_target_mhz, snr_op_db + delta) - want;
+    // Bracket: capacity is monotone in delta.
+    let (mut lo, mut hi) = (-60.0, 60.0);
+    if f(lo) > 0.0 {
+        return lo;
+    }
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_known_values() {
+        // 20 MHz at SNR 0 dB: 20 * log2(2) = 20 Mbps.
+        assert!((capacity_mbps(20.0, 0.0) - 20.0).abs() < 1e-9);
+        // 10 MHz at ~4.77 dB (lin 3): 10 * 2 = 20 Mbps.
+        assert!((capacity_mbps(10.0, 4.771) - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn equal_bandwidths_need_zero_offset() {
+        for op in [-5.0, 0.0, 10.0, 20.0] {
+            let d = capacity_equivalent_a3_offset(20.0, 20.0, op);
+            assert!(d.abs() < 1e-6, "op={op} d={d}");
+        }
+    }
+
+    #[test]
+    fn wider_target_gets_negative_offset() {
+        // Fig 3's shape: a 20 MHz target beats a 5 MHz serving cell
+        // even at substantially lower SNR.
+        let d = capacity_equivalent_a3_offset(5.0, 20.0, 10.0);
+        assert!(d < -5.0, "d={d}");
+        // And the offset is exact: capacities match at the boundary.
+        let c_serving = capacity_mbps(5.0, 10.0);
+        let c_target = capacity_mbps(20.0, 10.0 + d);
+        assert!((c_serving - c_target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn narrower_target_gets_positive_offset() {
+        let d = capacity_equivalent_a3_offset(20.0, 5.0, 10.0);
+        assert!(d > 5.0, "d={d}");
+    }
+
+    #[test]
+    fn offsets_are_antisymmetric_at_the_boundary() {
+        // Crossing in both directions at the same operating point can
+        // never be simultaneously satisfiable: delta_ab + delta_ba >= 0
+        // (in fact the capacities tie exactly, so the pair satisfies
+        // Theorem 2 with equality at worst).
+        for (ba, bb) in [(5.0, 20.0), (10.0, 15.0), (20.0, 20.0)] {
+            let ab = capacity_equivalent_a3_offset(ba, bb, 8.0);
+            // The reverse offset is evaluated at the target's operating
+            // point after a hypothetical handover: same tie point.
+            let ba_off = capacity_equivalent_a3_offset(bb, ba, 8.0 + ab);
+            assert!(ab + ba_off >= -1e-6, "({ba},{bb}): {ab} + {ba_off}");
+        }
+    }
+
+    #[test]
+    fn capacity_monotone_in_both_arguments() {
+        assert!(capacity_mbps(20.0, 10.0) > capacity_mbps(10.0, 10.0));
+        assert!(capacity_mbps(10.0, 12.0) > capacity_mbps(10.0, 10.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! 4G/5G measurement events (paper Table 1).
+//!
+//! The standard triggering criteria: A1/A2 gate on the serving cell's
+//! quality, A3/A6 compares a neighbour against serving with an offset,
+//! A4/B1 gates on the neighbour alone, A5/B2 combines a serving
+//! threshold with a neighbour threshold. Each configured event carries
+//! a *time-to-trigger* (TTT): the entering condition must hold
+//! continuously for the TTT before the client reports (the transient
+//! loop mitigation of §3.1 — and the source of feedback delay in
+//! extreme mobility), plus a hysteresis margin.
+
+use serde::{Deserialize, Serialize};
+
+/// The measurement-event criteria of Table 1. All quantities in dB(m).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Serving becomes better than a threshold: `Rs > thresh`.
+    A1 {
+        /// Serving-cell threshold (dBm).
+        thresh: f64,
+    },
+    /// Serving becomes worse than a threshold: `Rs < thresh`.
+    A2 {
+        /// Serving-cell threshold (dBm).
+        thresh: f64,
+    },
+    /// Neighbour becomes offset-better than serving: `Rn > Rs + offset`.
+    A3 {
+        /// Offset (dB); negative values are the "proactive" policies of §3.2.
+        offset: f64,
+    },
+    /// Neighbour becomes better than a threshold: `Rn > thresh`.
+    A4 {
+        /// Neighbour-cell threshold (dBm).
+        thresh: f64,
+    },
+    /// Serving worse than `serving_below` AND neighbour better than
+    /// `neighbor_above`.
+    A5 {
+        /// Serving-cell upper threshold (dBm).
+        serving_below: f64,
+        /// Neighbour-cell lower threshold (dBm).
+        neighbor_above: f64,
+    },
+}
+
+impl EventKind {
+    /// Short display name ("A1".."A5").
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::A1 { .. } => "A1",
+            EventKind::A2 { .. } => "A2",
+            EventKind::A3 { .. } => "A3",
+            EventKind::A4 { .. } => "A4",
+            EventKind::A5 { .. } => "A5",
+        }
+    }
+
+    /// Whether the event references a neighbour cell's measurement.
+    pub fn involves_neighbor(&self) -> bool {
+        !matches!(self, EventKind::A1 { .. } | EventKind::A2 { .. })
+    }
+
+    /// Entering condition with hysteresis `hys` (dB): the margin makes
+    /// entering strictly harder, leaving strictly easier.
+    pub fn entering(&self, serving_dbm: f64, neighbor_dbm: f64, hys: f64) -> bool {
+        match *self {
+            EventKind::A1 { thresh } => serving_dbm > thresh + hys,
+            EventKind::A2 { thresh } => serving_dbm < thresh - hys,
+            EventKind::A3 { offset } => neighbor_dbm > serving_dbm + offset + hys,
+            EventKind::A4 { thresh } => neighbor_dbm > thresh + hys,
+            EventKind::A5 { serving_below, neighbor_above } => {
+                serving_dbm < serving_below - hys && neighbor_dbm > neighbor_above + hys
+            }
+        }
+    }
+
+    /// Leaving condition (hysteresis applied in the opposite sense).
+    pub fn leaving(&self, serving_dbm: f64, neighbor_dbm: f64, hys: f64) -> bool {
+        match *self {
+            EventKind::A1 { thresh } => serving_dbm < thresh - hys,
+            EventKind::A2 { thresh } => serving_dbm > thresh + hys,
+            EventKind::A3 { offset } => neighbor_dbm < serving_dbm + offset - hys,
+            EventKind::A4 { thresh } => neighbor_dbm < thresh - hys,
+            EventKind::A5 { serving_below, neighbor_above } => {
+                serving_dbm > serving_below + hys || neighbor_dbm < neighbor_above - hys
+            }
+        }
+    }
+}
+
+/// A configured event: criteria + time-to-trigger + hysteresis.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventConfig {
+    /// The criteria.
+    pub kind: EventKind,
+    /// Time-to-trigger in milliseconds (4G/5G values: 0, 40, 64, 80,
+    /// 100, 128, 160, 256, 320, 480, 512, 640, ...).
+    pub ttt_ms: f64,
+    /// Hysteresis in dB.
+    pub hysteresis_db: f64,
+}
+
+/// Tracks one event's TTT state over a measurement stream.
+///
+/// Feed it `(time, serving, neighbor)` samples; it reports the trigger
+/// once the entering condition has held for a full TTT window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventMonitor {
+    entered_at_ms: Option<f64>,
+    fired: bool,
+}
+
+impl EventMonitor {
+    /// Resets all state (e.g. after a handover).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Processes one measurement sample at `now_ms`; returns `true`
+    /// exactly once, when the event fires.
+    pub fn observe(
+        &mut self,
+        cfg: &EventConfig,
+        now_ms: f64,
+        serving_dbm: f64,
+        neighbor_dbm: f64,
+    ) -> bool {
+        let hys = cfg.hysteresis_db;
+        match self.entered_at_ms {
+            None => {
+                if cfg.kind.entering(serving_dbm, neighbor_dbm, hys) {
+                    self.entered_at_ms = Some(now_ms);
+                    if cfg.ttt_ms <= 0.0 && !self.fired {
+                        self.fired = true;
+                        return true;
+                    }
+                }
+                false
+            }
+            Some(t0) => {
+                if cfg.kind.leaving(serving_dbm, neighbor_dbm, hys) {
+                    self.entered_at_ms = None;
+                    self.fired = false;
+                    return false;
+                }
+                if !self.fired && now_ms - t0 >= cfg.ttt_ms {
+                    self.fired = true;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Whether the event has fired and not yet been reset/left.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3(offset: f64, ttt: f64) -> EventConfig {
+        EventConfig { kind: EventKind::A3 { offset }, ttt_ms: ttt, hysteresis_db: 0.0 }
+    }
+
+    #[test]
+    fn table1_semantics() {
+        // A1: serving better than threshold.
+        assert!(EventKind::A1 { thresh: -100.0 }.entering(-90.0, 0.0, 0.0));
+        assert!(!EventKind::A1 { thresh: -100.0 }.entering(-110.0, 0.0, 0.0));
+        // A2: serving worse than threshold.
+        assert!(EventKind::A2 { thresh: -100.0 }.entering(-110.0, 0.0, 0.0));
+        // A3: neighbour offset-better.
+        assert!(EventKind::A3 { offset: 3.0 }.entering(-100.0, -96.0, 0.0));
+        assert!(!EventKind::A3 { offset: 3.0 }.entering(-100.0, -98.0, 0.0));
+        // A4: neighbour above threshold.
+        assert!(EventKind::A4 { thresh: -103.0 }.entering(-80.0, -100.0, 0.0));
+        // A5: both conditions.
+        let a5 = EventKind::A5 { serving_below: -110.0, neighbor_above: -108.0 };
+        assert!(a5.entering(-115.0, -100.0, 0.0));
+        assert!(!a5.entering(-100.0, -100.0, 0.0));
+        assert!(!a5.entering(-115.0, -109.0, 0.0));
+    }
+
+    #[test]
+    fn hysteresis_widens_entering() {
+        let k = EventKind::A3 { offset: 3.0 };
+        // 3.5 dB better: enters with hys 0 but not with hys 1.
+        assert!(k.entering(-100.0, -96.5, 0.0));
+        assert!(!k.entering(-100.0, -96.5, 1.0));
+    }
+
+    #[test]
+    fn negative_a3_offset_models_proactive_policy() {
+        // Proactive handover (paper §3.2): trigger before the neighbour
+        // is actually better.
+        let k = EventKind::A3 { offset: -3.0 };
+        assert!(k.entering(-100.0, -102.0, 0.0));
+    }
+
+    #[test]
+    fn ttt_delays_trigger() {
+        let cfg = a3(3.0, 100.0);
+        let mut mon = EventMonitor::default();
+        assert!(!mon.observe(&cfg, 0.0, -100.0, -90.0)); // enters
+        assert!(!mon.observe(&cfg, 50.0, -100.0, -90.0)); // still waiting
+        assert!(mon.observe(&cfg, 100.0, -100.0, -90.0)); // fires at TTT
+        assert!(!mon.observe(&cfg, 150.0, -100.0, -90.0)); // fires once
+        assert!(mon.has_fired());
+    }
+
+    #[test]
+    fn zero_ttt_fires_immediately() {
+        let cfg = a3(3.0, 0.0);
+        let mut mon = EventMonitor::default();
+        assert!(mon.observe(&cfg, 0.0, -100.0, -90.0));
+    }
+
+    #[test]
+    fn leaving_resets_ttt() {
+        let cfg = a3(3.0, 100.0);
+        let mut mon = EventMonitor::default();
+        assert!(!mon.observe(&cfg, 0.0, -100.0, -90.0)); // enter
+        assert!(!mon.observe(&cfg, 50.0, -100.0, -105.0)); // leave
+        assert!(!mon.observe(&cfg, 60.0, -100.0, -90.0)); // re-enter
+        assert!(!mon.observe(&cfg, 120.0, -100.0, -90.0)); // 60ms held only
+        assert!(mon.observe(&cfg, 160.0, -100.0, -90.0)); // fires
+    }
+
+    #[test]
+    fn transient_oscillation_suppressed_by_ttt() {
+        // The §3.1 mechanism: a flickering condition never fires with a
+        // long TTT.
+        let cfg = a3(3.0, 200.0);
+        let mut mon = EventMonitor::default();
+        let mut fired = false;
+        for i in 0..100 {
+            let t = i as f64 * 10.0;
+            // Condition alternates every 50 ms.
+            let good = (i / 5) % 2 == 0;
+            let n = if good { -90.0 } else { -105.0 };
+            fired |= mon.observe(&cfg, t, -100.0, n);
+        }
+        assert!(!fired);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let cfg = a3(3.0, 0.0);
+        let mut mon = EventMonitor::default();
+        assert!(mon.observe(&cfg, 0.0, -100.0, -90.0));
+        mon.reset();
+        assert!(!mon.has_fired());
+        assert!(mon.observe(&cfg, 1.0, -100.0, -90.0));
+    }
+
+    #[test]
+    fn neighbor_involvement() {
+        assert!(!EventKind::A1 { thresh: 0.0 }.involves_neighbor());
+        assert!(!EventKind::A2 { thresh: 0.0 }.involves_neighbor());
+        assert!(EventKind::A3 { offset: 0.0 }.involves_neighbor());
+        assert!(EventKind::A4 { thresh: 0.0 }.involves_neighbor());
+        assert!(EventKind::A5 { serving_below: 0.0, neighbor_above: 0.0 }.involves_neighbor());
+    }
+}

@@ -1,0 +1,241 @@
+//! REM's policy simplification (paper §5.3, Fig 8).
+//!
+//! Four rewriting steps turn a legacy multi-stage, multi-event policy
+//! into a single-stage A3-only policy over delay-Doppler SNR:
+//!
+//! 1. the decision metric becomes the stable delay-Doppler SNR;
+//! 2. the multi-stage A1/A2 gating disappears — inter-frequency cells
+//!    are covered by cross-band estimation, so every rule's scope
+//!    widens to *any frequency* without measurement gaps;
+//! 3. A5 rewrites to A3 with `offset = neighbor_above - serving_below`
+//!    (A5's two thresholds imply that difference), and A4 rewrites to
+//!    A3 — gated A4s via the equivalent A5, direct (load-balancing)
+//!    A4s with an operator-chosen capacity offset;
+//! 4. everything else (priorities, access control) is retained
+//!    untouched, which Theorem 3 shows cannot reintroduce loops.
+//!
+//! Finally [`enforce_theorem2`] raises negative A3 offsets to zero so
+//! the Theorem 2 condition holds by construction.
+
+use crate::events::{EventConfig, EventKind};
+use crate::policy::{CellPolicy, HandoverRule, TargetScope};
+use serde::{Deserialize, Serialize};
+
+/// Simplification parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimplifyConfig {
+    /// TTT for the simplified A3 rules. The delay-Doppler metric is
+    /// stable (paper Fig 11), so a short interval does not oscillate.
+    pub ttt_ms: f64,
+    /// Hysteresis for the simplified rules (dB).
+    pub hysteresis_db: f64,
+    /// A3 offset substituted for *direct* (un-gated, load-balancing)
+    /// A4 rules: the capacity-difference threshold of §5.3 step 3.
+    pub load_balance_offset_db: f64,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        Self { ttt_ms: 40.0, hysteresis_db: 1.0, load_balance_offset_db: 0.0 }
+    }
+}
+
+/// Rewrites one rule's event to its A3 equivalent (§5.3 step 3).
+/// `gated_by_a2` is the serving threshold of the policy's A2 gate when
+/// the rule sat in stage 2.
+fn rewrite_event(kind: EventKind, gated_by_a2: Option<f64>, cfg: &SimplifyConfig) -> Option<f64> {
+    match kind {
+        EventKind::A3 { offset } => Some(offset),
+        EventKind::A5 { serving_below, neighbor_above } => Some(neighbor_above - serving_below),
+        EventKind::A4 { thresh } => match gated_by_a2 {
+            // Gated A4 == A5(serving < a2, neighbor > thresh)
+            //          == A3(offset = thresh - a2).
+            Some(a2) => Some(thresh - a2),
+            // Direct A4 (load balancing): capacity-comparison offset.
+            None => Some(cfg.load_balance_offset_db),
+        },
+        // A1/A2 are stage plumbing, not handover rules: dropped.
+        EventKind::A1 { .. } | EventKind::A2 { .. } => None,
+    }
+}
+
+/// Simplifies one legacy policy into REM's single-stage A3-only form.
+pub fn simplify_policy(legacy: &CellPolicy, cfg: &SimplifyConfig) -> CellPolicy {
+    let a2_thresh = legacy.a2_gate.and_then(|g| match g.kind {
+        EventKind::A2 { thresh } => Some(thresh),
+        _ => None,
+    });
+
+    let mut rules = Vec::new();
+    let stage1_len = legacy.stage1.len();
+    for (i, rule) in legacy.all_rules().enumerate() {
+        let gate = if i >= stage1_len { a2_thresh } else { None };
+        if let Some(offset) = rewrite_event(rule.event.kind, gate, cfg) {
+            rules.push(HandoverRule {
+                event: EventConfig {
+                    kind: EventKind::A3 { offset },
+                    ttt_ms: cfg.ttt_ms,
+                    hysteresis_db: cfg.hysteresis_db,
+                },
+                // Cross-band estimation removes the frequency barrier.
+                target: TargetScope::AnyFreq,
+            });
+        }
+    }
+
+    CellPolicy {
+        cell: legacy.cell,
+        earfcn: legacy.earfcn,
+        stage1: rules,
+        a2_gate: None,
+        stage2: Vec::new(),
+        a1_exit: None,
+    }
+}
+
+/// Raises every negative A3 offset to zero (REM's conflict repair): all
+/// pairwise offset sums become nonnegative, satisfying Theorem 2, and
+/// by Theorem 3 the remaining non-SNR policies cannot reintroduce
+/// loops.
+pub fn enforce_theorem2(policy: &CellPolicy) -> CellPolicy {
+    let clamp = |r: &HandoverRule| {
+        let mut r = *r;
+        if let EventKind::A3 { offset } = r.event.kind {
+            r.event.kind = EventKind::A3 { offset: offset.max(0.0) };
+        }
+        r
+    };
+    CellPolicy {
+        cell: policy.cell,
+        earfcn: policy.earfcn,
+        stage1: policy.stage1.iter().map(clamp).collect(),
+        a2_gate: policy.a2_gate,
+        stage2: policy.stage2.iter().map(clamp).collect(),
+        a1_exit: policy.a1_exit,
+    }
+}
+
+/// Full REM pipeline over a policy set: simplify then repair.
+pub fn rem_policies(legacy: &[CellPolicy], cfg: &SimplifyConfig) -> Vec<CellPolicy> {
+    legacy.iter().map(|p| enforce_theorem2(&simplify_policy(p, cfg))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{a3_graph_from_policies, scan_conflicts};
+    use crate::policy::{legacy_multi_stage_policy, CellId, Earfcn};
+
+    fn cfg() -> SimplifyConfig {
+        SimplifyConfig::default()
+    }
+
+    #[test]
+    fn a5_rewrites_to_difference_offset() {
+        // A5(Rs < -110, Rn > -108) -> A3(offset = 2).
+        let got = rewrite_event(
+            EventKind::A5 { serving_below: -110.0, neighbor_above: -108.0 },
+            None,
+            &cfg(),
+        );
+        assert_eq!(got, Some(2.0));
+    }
+
+    #[test]
+    fn a5_implies_its_a3_rewrite() {
+        // Soundness direction: whenever A5 fires, the rewritten A3 also
+        // fires (the rewrite never misses a legacy handover).
+        let a5 = EventKind::A5 { serving_below: -110.0, neighbor_above: -108.0 };
+        let a3 = EventKind::A3 { offset: 2.0 };
+        for rs in (-140..=-44).step_by(4) {
+            for rn in (-140..=-44).step_by(4) {
+                let (rs, rn) = (rs as f64, rn as f64);
+                if a5.entering(rs, rn, 0.0) {
+                    assert!(a3.entering(rs, rn, 0.0), "rs={rs} rn={rn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gated_a4_uses_a2_threshold() {
+        // A2 gate at -110, A4 at -108: offset = -108 - (-110) = 2.
+        let got = rewrite_event(EventKind::A4 { thresh: -108.0 }, Some(-110.0), &cfg());
+        assert_eq!(got, Some(2.0));
+    }
+
+    #[test]
+    fn direct_a4_uses_load_balance_offset() {
+        let c = SimplifyConfig { load_balance_offset_db: 1.5, ..cfg() };
+        assert_eq!(rewrite_event(EventKind::A4 { thresh: -100.0 }, None, &c), Some(1.5));
+    }
+
+    #[test]
+    fn a1_a2_are_dropped() {
+        assert_eq!(rewrite_event(EventKind::A1 { thresh: -85.0 }, None, &cfg()), None);
+        assert_eq!(rewrite_event(EventKind::A2 { thresh: -110.0 }, None, &cfg()), None);
+    }
+
+    #[test]
+    fn simplified_policy_is_single_stage_a3_only() {
+        let legacy = legacy_multi_stage_policy(
+            CellId(7),
+            Earfcn(1825),
+            &[Earfcn(2452), Earfcn(100)],
+            3.0,
+            80.0,
+            640.0,
+        );
+        let simple = simplify_policy(&legacy, &cfg());
+        assert!(!simple.is_multi_stage());
+        assert!(simple.a2_gate.is_none() && simple.a1_exit.is_none());
+        assert!(simple.stage2.is_empty());
+        // 1 intra A3 + 2 gated A4s -> 3 A3 rules, all AnyFreq.
+        assert_eq!(simple.stage1.len(), 3);
+        for r in &simple.stage1 {
+            assert!(matches!(r.event.kind, EventKind::A3 { .. }));
+            assert_eq!(r.target, TargetScope::AnyFreq);
+        }
+    }
+
+    #[test]
+    fn enforce_theorem2_clamps_only_negatives() {
+        let legacy = legacy_multi_stage_policy(CellId(1), Earfcn(5), &[], -3.0, 40.0, 640.0);
+        let fixed = enforce_theorem2(&simplify_policy(&legacy, &cfg()));
+        match fixed.stage1[0].event.kind {
+            EventKind::A3 { offset } => assert_eq!(offset, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        let conservative = legacy_multi_stage_policy(CellId(2), Earfcn(5), &[], 4.0, 40.0, 640.0);
+        let kept = enforce_theorem2(&simplify_policy(&conservative, &cfg()));
+        match kept.stage1[0].event.kind {
+            EventKind::A3 { offset } => assert_eq!(offset, 4.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rem_pipeline_eliminates_all_conflicts() {
+        // The paper's Fig 4 scenario: mutually proactive A3 policies.
+        let legacy = vec![
+            legacy_multi_stage_policy(CellId(3), Earfcn(500), &[], -3.0, 40.0, 640.0),
+            legacy_multi_stage_policy(CellId(4), Earfcn(500), &[], -1.0, 40.0, 640.0),
+        ];
+        assert!(!scan_conflicts(&legacy, |_, _| true).is_empty());
+        let fixed = rem_policies(&legacy, &cfg());
+        assert!(scan_conflicts(&fixed, |_, _| true).is_empty());
+        let g = a3_graph_from_policies(&fixed);
+        assert!(g.theorem2_holds());
+        assert!(!g.has_persistent_loop());
+    }
+
+    #[test]
+    fn simplified_ttt_is_shortened() {
+        let legacy =
+            legacy_multi_stage_policy(CellId(1), Earfcn(5), &[Earfcn(6)], 3.0, 80.0, 640.0);
+        let simple = simplify_policy(&legacy, &cfg());
+        for r in &simple.stage1 {
+            assert_eq!(r.event.ttt_ms, 40.0);
+        }
+    }
+}

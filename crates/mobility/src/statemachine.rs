@@ -1,0 +1,219 @@
+//! The handover procedure state machine and failure taxonomy.
+//!
+//! Mirrors the paper's three phases (Fig 1a): *triggering* (waiting
+//! for measurement feedback), *decision* (serving cell evaluating
+//! policy), *execution* (command delivery and target attach). Each
+//! failure is classified with the taxonomy of Table 2, which the
+//! simulator's accounting and the Table 2/5 benches consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a handover (or the client's connectivity) failed, per the
+/// breakdown of paper Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// Feedback was delayed past viability or lost in delivery (§3.1).
+    FeedbackDelayLoss,
+    /// A viable candidate cell was never measured/reported (§3.2,
+    /// multi-stage policy).
+    MissedCell,
+    /// The handover command never reached the client (§3.3).
+    CommandLoss,
+    /// No cell covered the client's position at all.
+    CoverageHole,
+}
+
+impl FailureCause {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureCause::FeedbackDelayLoss => "Feedback delay/loss",
+            FailureCause::MissedCell => "Missed cell",
+            FailureCause::CommandLoss => "Handover cmd. loss",
+            FailureCause::CoverageHole => "Coverage holes",
+        }
+    }
+
+    /// All causes, in the paper's table order.
+    pub fn all() -> [FailureCause; 4] {
+        [
+            FailureCause::FeedbackDelayLoss,
+            FailureCause::MissedCell,
+            FailureCause::CommandLoss,
+            FailureCause::CoverageHole,
+        ]
+    }
+}
+
+/// Handover procedure phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoPhase {
+    /// Connected, no handover in progress.
+    Idle,
+    /// Event fired at the client; feedback (measurement report) in
+    /// flight.
+    Triggering,
+    /// Serving cell has the report and is deciding / coordinating.
+    Deciding,
+    /// Handover command in flight / client attaching to the target.
+    Executing,
+    /// Handover completed successfully.
+    Complete,
+    /// Handover failed.
+    Failed(FailureCause),
+}
+
+/// A single handover attempt's lifecycle with timing bookkeeping.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HandoverAttempt {
+    phase: HoPhase,
+    /// Time the triggering event fired (ms).
+    pub triggered_at_ms: f64,
+    /// Time the report reached the serving cell, if it did.
+    pub report_at_ms: Option<f64>,
+    /// Time the command reached the client, if it did.
+    pub command_at_ms: Option<f64>,
+    /// Time the attempt concluded (complete or failed).
+    pub finished_at_ms: Option<f64>,
+}
+
+/// Error for transitions that violate the procedure order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// Phase the attempt was in.
+    pub from: HoPhase,
+    /// What was attempted.
+    pub op: &'static str,
+}
+
+impl HandoverAttempt {
+    /// Starts an attempt at the moment the triggering event fires.
+    pub fn trigger(now_ms: f64) -> Self {
+        Self {
+            phase: HoPhase::Triggering,
+            triggered_at_ms: now_ms,
+            report_at_ms: None,
+            command_at_ms: None,
+            finished_at_ms: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> HoPhase {
+        self.phase
+    }
+
+    /// The measurement report arrived at the serving cell.
+    pub fn report_received(&mut self, now_ms: f64) -> Result<(), InvalidTransition> {
+        if self.phase != HoPhase::Triggering {
+            return Err(InvalidTransition { from: self.phase, op: "report_received" });
+        }
+        self.phase = HoPhase::Deciding;
+        self.report_at_ms = Some(now_ms);
+        Ok(())
+    }
+
+    /// The handover command arrived at the client.
+    pub fn command_received(&mut self, now_ms: f64) -> Result<(), InvalidTransition> {
+        if self.phase != HoPhase::Deciding {
+            return Err(InvalidTransition { from: self.phase, op: "command_received" });
+        }
+        self.phase = HoPhase::Executing;
+        self.command_at_ms = Some(now_ms);
+        Ok(())
+    }
+
+    /// The client attached to the target cell.
+    pub fn complete(&mut self, now_ms: f64) -> Result<(), InvalidTransition> {
+        if self.phase != HoPhase::Executing {
+            return Err(InvalidTransition { from: self.phase, op: "complete" });
+        }
+        self.phase = HoPhase::Complete;
+        self.finished_at_ms = Some(now_ms);
+        Ok(())
+    }
+
+    /// The attempt failed (legal from any non-terminal phase).
+    pub fn fail(&mut self, now_ms: f64, cause: FailureCause) -> Result<(), InvalidTransition> {
+        match self.phase {
+            HoPhase::Complete | HoPhase::Failed(_) => {
+                Err(InvalidTransition { from: self.phase, op: "fail" })
+            }
+            _ => {
+                self.phase = HoPhase::Failed(cause);
+                self.finished_at_ms = Some(now_ms);
+                Ok(())
+            }
+        }
+    }
+
+    /// Total duration, if concluded.
+    pub fn duration_ms(&self) -> Option<f64> {
+        self.finished_at_ms.map(|t| t - self.triggered_at_ms)
+    }
+
+    /// Whether the attempt concluded (success or failure).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, HoPhase::Complete | HoPhase::Failed(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path() {
+        let mut a = HandoverAttempt::trigger(100.0);
+        assert_eq!(a.phase(), HoPhase::Triggering);
+        a.report_received(150.0).unwrap();
+        assert_eq!(a.phase(), HoPhase::Deciding);
+        a.command_received(180.0).unwrap();
+        assert_eq!(a.phase(), HoPhase::Executing);
+        a.complete(220.0).unwrap();
+        assert_eq!(a.phase(), HoPhase::Complete);
+        assert_eq!(a.duration_ms(), Some(120.0));
+        assert!(a.is_terminal());
+    }
+
+    #[test]
+    fn out_of_order_transitions_rejected() {
+        let mut a = HandoverAttempt::trigger(0.0);
+        assert!(a.command_received(1.0).is_err());
+        assert!(a.complete(1.0).is_err());
+        a.report_received(1.0).unwrap();
+        assert!(a.report_received(2.0).is_err());
+        assert!(a.complete(2.0).is_err());
+    }
+
+    #[test]
+    fn failure_from_each_phase() {
+        for advance in 0..3 {
+            let mut a = HandoverAttempt::trigger(0.0);
+            if advance >= 1 {
+                a.report_received(1.0).unwrap();
+            }
+            if advance >= 2 {
+                a.command_received(2.0).unwrap();
+            }
+            a.fail(5.0, FailureCause::CommandLoss).unwrap();
+            assert_eq!(a.phase(), HoPhase::Failed(FailureCause::CommandLoss));
+            assert_eq!(a.duration_ms(), Some(5.0));
+        }
+    }
+
+    #[test]
+    fn terminal_states_are_final() {
+        let mut a = HandoverAttempt::trigger(0.0);
+        a.fail(1.0, FailureCause::CoverageHole).unwrap();
+        assert!(a.fail(2.0, FailureCause::CommandLoss).is_err());
+        assert!(a.report_received(2.0).is_err());
+    }
+
+    #[test]
+    fn cause_labels_match_tables() {
+        assert_eq!(FailureCause::all().len(), 4);
+        assert_eq!(FailureCause::FeedbackDelayLoss.label(), "Feedback delay/loss");
+        assert_eq!(FailureCause::CoverageHole.label(), "Coverage holes");
+    }
+}

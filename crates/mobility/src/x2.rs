@@ -1,0 +1,295 @@
+//! Inter-base-station handover coordination (the "Coordination" arrow
+//! of paper Fig 1a — X2AP-style preparation between serving and target).
+//!
+//! Before the serving cell can send the handover command (§2), it must
+//! *prepare* the target: request admission, receive the random-access
+//! resources, and after execution transfer PDCP sequence state and
+//! release the old context. This module models that procedure — the
+//! messages, the per-UE state machine, and target-side admission
+//! control — so the execution phase has its full shape.
+
+use crate::policy::CellId;
+use serde::{Deserialize, Serialize};
+
+/// A UE identity scoped to the X2 procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UeId(pub u32);
+
+/// Why a target rejected the preparation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrepFailureCause {
+    /// Target at capacity (admission control).
+    AdmissionDenied,
+    /// Target has no radio resources for the RACH allocation.
+    NoRadioResources,
+}
+
+/// X2AP-style coordination messages.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum X2Message {
+    /// Serving -> target: please admit this UE.
+    HandoverRequest {
+        /// The UE.
+        ue: UeId,
+        /// Target cell being prepared.
+        target: CellId,
+    },
+    /// Target -> serving: admitted; dedicated RACH preamble allocated.
+    HandoverRequestAck {
+        /// The UE.
+        ue: UeId,
+        /// Dedicated random-access preamble index.
+        rach_preamble: u8,
+    },
+    /// Target -> serving: rejected.
+    HandoverPreparationFailure {
+        /// The UE.
+        ue: UeId,
+        /// Why.
+        cause: PrepFailureCause,
+    },
+    /// Serving -> target: PDCP sequence numbers for lossless handover.
+    SnStatusTransfer {
+        /// The UE.
+        ue: UeId,
+        /// Next expected uplink PDCP SN.
+        ul_sn: u32,
+        /// Next downlink PDCP SN to assign.
+        dl_sn: u32,
+    },
+    /// Target -> serving: UE arrived, release the old context.
+    UeContextRelease {
+        /// The UE.
+        ue: UeId,
+    },
+}
+
+/// Preparation state for one UE at the serving cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrepState {
+    /// Nothing in flight.
+    Idle,
+    /// HandoverRequest sent, awaiting ack.
+    Requested,
+    /// Ack received: the handover command may be sent to the UE.
+    Prepared,
+    /// SN status transferred; data forwarding in progress.
+    Forwarding,
+    /// Context released; procedure complete.
+    Released,
+    /// Preparation failed.
+    Failed(PrepFailureCause),
+}
+
+/// Target-side admission control: a fixed UE capacity.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    /// Maximum simultaneous UEs.
+    pub capacity: usize,
+    /// Currently admitted UEs.
+    pub active: usize,
+}
+
+impl AdmissionControl {
+    /// Creates a controller with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, active: 0 }
+    }
+
+    /// Processes an admission request.
+    pub fn admit(&mut self) -> Result<(), PrepFailureCause> {
+        if self.active >= self.capacity {
+            Err(PrepFailureCause::AdmissionDenied)
+        } else {
+            self.active += 1;
+            Ok(())
+        }
+    }
+
+    /// Releases one UE (no-op at zero).
+    pub fn release(&mut self) {
+        self.active = self.active.saturating_sub(1);
+    }
+
+    /// Current load fraction.
+    pub fn load(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.active as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// The serving-side preparation state machine for one UE.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HandoverPreparation {
+    ue: UeId,
+    target: CellId,
+    state: PrepState,
+}
+
+/// Error for out-of-order procedure steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcedureError {
+    /// State the procedure was in.
+    pub state: PrepState,
+    /// The offending step.
+    pub step: &'static str,
+}
+
+impl HandoverPreparation {
+    /// Starts a preparation: emits the HandoverRequest.
+    pub fn start(ue: UeId, target: CellId) -> (Self, X2Message) {
+        (
+            Self { ue, target, state: PrepState::Requested },
+            X2Message::HandoverRequest { ue, target },
+        )
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PrepState {
+        self.state
+    }
+
+    /// The UE under preparation.
+    pub fn ue(&self) -> UeId {
+        self.ue
+    }
+
+    /// The target cell.
+    pub fn target(&self) -> CellId {
+        self.target
+    }
+
+    /// Handles the target's response.
+    pub fn on_response(&mut self, msg: &X2Message) -> Result<(), ProcedureError> {
+        match (self.state, msg) {
+            (PrepState::Requested, X2Message::HandoverRequestAck { ue, .. }) if *ue == self.ue => {
+                self.state = PrepState::Prepared;
+                Ok(())
+            }
+            (PrepState::Requested, X2Message::HandoverPreparationFailure { ue, cause })
+                if *ue == self.ue =>
+            {
+                self.state = PrepState::Failed(*cause);
+                Ok(())
+            }
+            (PrepState::Forwarding, X2Message::UeContextRelease { ue }) if *ue == self.ue => {
+                self.state = PrepState::Released;
+                Ok(())
+            }
+            _ => Err(ProcedureError { state: self.state, step: "on_response" }),
+        }
+    }
+
+    /// After the UE received the handover command: transfer PDCP state.
+    pub fn send_sn_status(&mut self, ul_sn: u32, dl_sn: u32) -> Result<X2Message, ProcedureError> {
+        if self.state != PrepState::Prepared {
+            return Err(ProcedureError { state: self.state, step: "send_sn_status" });
+        }
+        self.state = PrepState::Forwarding;
+        Ok(X2Message::SnStatusTransfer { ue: self.ue, ul_sn, dl_sn })
+    }
+
+    /// Whether the serving cell may send the handover command now.
+    pub fn ready_to_command(&self) -> bool {
+        self.state == PrepState::Prepared
+    }
+
+    /// Whether the procedure reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, PrepState::Released | PrepState::Failed(_))
+    }
+}
+
+/// Runs the target side for one request: admission plus preamble
+/// allocation. Returns the response message.
+pub fn target_handle_request(
+    admission: &mut AdmissionControl,
+    msg: &X2Message,
+    next_preamble: u8,
+) -> Option<X2Message> {
+    match msg {
+        X2Message::HandoverRequest { ue, .. } => Some(match admission.admit() {
+            Ok(()) => X2Message::HandoverRequestAck { ue: *ue, rach_preamble: next_preamble },
+            Err(cause) => X2Message::HandoverPreparationFailure { ue: *ue, cause },
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_procedure() {
+        let mut adm = AdmissionControl::new(4);
+        let (mut prep, req) = HandoverPreparation::start(UeId(9), CellId(2));
+        assert_eq!(prep.state(), PrepState::Requested);
+        assert!(!prep.ready_to_command());
+
+        let ack = target_handle_request(&mut adm, &req, 17).unwrap();
+        assert!(matches!(ack, X2Message::HandoverRequestAck { rach_preamble: 17, .. }));
+        prep.on_response(&ack).unwrap();
+        assert!(prep.ready_to_command());
+
+        let sn = prep.send_sn_status(100, 205).unwrap();
+        assert!(matches!(sn, X2Message::SnStatusTransfer { ul_sn: 100, dl_sn: 205, .. }));
+        assert_eq!(prep.state(), PrepState::Forwarding);
+
+        prep.on_response(&X2Message::UeContextRelease { ue: UeId(9) }).unwrap();
+        assert_eq!(prep.state(), PrepState::Released);
+        assert!(prep.is_terminal());
+        assert_eq!(adm.active, 1);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let mut adm = AdmissionControl::new(1);
+        let (mut p1, r1) = HandoverPreparation::start(UeId(1), CellId(5));
+        let (mut p2, r2) = HandoverPreparation::start(UeId(2), CellId(5));
+        p1.on_response(&target_handle_request(&mut adm, &r1, 1).unwrap()).unwrap();
+        p2.on_response(&target_handle_request(&mut adm, &r2, 2).unwrap()).unwrap();
+        assert!(p1.ready_to_command());
+        assert_eq!(p2.state(), PrepState::Failed(PrepFailureCause::AdmissionDenied));
+        assert!((adm.load() - 1.0).abs() < 1e-12);
+        adm.release();
+        assert_eq!(adm.active, 0);
+    }
+
+    #[test]
+    fn out_of_order_steps_rejected() {
+        let (mut prep, _req) = HandoverPreparation::start(UeId(3), CellId(1));
+        // SN transfer before ack: error.
+        assert!(prep.send_sn_status(0, 0).is_err());
+        // Context release before forwarding: error.
+        assert!(prep
+            .on_response(&X2Message::UeContextRelease { ue: UeId(3) })
+            .is_err());
+        // Wrong UE's ack: error.
+        assert!(prep
+            .on_response(&X2Message::HandoverRequestAck { ue: UeId(99), rach_preamble: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn target_ignores_non_requests() {
+        let mut adm = AdmissionControl::new(2);
+        assert!(target_handle_request(
+            &mut adm,
+            &X2Message::UeContextRelease { ue: UeId(1) },
+            0
+        )
+        .is_none());
+        assert_eq!(adm.active, 0);
+    }
+
+    #[test]
+    fn zero_capacity_always_full() {
+        let mut adm = AdmissionControl::new(0);
+        assert_eq!(adm.admit(), Err(PrepFailureCause::AdmissionDenied));
+        assert_eq!(adm.load(), 1.0);
+    }
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! # rem-net
+//!
+//! A miniature, packet-granular TCP Reno implementation over an
+//! outage-prone radio link, reproducing the transport-layer behaviour
+//! behind the paper's Fig 9: RTO exponential backoff turns radio
+//! failures into data stalls that outlive the outage itself.
+
+pub mod tcp;
+
+pub use tcp::{simulate_transfer, CongestionControl, LinkModel, Outage, TcpConfig, TcpTrace};

@@ -1,0 +1,612 @@
+//! A miniature TCP Reno sender/receiver over a lossy, outage-prone link.
+//!
+//! Built for the paper's Fig 9: when a handover failure takes the radio
+//! down, TCP's retransmission timer backs off exponentially, so the
+//! data stall outlives the radio outage (their trace: a 2.3 s failure
+//! inflated RTO to 6.28 s and stalled the transfer ~9 s). The model is
+//! packet-granular and slotted at 1 ms:
+//!
+//! * slow start / congestion avoidance / fast retransmit on 3 dup-acks
+//!   (Reno), cumulative acks, out-of-order buffering at the receiver;
+//! * RTO per RFC 6298 (SRTT/RTTVAR smoothing, Karn's algorithm, binary
+//!   exponential backoff, min/max clamps);
+//! * the link drops every packet while an outage is active, plus i.i.d.
+//!   random loss otherwise, and enforces a rate cap.
+
+use rand::Rng;
+use rem_num::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Congestion-control algorithm (smoltcp ships the same pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CongestionControl {
+    /// Classic AIMD Reno.
+    Reno,
+    /// CUBIC (RFC 8312): cubic window growth keyed to time since the
+    /// last loss; the Linux default and the sender behind most
+    /// real-world HSR iperf traces.
+    Cubic,
+}
+
+/// TCP sender configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Congestion-control algorithm.
+    pub congestion: CongestionControl,
+    /// Segment size in bytes.
+    pub mss_bytes: u64,
+    /// Initial congestion window (segments).
+    pub init_cwnd: f64,
+    /// Initial ssthresh (segments).
+    pub init_ssthresh: f64,
+    /// Minimum RTO (ms). RFC 6298 says 1 s; Linux uses 200 ms.
+    pub rto_min_ms: f64,
+    /// Maximum RTO (ms).
+    pub rto_max_ms: f64,
+    /// Receiver window cap (segments).
+    pub rwnd: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            congestion: CongestionControl::Reno,
+            mss_bytes: 1448,
+            init_cwnd: 10.0,
+            init_ssthresh: 64.0,
+            rto_min_ms: 200.0,
+            rto_max_ms: 60_000.0,
+            rwnd: 512.0,
+        }
+    }
+}
+
+/// A radio outage interval during which every packet is lost.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Start (ms).
+    pub start_ms: f64,
+    /// End (ms).
+    pub end_ms: f64,
+}
+
+impl Outage {
+    /// Whether `t` falls inside the outage.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_ms && t < self.end_ms
+    }
+
+    /// Outage duration.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// The path model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Base round-trip time (ms).
+    pub rtt_ms: f64,
+    /// Capacity in packets per millisecond.
+    pub capacity_pkts_per_ms: f64,
+    /// Random loss probability outside outages.
+    pub loss_prob: f64,
+    /// Radio outages (e.g. from handover failures).
+    pub outages: Vec<Outage>,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self { rtt_ms: 40.0, capacity_pkts_per_ms: 2.0, loss_prob: 0.0, outages: vec![] }
+    }
+}
+
+impl LinkModel {
+    fn is_down(&self, t: f64) -> bool {
+        self.outages.iter().any(|o| o.contains(t))
+    }
+}
+
+/// One RTO expiry record: `(time, rto after backoff)`.
+pub type RtoEvent = (f64, f64);
+
+/// Result of a simulated transfer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TcpTrace {
+    /// `(time_ms, cumulative_acked_bytes)` — stepwise goodput curve.
+    pub ack_timeline: Vec<(f64, u64)>,
+    /// RTO expiries with the post-backoff RTO value.
+    pub rto_events: Vec<RtoEvent>,
+    /// Final cumulative acked bytes.
+    pub total_acked_bytes: u64,
+    /// Simulation horizon (ms).
+    pub duration_ms: f64,
+}
+
+impl TcpTrace {
+    /// Goodput in Mbit/s over the whole run.
+    pub fn mean_goodput_mbps(&self) -> f64 {
+        if self.duration_ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_acked_bytes as f64 * 8.0 / (self.duration_ms * 1e3)
+    }
+
+    /// Stall periods: maximal gaps between consecutive goodput
+    /// deliveries longer than `min_gap_ms` (also counting the tail gap
+    /// to the horizon).
+    pub fn stall_periods(&self, min_gap_ms: f64) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut last = 0.0;
+        for &(t, _) in &self.ack_timeline {
+            if t - last > min_gap_ms {
+                out.push((last, t));
+            }
+            last = t;
+        }
+        if self.duration_ms - last > min_gap_ms {
+            out.push((last, self.duration_ms));
+        }
+        out
+    }
+
+    /// Total stalled time with the given gap threshold.
+    pub fn total_stall_ms(&self, min_gap_ms: f64) -> f64 {
+        self.stall_periods(min_gap_ms).iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Throughput series in Mbit/s over fixed bins (for Fig 9b).
+    pub fn throughput_series_mbps(&self, bin_ms: f64) -> Vec<(f64, f64)> {
+        if bin_ms <= 0.0 {
+            return Vec::new();
+        }
+        let bins = (self.duration_ms / bin_ms).ceil() as usize;
+        let mut acc = vec![0u64; bins.max(1)];
+        let mut prev = 0u64;
+        for &(t, total) in &self.ack_timeline {
+            let idx = ((t / bin_ms) as usize).min(acc.len() - 1);
+            acc[idx] += total - prev;
+            prev = total;
+        }
+        acc.iter()
+            .enumerate()
+            .map(|(i, &b)| ((i as f64 + 0.5) * bin_ms, b as f64 * 8.0 / (bin_ms * 1e3)))
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    sent_at_ms: f64,
+    retransmitted: bool,
+}
+
+/// Simulates a bulk transfer (infinite source, like iperf) for
+/// `duration_ms` over `link`. Deterministic given the RNG.
+pub fn simulate_transfer(
+    cfg: &TcpConfig,
+    link: &LinkModel,
+    duration_ms: f64,
+    rng: &mut SimRng,
+) -> TcpTrace {
+    let owd = link.rtt_ms / 2.0;
+
+    // Sender state.
+    let mut cwnd = cfg.init_cwnd;
+    let mut ssthresh = cfg.init_ssthresh;
+    let mut next_seq: u64 = 0; // next new sequence number to send
+    let mut snd_una: u64 = 0; // lowest unacked
+    let mut dup_acks = 0u32;
+    let mut srtt: Option<f64> = None;
+    let mut rttvar = 0.0;
+    let mut rto = 1000.0f64;
+    let mut rto_deadline: Option<f64> = None;
+    let mut backoff = 1.0f64;
+    let mut recover_seq: u64 = 0; // fast-recovery guard
+    let mut rto_recover_until: u64 = 0; // go-back-N horizon after an RTO
+    // CUBIC state (RFC 8312): window max before the last reduction and
+    // the epoch the cubic curve is anchored to.
+    const CUBIC_C: f64 = 0.4;
+    const CUBIC_BETA: f64 = 0.7;
+    let mut w_max = cfg.init_cwnd;
+    let mut cubic_epoch: Option<f64> = None;
+    let mut cubic_k = 0.0f64;
+
+    // Receiver state.
+    let mut rcv_next: u64 = 0;
+    let mut ooo: std::collections::BTreeSet<u64> = Default::default();
+
+    // Packets in flight: seq -> metadata. Ack events: time -> acks.
+    let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
+    // Scheduled deliveries at the receiver: (arrival time, seq).
+    let mut deliveries: BTreeMap<u64, Vec<u64>> = BTreeMap::new(); // key: time in us
+    // Scheduled ack arrivals at the sender: (time_us, cumulative ack, is_dup).
+    let mut acks: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
+
+    let mut trace = TcpTrace {
+        ack_timeline: Vec::new(),
+        rto_events: Vec::new(),
+        total_acked_bytes: 0,
+        duration_ms,
+    };
+
+    let to_us = |t: f64| (t * 1000.0).round() as u64;
+    let tick_ms = 1.0;
+    let mut now = 0.0f64;
+
+    while now < duration_ms {
+        let now_us = to_us(now);
+
+        // 1. Receiver: process packet deliveries up to now.
+        let due: Vec<u64> = deliveries.range(..=now_us).map(|(&k, _)| k).collect();
+        for k in due {
+            for seq in deliveries.remove(&k).unwrap() {
+                let is_dup_ack;
+                if seq == rcv_next {
+                    rcv_next += 1;
+                    while ooo.remove(&rcv_next) {
+                        rcv_next += 1;
+                    }
+                    is_dup_ack = false;
+                } else if seq > rcv_next {
+                    ooo.insert(seq);
+                    is_dup_ack = true;
+                } else {
+                    // Already-received (spurious retransmit): still acks.
+                    is_dup_ack = false;
+                }
+                // Ack travels back; acks are never lost here beyond the
+                // link state at send time (one loss coin per packet).
+                let back = to_us(now + owd);
+                acks.entry(back).or_default().push((rcv_next, is_dup_ack));
+            }
+        }
+
+        // 2. Sender: process ack arrivals.
+        let due: Vec<u64> = acks.range(..=now_us).map(|(&k, _)| k).collect();
+        for k in due {
+            for (cum, is_dup) in acks.remove(&k).unwrap() {
+                if cum > snd_una {
+                    // New data acked.
+                    let newly = cum - snd_una;
+                    // RTT sample from the highest newly-acked original
+                    // transmission (Karn: skip retransmitted).
+                    if let Some(info) = inflight.get(&(cum - 1)) {
+                        if !info.retransmitted {
+                            let sample = now - info.sent_at_ms;
+                            match srtt {
+                                None => {
+                                    srtt = Some(sample);
+                                    rttvar = sample / 2.0;
+                                }
+                                Some(s) => {
+                                    rttvar = 0.75 * rttvar + 0.25 * (s - sample).abs();
+                                    srtt = Some(0.875 * s + 0.125 * sample);
+                                }
+                            }
+                            rto = (srtt.unwrap() + (4.0 * rttvar).max(1.0))
+                                .clamp(cfg.rto_min_ms, cfg.rto_max_ms);
+                        }
+                    }
+                    for s in snd_una..cum {
+                        inflight.remove(&s);
+                    }
+                    snd_una = cum;
+                    backoff = 1.0;
+                    dup_acks = 0;
+                    // Congestion control.
+                    if cwnd < ssthresh {
+                        cwnd += newly as f64; // slow start
+                    } else {
+                        match cfg.congestion {
+                            CongestionControl::Reno => {
+                                cwnd += newly as f64 / cwnd;
+                            }
+                            CongestionControl::Cubic => {
+                                // W(t) = C (t - K)^3 + W_max, t since the
+                                // loss epoch started.
+                                let epoch = *cubic_epoch.get_or_insert(now);
+                                let t_s = (now - epoch) / 1e3;
+                                let target =
+                                    CUBIC_C * (t_s - cubic_k).powi(3) + w_max;
+                                if target > cwnd {
+                                    cwnd += (target - cwnd).min(newly as f64);
+                                } else {
+                                    // TCP-friendly floor: grow at least
+                                    // like Reno.
+                                    cwnd += 0.5 * newly as f64 / cwnd;
+                                }
+                            }
+                        }
+                    }
+                    cwnd = cwnd.min(cfg.rwnd);
+                    trace.total_acked_bytes = snd_una * cfg.mss_bytes;
+                    trace.ack_timeline.push((now, trace.total_acked_bytes));
+                    // Go-back-N after an RTO: segments up to the loss
+                    // horizon were (likely) lost with the window;
+                    // retransmit the next hole immediately on each
+                    // partial ack instead of waiting one RTO per segment.
+                    if snd_una < rto_recover_until && inflight.contains_key(&snd_una) {
+                        let lost = !link_delivers(link, now, rng);
+                        inflight
+                            .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                        if !lost {
+                            deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                        }
+                    }
+                    rto_deadline =
+                        if inflight.is_empty() { None } else { Some(now + rto * backoff) };
+                } else if is_dup && cum == snd_una {
+                    dup_acks += 1;
+                    if dup_acks == 3 && snd_una >= recover_seq {
+                        // Fast retransmit: multiplicative decrease
+                        // (Reno halves; CUBIC reduces to beta*cwnd and
+                        // re-anchors the cubic curve).
+                        match cfg.congestion {
+                            CongestionControl::Reno => {
+                                ssthresh = (cwnd / 2.0).max(2.0);
+                            }
+                            CongestionControl::Cubic => {
+                                w_max = cwnd;
+                                cubic_k = (w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                                cubic_epoch = None;
+                                ssthresh = (cwnd * CUBIC_BETA).max(2.0);
+                            }
+                        }
+                        cwnd = ssthresh;
+                        recover_seq = next_seq;
+                        let lost = !link_delivers(link, now, rng);
+                        inflight
+                            .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                        if !lost {
+                            deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                        }
+                        rto_deadline = Some(now + rto * backoff);
+                    }
+                }
+            }
+        }
+
+        // 3. RTO expiry.
+        if let Some(deadline) = rto_deadline {
+            if now >= deadline && snd_una < next_seq {
+                backoff = (backoff * 2.0).min(cfg.rto_max_ms / rto);
+                trace.rto_events.push((now, (rto * backoff).min(cfg.rto_max_ms)));
+                ssthresh = match cfg.congestion {
+                    CongestionControl::Reno => (cwnd / 2.0).max(2.0),
+                    CongestionControl::Cubic => {
+                        w_max = cwnd.max(w_max * CUBIC_BETA);
+                        cubic_k = (w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                        cubic_epoch = None;
+                        (cwnd * CUBIC_BETA).max(2.0)
+                    }
+                };
+                cwnd = 1.0;
+                dup_acks = 0;
+                rto_recover_until = next_seq;
+                // Retransmit the lowest unacked segment.
+                let lost = !link_delivers(link, now, rng);
+                inflight
+                    .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                if !lost {
+                    deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                }
+                rto_deadline = Some(now + (rto * backoff).min(cfg.rto_max_ms));
+            }
+        }
+
+        // 4. Send new data up to cwnd and capacity.
+        let mut budget = (link.capacity_pkts_per_ms * tick_ms) as u64;
+        while budget > 0 && (next_seq - snd_una) < cwnd as u64 {
+            let lost = !link_delivers(link, now, rng);
+            inflight.insert(next_seq, InFlight { sent_at_ms: now, retransmitted: false });
+            if !lost {
+                deliveries.entry(to_us(now + owd)).or_default().push(next_seq);
+            }
+            if rto_deadline.is_none() {
+                rto_deadline = Some(now + rto * backoff);
+            }
+            next_seq += 1;
+            budget -= 1;
+        }
+
+        now += tick_ms;
+    }
+    trace
+}
+
+fn link_delivers(link: &LinkModel, t: f64, rng: &mut SimRng) -> bool {
+    if link.is_down(t) {
+        return false;
+    }
+    if link.loss_prob > 0.0 {
+        return rng.gen::<f64>() >= link.loss_prob;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    fn run(link: &LinkModel, ms: f64, seed: u64) -> TcpTrace {
+        simulate_transfer(&TcpConfig::default(), link, ms, &mut rng_from_seed(seed))
+    }
+
+    #[test]
+    fn clean_link_transfers_data() {
+        let t = run(&LinkModel::default(), 5_000.0, 1);
+        assert!(t.total_acked_bytes > 1_000_000, "bytes={}", t.total_acked_bytes);
+        assert!(t.rto_events.is_empty());
+        assert!(t.stall_periods(1000.0).is_empty());
+    }
+
+    #[test]
+    fn goodput_bounded_by_capacity() {
+        let link = LinkModel { capacity_pkts_per_ms: 1.0, ..Default::default() };
+        let t = run(&link, 5_000.0, 2);
+        // 1 pkt/ms * 1448 B = ~11.6 Mbps ceiling.
+        assert!(t.mean_goodput_mbps() <= 11.6 + 0.1, "{}", t.mean_goodput_mbps());
+        assert!(t.mean_goodput_mbps() > 5.0);
+    }
+
+    #[test]
+    fn outage_causes_stall_and_rto_backoff() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 2_000.0, end_ms: 4_500.0 }],
+            ..Default::default()
+        };
+        let t = run(&link, 10_000.0, 3);
+        // There must be a stall covering the outage.
+        let stalls = t.stall_periods(1_000.0);
+        assert!(!stalls.is_empty());
+        let total = t.total_stall_ms(1_000.0);
+        assert!(total >= 2_400.0, "stall={total}");
+        // And RTO events whose backoff grew well past the base RTO
+        // during the outage.
+        assert!(t.rto_events.len() >= 2, "rto events: {:?}", t.rto_events);
+        let max_rto = t.rto_events.iter().map(|e| e.1).fold(0.0, f64::max);
+        let first_rto = t.rto_events[0].1;
+        assert!(max_rto >= 2.0 * first_rto, "max={max_rto} first={first_rto}");
+    }
+
+    #[test]
+    fn stall_outlives_outage_due_to_backoff() {
+        // The Fig 9b phenomenon: data resumes only at the next RTO
+        // expiry after the radio recovers, so the stall exceeds the
+        // outage duration.
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 2_000.0, end_ms: 4_300.0 }],
+            ..Default::default()
+        };
+        let t = run(&link, 15_000.0, 4);
+        let total = t.total_stall_ms(1_000.0);
+        assert!(total > 2_300.0, "stall {total} should exceed the 2300 ms outage");
+        // But transfer recovers eventually.
+        let after: Vec<_> = t.ack_timeline.iter().filter(|(tt, _)| *tt > 6_000.0).collect();
+        assert!(!after.is_empty(), "transfer never recovered");
+    }
+
+    #[test]
+    fn longer_outage_longer_stall() {
+        let mk = |end| LinkModel {
+            outages: vec![Outage { start_ms: 2_000.0, end_ms: end }],
+            ..Default::default()
+        };
+        let short = run(&mk(3_000.0), 15_000.0, 5).total_stall_ms(1_000.0);
+        let long = run(&mk(6_000.0), 15_000.0, 5).total_stall_ms(1_000.0);
+        assert!(long > short, "short={short} long={long}");
+    }
+
+    #[test]
+    fn random_loss_reduces_goodput() {
+        let clean = run(&LinkModel::default(), 8_000.0, 6).mean_goodput_mbps();
+        let lossy = run(
+            &LinkModel { loss_prob: 0.02, ..Default::default() },
+            8_000.0,
+            6,
+        )
+        .mean_goodput_mbps();
+        assert!(lossy < clean, "lossy={lossy} clean={clean}");
+        assert!(lossy > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let link = LinkModel { loss_prob: 0.05, ..Default::default() };
+        let a = run(&link, 3_000.0, 7);
+        let b = run(&link, 3_000.0, 7);
+        assert_eq!(a.total_acked_bytes, b.total_acked_bytes);
+        assert_eq!(a.rto_events, b.rto_events);
+    }
+
+    #[test]
+    fn throughput_series_shows_outage_hole() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 3_000.0, end_ms: 5_000.0 }],
+            ..Default::default()
+        };
+        let t = run(&link, 9_000.0, 8);
+        let series = t.throughput_series_mbps(1_000.0);
+        // Bin centred at 3.5s and 4.5s should be (near) zero.
+        let hole = series.iter().find(|(c, _)| (*c - 4_500.0).abs() < 1.0).unwrap().1;
+        let before = series.iter().find(|(c, _)| (*c - 1_500.0).abs() < 1.0).unwrap().1;
+        assert!(hole < 0.5, "hole={hole}");
+        assert!(before > 1.0, "before={before}");
+    }
+
+    #[test]
+    fn ack_timeline_is_monotone() {
+        let t = run(&LinkModel { loss_prob: 0.03, ..Default::default() }, 4_000.0, 9);
+        for w in t.ack_timeline.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        let t = run(&LinkModel::default(), 0.0, 10);
+        assert_eq!(t.total_acked_bytes, 0);
+        assert_eq!(t.mean_goodput_mbps(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod cubic_tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    fn run_cc(cc: CongestionControl, link: &LinkModel, ms: f64, seed: u64) -> TcpTrace {
+        let cfg = TcpConfig { congestion: cc, ..Default::default() };
+        simulate_transfer(&cfg, link, ms, &mut rng_from_seed(seed))
+    }
+
+    #[test]
+    fn cubic_transfers_on_clean_link() {
+        let t = run_cc(CongestionControl::Cubic, &LinkModel::default(), 5_000.0, 1);
+        assert!(t.total_acked_bytes > 1_000_000);
+        assert!(t.rto_events.is_empty());
+    }
+
+    #[test]
+    fn cubic_recovers_faster_than_reno_after_loss() {
+        // Large BDP link with sporadic loss: CUBIC's cubic ramp regains
+        // the window faster, delivering more bytes.
+        let link = LinkModel {
+            rtt_ms: 120.0,
+            capacity_pkts_per_ms: 4.0,
+            loss_prob: 0.0008,
+            ..Default::default()
+        };
+        let reno = run_cc(CongestionControl::Reno, &link, 30_000.0, 2);
+        let cubic = run_cc(CongestionControl::Cubic, &link, 30_000.0, 2);
+        assert!(
+            cubic.total_acked_bytes > reno.total_acked_bytes,
+            "cubic={} reno={}",
+            cubic.total_acked_bytes,
+            reno.total_acked_bytes
+        );
+    }
+
+    #[test]
+    fn cubic_survives_outages_like_reno() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 4_000.0, end_ms: 6_500.0 }],
+            ..Default::default()
+        };
+        let t = run_cc(CongestionControl::Cubic, &link, 15_000.0, 3);
+        assert!(t.total_stall_ms(1_000.0) >= 2_400.0);
+        assert!(t.ack_timeline.iter().any(|(tt, _)| *tt > 8_000.0), "never recovered");
+    }
+
+    #[test]
+    fn cubic_deterministic() {
+        let link = LinkModel { loss_prob: 0.01, ..Default::default() };
+        let a = run_cc(CongestionControl::Cubic, &link, 4_000.0, 4);
+        let b = run_cc(CongestionControl::Cubic, &link, 4_000.0, 4);
+        assert_eq!(a.total_acked_bytes, b.total_acked_bytes);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the miniature TCP.
+
+use proptest::prelude::*;
+use rem_net::{simulate_transfer, LinkModel, Outage, TcpConfig};
+use rem_num::rng::rng_from_seed;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ack timeline is always monotone in time and bytes.
+    #[test]
+    fn ack_timeline_monotone(loss in 0.0f64..0.2, seed in 0u64..1000, rtt in 10.0f64..120.0) {
+        let link = LinkModel { loss_prob: loss, rtt_ms: rtt, ..Default::default() };
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer(&TcpConfig::default(), &link, 4_000.0, &mut rng);
+        for w in t.ack_timeline.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!(t.total_acked_bytes as f64 <= 4_000.0 * link.capacity_pkts_per_ms * 1448.0);
+    }
+
+    /// RTO values never exceed the configured maximum.
+    #[test]
+    fn rto_respects_bounds(start in 1_000.0f64..3_000.0, dur in 1_000.0f64..8_000.0, seed in 0u64..100) {
+        let cfg = TcpConfig { rto_max_ms: 10_000.0, ..Default::default() };
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: start, end_ms: start + dur }],
+            ..Default::default()
+        };
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer(&cfg, &link, 20_000.0, &mut rng);
+        for (_, rto) in &t.rto_events {
+            prop_assert!(*rto <= cfg.rto_max_ms + 1e-9);
+            prop_assert!(*rto >= cfg.rto_min_ms - 1e-9);
+        }
+    }
+
+    /// Stall accounting never exceeds the horizon.
+    #[test]
+    fn stall_bounded_by_duration(loss in 0.0f64..0.6, seed in 0u64..100) {
+        let link = LinkModel { loss_prob: loss, ..Default::default() };
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer(&TcpConfig::default(), &link, 6_000.0, &mut rng);
+        prop_assert!(t.total_stall_ms(500.0) <= 6_000.0 + 1e-9);
+    }
+
+    /// Goodput can only decrease when loss increases (same seed).
+    #[test]
+    fn loss_hurts_goodput(seed in 0u64..50) {
+        let mut r1 = rng_from_seed(seed);
+        let clean = simulate_transfer(&TcpConfig::default(), &LinkModel::default(), 5_000.0, &mut r1);
+        let mut r2 = rng_from_seed(seed);
+        let lossy = simulate_transfer(
+            &TcpConfig::default(),
+            &LinkModel { loss_prob: 0.1, ..Default::default() },
+            5_000.0,
+            &mut r2,
+        );
+        prop_assert!(lossy.total_acked_bytes <= clean.total_acked_bytes);
+    }
+}

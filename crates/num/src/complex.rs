@@ -1,0 +1,354 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole REM stack works on complex baseband samples, delay-Doppler
+//! taps and channel matrices, so this type is the common currency of
+//! every DSP crate in the workspace. It is a plain `Copy` struct with
+//! the usual operator overloads; no allocation, no hidden state.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex64`].
+#[inline]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// `e^{i theta}`: a unit phasor with argument `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|^2`, cheaper than [`abs`](Self::abs).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplicative inverse `1/z`. Returns a non-finite value for zero input.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `|self - other|`: Euclidean distance in the complex plane.
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^{-1}
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - PI / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..16 {
+            let theta = 2.0 * PI * k as f64 / 16.0;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_polar_composition() {
+        let a = Complex64::from_polar(2.0, 0.3);
+        let b = Complex64::from_polar(0.5, 1.1);
+        let p = a * b;
+        assert!((p.abs() - 1.0).abs() < EPS);
+        assert!((p.arg() - 1.4).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c64(1.5, -2.5);
+        let b = c64(-0.25, 3.0);
+        let q = (a * b) / b;
+        assert!(q.dist(a) < 1e-10);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = c64(1.0, 2.0);
+        assert_eq!(z.conj().conj(), z);
+        let prod = z * z.conj();
+        assert!((prod.re - z.norm_sqr()).abs() < EPS);
+        assert!(prod.im.abs() < EPS);
+    }
+
+    #[test]
+    fn exponential_of_imaginary_is_cis() {
+        let theta = 0.77;
+        let via_exp = c64(0.0, theta).exp();
+        let via_cis = Complex64::cis(theta);
+        assert!(via_exp.dist(via_cis) < EPS);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(4.0, 0.0), c64(-1.0, 0.0), c64(3.0, -4.0)] {
+            let r = z.sqrt();
+            assert!((r * r).dist(z) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_of_unit_is_conjugate() {
+        let z = Complex64::cis(0.9);
+        assert!(z.inv().dist(z.conj()) < EPS);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = [c64(1.0, 1.0), c64(2.0, -3.0), c64(-0.5, 0.25)];
+        let s: Complex64 = xs.iter().sum();
+        assert!(s.dist(c64(2.5, -1.75)) < EPS);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = c64(1.0, -2.0);
+        assert_eq!(z * 2.0, c64(2.0, -4.0));
+        assert_eq!(2.0 * z, c64(2.0, -4.0));
+        assert_eq!(z / 2.0, c64(0.5, -1.0));
+        assert_eq!(-z, c64(-1.0, 2.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Discrete Fourier transforms of arbitrary length.
+//!
+//! The OTFS symplectic transform (SFFT) needs DFTs along both axes of
+//! the delay-Doppler grid, and 4G/5G grid dimensions are rarely powers
+//! of two (a subframe is 12 x 14). We therefore provide:
+//!
+//! * an iterative radix-2 Cooley-Tukey FFT for power-of-two lengths,
+//! * Bluestein's chirp-z algorithm for every other length (it reduces an
+//!   arbitrary-N DFT to a power-of-two circular convolution),
+//! * a naive `O(N^2)` reference DFT used by the test-suite as ground
+//!   truth.
+//!
+//! Conventions: `fft` computes `X[k] = sum_n x[n] e^{-j 2 pi k n / N}`
+//! (no scaling); `ifft` applies the `+j` kernel and divides by `N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// In-place forward FFT. Accepts any length; length 0 is a no-op.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, Direction::Forward);
+}
+
+/// In-place inverse FFT (includes the `1/N` scaling).
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, Direction::Inverse);
+    let n = data.len();
+    if n > 1 {
+        let s = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(s);
+        }
+    }
+}
+
+/// Out-of-place forward FFT convenience wrapper.
+pub fn fft_vec(input: &[Complex64]) -> Vec<Complex64> {
+    let mut v = input.to_vec();
+    fft(&mut v);
+    v
+}
+
+/// Out-of-place inverse FFT convenience wrapper.
+pub fn ifft_vec(input: &[Complex64]) -> Vec<Complex64> {
+    let mut v = input.to_vec();
+    ifft(&mut v);
+    v
+}
+
+/// Naive `O(N^2)` DFT, used as a reference implementation in tests and
+/// for very short transforms where setup cost dominates.
+pub fn dft_naive(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let ang = sign * 2.0 * PI * (k as f64) * (t as f64) / n as f64;
+            acc += x * Complex64::cis(ang);
+        }
+        *o = acc;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for z in out.iter_mut() {
+            *z = z.scale(s);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+fn transform(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, dir);
+    } else {
+        bluestein(data, dir);
+    }
+}
+
+/// Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
+fn radix2(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let levels = n.trailing_zeros();
+
+    // Bit-reversal permutation.
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = dir.sign();
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex64::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: express the DFT as a circular convolution of
+/// chirp-premultiplied input with a chirp kernel, evaluated with a
+/// power-of-two FFT of length `>= 2N-1`.
+fn bluestein(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    let sign = dir.sign();
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirp c[k] = e^{sign * j pi k^2 / n}. Use k^2 mod 2n to keep the
+    // argument small and numerically accurate for large k.
+    let mut chirp = Vec::with_capacity(n);
+    for k in 0..n as u64 {
+        let kk = (k * k) % (2 * n as u64);
+        chirp.push(Complex64::cis(sign * PI * kk as f64 / n as f64));
+    }
+
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let v = chirp[k].conj();
+        b[k] = v;
+        b[m - k] = v;
+    }
+
+    radix2(&mut a, Direction::Forward);
+    radix2(&mut b, Direction::Forward);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= *y;
+    }
+    radix2(&mut a, Direction::Inverse);
+    let scale = 1.0 / m as f64;
+    for (k, out) in data.iter_mut().enumerate() {
+        *out = a[k].scale(scale) * chirp[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn close(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.dist(*y) < tol)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n).map(|i| c64(i as f64, (i as f64) * 0.5 - 1.0)).collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let x = ramp(n);
+            let got = fft_vec(&x);
+            let want = dft_naive(&x, false);
+            assert!(close(&got, &want, 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for n in [3usize, 5, 6, 7, 12, 13, 14, 15, 60, 100] {
+            let x = ramp(n);
+            let got = fft_vec(&x);
+            let want = dft_naive(&x, false);
+            assert!(close(&got, &want, 1e-7), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_all_lengths() {
+        for n in 1..=40usize {
+            let x = ramp(n);
+            let y = ifft_vec(&fft_vec(&x));
+            assert!(close(&x, &y, 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 14];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!(z.dist(Complex64::ONE) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_delta() {
+        let mut x = vec![Complex64::ONE; 12];
+        fft(&mut x);
+        assert!(x[0].dist(c64(12.0, 0.0)) < 1e-10);
+        for z in &x[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        for n in [8usize, 12, 14, 21] {
+            let x = ramp(n);
+            let y = fft_vec(&x);
+            let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((ex - ey).abs() < 1e-6 * ex.max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 20;
+        let bin = 7usize;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * PI * bin as f64 * t as f64 / n as f64))
+            .collect();
+        let y = fft_vec(&x);
+        for (k, z) in y.iter().enumerate() {
+            if k == bin {
+                assert!(z.dist(c64(n as f64, 0.0)) < 1e-8);
+            } else {
+                assert!(z.abs() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut e: Vec<Complex64> = vec![];
+        fft(&mut e);
+        assert!(e.is_empty());
+        let mut s = vec![c64(2.0, 3.0)];
+        fft(&mut s);
+        assert_eq!(s[0], c64(2.0, 3.0));
+        ifft(&mut s);
+        assert_eq!(s[0], c64(2.0, 3.0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Descriptive statistics used by the evaluation harness.
+//!
+//! Every figure in the paper is either a CDF, a bar of means, or a time
+//! series; this module provides the small set of estimators those
+//! need: mean/std, percentiles (linear interpolation, the common
+//! "type 7" definition), empirical CDFs and fixed-width histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (`n - 1` denominator); `0.0` for fewer
+/// than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Percentile in `[0, 100]` with linear interpolation between order
+/// statistics. `0.0` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// An empirical cumulative distribution function over a sample.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample (NaNs are dropped).
+    pub fn new(xs: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample `x` with `P(X <= x) >= q`, `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Samples the CDF at `points` evenly spaced x-values between the
+    /// sample min and max; returns `(x, P(X <= x))` pairs ready to print
+    /// as a figure series.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        (0..points)
+            .map(|i| {
+                let x = if points == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (points - 1) as f64
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the
+/// range clamped into the first/last bin.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram spec");
+        Self { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Converts a linear power ratio to decibels; `-inf` for nonpositive input.
+#[inline]
+pub fn lin_to_db(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic dataset is sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(Ecdf::new(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((e.eval(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.eval(3.0) - 0.6).abs() < 1e-12);
+        assert!((e.eval(10.0) - 1.0).abs() < 1e-12);
+        assert!((e.quantile(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let e = Ecdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let s = e.series(50);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_drops_nan() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.5, 2.5, 2.9, 9.9, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 6);
+        let s = h.series();
+        assert_eq!(s[0].1, 2); // -1.0 clamped + 0.5
+        assert_eq!(s[1].1, 2); // 2.5, 2.9
+        assert_eq!(s[4].1, 2); // 9.9 + 42.0 clamped
+    }
+
+    #[test]
+    fn db_round_trip() {
+        for db in [-20.0, -3.0, 0.0, 10.0, 30.0] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-10);
+        }
+        assert!((db_to_lin(3.0103) - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,409 @@
+//! Singular value decomposition of complex matrices.
+//!
+//! REM's cross-band estimation (paper §5.2, Algorithm 1) approximates
+//! the delay-Doppler channel factorisation `H = Γ P Φ` with an SVD.
+//! We implement the one-sided Jacobi (Hestenes) method: it is simple,
+//! numerically robust, and accurate to working precision for the small
+//! and medium matrices used throughout the stack (12 x 14 subframes up
+//! to the ~1200 x 560 grids in the paper's analysis).
+//!
+//! For an `m x n` input `A` the decomposition is the *thin* SVD
+//! `A = U Σ V^H` with `U: m x k`, `Σ: k x k` diagonal, `V: n x k`,
+//! `k = min(m, n)`, singular values sorted in descending order.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Result of a singular value decomposition `A = U Σ V^H`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m x k`, orthonormal columns (columns
+    /// paired with zero singular values are zero).
+    pub u: CMatrix,
+    /// Singular values in descending order, length `k = min(m, n)`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n x k`, orthonormal columns.
+    pub v: CMatrix,
+}
+
+impl Svd {
+    /// Reconstructs `U Σ V^H`.
+    pub fn reconstruct(&self) -> CMatrix {
+        let k = self.s.len();
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = CMatrix::zeros(m, n);
+        for p in 0..k {
+            let sp = self.s[p];
+            if sp == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let us = self.u[(r, p)].scale(sp);
+                for c in 0..n {
+                    out[(r, c)] += us * self.v[(c, p)].conj();
+                }
+            }
+        }
+        out
+    }
+
+    /// Keeps only the `k` largest singular triplets ("principal
+    /// components"), as used for the path-count truncation in REM.
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.s.len());
+        Svd {
+            u: CMatrix::from_fn(self.u.rows(), k, |r, c| self.u[(r, c)]),
+            s: self.s[..k].to_vec(),
+            v: CMatrix::from_fn(self.v.rows(), k, |r, c| self.v[(r, c)]),
+        }
+    }
+
+    /// Effective numerical rank: number of singular values above
+    /// `rel_tol * s_max`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.s.iter().take_while(|&&s| s > rel_tol * smax).count()
+    }
+}
+
+/// Computes the thin SVD of `a` using one-sided Jacobi rotations.
+///
+/// Converges to working precision in a handful of sweeps for
+/// well-conditioned inputs; capped at 64 sweeps as a safety net.
+pub fn svd(a: &CMatrix) -> Svd {
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        // A = U Σ V^H  <=>  A^H = V Σ U^H: decompose the (tall)
+        // conjugate transpose and swap the factors.
+        let t = svd_tall(&a.hermitian());
+        Svd { u: t.v, s: t.s, v: t.u }
+    }
+}
+
+fn svd_tall(a: &CMatrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert!(m >= n);
+    // Work on columns of `work`; accumulate right rotations in `v`.
+    let mut work = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    // Relative orthogonality threshold: a column pair is "converged"
+    // once |a_p^H a_q| is negligible against ||a_p|| * ||a_q||.
+    let tol_rel = 1e-14;
+    const MAX_SWEEPS: usize = 64;
+
+    for _ in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries of the (p, q) column pair.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = Complex64::ZERO;
+                for r in 0..m {
+                    let ap = work[(r, p)];
+                    let aq = work[(r, q)];
+                    alpha += ap.norm_sqr();
+                    beta += aq.norm_sqr();
+                    gamma += ap.conj() * aq;
+                }
+                let g = gamma.abs();
+                let denom = (alpha * beta).sqrt();
+                if denom <= f64::MIN_POSITIVE || g <= tol_rel * denom {
+                    continue;
+                }
+                rotated = true;
+                // Phase-align the q column so the pair behaves like the
+                // real symmetric case, then apply the classic Jacobi
+                // rotation that orthogonalises the two columns.
+                let phase = gamma / Complex64::from_real(g); // e^{i phi}
+                let tau = (beta - alpha) / (2.0 * g);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let sp = phase.conj().scale(s); // s * e^{-i phi}
+                let sq = phase.scale(s); // s * e^{+i phi}
+                for r in 0..m {
+                    let ap = work[(r, p)];
+                    let aq = work[(r, q)];
+                    work[(r, p)] = ap.scale(c) - sp * aq;
+                    work[(r, q)] = sq * ap + aq.scale(c);
+                }
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = vp.scale(c) - sp * vq;
+                    v[(r, q)] = sq * vp + vq.scale(c);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalised columns are U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|c| (0..m).map(|r| work[(r, c)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = CMatrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vs = CMatrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        let sigma = norms[src];
+        s.push(sigma);
+        if sigma > 0.0 {
+            let inv = 1.0 / sigma;
+            for r in 0..m {
+                u[(r, dst)] = work[(r, src)].scale(inv);
+            }
+        }
+        for r in 0..n {
+            vs[(r, dst)] = v[(r, src)];
+        }
+    }
+    Svd { u, s, v: vs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn reconstruction_error(a: &CMatrix) -> f64 {
+        let d = svd(a);
+        d.reconstruct().frobenius_dist(a) / a.frobenius_norm().max(1e-30)
+    }
+
+    #[test]
+    fn identity_decomposes_to_unit_singular_values() {
+        let d = svd(&CMatrix::identity(4));
+        for &s in &d.s {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_sorted_diagonal() {
+        let a = CMatrix::diag_real(&[1.0, 5.0, 3.0]);
+        let d = svd(&a);
+        assert!((d.s[0] - 5.0).abs() < 1e-12);
+        assert!((d.s[1] - 3.0).abs() < 1e-12);
+        assert!((d.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_tall_matrix() {
+        let a = CMatrix::from_fn(6, 4, |r, c| {
+            c64((r as f64 * 0.7 + c as f64).sin(), (r as f64 - 1.3 * c as f64).cos())
+        });
+        assert!(reconstruction_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_wide_matrix() {
+        let a = CMatrix::from_fn(3, 7, |r, c| {
+            c64((1.0 + r as f64 * c as f64).ln(), (r + c) as f64 * 0.1)
+        });
+        assert!(reconstruction_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_subframe_sized() {
+        // 4G subframe dimensions used throughout the PHY layer.
+        let a = CMatrix::from_fn(12, 14, |r, c| {
+            Complex64::cis(0.37 * r as f64 * c as f64).scale(1.0 / (1.0 + r as f64))
+        });
+        assert!(reconstruction_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn factors_have_orthonormal_columns() {
+        let a = CMatrix::from_fn(8, 5, |r, c| c64((r * c) as f64 % 3.0, (r + 2 * c) as f64 % 5.0));
+        let d = svd(&a);
+        assert!(d.u.is_unitary_columns(1e-9));
+        assert!(d.v.is_unitary_columns(1e-9));
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = CMatrix::from_fn(5, 5, |r, c| c64((r as f64 - c as f64).tanh(), 0.2 * r as f64));
+        let d = svd(&a);
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &d.s {
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Rank-1 outer product.
+        let u = [c64(1.0, 0.5), c64(-0.3, 1.0), c64(2.0, 0.0)];
+        let v = [c64(0.7, -0.2), c64(1.1, 0.4)];
+        let a = CMatrix::from_fn(3, 2, |r, c| u[r] * v[c].conj());
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-9), 1);
+        assert!(d.s[1] < 1e-9 * d.s[0].max(1.0));
+        assert!(d.reconstruct().frobenius_dist(&a) < 1e-10);
+    }
+
+    #[test]
+    fn truncation_of_low_rank_is_lossless() {
+        let u = [c64(1.0, 0.0), c64(0.0, 1.0), c64(1.0, 1.0), c64(2.0, -1.0)];
+        let v = [c64(1.0, 0.0), c64(0.5, 0.5), c64(-1.0, 0.25)];
+        let a = CMatrix::from_fn(4, 3, |r, c| u[r] * v[c].conj());
+        let d = svd(&a).truncate(1);
+        assert_eq!(d.s.len(), 1);
+        assert!(d.reconstruct().frobenius_dist(&a) < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let d = svd(&CMatrix::zeros(3, 2));
+        assert!(d.s.iter().all(|&s| s == 0.0));
+        assert_eq!(d.rank(1e-9), 0);
+    }
+
+    #[test]
+    fn frobenius_norm_equals_singular_value_energy() {
+        let a = CMatrix::from_fn(6, 6, |r, c| c64((r as f64).cos() * c as f64, (c as f64).sin()));
+        let d = svd(&a);
+        let fro2: f64 = a.frobenius_norm().powi(2);
+        let sv2: f64 = d.s.iter().map(|s| s * s).sum();
+        assert!((fro2 - sv2).abs() < 1e-8 * fro2.max(1.0));
+    }
+}
+
+impl Svd {
+    /// Moore–Penrose pseudo-inverse `A⁺ = V Σ⁺ U^H`, truncating
+    /// singular values below `rel_tol * s_max`.
+    pub fn pseudo_inverse(&self, rel_tol: f64) -> CMatrix {
+        let k = self.s.len();
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        let mut out = CMatrix::zeros(n, m);
+        for p in 0..k {
+            let sp = self.s[p];
+            if smax == 0.0 || sp <= rel_tol * smax {
+                continue;
+            }
+            let inv = 1.0 / sp;
+            for r in 0..n {
+                let vs = self.v[(r, p)].scale(inv);
+                for c in 0..m {
+                    out[(r, c)] += vs * self.u[(c, p)].conj();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Least-squares solve `min ||A x - b||` via the SVD pseudo-inverse.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`.
+pub fn lstsq(a: &CMatrix, b: &[Complex64], rel_tol: f64) -> Vec<Complex64> {
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    let pinv = svd(a).pseudo_inverse(rel_tol);
+    (0..pinv.rows())
+        .map(|r| {
+            let mut acc = Complex64::ZERO;
+            for (c, &bv) in b.iter().enumerate() {
+                acc += pinv[(r, c)] * bv;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod pinv_tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn pinv_of_invertible_matrix_is_inverse() {
+        let a = CMatrix::from_vec(
+            2,
+            2,
+            vec![c64(2.0, 0.0), c64(1.0, 1.0), c64(0.0, -1.0), c64(3.0, 0.0)],
+        );
+        let pinv = svd(&a).pseudo_inverse(1e-12);
+        let prod = a.matmul(&pinv);
+        assert!(prod.frobenius_dist(&CMatrix::identity(2)) < 1e-9);
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose_identities() {
+        let a = CMatrix::from_fn(5, 3, |r, c| c64((r as f64 * 0.9).sin(), c as f64 * 0.3));
+        let p = svd(&a).pseudo_inverse(1e-12);
+        // A A+ A == A and A+ A A+ == A+.
+        let apa = a.matmul(&p).matmul(&a);
+        assert!(apa.frobenius_dist(&a) < 1e-8 * a.frobenius_norm());
+        let pap = p.matmul(&a).matmul(&p);
+        assert!(pap.frobenius_dist(&p) < 1e-8 * p.frobenius_norm().max(1e-12));
+    }
+
+    #[test]
+    fn lstsq_solves_exact_system() {
+        // x = (1, -i): b = A x.
+        let a = CMatrix::from_vec(
+            3,
+            2,
+            vec![
+                c64(1.0, 0.0), c64(0.0, 1.0),
+                c64(2.0, 0.0), c64(1.0, 0.0),
+                c64(0.0, 0.0), c64(3.0, 0.0),
+            ],
+        );
+        let x_true = [c64(1.0, 0.0), c64(0.0, -1.0)];
+        let b: Vec<Complex64> = (0..3)
+            .map(|r| a[(r, 0)] * x_true[0] + a[(r, 1)] * x_true[1])
+            .collect();
+        let x = lstsq(&a, &b, 1e-12);
+        assert!(x[0].dist(x_true[0]) < 1e-9);
+        assert!(x[1].dist(x_true[1]) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_minimises_residual_for_overdetermined_system() {
+        let a = CMatrix::from_fn(6, 2, |r, c| c64((r + c) as f64, 0.0));
+        let b: Vec<Complex64> = (0..6).map(|r| c64(r as f64 + 0.5, 0.1)).collect();
+        let x = lstsq(&a, &b, 1e-12);
+        // The residual must be orthogonal to the column space: A^H r = 0.
+        let resid: Vec<Complex64> = (0..6)
+            .map(|r| b[r] - (a[(r, 0)] * x[0] + a[(r, 1)] * x[1]))
+            .collect();
+        for c in 0..2 {
+            let mut dot = Complex64::ZERO;
+            for r in 0..6 {
+                dot += a[(r, c)].conj() * resid[r];
+            }
+            assert!(dot.abs() < 1e-8, "col {c}: {dot:?}");
+        }
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let p = svd(&CMatrix::zeros(3, 2)).pseudo_inverse(1e-12);
+        assert!(p.frobenius_norm() < 1e-12);
+        assert_eq!(p.shape(), (2, 3));
+    }
+}

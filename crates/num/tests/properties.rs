@@ -1,0 +1,117 @@
+//! Property-based tests for the numerical foundations.
+
+use proptest::prelude::*;
+use rem_num::fft::{dft_naive, fft_vec, ifft_vec};
+use rem_num::svd::svd;
+use rem_num::{c64, CMatrix, Complex64};
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+}
+
+fn complex_matrix() -> impl Strategy<Value = CMatrix> {
+    (1usize..9, 1usize..9)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), r * c)
+                .prop_map(move |v| {
+                    CMatrix::from_vec(r, c, v.into_iter().map(|(a, b)| c64(a, b)).collect())
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fft_inverts(v in complex_vec(64)) {
+        let back = ifft_vec(&fft_vec(&v));
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!(a.dist(*b) < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(v in complex_vec(24)) {
+        let got = fft_vec(&v);
+        let want = dft_naive(&v, false);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!(a.dist(*b) < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval(v in complex_vec(48)) {
+        let y = fft_vec(&v);
+        let ex: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / v.len() as f64;
+        prop_assert!((ex - ey).abs() < 1e-6 * ex.max(1.0));
+    }
+
+    #[test]
+    fn fft_linearity(a in complex_vec(16)) {
+        // fft(2a) == 2 fft(a)
+        let doubled: Vec<Complex64> = a.iter().map(|z| z.scale(2.0)).collect();
+        let lhs = fft_vec(&doubled);
+        let rhs: Vec<Complex64> = fft_vec(&a).into_iter().map(|z| z.scale(2.0)).collect();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!(x.dist(*y) < 1e-7 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(m in complex_matrix()) {
+        let d = svd(&m);
+        let err = d.reconstruct().frobenius_dist(&m);
+        prop_assert!(err < 1e-8 * m.frobenius_norm().max(1.0), "err={err}");
+    }
+
+    #[test]
+    fn svd_values_sorted_nonnegative(m in complex_matrix()) {
+        let d = svd(&m);
+        for w in d.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+        prop_assert!(d.s.iter().all(|&s| s >= 0.0));
+        prop_assert_eq!(d.s.len(), m.rows().min(m.cols()));
+    }
+
+    #[test]
+    fn svd_energy_identity(m in complex_matrix()) {
+        // ||A||_F^2 == sum sigma_i^2
+        let d = svd(&m);
+        let fro2 = m.frobenius_norm().powi(2);
+        let sv2: f64 = d.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sv2).abs() < 1e-6 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn hermitian_is_involution(m in complex_matrix()) {
+        prop_assert_eq!(m.hermitian().hermitian(), m);
+    }
+
+    #[test]
+    fn matmul_associative(a in complex_matrix()) {
+        // (A * A^H) * A == A * (A^H * A)
+        let ah = a.hermitian();
+        let lhs = a.matmul(&ah).matmul(&a);
+        let rhs = a.matmul(&ah.matmul(&a));
+        prop_assert!(lhs.frobenius_dist(&rhs) < 1e-6 * lhs.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn percentile_bounds(mut v in proptest::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let q = rem_num::stats::percentile(&v, p);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(q >= v[0] - 1e-9 && q <= v[v.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_monotone(v in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let e = rem_num::stats::Ecdf::new(&v);
+        let s = e.series(20);
+        for w in s.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

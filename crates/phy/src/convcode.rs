@@ -1,0 +1,227 @@
+//! Rate-1/2 constraint-length-7 convolutional code with Viterbi decoding.
+//!
+//! This is the classic (133, 171) octal code used by LTE control
+//! channels (and many others). The encoder is zero-terminated (six tail
+//! bits flush the register) so the decoder can start and end in state
+//! 0. The Viterbi decoder accepts soft inputs (LLRs from the QAM
+//! demapper) and degrades gracefully to hard decisions when given ±1.
+
+/// Constraint length.
+pub const K: usize = 7;
+/// Number of trellis states.
+pub const STATES: usize = 1 << (K - 1);
+/// Generator polynomials (octal 133, 171).
+pub const GENERATORS: [u32; 2] = [0o133, 0o171];
+/// Code rate denominator: output bits per input bit.
+pub const RATE_INV: usize = 2;
+/// Tail bits appended by [`encode`].
+pub const TAIL_BITS: usize = K - 1;
+
+#[inline]
+fn parity(x: u32) -> bool {
+    x.count_ones() & 1 == 1
+}
+
+/// Output pair for input bit `bit` leaving state `state` (state = last
+/// K-1 input bits, most recent in the high bit).
+#[inline]
+fn outputs(state: usize, bit: bool) -> [bool; 2] {
+    let reg = ((bit as u32) << (K - 1)) | state as u32;
+    [parity(reg & GENERATORS[0]), parity(reg & GENERATORS[1])]
+}
+
+#[inline]
+fn next_state(state: usize, bit: bool) -> usize {
+    ((state >> 1) | ((bit as usize) << (K - 2))) & (STATES - 1)
+}
+
+/// Encodes `payload` with zero termination. Output length is
+/// `2 * (payload.len() + 6)` bits.
+pub fn encode(payload: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(RATE_INV * (payload.len() + TAIL_BITS));
+    let mut state = 0usize;
+    for &b in payload.iter().chain(std::iter::repeat_n(&false, TAIL_BITS)) {
+        let o = outputs(state, b);
+        out.push(o[0]);
+        out.push(o[1]);
+        state = next_state(state, b);
+    }
+    out
+}
+
+/// Viterbi decode from soft inputs.
+///
+/// `llrs[i] > 0` means coded bit `i` is more likely 0 (same convention
+/// as the QAM demapper). `payload_len` is the original message length
+/// (tail bits are stripped). Returns `None` if `llrs` is too short.
+pub fn decode_soft(llrs: &[f64], payload_len: usize) -> Option<Vec<bool>> {
+    let total = payload_len + TAIL_BITS;
+    if llrs.len() < RATE_INV * total {
+        return None;
+    }
+    const INF: f64 = f64::INFINITY;
+    let mut metric = vec![INF; STATES];
+    metric[0] = 0.0;
+    // survivors[t][s] = (previous state, input bit)
+    let mut survivors: Vec<Vec<(u16, bool)>> = Vec::with_capacity(total);
+
+    for t in 0..total {
+        let l0 = llrs[2 * t];
+        let l1 = llrs[2 * t + 1];
+        let mut next = vec![INF; STATES];
+        let mut surv = vec![(0u16, false); STATES];
+        #[allow(clippy::needless_range_loop)] // trellis index math reads clearer
+        for s in 0..STATES {
+            let m = metric[s];
+            if m == INF {
+                continue;
+            }
+            for bit in [false, true] {
+                let o = outputs(s, bit);
+                let c = branch_cost(o[0], l0) + branch_cost(o[1], l1);
+                let ns = next_state(s, bit);
+                let cand = m + c;
+                if cand < next[ns] {
+                    next[ns] = cand;
+                    surv[ns] = (s as u16, bit);
+                }
+            }
+        }
+        metric = next;
+        survivors.push(surv);
+    }
+
+    // Zero-terminated: trace back from state 0.
+    let mut state = 0usize;
+    let mut bits = vec![false; total];
+    for t in (0..total).rev() {
+        let (prev, bit) = survivors[t][state];
+        bits[t] = bit;
+        state = prev as usize;
+    }
+    bits.truncate(payload_len);
+    Some(bits)
+}
+
+/// Cost of hypothesising coded bit value `bit` when the channel says
+/// `llr` (positive favours 0). Choosing the *likely* value costs 0;
+/// choosing against the evidence costs `|llr|`.
+#[inline]
+fn branch_cost(bit: bool, llr: f64) -> f64 {
+    if bit {
+        llr.max(0.0)
+    } else {
+        (-llr).max(0.0)
+    }
+}
+
+/// Hard-decision convenience wrapper: converts bits to ±1 pseudo-LLRs.
+pub fn decode_hard(coded: &[bool], payload_len: usize) -> Option<Vec<bool>> {
+    let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+    decode_soft(&llrs, payload_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rem_num::rng::rng_from_seed;
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn encode_length_and_rate() {
+        let coded = encode(&random_bits(100, 1));
+        assert_eq!(coded.len(), 2 * 106);
+    }
+
+    #[test]
+    fn noiseless_round_trip() {
+        for len in [1usize, 10, 57, 256] {
+            let payload = random_bits(len, len as u64);
+            let coded = encode(&payload);
+            assert_eq!(decode_hard(&coded, len), Some(payload), "len={len}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let payload = random_bits(120, 5);
+        let mut coded = encode(&payload);
+        // Free distance 10: sparse single errors are easily corrected.
+        for &i in &[3usize, 40, 90, 150, 210] {
+            coded[i] = !coded[i];
+        }
+        assert_eq!(decode_hard(&coded, 120), Some(payload));
+    }
+
+    #[test]
+    fn fails_gracefully_under_heavy_corruption() {
+        let payload = random_bits(100, 6);
+        let mut coded = encode(&payload);
+        let mut rng = rng_from_seed(7);
+        for b in coded.iter_mut() {
+            if rng.gen::<f64>() < 0.5 {
+                *b = rng.gen();
+            }
+        }
+        // Decoder still returns *something* of the right length.
+        let out = decode_hard(&coded, 100).unwrap();
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn soft_beats_hard_at_moderate_snr() {
+        let mut rng = rng_from_seed(8);
+        let trials = 60;
+        let len = 100;
+        let sigma = 0.9; // BPSK-ish noise level
+        let mut hard_errs = 0usize;
+        let mut soft_errs = 0usize;
+        for t in 0..trials {
+            let payload = random_bits(len, 100 + t);
+            let coded = encode(&payload);
+            // BPSK over AWGN: y = (1-2b) + n; llr = 2y/sigma^2.
+            let ys: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    (if b { -1.0 } else { 1.0 })
+                        + sigma * rem_num::rng::standard_normal(&mut rng)
+                })
+                .collect();
+            let soft: Vec<f64> = ys.iter().map(|&y| 2.0 * y / (sigma * sigma)).collect();
+            let hard: Vec<bool> = ys.iter().map(|&y| y < 0.0).collect();
+            if decode_soft(&soft, len).unwrap() != payload {
+                soft_errs += 1;
+            }
+            if decode_hard(&hard, len).unwrap() != payload {
+                hard_errs += 1;
+            }
+        }
+        assert!(soft_errs <= hard_errs, "soft={soft_errs} hard={hard_errs}");
+    }
+
+    #[test]
+    fn empty_payload() {
+        let coded = encode(&[]);
+        assert_eq!(coded.len(), 2 * TAIL_BITS);
+        assert_eq!(decode_hard(&coded, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(decode_soft(&[1.0; 4], 100).is_none());
+    }
+
+    #[test]
+    fn generators_have_free_distance_behaviour() {
+        // A single input 1 produces exactly weight-10 output for
+        // (133,171) when the register flushes: the code's free distance.
+        let coded = encode(&[true]);
+        let weight = coded.iter().filter(|&&b| b).count();
+        assert_eq!(weight, 10);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # rem-phy
+//!
+//! The physical layer of the REM reproduction: Gray-coded QAM, CRC-16,
+//! the (133,171) convolutional code with soft Viterbi decoding, block
+//! interleaving, OFDM grid transmission through multipath channels
+//! (with Doppler-induced ICI), the OTFS symplectic transform pair, the
+//! scheduling-based OTFS signaling/data coexistence of paper §5.1,
+//! delay-Doppler channel estimation (§5.2, Fig 7) and a link-level
+//! block simulator producing the BLER curves of Fig 10.
+//!
+//! ```
+//! use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+//! use rem_channel::models::ChannelModel;
+//! use rem_channel::doppler::kmh_to_ms;
+//! use rem_num::rng::rng_from_seed;
+//!
+//! let mut rng = rng_from_seed(7);
+//! let cfg = LinkConfig::signaling(Waveform::Otfs);
+//! let bler = measure_bler(&cfg, ChannelModel::Hst, kmh_to_ms(350.0), 2.6e9,
+//!                         10.0, 20, &mut rng);
+//! assert!(bler < 0.5);
+//! ```
+
+pub mod chanest;
+pub mod convcode;
+pub mod crc;
+pub mod interleaver;
+pub mod link;
+pub mod mp_detect;
+pub mod ofdm;
+pub mod ofdm_td;
+pub mod otfs;
+pub mod qam;
+pub mod scfdma;
+pub mod scheduler;
+
+pub use link::{measure_bler, simulate_block, BlockOutcome, LinkConfig, Waveform};
+pub use qam::Modulation;
+pub use scheduler::{MessageKind, Scheduler};

@@ -1,0 +1,643 @@
+//! Link-level simulation: the full coded block pipeline.
+//!
+//! This drives the paper's Fig 10 (BLER vs SNR for legacy OFDM vs REM's
+//! OTFS signaling) and supplies per-message error probabilities to the
+//! mobility simulator. A block travels:
+//!
+//! ```text
+//! payload -> CRC-16 -> conv. encode (133,171) -> interleave -> QAM ->
+//!   [OFDM grid | OTFS delay-Doppler grid] -> channel + ICI + AWGN ->
+//!   equalise -> soft demap -> Viterbi -> CRC check
+//! ```
+//!
+//! The OTFS path spreads every symbol over the whole grid (SFFT), so a
+//! deep time/frequency fade dents every symbol slightly instead of
+//! erasing a few symbols completely — the diversity the paper exploits.
+
+use crate::convcode;
+use crate::crc::{attach_crc, check_crc};
+use crate::interleaver::BlockInterleaver;
+use crate::ofdm::{mmse_equalize, otfs_effective_sinr, slot_sinrs, tf_channel, transmit, zf_equalize};
+use crate::otfs::{otfs_demodulate, otfs_modulate};
+use crate::qam::{demodulate_soft, modulate, Modulation};
+use rand::Rng;
+use rem_channel::models::ChannelModel;
+use rem_channel::noise::ici_relative_power;
+use rem_channel::{DdGrid, MultipathChannel};
+use rem_num::stats::db_to_lin;
+use rem_num::{CMatrix, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Which waveform carries the block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Legacy 4G/5G: symbols ride individual resource elements.
+    Ofdm,
+    /// REM signaling overlay: symbols spread over the grid via SFFT.
+    Otfs,
+}
+
+/// How the receiver obtains channel state for equalisation.
+///
+/// This is the mechanism behind the paper's Fig 10 gap: a legacy OFDM
+/// receiver equalises with pilot estimates that *age* within the
+/// subframe — at HSR Doppler the channel rotates appreciably between
+/// pilots, so the equaliser is systematically wrong and the BLER floors
+/// even at high SNR. A delay-Doppler receiver tracks the multipath
+/// profile `{h_p, tau_p, nu_p}`, which is stable (paper Appendix A),
+/// and can *predict* the channel across the whole grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CsiModel {
+    /// Genie-aided: exact gains everywhere (upper bound).
+    Perfect,
+    /// Pilot-symbol estimates held constant until the next pilot
+    /// column (zero-order hold with the given period in OFDM symbols).
+    /// LTE cell-specific reference signals give a period of ~4.
+    PilotHold {
+        /// Pilot spacing in OFDM symbols.
+        period: usize,
+    },
+    /// Delay-Doppler profile tracking: the receiver knows the (slowly
+    /// varying) path profile and predicts the time-frequency gains from
+    /// it — accurate over the whole grid.
+    DdProfile,
+}
+
+/// OTFS receiver architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OtfsReceiver {
+    /// Two-step: MMSE in the time-frequency domain, then ISFFT.
+    /// Cheap; loses a little to self-interference at low SNR.
+    TwoStep,
+    /// Sparse message-passing detection in the delay-Doppler domain
+    /// (paper ref [21], [`crate::mp_detect`]). More compute, better
+    /// low-SNR behaviour.
+    MessagePassing,
+}
+
+/// Static configuration of a link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Resource grid (also fixes the delay-Doppler grid for OTFS).
+    pub grid: DdGrid,
+    /// Constellation.
+    pub modulation: Modulation,
+    /// OFDM (legacy) or OTFS (REM overlay).
+    pub waveform: Waveform,
+    /// Receiver channel knowledge.
+    pub csi: CsiModel,
+    /// OTFS receiver (ignored for OFDM).
+    pub otfs_receiver: OtfsReceiver,
+}
+
+impl LinkConfig {
+    /// An LTE-subframe-sized signaling link (12 x 14, QPSK), the
+    /// configuration the paper's Fig 10 uses (`M = 12, N = 14` for
+    /// 1 ms). Legacy OFDM uses pilot-hold CSI (period 4, the LTE CRS
+    /// spacing); the REM overlay tracks the delay-Doppler profile.
+    pub fn signaling(waveform: Waveform) -> Self {
+        let csi = match waveform {
+            Waveform::Ofdm => CsiModel::PilotHold { period: 4 },
+            Waveform::Otfs => CsiModel::DdProfile,
+        };
+        Self {
+            grid: DdGrid::lte_subframe(),
+            modulation: Modulation::Qpsk,
+            waveform,
+            csi,
+            otfs_receiver: OtfsReceiver::TwoStep,
+        }
+    }
+
+    /// Symbol capacity of the grid.
+    pub fn capacity_symbols(&self) -> usize {
+        self.grid.m * self.grid.n
+    }
+
+    /// Coded-bit capacity of the grid.
+    pub fn capacity_bits(&self) -> usize {
+        self.capacity_symbols() * self.modulation.bits_per_symbol()
+    }
+
+    /// Largest payload (information bits) a single block can carry
+    /// after CRC, tail bits and rate-1/2 coding.
+    pub fn max_payload_bits(&self) -> usize {
+        (self.capacity_bits() / convcode::RATE_INV).saturating_sub(16 + convcode::TAIL_BITS)
+    }
+}
+
+/// Outcome of one simulated block.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockOutcome {
+    /// True when the CRC verified after decoding.
+    pub crc_ok: bool,
+    /// Payload bit errors after decoding (0 when `crc_ok`).
+    pub bit_errors: usize,
+    /// Effective post-equalisation SINR in dB seen by the decoder
+    /// (per-slot mean for OFDM, grid-effective for OTFS).
+    pub effective_sinr_db: f64,
+}
+
+/// Simulates one block through one channel realization at the given
+/// average SNR. `payload` must fit [`LinkConfig::max_payload_bits`].
+pub fn simulate_block(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    payload: &[bool],
+    rng: &mut SimRng,
+) -> BlockOutcome {
+    assert!(payload.len() <= cfg.max_payload_bits(), "payload exceeds block capacity");
+    let cap_bits = cfg.capacity_bits();
+
+    // Encode.
+    let block = attach_crc(payload);
+    let coded = convcode::encode(&block);
+    let coded_len = coded.len();
+    let mut padded = coded;
+    padded.resize(cap_bits, false);
+    let il = BlockInterleaver::for_len(cap_bits);
+
+    let (dellrs, eff_sinr) = transmit_and_demap(cfg, ch, snr_db, &padded, &il, rng);
+    // Decode the full payload+CRC block, then verify integrity.
+    let decoded_with_crc =
+        convcode::decode_soft(&dellrs[..coded_len], block.len()).expect("length checked");
+    let crc_ok = check_crc(&decoded_with_crc).is_some();
+    let bit_errors = payload
+        .iter()
+        .zip(&decoded_with_crc)
+        .filter(|(a, b)| a != b)
+        .count();
+
+    BlockOutcome {
+        crc_ok: crc_ok && bit_errors == 0,
+        bit_errors,
+        effective_sinr_db: rem_num::stats::lin_to_db(eff_sinr.max(1e-12)),
+    }
+}
+
+/// HARQ with chase combining: the same coded block is retransmitted up
+/// to `max_tx` times over the evolving channel, the receiver *adds*
+/// the deinterleaved LLRs of every copy (soft combining) and attempts
+/// a decode after each. Returns `(crc_ok, transmissions_used,
+/// effective_sinr_db_of_last_tx)`. Between transmissions the channel
+/// advances by `retx_interval_s` (8 ms is the LTE HARQ RTT).
+pub fn simulate_block_harq(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    payload: &[bool],
+    max_tx: usize,
+    retx_interval_s: f64,
+    rng: &mut SimRng,
+) -> (bool, usize, f64) {
+    assert!(payload.len() <= cfg.max_payload_bits(), "payload exceeds block capacity");
+    let cap_bits = cfg.capacity_bits();
+    let block = attach_crc(payload);
+    let coded = convcode::encode(&block);
+    let coded_len = coded.len();
+    let mut padded = coded;
+    padded.resize(cap_bits, false);
+    let il = BlockInterleaver::for_len(cap_bits);
+
+    let mut combined = vec![0.0f64; cap_bits];
+    let mut last_sinr = f64::NEG_INFINITY;
+    for tx in 1..=max_tx.max(1) {
+        let ch_t = ch.advanced_by((tx - 1) as f64 * retx_interval_s);
+        let (dellrs, eff) = transmit_and_demap(cfg, &ch_t, snr_db, &padded, &il, rng);
+        last_sinr = rem_num::stats::lin_to_db(eff.max(1e-12));
+        for (c, l) in combined.iter_mut().zip(&dellrs) {
+            *c += *l;
+        }
+        let decoded =
+            convcode::decode_soft(&combined[..coded_len], block.len()).expect("length checked");
+        if check_crc(&decoded).is_some() {
+            return (true, tx, last_sinr);
+        }
+    }
+    (false, max_tx.max(1), last_sinr)
+}
+
+/// One transmission of an (already padded) coded block: interleave,
+/// map, run the channel, equalise per the CSI model, demap, and return
+/// the *deinterleaved* LLRs plus the effective SINR (linear).
+fn transmit_and_demap(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    padded_coded_bits: &[bool],
+    il: &BlockInterleaver,
+    rng: &mut SimRng,
+) -> (Vec<f64>, f64) {
+    let noise_var = db_to_lin(-snr_db);
+    let grid = &cfg.grid;
+    let cap_bits = cfg.capacity_bits();
+    debug_assert_eq!(padded_coded_bits.len(), cap_bits);
+
+    let interleaved = il.interleave(padded_coded_bits);
+    let symbols = modulate(&interleaved, cfg.modulation);
+    debug_assert_eq!(symbols.len(), cfg.capacity_symbols());
+    let tx_syms = CMatrix::from_vec(grid.m, grid.n, symbols);
+
+    // Channel: true gains drive propagation; the receiver equalises
+    // with whatever its CSI model provides.
+    let gains = tf_channel(grid, ch);
+    let est = estimated_gains(&gains, cfg.csi);
+    let sinrs = slot_sinrs(&gains, grid, ch, noise_var);
+    let ici_rel = ici_relative_power(ch.max_doppler_hz(), grid.t_sym);
+
+    let (eq_syms, llr_noise_vars, eff_sinr) = match cfg.waveform {
+        Waveform::Ofdm => {
+            let rx = transmit(&tx_syms, &gains, grid, ch, noise_var, rng);
+            let eq = zf_equalize(&rx, &est);
+            // Post-ZF noise per slot as the *receiver* believes it:
+            // (thermal + ICI) / |h_est|^2. CSI aging errors are invisible
+            // to the receiver — that is precisely the failure mode.
+            let nvs: Vec<f64> = est
+                .as_slice()
+                .iter()
+                .map(|h| {
+                    let g = h.norm_sqr();
+                    if g < 1e-30 {
+                        1e30
+                    } else {
+                        (noise_var + ici_rel * g) / g
+                    }
+                })
+                .collect();
+            let mean_sinr = rem_num::stats::mean(&sinrs);
+            (eq, nvs, mean_sinr)
+        }
+        Waveform::Otfs if cfg.otfs_receiver == OtfsReceiver::MessagePassing => {
+            // Delay-Doppler message passing: demodulate the raw grid,
+            // extract the sparse taps from the (CSI-model) channel, run
+            // the soft MP detector and hand its bitwise LLRs straight
+            // to the decoder.
+            use crate::mp_detect::{beliefs_to_llrs, extract_taps, mp_detect_beliefs, MpConfig};
+            use crate::otfs::isfft;
+
+            let tx_tf = otfs_modulate(&tx_syms);
+            let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
+            // Received DD grid (unitary demod) and the channel's DD taps.
+            let y_dd = otfs_demodulate(&rx);
+            let h_dd = isfft(&est);
+            let taps = extract_taps(&h_dd, 0.08);
+            let beliefs =
+                mp_detect_beliefs(&y_dd, &taps, cfg.modulation, noise_var, &MpConfig::default());
+            let llrs = beliefs_to_llrs(&beliefs, cfg.modulation);
+            debug_assert_eq!(llrs.len(), cap_bits);
+            let eff = otfs_effective_sinr(&sinrs);
+            return (il.deinterleave(&llrs), eff);
+        }
+        Waveform::Otfs => {
+            let tx_tf = otfs_modulate(&tx_syms);
+            let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
+            let eq_tf = mmse_equalize(&rx, &est, noise_var);
+            // MMSE bias: each slot is scaled by beta = |h|^2/(|h|^2+nv);
+            // after ISFFT every DD symbol is scaled by the grid mean.
+            let mean_beta: f64 = est
+                .as_slice()
+                .iter()
+                .map(|h| h.norm_sqr() / (h.norm_sqr() + noise_var))
+                .sum::<f64>()
+                / est.as_slice().len() as f64;
+            let mut dd = otfs_demodulate(&eq_tf);
+            if mean_beta > 1e-12 {
+                dd.scale_mut(1.0 / mean_beta);
+            }
+            let eff = otfs_effective_sinr(&sinrs);
+            let nv_eff = if eff > 0.0 { 1.0 / eff } else { 1e30 };
+            let nvs = vec![nv_eff; cfg.capacity_symbols()];
+            (dd, nvs, eff)
+        }
+    };
+
+    // Demap with per-symbol noise variances.
+    let mut llrs = Vec::with_capacity(cap_bits);
+    for (i, sym) in eq_syms.as_slice().iter().enumerate() {
+        let nv = llr_noise_vars[i].max(1e-12);
+        llrs.extend(demodulate_soft(&[*sym], cfg.modulation, nv));
+    }
+    debug_assert_eq!(llrs.len(), cap_bits);
+
+    (il.deinterleave(&llrs), eff_sinr)
+}
+
+/// Applies the CSI model to the true gains: what the receiver's
+/// equaliser believes the channel is.
+fn estimated_gains(gains: &CMatrix, csi: CsiModel) -> CMatrix {
+    match csi {
+        CsiModel::Perfect | CsiModel::DdProfile => gains.clone(),
+        CsiModel::PilotHold { period } => {
+            let p = period.max(1);
+            CMatrix::from_fn(gains.rows(), gains.cols(), |m, n| gains[(m, n - n % p)])
+        }
+    }
+}
+
+/// Monte-Carlo BLER: fraction of failed blocks over `n_blocks`, with a
+/// fresh channel realization per block.
+pub fn measure_bler(
+    cfg: &LinkConfig,
+    model: ChannelModel,
+    speed_ms: f64,
+    carrier_hz: f64,
+    snr_db: f64,
+    n_blocks: usize,
+    rng: &mut SimRng,
+) -> f64 {
+    let payload_len = cfg.max_payload_bits();
+    let mut failures = 0usize;
+    for _ in 0..n_blocks {
+        let ch = model.realize(rng, speed_ms, carrier_hz);
+        let payload: Vec<bool> = (0..payload_len).map(|_| rng.gen()).collect();
+        let out = simulate_block(cfg, &ch, snr_db, &payload, rng);
+        if !out.crc_ok {
+            failures += 1;
+        }
+    }
+    failures as f64 / n_blocks.max(1) as f64
+}
+
+/// Fast analytic BLER estimate for the mobility simulator: a logistic
+/// waterfall calibrated against the Monte-Carlo pipeline for rate-1/2
+/// conv-coded QPSK on a subframe. `effective_sinr_db` should be the
+/// per-slot mean (OFDM) or grid-effective (OTFS) SINR.
+pub fn bler_estimate(effective_sinr_db: f64, modulation: Modulation) -> f64 {
+    // Waterfall midpoints (dB) and slopes fitted per constellation.
+    let (mid, slope) = match modulation {
+        Modulation::Qpsk => (1.8, 1.5),
+        Modulation::Qam16 => (8.0, 1.2),
+        Modulation::Qam64 => (14.0, 1.0),
+    };
+    1.0 / (1.0 + ((effective_sinr_db - mid) * slope).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_channel::doppler::kmh_to_ms;
+    use rem_num::rng::rng_from_seed;
+
+    fn payload(cfg: &LinkConfig, rng: &mut SimRng) -> Vec<bool> {
+        (0..cfg.max_payload_bits()).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn capacities_are_consistent() {
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        assert_eq!(cfg.capacity_symbols(), 168);
+        assert_eq!(cfg.capacity_bits(), 336);
+        // 336/2 - 22 = 146 payload bits.
+        assert_eq!(cfg.max_payload_bits(), 146);
+    }
+
+    #[test]
+    fn high_snr_flat_channel_always_passes() {
+        for wf in [Waveform::Ofdm, Waveform::Otfs] {
+            let cfg = LinkConfig::signaling(wf);
+            let mut rng = rng_from_seed(1);
+            let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+            for _ in 0..20 {
+                let p = payload(&cfg, &mut rng);
+                let out = simulate_block(&cfg, &ch, 30.0, &p, &mut rng);
+                assert!(out.crc_ok, "{wf:?}");
+                assert_eq!(out.bit_errors, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn very_low_snr_always_fails() {
+        for wf in [Waveform::Ofdm, Waveform::Otfs] {
+            let cfg = LinkConfig::signaling(wf);
+            let mut rng = rng_from_seed(2);
+            let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+            let mut fails = 0;
+            for _ in 0..10 {
+                let p = payload(&cfg, &mut rng);
+                if !simulate_block(&cfg, &ch, -15.0, &p, &mut rng).crc_ok {
+                    fails += 1;
+                }
+            }
+            assert!(fails >= 9, "{wf:?} fails={fails}");
+        }
+    }
+
+    #[test]
+    fn otfs_beats_ofdm_in_hst_fading() {
+        // The Fig 10 shape: at mid SNR under high Doppler fading, the
+        // OTFS waveform has (weakly) lower BLER than OFDM.
+        let mut rng = rng_from_seed(3);
+        let speed = kmh_to_ms(350.0);
+        let carrier = 2.6e9;
+        let snr = 4.0;
+        let blocks = 150;
+        let b_ofdm = measure_bler(
+            &LinkConfig::signaling(Waveform::Ofdm),
+            ChannelModel::Hst,
+            speed,
+            carrier,
+            snr,
+            blocks,
+            &mut rng,
+        );
+        let mut rng = rng_from_seed(3);
+        let b_otfs = measure_bler(
+            &LinkConfig::signaling(Waveform::Otfs),
+            ChannelModel::Hst,
+            speed,
+            carrier,
+            snr,
+            blocks,
+            &mut rng,
+        );
+        assert!(b_otfs <= b_ofdm + 0.02, "otfs={b_otfs} ofdm={b_ofdm}");
+    }
+
+    #[test]
+    fn bler_monotone_in_snr() {
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        let mut rng = rng_from_seed(4);
+        let lo = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, -5.0, 60, &mut rng);
+        let hi = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, 15.0, 60, &mut rng);
+        assert!(lo > hi, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn analytic_estimate_is_monotone_and_bounded() {
+        let mut prev = 1.0;
+        for snr in -20..=30 {
+            let b = bler_estimate(snr as f64, Modulation::Qpsk);
+            assert!((0.0..=1.0).contains(&b));
+            assert!(b <= prev + 1e-12);
+            prev = b;
+        }
+        assert!(bler_estimate(-20.0, Modulation::Qpsk) > 0.99);
+        assert!(bler_estimate(30.0, Modulation::Qpsk) < 1e-9);
+    }
+
+    #[test]
+    fn analytic_estimate_tracks_monte_carlo_waterfall() {
+        // At the QPSK midpoint the MC BLER should be within a broad
+        // band of 0.5 on an AWGN (flat) channel.
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        let mut rng = rng_from_seed(5);
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let mut fails = 0usize;
+        let n = 120;
+        for _ in 0..n {
+            let p = payload(&cfg, &mut rng);
+            if !simulate_block(&cfg, &ch, 1.8, &p, &mut rng).crc_ok {
+                fails += 1;
+            }
+        }
+        let mc = fails as f64 / n as f64;
+        assert!(mc > 0.1 && mc < 0.9, "mc={mc} not in waterfall band");
+    }
+
+    #[test]
+    fn effective_sinr_reported_close_to_input_on_flat_channel() {
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        let mut rng = rng_from_seed(6);
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let p = payload(&cfg, &mut rng);
+        let out = simulate_block(&cfg, &ch, 10.0, &p, &mut rng);
+        assert!((out.effective_sinr_db - 10.0).abs() < 0.5);
+    }
+}
+
+#[cfg(test)]
+mod harq_tests {
+    use super::*;
+    use rem_channel::doppler::kmh_to_ms;
+    use rem_num::rng::rng_from_seed;
+
+    fn payload(cfg: &LinkConfig, rng: &mut SimRng) -> Vec<bool> {
+        (0..cfg.max_payload_bits()).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn harq_single_tx_matches_simulate_block_statistics() {
+        let cfg = LinkConfig::signaling(Waveform::Otfs);
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let mut rng = rng_from_seed(1);
+        let p = payload(&cfg, &mut rng);
+        let (ok, tx, sinr) = simulate_block_harq(&cfg, &ch, 20.0, &p, 1, 8e-3, &mut rng);
+        assert!(ok);
+        assert_eq!(tx, 1);
+        assert!((sinr - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn combining_beats_independent_retries_at_low_snr() {
+        // At an SNR where single transmissions almost always fail,
+        // chase combining of 4 copies succeeds far more often than any
+        // of 4 *independent* attempts.
+        let cfg = LinkConfig::signaling(Waveform::Otfs);
+        let snr = -3.5;
+        let trials = 60;
+        let mut rng = rng_from_seed(2);
+        let mut combined_ok = 0;
+        let mut independent_ok = 0;
+        for _ in 0..trials {
+            let ch = ChannelModel::Eva.realize(&mut rng, kmh_to_ms(200.0), 2e9);
+            let p = payload(&cfg, &mut rng);
+            if simulate_block_harq(&cfg, &ch, snr, &p, 4, 8e-3, &mut rng).0 {
+                combined_ok += 1;
+            }
+            let any = (0..4).any(|_| simulate_block(&cfg, &ch, snr, &p, &mut rng).crc_ok);
+            if any {
+                independent_ok += 1;
+            }
+        }
+        assert!(
+            combined_ok > independent_ok,
+            "combined={combined_ok} independent={independent_ok}"
+        );
+    }
+
+    #[test]
+    fn harq_uses_fewer_tx_at_higher_snr() {
+        let cfg = LinkConfig::signaling(Waveform::Otfs);
+        let mut rng = rng_from_seed(3);
+        let mut tx_low = 0usize;
+        let mut tx_high = 0usize;
+        for _ in 0..25 {
+            let ch = ChannelModel::Eva.realize(&mut rng, 8.3, 2e9);
+            let p = payload(&cfg, &mut rng);
+            tx_low += simulate_block_harq(&cfg, &ch, 0.0, &p, 6, 8e-3, &mut rng).1;
+            tx_high += simulate_block_harq(&cfg, &ch, 15.0, &p, 6, 8e-3, &mut rng).1;
+        }
+        assert!(tx_high < tx_low, "high={tx_high} low={tx_low}");
+    }
+
+    #[test]
+    fn hopeless_snr_exhausts_budget() {
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let mut rng = rng_from_seed(4);
+        let p = payload(&cfg, &mut rng);
+        let (ok, tx, _) = simulate_block_harq(&cfg, &ch, -20.0, &p, 3, 8e-3, &mut rng);
+        assert!(!ok);
+        assert_eq!(tx, 3);
+    }
+}
+
+#[cfg(test)]
+mod mp_receiver_tests {
+    use super::*;
+    use rem_channel::doppler::kmh_to_ms;
+    use rem_num::rng::rng_from_seed;
+
+    fn cfg_mp() -> LinkConfig {
+        LinkConfig {
+            otfs_receiver: OtfsReceiver::MessagePassing,
+            ..LinkConfig::signaling(Waveform::Otfs)
+        }
+    }
+
+    #[test]
+    fn mp_receiver_decodes_clean_channel() {
+        let cfg = cfg_mp();
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let mut rng = rng_from_seed(1);
+        let p: Vec<bool> = (0..cfg.max_payload_bits()).map(|i| i % 2 == 0).collect();
+        let out = simulate_block(&cfg, &ch, 20.0, &p, &mut rng);
+        assert!(out.crc_ok);
+    }
+
+    #[test]
+    fn mp_receiver_works_on_doubly_selective_channel() {
+        let mut rng = rng_from_seed(2);
+        let cfg = cfg_mp();
+        let mut fails = 0;
+        for _ in 0..20 {
+            let ch = ChannelModel::Hst.realize(&mut rng, kmh_to_ms(350.0), 2.6e9);
+            let p: Vec<bool> = (0..cfg.max_payload_bits()).map(|_| rng.gen()).collect();
+            if !simulate_block(&cfg, &ch, 12.0, &p, &mut rng).crc_ok {
+                fails += 1;
+            }
+        }
+        assert!(fails <= 3, "fails={fails}");
+    }
+
+    #[test]
+    fn mp_not_worse_than_two_step_at_low_snr() {
+        let snr = 2.0;
+        let blocks = 60;
+        let mut r1 = rng_from_seed(3);
+        let two_step = measure_bler(
+            &LinkConfig::signaling(Waveform::Otfs),
+            ChannelModel::Etu,
+            kmh_to_ms(300.0),
+            2.6e9,
+            snr,
+            blocks,
+            &mut r1,
+        );
+        let mut r2 = rng_from_seed(3);
+        let mp = measure_bler(&cfg_mp(), ChannelModel::Etu, kmh_to_ms(300.0), 2.6e9, snr, blocks, &mut r2);
+        assert!(mp <= two_step + 0.1, "mp={mp} two_step={two_step}");
+    }
+}

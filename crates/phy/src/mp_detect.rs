@@ -1,0 +1,402 @@
+//! Message-passing OTFS detection (Raviteja et al., paper ref [21]).
+//!
+//! The delay-Doppler channel is *sparse*: a handful of taps
+//! `(dk, dl, h)` couple each received sample to a handful of
+//! transmitted symbols through a 2-D circular convolution. The
+//! message-passing (MP) detector exploits that sparsity: observation
+//! nodes send interference-cancelled Gaussian messages to variable
+//! nodes, variable nodes return symbol beliefs, with damping for
+//! convergence. It outperforms the two-step TF equaliser at low SNR on
+//! doubly-selective channels and is the detector the OTFS literature
+//! (and the paper's reference list) assumes.
+
+use crate::qam::{modulate, Modulation};
+use rem_num::{CMatrix, Complex64};
+
+/// One delay-Doppler channel tap: a circular shift and a complex gain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DdTap {
+    /// Delay-bin shift.
+    pub dk: usize,
+    /// Doppler-bin shift.
+    pub dl: usize,
+    /// Complex gain.
+    pub gain: Complex64,
+}
+
+/// Extracts the dominant taps of a sampled DD channel matrix: entries
+/// holding at least `rel_threshold` of the peak magnitude (the sparse
+/// support Algorithm 1 and the MP detector both rely on).
+pub fn extract_taps(h_dd: &CMatrix, rel_threshold: f64) -> Vec<DdTap> {
+    let peak = h_dd.max_abs();
+    if peak <= 0.0 {
+        return Vec::new();
+    }
+    let mut taps = Vec::new();
+    for k in 0..h_dd.rows() {
+        for l in 0..h_dd.cols() {
+            let g = h_dd[(k, l)];
+            if g.abs() >= rel_threshold * peak {
+                taps.push(DdTap { dk: k, dl: l, gain: g });
+            }
+        }
+    }
+    taps
+}
+
+/// Applies the sparse DD channel (2-D circular convolution) to a
+/// transmitted DD grid — the forward model the detector inverts.
+pub fn apply_dd_channel(x: &CMatrix, taps: &[DdTap]) -> CMatrix {
+    let (m, n) = x.shape();
+    CMatrix::from_fn(m, n, |k, l| {
+        let mut acc = Complex64::ZERO;
+        for t in taps {
+            let sk = (k + m - t.dk % m) % m;
+            let sl = (l + n - t.dl % n) % n;
+            acc += t.gain * x[(sk, sl)];
+        }
+        acc
+    })
+}
+
+/// Message-passing detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MpConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Message damping factor in (0, 1]; Raviteja et al. suggest ~0.6.
+    pub damping: f64,
+    /// Early-exit threshold on belief change.
+    pub tol: f64,
+}
+
+impl Default for MpConfig {
+    fn default() -> Self {
+        Self { max_iters: 20, damping: 0.6, tol: 1e-4 }
+    }
+}
+
+/// Detects the transmitted DD symbols from `y = H x + noise` with the
+/// sparse taps known. Returns the hard-decision symbol grid (points of
+/// the given constellation).
+pub fn mp_detect(
+    y: &CMatrix,
+    taps: &[DdTap],
+    modulation: Modulation,
+    noise_var: f64,
+    cfg: &MpConfig,
+) -> CMatrix {
+    let beliefs = mp_detect_beliefs(y, taps, modulation, noise_var, cfg);
+    let alphabet = constellation(modulation);
+    let (m, n) = y.shape();
+    CMatrix::from_fn(m, n, |k, l| {
+        let v = k * n + l;
+        let best = beliefs[v]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        alphabet[best]
+    })
+}
+
+/// Soft-output message passing: per-symbol posterior probabilities over
+/// the constellation (row-major grid order, one vector per symbol).
+/// Point index `v`'s bit pattern is `v`'s binary digits MSB-first, the
+/// same order [`crate::qam::modulate`] consumes — so bitwise LLRs are
+/// `log sum_{v: bit=0} P(v) - log sum_{v: bit=1} P(v)`.
+pub fn mp_detect_beliefs(
+    y: &CMatrix,
+    taps: &[DdTap],
+    modulation: Modulation,
+    noise_var: f64,
+    cfg: &MpConfig,
+) -> Vec<Vec<f64>> {
+    let (m, n) = y.shape();
+    let grid_len = m * n;
+    let alphabet = constellation(modulation);
+    let q = alphabet.len();
+    let nv = noise_var.max(1e-12);
+
+    if taps.is_empty() {
+        return vec![vec![1.0 / q as f64; q]; grid_len];
+    }
+
+    // Beliefs: probability of each constellation point per variable.
+    let mut beliefs = vec![vec![1.0 / q as f64; q]; grid_len];
+    let idx = |k: usize, l: usize| k * n + l;
+
+    for _ in 0..cfg.max_iters {
+        // Per-variable interference statistics under current beliefs.
+        let mut mean = vec![Complex64::ZERO; grid_len];
+        let mut var = vec![0.0f64; grid_len];
+        for v in 0..grid_len {
+            let mut mu = Complex64::ZERO;
+            let mut e2 = 0.0;
+            for (pi, &p) in beliefs[v].iter().enumerate() {
+                mu += alphabet[pi].scale(p);
+                e2 += p * alphabet[pi].norm_sqr();
+            }
+            mean[v] = mu;
+            var[v] = (e2 - mu.norm_sqr()).max(0.0);
+        }
+
+        // Variable update: for each variable, combine the Gaussian
+        // likelihoods from every observation it participates in, with
+        // the variable's own contribution removed (interference
+        // cancellation).
+        let mut new_beliefs = beliefs.clone();
+        let mut max_delta = 0.0f64;
+        for k in 0..m {
+            for l in 0..n {
+                let v = idx(k, l);
+                let mut log_like = vec![0.0f64; q];
+                for t in taps {
+                    // Observation this variable feeds through tap t:
+                    // y[k + dk, l + dl].
+                    let ok = (k + t.dk) % m;
+                    let ol = (l + t.dl) % n;
+                    // Interference at that observation from all *other*
+                    // variables/taps.
+                    let mut imu = Complex64::ZERO;
+                    let mut ivar = 0.0;
+                    for t2 in taps {
+                        let sk = (ok + m - t2.dk % m) % m;
+                        let sl = (ol + n - t2.dl % n) % n;
+                        let u = idx(sk, sl);
+                        if u == v && t2 == t {
+                            continue;
+                        }
+                        imu += t2.gain * mean[u];
+                        ivar += t2.gain.norm_sqr() * var[u];
+                    }
+                    let resid = y[(ok, ol)] - imu;
+                    let sigma2 = (ivar + nv).max(1e-12);
+                    for (pi, &a) in alphabet.iter().enumerate() {
+                        let d = resid - t.gain * a;
+                        log_like[pi] -= d.norm_sqr() / sigma2;
+                    }
+                }
+                // Normalise to probabilities (softmax of log-likelihoods).
+                let mx = log_like.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut probs: Vec<f64> = log_like.iter().map(|&x| (x - mx).exp()).collect();
+                let s: f64 = probs.iter().sum();
+                for p in probs.iter_mut() {
+                    *p /= s;
+                }
+                for pi in 0..q {
+                    let damped =
+                        cfg.damping * probs[pi] + (1.0 - cfg.damping) * beliefs[v][pi];
+                    max_delta = max_delta.max((damped - beliefs[v][pi]).abs());
+                    new_beliefs[v][pi] = damped;
+                }
+            }
+        }
+        beliefs = new_beliefs;
+        if max_delta < cfg.tol {
+            break;
+        }
+    }
+
+    beliefs
+}
+
+/// Converts per-symbol beliefs into per-bit LLRs (positive favours 0),
+/// concatenated in grid order.
+pub fn beliefs_to_llrs(beliefs: &[Vec<f64>], modulation: Modulation) -> Vec<f64> {
+    let bps = modulation.bits_per_symbol();
+    let mut out = Vec::with_capacity(beliefs.len() * bps);
+    for b in beliefs {
+        for bit in 0..bps {
+            let mut p0 = 1e-12;
+            let mut p1 = 1e-12;
+            for (v, &p) in b.iter().enumerate() {
+                if (v >> (bps - 1 - bit)) & 1 == 0 {
+                    p0 += p;
+                } else {
+                    p1 += p;
+                }
+            }
+            out.push((p0 / p1).ln());
+        }
+    }
+    out
+}
+
+/// The constellation points of a modulation (unit average energy).
+fn constellation(m: Modulation) -> Vec<Complex64> {
+    let bps = m.bits_per_symbol();
+    (0..(1usize << bps))
+        .map(|v| {
+            let bits: Vec<bool> = (0..bps).rev().map(|i| (v >> i) & 1 == 1).collect();
+            modulate(&bits, m)[0]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rem_num::c64;
+    use rem_num::rng::{complex_gaussian, rng_from_seed};
+
+    fn random_qpsk_grid(m: usize, n: usize, seed: u64) -> CMatrix {
+        let pts = constellation(Modulation::Qpsk);
+        let mut rng = rng_from_seed(seed);
+        CMatrix::from_fn(m, n, |_, _| pts[rng.gen_range(0..4)])
+    }
+
+    fn two_tap() -> Vec<DdTap> {
+        vec![
+            DdTap { dk: 0, dl: 0, gain: c64(1.0, 0.0) },
+            DdTap { dk: 2, dl: 1, gain: c64(0.3, 0.4) },
+        ]
+    }
+
+    #[test]
+    fn constellation_sizes() {
+        assert_eq!(constellation(Modulation::Qpsk).len(), 4);
+        assert_eq!(constellation(Modulation::Qam16).len(), 16);
+    }
+
+    #[test]
+    fn forward_model_identity_channel() {
+        let x = random_qpsk_grid(6, 8, 1);
+        let taps = vec![DdTap { dk: 0, dl: 0, gain: Complex64::ONE }];
+        assert_eq!(apply_dd_channel(&x, &taps), x);
+    }
+
+    #[test]
+    fn noiseless_detection_recovers_symbols() {
+        let x = random_qpsk_grid(8, 8, 2);
+        let y = apply_dd_channel(&x, &two_tap());
+        let xhat = mp_detect(&y, &two_tap(), Modulation::Qpsk, 1e-4, &MpConfig::default());
+        assert!(xhat.frobenius_dist(&x) < 1e-9, "dist={}", xhat.frobenius_dist(&x));
+    }
+
+    #[test]
+    fn noisy_detection_mostly_correct() {
+        let x = random_qpsk_grid(8, 8, 3);
+        let mut y = apply_dd_channel(&x, &two_tap());
+        let mut rng = rng_from_seed(4);
+        let nv = 0.02; // ~17 dB
+        for z in y.as_mut_slice() {
+            *z += complex_gaussian(&mut rng, nv);
+        }
+        let xhat = mp_detect(&y, &two_tap(), Modulation::Qpsk, nv, &MpConfig::default());
+        let errs = x
+            .as_slice()
+            .iter()
+            .zip(xhat.as_slice())
+            .filter(|(a, b)| a.dist(**b) > 1e-6)
+            .count();
+        assert!(errs <= 1, "errs={errs}");
+    }
+
+    #[test]
+    fn beats_single_tap_equalisation_on_selective_channel() {
+        // A channel with a strong second tap: treating it as flat
+        // (dividing by the DC tap) fails; MP resolves it.
+        let taps = vec![
+            DdTap { dk: 0, dl: 0, gain: c64(1.0, 0.0) },
+            DdTap { dk: 1, dl: 0, gain: c64(0.0, 0.8) },
+        ];
+        let x = random_qpsk_grid(8, 6, 5);
+        let mut y = apply_dd_channel(&x, &taps);
+        let mut rng = rng_from_seed(6);
+        let nv = 0.01;
+        for z in y.as_mut_slice() {
+            *z += complex_gaussian(&mut rng, nv);
+        }
+        // Naive: ignore tap 2.
+        let pts = constellation(Modulation::Qpsk);
+        let naive_errs = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .filter(|(a, b)| {
+                let nearest = pts
+                    .iter()
+                    .min_by(|p, q| p.dist(**b).partial_cmp(&q.dist(**b)).unwrap())
+                    .unwrap();
+                nearest.dist(**a) > 1e-6
+            })
+            .count();
+        let xhat = mp_detect(&y, &taps, Modulation::Qpsk, nv, &MpConfig::default());
+        let mp_errs = x
+            .as_slice()
+            .iter()
+            .zip(xhat.as_slice())
+            .filter(|(a, b)| a.dist(**b) > 1e-6)
+            .count();
+        assert!(mp_errs < naive_errs, "mp={mp_errs} naive={naive_errs}");
+        assert!(mp_errs <= 2, "mp={mp_errs}");
+    }
+
+    #[test]
+    fn tap_extraction_finds_sparse_support() {
+        let mut h = CMatrix::zeros(8, 8);
+        h[(0, 0)] = c64(1.0, 0.0);
+        h[(2, 3)] = c64(0.0, 0.5);
+        h[(5, 1)] = c64(0.01, 0.0); // below threshold
+        let taps = extract_taps(&h, 0.1);
+        assert_eq!(taps.len(), 2);
+        assert!(taps.iter().any(|t| t.dk == 2 && t.dl == 3));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(extract_taps(&CMatrix::zeros(4, 4), 0.1).is_empty());
+        // No taps -> uniform beliefs; hard output is still a valid
+        // constellation grid (arbitrary but well-formed).
+        let y = CMatrix::zeros(4, 4);
+        let beliefs = mp_detect_beliefs(&y, &[], Modulation::Qpsk, 0.1, &MpConfig::default());
+        assert!(beliefs.iter().all(|b| b.iter().all(|&p| (p - 0.25).abs() < 1e-12)));
+        let out = mp_detect(&y, &[], Modulation::Qpsk, 0.1, &MpConfig::default());
+        let pts = constellation(Modulation::Qpsk);
+        assert!(out
+            .as_slice()
+            .iter()
+            .all(|z| pts.iter().any(|p| p.dist(*z) < 1e-12)));
+    }
+
+    #[test]
+    fn end_to_end_with_estimated_channel() {
+        // Estimate the DD channel via embedded pilot, extract taps,
+        // detect data sent through the true channel.
+        use crate::chanest::estimate_dd_embedded_pilot;
+        use rem_channel::delaydoppler::{snap_to_grid, DdGrid};
+        use rem_channel::{MultipathChannel, Path};
+
+        let grid = DdGrid::lte(8, 8);
+        let ch = snap_to_grid(
+            &grid,
+            &MultipathChannel::new(vec![
+                Path::new(c64(1.0, 0.0), 0.0, 0.0),
+                Path::new(c64(0.3, 0.3), 2.0 * grid.delta_tau(), grid.delta_nu()),
+            ]),
+        );
+        let mut rng = rng_from_seed(7);
+        let h_est = estimate_dd_embedded_pilot(&grid, &ch, 35.0, &mut rng);
+        let taps = extract_taps(&h_est, 0.15);
+        assert!(taps.len() >= 2, "taps={}", taps.len());
+
+        let x = random_qpsk_grid(8, 8, 8);
+        // Transmit through the *true* channel (as a DD convolution).
+        let true_taps = extract_taps(
+            &rem_channel::delaydoppler::dd_channel_matrix(&grid, &ch),
+            0.05,
+        );
+        let y = apply_dd_channel(&x, &true_taps);
+        let xhat = mp_detect(&y, &taps, Modulation::Qpsk, 1e-3, &MpConfig::default());
+        let errs = x
+            .as_slice()
+            .iter()
+            .zip(xhat.as_slice())
+            .filter(|(a, b)| a.dist(**b) > 1e-6)
+            .count();
+        assert!(errs <= 3, "errs={errs}");
+    }
+}

@@ -1,0 +1,188 @@
+//! OTFS modulation: the symplectic finite Fourier transform pair.
+//!
+//! OTFS places symbols on the `M x N` delay-Doppler grid `x[k, l]` and
+//! converts them to the OFDM time-frequency grid `X[n, m]` with the
+//! SFFT (paper Eq. 2), transmitting the result over the legacy OFDM
+//! radio. The receiver applies the ISFFT (Eq. 3). Because each
+//! delay-Doppler symbol is spread over *every* time-frequency slot,
+//! it experiences the grid-averaged channel — the full time-frequency
+//! diversity that stabilises REM's signaling (paper §5.1).
+//!
+//! Matrix convention throughout: rows index delay `k` (equivalently
+//! subcarrier `m`), columns index Doppler `l` (equivalently OFDM symbol
+//! `n`). So a `CMatrix` in the TF domain has entry `(m, n) = X[n, m]`
+//! of the paper.
+
+use rem_num::fft::{fft, ifft};
+use rem_num::{CMatrix, Complex64};
+
+/// SFFT, paper convention (no normalisation):
+/// `X[n, m] = sum_{k, l} x[k, l] e^{-j 2 pi (m k / M - n l / N)}`.
+pub fn sfft(x: &CMatrix) -> CMatrix {
+    let (m, n) = x.shape();
+    // Step 1: unnormalised inverse DFT along the Doppler axis (l -> n).
+    let mut w = CMatrix::zeros(m, n);
+    let mut row = vec![Complex64::ZERO; n];
+    for k in 0..m {
+        row.copy_from_slice(x.row(k));
+        ifft(&mut row);
+        for (nn, &v) in row.iter().enumerate() {
+            w[(k, nn)] = v.scale(n as f64); // undo ifft's 1/N
+        }
+    }
+    // Step 2: forward DFT along the delay axis (k -> m).
+    let mut out = CMatrix::zeros(m, n);
+    let mut col = vec![Complex64::ZERO; m];
+    for nn in 0..n {
+        for k in 0..m {
+            col[k] = w[(k, nn)];
+        }
+        fft(&mut col);
+        for (mm, &v) in col.iter().enumerate() {
+            out[(mm, nn)] = v;
+        }
+    }
+    out
+}
+
+/// ISFFT, paper convention (includes the `1/(N M)` factor):
+/// `x[k, l] = (1/NM) sum_{n, m} X[n, m] e^{+j 2 pi (m k / M - n l / N)}`.
+pub fn isfft(big_x: &CMatrix) -> CMatrix {
+    let (m, n) = big_x.shape();
+    // Step 1: unnormalised inverse DFT along the delay axis (m -> k).
+    let mut w = CMatrix::zeros(m, n);
+    let mut col = vec![Complex64::ZERO; m];
+    for nn in 0..n {
+        for mm in 0..m {
+            col[mm] = big_x[(mm, nn)];
+        }
+        ifft(&mut col);
+        for (k, &v) in col.iter().enumerate() {
+            w[(k, nn)] = v; // ifft's 1/M provides part of 1/(NM)
+        }
+    }
+    // Step 2: forward DFT along the time axis (n -> l), then 1/N.
+    let mut out = CMatrix::zeros(m, n);
+    let mut row = vec![Complex64::ZERO; n];
+    for k in 0..m {
+        row.copy_from_slice(w.row(k));
+        fft(&mut row);
+        for (l, &v) in row.iter().enumerate() {
+            out[(k, l)] = v.scale(1.0 / n as f64);
+        }
+    }
+    out
+}
+
+/// Unitary (power-preserving) OTFS modulator: `sfft(x) / sqrt(MN)`.
+/// Use this for symbol transmission so average TX power equals average
+/// constellation power.
+pub fn otfs_modulate(x_dd: &CMatrix) -> CMatrix {
+    let (m, n) = x_dd.shape();
+    let mut out = sfft(x_dd);
+    out.scale_mut(1.0 / ((m * n) as f64).sqrt());
+    out
+}
+
+/// Unitary OTFS demodulator, inverse of [`otfs_modulate`].
+pub fn otfs_demodulate(x_tf: &CMatrix) -> CMatrix {
+    let (m, n) = x_tf.shape();
+    let mut out = isfft(x_tf);
+    out.scale_mut(((m * n) as f64).sqrt());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::c64;
+    use std::f64::consts::PI;
+
+    fn test_grid(m: usize, n: usize) -> CMatrix {
+        CMatrix::from_fn(m, n, |r, c| c64((r as f64 * 0.7).sin() + c as f64 * 0.1, (c as f64 - r as f64) * 0.05))
+    }
+
+    #[test]
+    fn sfft_isfft_round_trip() {
+        for (m, n) in [(4usize, 4usize), (12, 14), (8, 5), (3, 7)] {
+            let x = test_grid(m, n);
+            let back = isfft(&sfft(&x));
+            assert!(back.frobenius_dist(&x) < 1e-9, "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn isfft_sfft_round_trip() {
+        let x = test_grid(12, 14);
+        let back = sfft(&isfft(&x));
+        assert!(back.frobenius_dist(&x) < 1e-9);
+    }
+
+    #[test]
+    fn sfft_matches_direct_sum() {
+        let (m, n) = (4usize, 3usize);
+        let x = test_grid(m, n);
+        let got = sfft(&x);
+        // Direct evaluation of Eq. 2.
+        for mm in 0..m {
+            for nn in 0..n {
+                let mut acc = Complex64::ZERO;
+                for k in 0..m {
+                    for l in 0..n {
+                        let ang = -2.0 * PI * (mm as f64 * k as f64 / m as f64 - nn as f64 * l as f64 / n as f64);
+                        acc += x[(k, l)] * Complex64::cis(ang);
+                    }
+                }
+                assert!(got[(mm, nn)].dist(acc) < 1e-9, "({mm},{nn})");
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_pair_preserves_energy() {
+        let x = test_grid(12, 14);
+        let tx = otfs_modulate(&x);
+        let ein = x.frobenius_norm();
+        let eout = tx.frobenius_norm();
+        assert!((ein - eout).abs() < 1e-9 * ein);
+        let back = otfs_demodulate(&tx);
+        assert!(back.frobenius_dist(&x) < 1e-9);
+    }
+
+    #[test]
+    fn single_dd_symbol_spreads_over_full_grid() {
+        // The diversity mechanism: one delay-Doppler symbol occupies
+        // every time-frequency slot with equal magnitude.
+        let mut x = CMatrix::zeros(6, 8);
+        x[(2, 3)] = Complex64::ONE;
+        let tx = otfs_modulate(&x);
+        let expected = 1.0 / ((6.0 * 8.0) as f64).sqrt();
+        for v in tx.as_slice() {
+            assert!((v.abs() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dd_dc_maps_to_tf_dc() {
+        // An all-ones DD grid concentrates on the (0,0) TF bin.
+        let x = CMatrix::from_fn(4, 6, |_, _| Complex64::ONE);
+        let tx = sfft(&x);
+        assert!(tx[(0, 0)].dist(c64(24.0, 0.0)) < 1e-9);
+        let off: f64 = tx
+            .as_slice()
+            .iter()
+            .map(|z| z.abs())
+            .sum::<f64>()
+            - tx[(0, 0)].abs();
+        assert!(off < 1e-8);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = test_grid(5, 6);
+        let b = CMatrix::from_fn(5, 6, |r, c| c64(c as f64, r as f64));
+        let lhs = sfft(&(&a + &b));
+        let rhs = &sfft(&a) + &sfft(&b);
+        assert!(lhs.frobenius_dist(&rhs) < 1e-9);
+    }
+}

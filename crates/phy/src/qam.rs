@@ -1,0 +1,323 @@
+//! Gray-coded QAM constellation mapping and soft demapping.
+//!
+//! The link layer carries coded signaling/data bits as QPSK, 16-QAM or
+//! 64-QAM symbols. The demapper emits per-bit log-likelihood ratios
+//! (max-log approximation) for the soft-decision Viterbi decoder.
+//! Constellations are normalised to unit average energy.
+
+use rem_num::{c64, Complex64};
+use serde::{Deserialize, Serialize};
+
+/// Supported modulation orders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits carried per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Per-axis amplitude normaliser giving unit average symbol energy.
+    fn scale(self) -> f64 {
+        match self {
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+
+    /// Per-axis PAM levels (Gray order index -> amplitude).
+    fn levels(self) -> &'static [f64] {
+        match self {
+            Modulation::Qpsk => &[-1.0, 1.0],
+            Modulation::Qam16 => &[-3.0, -1.0, 1.0, 3.0],
+            Modulation::Qam64 => &[-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0],
+        }
+    }
+}
+
+/// Gray-maps `bits_per_axis` bits to a PAM level index.
+fn gray_to_index(bits: &[bool]) -> usize {
+    // Binary-reflected Gray decode.
+    let mut acc = 0usize;
+    let mut prev = 0usize;
+    for &b in bits {
+        let cur = prev ^ (b as usize);
+        acc = (acc << 1) | cur;
+        prev = cur;
+    }
+    acc
+}
+
+/// Inverse of [`gray_to_index`].
+fn index_to_gray(mut idx: usize, nbits: usize, out: &mut Vec<bool>) {
+    let gray = idx ^ (idx >> 1);
+    for i in (0..nbits).rev() {
+        out.push((gray >> i) & 1 == 1);
+    }
+    idx = gray; // silence unused warning path
+    let _ = idx;
+}
+
+/// Maps bits to complex symbols. Trailing bits that do not fill a
+/// symbol are zero-padded.
+pub fn modulate(bits: &[bool], m: Modulation) -> Vec<Complex64> {
+    let bps = m.bits_per_symbol();
+    let half = bps / 2;
+    let levels = m.levels();
+    let s = m.scale();
+    let mut out = Vec::with_capacity(bits.len().div_ceil(bps));
+    let mut padded: Vec<bool>;
+    let bits = if bits.len().is_multiple_of(bps) {
+        bits
+    } else {
+        padded = bits.to_vec();
+        padded.resize(bits.len().div_ceil(bps) * bps, false);
+        &padded
+    };
+    for chunk in bits.chunks(bps) {
+        let i_idx = gray_to_index(&chunk[..half]);
+        let q_idx = gray_to_index(&chunk[half..]);
+        out.push(c64(levels[i_idx] * s, levels[q_idx] * s));
+    }
+    out
+}
+
+/// Hard-decision demapping: nearest constellation point.
+pub fn demodulate_hard(symbols: &[Complex64], m: Modulation) -> Vec<bool> {
+    let bps = m.bits_per_symbol();
+    let half = bps / 2;
+    let levels = m.levels();
+    let s = m.scale();
+    let mut out = Vec::with_capacity(symbols.len() * bps);
+    for &sym in symbols {
+        let i_idx = nearest_level(sym.re / s, levels);
+        let q_idx = nearest_level(sym.im / s, levels);
+        index_to_gray(i_idx, half, &mut out);
+        index_to_gray(q_idx, half, &mut out);
+    }
+    out
+}
+
+/// Soft demapping to per-bit LLRs (`> 0` favours bit value 0 under the
+/// convention `llr = log P(b=0) - log P(b=1)`), max-log approximation.
+/// `noise_var` is the total complex noise variance per symbol.
+pub fn demodulate_soft(symbols: &[Complex64], m: Modulation, noise_var: f64) -> Vec<f64> {
+    let bps = m.bits_per_symbol();
+    let half = bps / 2;
+    let levels = m.levels();
+    let s = m.scale();
+    let nv = noise_var.max(1e-12);
+    let mut out = Vec::with_capacity(symbols.len() * bps);
+    for &sym in symbols {
+        axis_llrs(sym.re / s, levels, half, s, nv, &mut out);
+        axis_llrs(sym.im / s, levels, half, s, nv, &mut out);
+    }
+    out
+}
+
+fn axis_llrs(y: f64, levels: &[f64], nbits: usize, s: f64, nv: f64, out: &mut Vec<f64>) {
+    // Max-log LLR per bit: min distance over constellation points with
+    // that bit = 0 minus min distance with bit = 1.
+    for bit in 0..nbits {
+        let mut d0 = f64::INFINITY;
+        let mut d1 = f64::INFINITY;
+        for (idx, &lv) in levels.iter().enumerate() {
+            let gray = idx ^ (idx >> 1);
+            let b = (gray >> (nbits - 1 - bit)) & 1;
+            let d = (y - lv) * (y - lv);
+            if b == 0 {
+                d0 = d0.min(d);
+            } else {
+                d1 = d1.min(d);
+            }
+        }
+        out.push((d1 - d0) * s * s / nv);
+    }
+}
+
+fn nearest_level(y: f64, levels: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut bd = f64::INFINITY;
+    for (i, &lv) in levels.iter().enumerate() {
+        let d = (y - lv).abs();
+        if d < bd {
+            bd = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rem_num::rng::{complex_gaussian, rng_from_seed};
+
+    const MODS: [Modulation; 3] = [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn round_trip_noiseless() {
+        for m in MODS {
+            let bits = random_bits(m.bits_per_symbol() * 100, 1);
+            let syms = modulate(&bits, m);
+            let back = demodulate_hard(&syms, m);
+            assert_eq!(bits, back, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in MODS {
+            let bits = random_bits(m.bits_per_symbol() * 4096, 2);
+            let syms = modulate(&bits, m);
+            let e: f64 = syms.iter().map(|z| z.norm_sqr()).sum::<f64>() / syms.len() as f64;
+            assert!((e - 1.0).abs() < 0.05, "{m:?} energy {e}");
+        }
+    }
+
+    #[test]
+    fn constellation_size() {
+        for m in MODS {
+            let bps = m.bits_per_symbol();
+            let mut pts = std::collections::BTreeSet::new();
+            for v in 0..(1usize << bps) {
+                let bits: Vec<bool> = (0..bps).rev().map(|i| (v >> i) & 1 == 1).collect();
+                let sym = modulate(&bits, m)[0];
+                pts.insert((format!("{:.6}", sym.re), format!("{:.6}", sym.im)));
+            }
+            assert_eq!(pts.len(), 1 << bps, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit() {
+        // Adjacent PAM levels must differ by exactly one bit (Gray).
+        for m in MODS {
+            let nbits = m.bits_per_symbol() / 2;
+            let levels = m.levels();
+            for i in 0..levels.len() - 1 {
+                let g1 = i ^ (i >> 1);
+                let g2 = (i + 1) ^ ((i + 1) >> 1);
+                assert_eq!((g1 ^ g2).count_ones(), 1, "{m:?} {nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_llr_sign_matches_hard_decision() {
+        let mut rng = rng_from_seed(3);
+        for m in MODS {
+            let bits = random_bits(m.bits_per_symbol() * 200, 4);
+            let mut syms = modulate(&bits, m);
+            for s in syms.iter_mut() {
+                *s += complex_gaussian(&mut rng, 0.001); // very high SNR
+            }
+            let llrs = demodulate_soft(&syms, m, 0.001);
+            for (b, llr) in bits.iter().zip(&llrs) {
+                // llr > 0 -> bit 0; llr < 0 -> bit 1.
+                assert_eq!(*b, *llr < 0.0, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_snr() {
+        let bits = vec![false, false];
+        let syms = modulate(&bits, Modulation::Qpsk);
+        let l_hi = demodulate_soft(&syms, Modulation::Qpsk, 0.01);
+        let l_lo = demodulate_soft(&syms, Modulation::Qpsk, 1.0);
+        assert!(l_hi[0] > 10.0 * l_lo[0]);
+    }
+
+    #[test]
+    fn partial_symbol_padding() {
+        let bits = vec![true, false, true]; // 3 bits into QPSK: pads to 4
+        let syms = modulate(&bits, Modulation::Qpsk);
+        assert_eq!(syms.len(), 2);
+        let back = demodulate_hard(&syms, Modulation::Qpsk);
+        assert_eq!(&back[..3], &bits[..]);
+        assert!(!back[3]);
+    }
+
+    #[test]
+    fn noisy_qpsk_mostly_correct_at_10db() {
+        let mut rng = rng_from_seed(7);
+        let bits = random_bits(2000, 8);
+        let mut syms = modulate(&bits, Modulation::Qpsk);
+        let nv = rem_num::stats::db_to_lin(-10.0);
+        for s in syms.iter_mut() {
+            *s += complex_gaussian(&mut rng, nv);
+        }
+        let back = demodulate_hard(&syms, Modulation::Qpsk);
+        let errs = bits.iter().zip(&back).filter(|(a, b)| a != b).count();
+        // Uncoded QPSK at 10 dB: BER ~ 8e-4 over 2000 bits (expect a few).
+        assert!(errs < 20, "errs={errs}");
+    }
+}
+
+#[cfg(test)]
+mod qam64_tests {
+    use super::*;
+
+    #[test]
+    fn qam64_corner_and_center_points() {
+        // All-zero bits map to the most-negative corner (Gray index 0);
+        // magnitude = sqrt(2)*7/sqrt(42).
+        let bits = vec![false; 6];
+        let s = modulate(&bits, Modulation::Qam64)[0];
+        let corner = 7.0 / 42f64.sqrt();
+        assert!((s.re + corner).abs() < 1e-12);
+        assert!((s.im + corner).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qam64_soft_llrs_order_by_reliability() {
+        // The MSB of each axis has the largest decision distance: its
+        // LLR magnitude must dominate the lower bits at a corner point.
+        let bits = vec![false; 6];
+        let s = modulate(&bits, Modulation::Qam64)[0];
+        let llrs = demodulate_soft(&[s], Modulation::Qam64, 0.1);
+        assert_eq!(llrs.len(), 6);
+        // I-axis bits: 0..3 (MSB first); corner => |llr0| >= |llr2|.
+        assert!(llrs[0] >= llrs[2] - 1e-9, "{llrs:?}");
+        assert!(llrs.iter().all(|&l| l > 0.0), "all bits are 0: {llrs:?}");
+    }
+
+    #[test]
+    fn higher_order_needs_more_snr_for_same_ber() {
+        use rem_num::rng::{complex_gaussian, rng_from_seed};
+        let mut rng = rng_from_seed(5);
+        let nbits = 6_000;
+        let ber = |m: Modulation, rng: &mut rem_num::SimRng| {
+            let bits: Vec<bool> = (0..nbits).map(|i| i % 3 == 0).collect();
+            let mut syms = modulate(&bits, m);
+            for s in syms.iter_mut() {
+                *s += complex_gaussian(rng, 0.05); // 13 dB
+            }
+            let back = demodulate_hard(&syms, m);
+            bits.iter().zip(&back).filter(|(a, b)| a != b).count() as f64 / nbits as f64
+        };
+        let b_qpsk = ber(Modulation::Qpsk, &mut rng);
+        let b_64 = ber(Modulation::Qam64, &mut rng);
+        assert!(b_64 > b_qpsk, "64qam={b_64} qpsk={b_qpsk}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the PHY pipeline.
+
+use proptest::prelude::*;
+use rem_num::{c64, CMatrix};
+use rem_phy::convcode;
+use rem_phy::crc::{attach_crc, check_crc};
+use rem_phy::interleaver::BlockInterleaver;
+use rem_phy::otfs::{isfft, otfs_demodulate, otfs_modulate, sfft};
+use rem_phy::qam::{demodulate_hard, modulate, Modulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn crc_round_trip(payload in proptest::collection::vec(any::<bool>(), 0..300)) {
+        prop_assert_eq!(check_crc(&attach_crc(&payload)), Some(payload));
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(
+        payload in proptest::collection::vec(any::<bool>(), 1..120),
+        idx in any::<proptest::sample::Index>(),
+    ) {
+        let mut block = attach_crc(&payload);
+        let i = idx.index(block.len());
+        block[i] = !block[i];
+        prop_assert_eq!(check_crc(&block), None);
+    }
+
+    #[test]
+    fn convcode_noiseless_round_trip(payload in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let coded = convcode::encode(&payload);
+        prop_assert_eq!(convcode::decode_hard(&coded, payload.len()), Some(payload));
+    }
+
+    #[test]
+    fn convcode_corrects_two_spread_errors(
+        payload in proptest::collection::vec(any::<bool>(), 40..120),
+        a in 0usize..40,
+        b in 120usize..200,
+    ) {
+        let mut coded = convcode::encode(&payload);
+        let n = coded.len();
+        coded[a % n] = !coded[a % n];
+        let bi = b % n;
+        coded[bi] = !coded[bi];
+        // Two far-apart errors are within the free distance budget.
+        prop_assert_eq!(convcode::decode_hard(&coded, payload.len()), Some(payload));
+    }
+
+    #[test]
+    fn qam_round_trip(
+        bits in proptest::collection::vec(any::<bool>(), 1..240),
+        m in prop_oneof![Just(Modulation::Qpsk), Just(Modulation::Qam16), Just(Modulation::Qam64)],
+    ) {
+        let syms = modulate(&bits, m);
+        let back = demodulate_hard(&syms, m);
+        prop_assert_eq!(&back[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn interleaver_round_trip(data in proptest::collection::vec(any::<u8>(), 1..500)) {
+        let il = BlockInterleaver::for_len(data.len());
+        prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn interleave_is_permutation(data in proptest::collection::vec(0u32..1000, 2..200)) {
+        let il = BlockInterleaver::for_len(data.len());
+        let mut a = data.clone();
+        let mut b = il.interleave(&data);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sfft_round_trip(entries in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..64),
+                       rows in 1usize..9) {
+        let r = rows.min(entries.len());
+        let c = entries.len() / r;
+        if c == 0 { return Ok(()); }
+        let m = CMatrix::from_vec(r, c, entries[..r * c].iter().map(|&(a, b)| c64(a, b)).collect());
+        let back = isfft(&sfft(&m));
+        prop_assert!(back.frobenius_dist(&m) < 1e-7 * m.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn otfs_unitary_energy(entries in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 4..64)) {
+        let r = 4usize;
+        let c = entries.len() / r;
+        if c == 0 { return Ok(()); }
+        let m = CMatrix::from_vec(r, c, entries[..r * c].iter().map(|&(a, b)| c64(a, b)).collect());
+        let tx = otfs_modulate(&m);
+        prop_assert!((tx.frobenius_norm() - m.frobenius_norm()).abs() < 1e-7 * m.frobenius_norm().max(1e-12));
+        let back = otfs_demodulate(&tx);
+        prop_assert!(back.frobenius_dist(&m) < 1e-7 * m.frobenius_norm().max(1.0));
+    }
+}

@@ -1,0 +1,29 @@
+use rem_sim::*;
+use rem_mobility::FailureCause;
+
+fn main() {
+    for speed in [50.0, 150.0, 250.0, 325.0] {
+        for plane in [Plane::Legacy, Plane::Rem] {
+            let mut agg = RunMetrics::default();
+            for seed in 0..3u64 {
+                let spec = DatasetSpec::beijing_taiyuan(40.0, speed);
+                let m = simulate_run(&RunConfig::new(spec, plane, seed));
+                agg.duration_s += m.duration_s;
+                agg.handovers.extend(m.handovers);
+                agg.failures.extend(m.failures);
+                agg.loops.extend(m.loops);
+                agg.feedback_delays_ms.extend(m.feedback_delays_ms);
+            }
+            let bd = agg.failure_breakdown();
+            println!("v={speed} {plane:?}: HOs={} interval={:.1}s fail={:.2}% (fd={} mc={} cl={} hole={}) conflict_loops={} fbdelay={:.0}ms",
+                agg.handovers.len(), agg.avg_handover_interval_s()*3.0,
+                agg.failure_ratio()*100.0,
+                bd.get(&FailureCause::FeedbackDelayLoss).unwrap_or(&0),
+                bd.get(&FailureCause::MissedCell).unwrap_or(&0),
+                bd.get(&FailureCause::CommandLoss).unwrap_or(&0),
+                bd.get(&FailureCause::CoverageHole).unwrap_or(&0),
+                agg.conflict_loops().count(),
+                rem_num::stats::mean(&agg.feedback_delays_ms));
+        }
+    }
+}

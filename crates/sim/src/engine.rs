@@ -1,0 +1,142 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! The mobility simulator advances client state on fixed measurement
+//! epochs but schedules asynchronous occurrences — message deliveries,
+//! retransmissions, re-establishment timers — on this queue. Ties are
+//! broken by insertion order so runs are reproducible regardless of
+//! float equality quirks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    time_ms: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other
+            .time_ms
+            .partial_cmp(&self.time_ms)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` at `time_ms`.
+    pub fn push(&mut self, time_ms: f64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time_ms, seq, payload });
+    }
+
+    /// Pops the earliest event if its time is `<= now_ms`.
+    pub fn pop_due(&mut self, now_ms: f64) -> Option<(f64, T)> {
+        if self.heap.peek().is_some_and(|e| e.time_ms <= now_ms) {
+            self.heap.pop().map(|e| (e.time_ms, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_ms)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30.0, "c");
+        q.push(10.0, "a");
+        q.push(20.0, "b");
+        assert_eq!(q.pop_due(100.0), Some((10.0, "a")));
+        assert_eq!(q.pop_due(100.0), Some((20.0, "b")));
+        assert_eq!(q.pop_due(100.0), Some((30.0, "c")));
+        assert_eq!(q.pop_due(100.0), None);
+    }
+
+    #[test]
+    fn respects_due_horizon() {
+        let mut q = EventQueue::new();
+        q.push(50.0, 1);
+        assert_eq!(q.pop_due(49.9), None);
+        assert_eq!(q.pop_due(50.0), Some((50.0, 1)));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, "first");
+        q.push(5.0, "second");
+        q.push(5.0, "third");
+        assert_eq!(q.pop_due(5.0).unwrap().1, "first");
+        assert_eq!(q.pop_due(5.0).unwrap().1, "second");
+        assert_eq!(q.pop_due(5.0).unwrap().1, "third");
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, ());
+        q.push(2.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(1.0));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

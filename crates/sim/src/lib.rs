@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # rem-sim
+//!
+//! The discrete-event extreme-mobility simulator of the REM
+//! reproduction: rail-line radio deployments, correlated-shadowing
+//! radio environments, synthetic datasets calibrated to the paper's
+//! Table 4, a fast waveform-aware signaling link model, and the
+//! campaign runner that replays a client under the legacy 4G/5G plane
+//! or REM's delay-Doppler overlay, producing the failure/conflict
+//! metrics behind Tables 2/3/5 and Figs 2/3/4/9/15.
+//!
+//! ```no_run
+//! use rem_sim::{DatasetSpec, Plane, RunConfig, simulate_run};
+//!
+//! let spec = DatasetSpec::beijing_taiyuan(50.0, 300.0);
+//! let legacy = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 7));
+//! let rem = simulate_run(&RunConfig::new(spec, Plane::Rem, 7));
+//! assert!(rem.failure_ratio() <= legacy.failure_ratio());
+//! ```
+
+pub mod dataset;
+pub mod deployment;
+pub mod engine;
+pub mod linkmodel;
+pub mod metrics;
+pub mod predict;
+pub mod radio;
+pub mod run;
+pub mod trace;
+pub mod trajectory;
+pub mod train;
+
+pub use dataset::DatasetSpec;
+pub use deployment::{Deployment, DeploymentSpec};
+pub use metrics::{FailureRecord, HandoverRecord, LoopRecord, RunMetrics, SignalingCounts};
+pub use predict::TrajectoryFilter;
+pub use radio::{RadioEnv, ShadowingCfg};
+pub use run::{simulate_run, Plane, RunConfig};
+pub use trace::{SignalingEvent, SignalingTrace};
+pub use train::{simulate_train, TrainMetrics};
+pub use trajectory::{SpeedProfile, Trajectory};

@@ -1,0 +1,389 @@
+//! Campaign metrics: everything Tables 2/3/5 and Figs 2/3/4/9/15 read
+//! off a simulation run.
+
+use crate::trace::SignalingTrace;
+use rem_mobility::{CellId, FailureCause};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One completed (or failed) handover.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HandoverRecord {
+    /// When the handover concluded (ms).
+    pub t_ms: f64,
+    /// Source cell.
+    pub from: CellId,
+    /// Target cell.
+    pub to: CellId,
+    /// Whether source and target share a frequency.
+    pub intra_freq: bool,
+    /// Realized feedback delay for this attempt (ms).
+    pub feedback_delay_ms: f64,
+}
+
+/// One network failure (radio link loss).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// When connectivity was lost (ms).
+    pub t_ms: f64,
+    /// Classified cause (paper Table 2 taxonomy).
+    pub cause: FailureCause,
+    /// Outage duration until re-established (ms).
+    pub outage_ms: f64,
+}
+
+/// A detected ping-pong loop (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoopRecord {
+    /// Loop start (ms).
+    pub start_ms: f64,
+    /// Loop end (ms).
+    pub end_ms: f64,
+    /// Handovers spent inside the loop.
+    pub handovers: usize,
+    /// Whether the oscillating pair shares a frequency.
+    pub intra_freq: bool,
+    /// Whether the pair's policies genuinely conflict (offset sum < 0,
+    /// the paper's persistent-loop condition) as opposed to a transient
+    /// fading ping-pong (§3.1).
+    pub policy_conflict: bool,
+    /// Service disruption accumulated by the loop's handovers (ms).
+    pub disruption_ms: f64,
+}
+
+/// Signaling traffic counters (the paper's overhead claim, §7.2:
+/// REM "retains marginal overhead of signaling traffic and latency").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalingCounts {
+    /// Measurement reports sent (uplink messages).
+    pub reports: usize,
+    /// Handover commands sent (downlink messages).
+    pub commands: usize,
+    /// Measurement reconfigurations (legacy stage-2 entries/exits).
+    pub reconfigs: usize,
+    /// Total HARQ transmissions across all messages (airtime units).
+    pub harq_transmissions: usize,
+}
+
+impl SignalingCounts {
+    /// Total signaling messages.
+    pub fn total_messages(&self) -> usize {
+        self.reports + self.commands + self.reconfigs
+    }
+}
+
+/// Everything measured over one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Run length (s).
+    pub duration_s: f64,
+    /// Successful handovers.
+    pub handovers: Vec<HandoverRecord>,
+    /// Network failures.
+    pub failures: Vec<FailureRecord>,
+    /// Detected ping-pong loops.
+    pub loops: Vec<LoopRecord>,
+    /// Per-direction effective-SINR-implied BLER samples within 5 s
+    /// before each failure: `(uplink?)` — Fig 2b.
+    pub bler_before_failure_ul: Vec<f64>,
+    /// Downlink BLER samples before failures.
+    pub bler_before_failure_dl: Vec<f64>,
+    /// Feedback delays of all attempts (ms) — Figs 2a / 14a.
+    pub feedback_delays_ms: Vec<f64>,
+    /// Signaling event trace (populated when
+    /// [`RunConfig::record_trace`](crate::run::RunConfig) is set).
+    pub trace: SignalingTrace,
+    /// Signaling traffic counters.
+    pub signaling: SignalingCounts,
+}
+
+impl RunMetrics {
+    /// Total handover events (successes + failures), the paper's
+    /// denominator for failure ratios.
+    pub fn total_events(&self) -> usize {
+        self.handovers.len() + self.failures.len()
+    }
+
+    /// Overall failure ratio.
+    pub fn failure_ratio(&self) -> f64 {
+        let n = self.total_events();
+        if n == 0 {
+            0.0
+        } else {
+            self.failures.len() as f64 / n as f64
+        }
+    }
+
+    /// Failure ratio excluding coverage holes ("failure w/o coverage
+    /// hole" rows of Table 5).
+    pub fn failure_ratio_no_holes(&self) -> f64 {
+        let n = self.total_events();
+        if n == 0 {
+            return 0.0;
+        }
+        let f = self
+            .failures
+            .iter()
+            .filter(|f| f.cause != FailureCause::CoverageHole)
+            .count();
+        f as f64 / n as f64
+    }
+
+    /// Failure ratio for one cause.
+    pub fn failure_ratio_by(&self, cause: FailureCause) -> f64 {
+        let n = self.total_events();
+        if n == 0 {
+            return 0.0;
+        }
+        self.failures.iter().filter(|f| f.cause == cause).count() as f64 / n as f64
+    }
+
+    /// Cause histogram.
+    pub fn failure_breakdown(&self) -> HashMap<FailureCause, usize> {
+        let mut m = HashMap::new();
+        for f in &self.failures {
+            *m.entry(f.cause).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Mean interval between successful handovers (s).
+    pub fn avg_handover_interval_s(&self) -> f64 {
+        if self.handovers.len() < 2 {
+            return self.duration_s;
+        }
+        let first = self.handovers.first().unwrap().t_ms;
+        let last = self.handovers.last().unwrap().t_ms;
+        (last - first) / 1e3 / (self.handovers.len() - 1) as f64
+    }
+
+    /// Loops caused by genuine policy conflicts (the quantity the
+    /// paper's Tables 2/5 report).
+    pub fn conflict_loops(&self) -> impl Iterator<Item = &LoopRecord> {
+        self.loops.iter().filter(|l| l.policy_conflict)
+    }
+
+    /// Mean time between conflict loops (s); `duration_s` when none.
+    pub fn avg_loop_interval_s(&self) -> f64 {
+        let n = self.conflict_loops().count();
+        if n == 0 {
+            return self.duration_s;
+        }
+        self.duration_s / n as f64
+    }
+
+    /// Mean handovers per conflict loop.
+    pub fn avg_handovers_per_loop(&self) -> f64 {
+        let n = self.conflict_loops().count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.conflict_loops().map(|l| l.handovers).sum::<usize>() as f64 / n as f64
+    }
+
+    /// Mean disruption per conflict loop (s).
+    pub fn avg_disruption_per_loop_s(&self) -> f64 {
+        let n = self.conflict_loops().count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.conflict_loops().map(|l| l.disruption_ms).sum::<f64>() / 1e3 / n as f64
+    }
+
+    /// Fraction of conflict loops that are intra-frequency.
+    pub fn intra_freq_loop_fraction(&self) -> f64 {
+        let n = self.conflict_loops().count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.conflict_loops().filter(|l| l.intra_freq).count() as f64 / n as f64
+    }
+
+    /// Fraction of handovers that happened inside conflict loops
+    /// ("Total HO in conflicts" row of Table 5).
+    pub fn handovers_in_loops_fraction(&self) -> f64 {
+        let n = self.handovers.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let in_loops: usize = self.conflict_loops().map(|l| l.handovers).sum();
+        in_loops as f64 / n as f64
+    }
+
+    /// Outage intervals for the TCP coupling (Fig 9): `(start, end)` ms.
+    pub fn outage_intervals_ms(&self) -> Vec<(f64, f64)> {
+        self.failures.iter().map(|f| (f.t_ms, f.t_ms + f.outage_ms)).collect()
+    }
+
+    /// All service interruptions: failure outages plus the short
+    /// break-before-make gap of every successful handover
+    /// (`per_ho_ms`). For the TCP coupling of Fig 9.
+    pub fn interruption_intervals_ms(&self, per_ho_ms: f64) -> Vec<(f64, f64)> {
+        let mut out = self.outage_intervals_ms();
+        out.extend(self.handovers.iter().map(|h| (h.t_ms, h.t_ms + per_ho_ms)));
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        out
+    }
+
+    /// Signaling messages per minute of run time.
+    pub fn signaling_rate_per_min(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.signaling.total_messages() as f64 / (self.duration_s / 60.0)
+    }
+}
+
+/// Detects ping-pong loops in a handover sequence: a loop starts when
+/// the client returns to a cell it left within `window_ms`, and
+/// extends while the oscillation continues. `per_ho_disruption_ms` is
+/// the service interruption each handover costs.
+pub fn detect_loops(
+    handovers: &[HandoverRecord],
+    window_ms: f64,
+    per_ho_disruption_ms: f64,
+    mut is_policy_conflict: impl FnMut(CellId, CellId) -> bool,
+) -> Vec<LoopRecord> {
+    let mut loops = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < handovers.len() {
+        // A -> B at i, later back to A: loop seed.
+        let a = handovers[i].from;
+        let b = handovers[i].to;
+        let next = &handovers[i + 1];
+        if next.from == b && next.to == a && next.t_ms - handovers[i].t_ms <= window_ms {
+            // Extend while bouncing within the pair.
+            let start = handovers[i].t_ms;
+            let mut count = 2usize;
+            let mut j = i + 2;
+            let mut last_t = next.t_ms;
+            while j < handovers.len() {
+                let h = &handovers[j];
+                let bounces = (h.from == a && h.to == b) || (h.from == b && h.to == a);
+                if bounces && h.t_ms - last_t <= window_ms {
+                    count += 1;
+                    last_t = h.t_ms;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            loops.push(LoopRecord {
+                start_ms: start,
+                end_ms: last_t,
+                handovers: count,
+                intra_freq: handovers[i].intra_freq,
+                policy_conflict: is_policy_conflict(a, b),
+                disruption_ms: count as f64 * per_ho_disruption_ms,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ho(t: f64, from: u32, to: u32) -> HandoverRecord {
+        HandoverRecord {
+            t_ms: t,
+            from: CellId(from),
+            to: CellId(to),
+            intra_freq: true,
+            feedback_delay_ms: 100.0,
+        }
+    }
+
+    #[test]
+    fn loop_detection_basic() {
+        // 1->2->1->2 within windows: one loop of 3 handovers... then a
+        // normal move on.
+        let hos = vec![ho(0.0, 1, 2), ho(500.0, 2, 1), ho(900.0, 1, 2), ho(30_000.0, 2, 3)];
+        let loops = detect_loops(&hos, 5_000.0, 50.0, |_, _| true);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].handovers, 3);
+        assert!((loops[0].disruption_ms - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distant_return_is_not_a_loop() {
+        let hos = vec![ho(0.0, 1, 2), ho(60_000.0, 2, 1)];
+        assert!(detect_loops(&hos, 5_000.0, 50.0, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn separate_loops_counted_separately() {
+        let hos = vec![
+            ho(0.0, 1, 2),
+            ho(400.0, 2, 1),
+            ho(100_000.0, 1, 3),
+            ho(200_000.0, 3, 4),
+            ho(200_300.0, 4, 3),
+            ho(200_600.0, 3, 4),
+            ho(200_900.0, 4, 3),
+        ];
+        let loops = detect_loops(&hos, 5_000.0, 50.0, |_, _| true);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].handovers, 2);
+        assert_eq!(loops[1].handovers, 4);
+    }
+
+    #[test]
+    fn ratios_and_intervals() {
+        let mut m = RunMetrics { duration_s: 100.0, ..Default::default() };
+        m.handovers = vec![ho(0.0, 1, 2), ho(20_000.0, 2, 3), ho(40_000.0, 3, 4)];
+        m.failures = vec![FailureRecord {
+            t_ms: 10_000.0,
+            cause: FailureCause::CommandLoss,
+            outage_ms: 1_000.0,
+        }];
+        assert_eq!(m.total_events(), 4);
+        assert!((m.failure_ratio() - 0.25).abs() < 1e-12);
+        assert!((m.failure_ratio_by(FailureCause::CommandLoss) - 0.25).abs() < 1e-12);
+        assert_eq!(m.failure_ratio_by(FailureCause::MissedCell), 0.0);
+        assert!((m.avg_handover_interval_s() - 20.0).abs() < 1e-9);
+        assert_eq!(m.outage_intervals_ms(), vec![(10_000.0, 11_000.0)]);
+    }
+
+    #[test]
+    fn hole_exclusion() {
+        let mut m = RunMetrics { duration_s: 10.0, ..Default::default() };
+        m.handovers = vec![ho(0.0, 1, 2)];
+        m.failures = vec![
+            FailureRecord { t_ms: 1.0, cause: FailureCause::CoverageHole, outage_ms: 100.0 },
+            FailureRecord { t_ms: 2.0, cause: FailureCause::CommandLoss, outage_ms: 100.0 },
+        ];
+        assert!((m.failure_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.failure_ratio_no_holes() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = RunMetrics { duration_s: 5.0, ..Default::default() };
+        assert_eq!(m.failure_ratio(), 0.0);
+        assert_eq!(m.avg_handover_interval_s(), 5.0);
+        assert_eq!(m.avg_loop_interval_s(), 5.0);
+        assert_eq!(m.avg_handovers_per_loop(), 0.0);
+        assert_eq!(m.handovers_in_loops_fraction(), 0.0);
+        assert_eq!(m.intra_freq_loop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn loop_stats() {
+        let mut m = RunMetrics { duration_s: 200.0, ..Default::default() };
+        m.handovers = (0..10).map(|i| ho(i as f64 * 1000.0, i, i + 1)).collect();
+        m.loops = vec![
+            LoopRecord { start_ms: 0.0, end_ms: 1.0, handovers: 3, intra_freq: true, policy_conflict: true, disruption_ms: 150.0 },
+            LoopRecord { start_ms: 2.0, end_ms: 3.0, handovers: 5, intra_freq: false, policy_conflict: true, disruption_ms: 250.0 },
+        ];
+        assert!((m.avg_loop_interval_s() - 100.0).abs() < 1e-9);
+        assert!((m.avg_handovers_per_loop() - 4.0).abs() < 1e-9);
+        assert!((m.intra_freq_loop_fraction() - 0.5).abs() < 1e-9);
+        assert!((m.handovers_in_loops_fraction() - 0.8).abs() < 1e-9);
+        assert!((m.avg_disruption_per_loop_s() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Movement prediction (paper §10: "predictive client trajectory").
+//!
+//! REM's core philosophy is that *client movement is more robust and
+//! predictable than wireless*. This module makes that concrete with a
+//! 1-D constant-velocity Kalman filter along the rail: noisy position
+//! fixes in, smoothed position/velocity out, with forward prediction
+//! of both the client's position and the per-site Doppler trajectory
+//! (via [`rem_channel::doppler::hst_doppler_hz`]) — the ingredients
+//! for proactive, movement-driven handover scheduling.
+
+use rem_channel::doppler::hst_doppler_hz;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D constant-velocity Kalman filter over (position, velocity).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrajectoryFilter {
+    /// State estimate: position (m), velocity (m/s).
+    x: [f64; 2],
+    /// State covariance (2x2, row major).
+    p: [[f64; 2]; 2],
+    /// Process noise: acceleration spectral density ((m/s^2)^2).
+    q_accel: f64,
+    /// Measurement noise variance (m^2).
+    r_pos: f64,
+    initialized: bool,
+}
+
+impl TrajectoryFilter {
+    /// Creates a filter.
+    ///
+    /// * `q_accel` — how much unmodelled acceleration to allow; trains
+    ///   hold speed well, so ~0.1 (m/s²)² is typical.
+    /// * `r_pos` — position-fix noise variance (GNSS-grade: ~25 m²).
+    pub fn new(q_accel: f64, r_pos: f64) -> Self {
+        Self {
+            x: [0.0, 0.0],
+            p: [[1e6, 0.0], [0.0, 1e4]],
+            q_accel,
+            r_pos,
+            initialized: false,
+        }
+    }
+
+    /// Current position estimate (m).
+    pub fn position_m(&self) -> f64 {
+        self.x[0]
+    }
+
+    /// Current velocity estimate (m/s).
+    pub fn velocity_ms(&self) -> f64 {
+        self.x[1]
+    }
+
+    /// Position uncertainty (standard deviation, m).
+    pub fn position_std_m(&self) -> f64 {
+        self.p[0][0].max(0.0).sqrt()
+    }
+
+    /// Advances the state by `dt` seconds and fuses a position fix.
+    pub fn step(&mut self, dt_s: f64, measured_pos_m: f64) {
+        if !self.initialized {
+            self.x = [measured_pos_m, 0.0];
+            self.initialized = true;
+            return;
+        }
+        // Predict: x' = F x, P' = F P F^T + Q.
+        let (dt, q) = (dt_s, self.q_accel);
+        let x0 = self.x[0] + dt * self.x[1];
+        let x1 = self.x[1];
+        let p = self.p;
+        let p00 = p[0][0] + dt * (p[1][0] + p[0][1]) + dt * dt * p[1][1]
+            + q * dt.powi(4) / 4.0;
+        let p01 = p[0][1] + dt * p[1][1] + q * dt.powi(3) / 2.0;
+        let p10 = p[1][0] + dt * p[1][1] + q * dt.powi(3) / 2.0;
+        let p11 = p[1][1] + q * dt * dt;
+
+        // Update with z = position.
+        let s = p00 + self.r_pos;
+        let k0 = p00 / s;
+        let k1 = p10 / s;
+        let innov = measured_pos_m - x0;
+        self.x = [x0 + k0 * innov, x1 + k1 * innov];
+        self.p = [
+            [(1.0 - k0) * p00, (1.0 - k0) * p01],
+            [p10 - k1 * p00, p11 - k1 * p01],
+        ];
+    }
+
+    /// Predicted position `horizon_s` seconds ahead.
+    pub fn predict_position_m(&self, horizon_s: f64) -> f64 {
+        self.x[0] + horizon_s * self.x[1]
+    }
+
+    /// Predicted Doppler shift from a trackside site `horizon_s`
+    /// seconds ahead — movement-based channel prediction.
+    pub fn predict_doppler_hz(
+        &self,
+        horizon_s: f64,
+        bs_along_m: f64,
+        bs_lateral_m: f64,
+        carrier_hz: f64,
+    ) -> f64 {
+        hst_doppler_hz(
+            self.predict_position_m(horizon_s),
+            bs_along_m,
+            bs_lateral_m,
+            self.velocity_ms(),
+            carrier_hz,
+        )
+    }
+
+    /// Predicted time (s from now) until the client passes abeam of a
+    /// site (the natural handover point); `None` when receding or
+    /// stationary.
+    pub fn time_to_site_s(&self, bs_along_m: f64) -> Option<f64> {
+        let v = self.velocity_ms();
+        if v.abs() < 1e-6 {
+            return None;
+        }
+        let t = (bs_along_m - self.position_m()) / v;
+        (t >= 0.0).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_num::rng::{normal, rng_from_seed};
+
+    fn run_filter(true_v: f64, r: f64, steps: usize, seed: u64) -> TrajectoryFilter {
+        let mut f = TrajectoryFilter::new(0.1, r * r);
+        let mut rng = rng_from_seed(seed);
+        let dt = 0.5;
+        for i in 0..steps {
+            let true_pos = true_v * dt * i as f64;
+            f.step(dt, normal(&mut rng, true_pos, r));
+        }
+        f
+    }
+
+    #[test]
+    fn converges_to_true_velocity() {
+        let f = run_filter(83.3, 5.0, 120, 1); // 300 km/h, 5 m GNSS noise
+        assert!((f.velocity_ms() - 83.3).abs() < 1.5, "v={}", f.velocity_ms());
+    }
+
+    #[test]
+    fn position_tracks_with_bounded_error() {
+        let f = run_filter(97.2, 5.0, 200, 2);
+        let true_pos = 97.2 * 0.5 * 199.0;
+        assert!((f.position_m() - true_pos).abs() < 10.0);
+        assert!(f.position_std_m() < 5.0);
+    }
+
+    #[test]
+    fn prediction_extrapolates_linearly() {
+        let f = run_filter(70.0, 3.0, 150, 3);
+        let now = f.position_m();
+        let ahead = f.predict_position_m(2.0);
+        assert!((ahead - now - 2.0 * f.velocity_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doppler_prediction_matches_geometry() {
+        let f = run_filter(97.2, 4.0, 200, 4);
+        // A site 1 km ahead of the predicted position: Doppler near
+        // +nu_max; far behind: near -nu_max.
+        let pos = f.predict_position_m(1.0);
+        let ahead = f.predict_doppler_hz(1.0, pos + 3_000.0, 150.0, 2.6e9);
+        let behind = f.predict_doppler_hz(1.0, pos - 3_000.0, 150.0, 2.6e9);
+        assert!(ahead > 0.0 && behind < 0.0);
+        assert!((ahead + behind).abs() < 0.05 * ahead.abs());
+    }
+
+    #[test]
+    fn time_to_site_semantics() {
+        let f = run_filter(80.0, 3.0, 150, 5);
+        let pos = f.position_m();
+        let t = f.time_to_site_s(pos + 800.0).unwrap();
+        assert!((t - 800.0 / f.velocity_ms()).abs() < 0.1);
+        // A site behind (receding): None.
+        assert!(f.time_to_site_s(pos - 500.0).is_none());
+        // Stationary client: None.
+        let idle = TrajectoryFilter::new(0.1, 25.0);
+        assert!(idle.time_to_site_s(100.0).is_none());
+    }
+
+    #[test]
+    fn noisier_fixes_give_wider_uncertainty() {
+        let tight = run_filter(80.0, 2.0, 100, 6);
+        let loose = run_filter(80.0, 20.0, 100, 6);
+        assert!(loose.position_std_m() > tight.position_std_m());
+    }
+}

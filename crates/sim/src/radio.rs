@@ -1,0 +1,247 @@
+//! The radio environment: per-cell RSRP/SINR along the trajectory.
+//!
+//! Received power combines the deterministic rural-macro path loss
+//! with per-site correlated log-normal shadowing. The per-cell SINR
+//! divides by thermal noise *plus co-channel interference* from every
+//! other cell on the same carrier (reuse-1): this is what makes the
+//! cell boundary sharp — SINR crosses 0 dB right where the next cell
+//! takes over and collapses quickly past it, which is exactly the
+//! short execution window that breaks legacy handovers in extreme
+//! mobility (§3). Fast fading is applied by the message-level link
+//! model, not here — the slow envelope is what measurement reports
+//! carry.
+
+use rem_channel::radio::{rural_macro_pl_db, ShadowingTrack};
+use rem_mobility::CellId;
+use rem_num::SimRng;
+use std::collections::HashMap;
+
+use crate::deployment::{BaseStationId, Deployment};
+
+/// Shadowing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowingCfg {
+    /// Standard deviation (dB); rural macro is typically 4–8 dB.
+    pub sigma_db: f64,
+    /// Decorrelation distance (m).
+    pub d_corr_m: f64,
+}
+
+impl Default for ShadowingCfg {
+    fn default() -> Self {
+        Self { sigma_db: 4.0, d_corr_m: 100.0 }
+    }
+}
+
+/// One cell's instantaneous radio state as seen from the client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellRadio {
+    /// The cell.
+    pub cell: CellId,
+    /// RSRP in dBm.
+    pub rsrp_dbm: f64,
+    /// SINR in dB (thermal noise + co-channel interference).
+    pub snr_db: f64,
+}
+
+/// The radio environment along a deployment.
+pub struct RadioEnv {
+    deployment: Deployment,
+    shadowing_cfg: ShadowingCfg,
+    // Shadowing is a property of the propagation paths, i.e. of the
+    // *site*: co-sited cells share one track (they share the mast).
+    tracks: HashMap<BaseStationId, ShadowingTrack>,
+    last_pos_m: f64,
+    /// Extra attenuation inside coverage holes (dB).
+    hole_extra_loss_db: f64,
+    noise_figure_db: f64,
+}
+
+impl RadioEnv {
+    /// Creates an environment over a deployment.
+    pub fn new(deployment: Deployment, shadowing_cfg: ShadowingCfg) -> Self {
+        Self {
+            deployment,
+            shadowing_cfg,
+            tracks: HashMap::new(),
+            last_pos_m: 0.0,
+            hole_extra_loss_db: 40.0,
+            noise_figure_db: 7.0,
+        }
+    }
+
+    /// The deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Per-resource-element thermal noise floor (dBm):
+    /// `-174 + 10 log10(15 kHz) + NF` (~-125 dBm). RSRP is per-RE, so
+    /// the SINR uses the matching per-RE floor; co-channel
+    /// interference is added per cell in [`observe`](Self::observe).
+    pub fn noise_floor_dbm(&self) -> f64 {
+        -174.0 + 10.0 * 15e3f64.log10() + self.noise_figure_db
+    }
+
+    /// Advances the client to `pos_m` and returns the radio state of
+    /// every cell within `max_range_m` of the client, sorted by
+    /// descending RSRP.
+    pub fn observe(&mut self, pos_m: f64, max_range_m: f64, rng: &mut SimRng) -> Vec<CellRadio> {
+        let delta = (pos_m - self.last_pos_m).abs();
+        self.last_pos_m = pos_m;
+        let in_hole = self.deployment.in_hole(pos_m);
+
+        let mut out = Vec::new();
+        // Borrow split: iterate site/cell data cloned to satisfy the
+        // shadowing-track mutation below.
+        let sites: Vec<(BaseStationId, f64, f64, Vec<crate::deployment::Cell>)> = self
+            .deployment
+            .sites
+            .iter()
+            .filter(|s| (s.along_m - pos_m).abs() <= max_range_m)
+            .map(|s| (s.id, s.along_m, s.lateral_m, s.cells.clone()))
+            .collect();
+        let shadow_cfg = self.shadowing_cfg;
+        // First pass: received powers (and each cell's carrier).
+        let mut rx: Vec<(CellId, rem_mobility::Earfcn, f64)> = Vec::new();
+        for (bs, along, lateral, cells) in sites {
+            let dist = ((pos_m - along).powi(2) + lateral.powi(2)).sqrt();
+            let track = self
+                .tracks
+                .entry(bs)
+                .or_insert_with(|| ShadowingTrack::new(shadow_cfg.sigma_db, shadow_cfg.d_corr_m));
+            let shadow = track.advance(rng, delta);
+            for cell in cells {
+                let mut rsrp =
+                    cell.tx_power_dbm - rural_macro_pl_db(dist, cell.carrier_hz) + shadow;
+                if in_hole {
+                    rsrp -= self.hole_extra_loss_db;
+                }
+                rx.push((cell.id, cell.earfcn, rsrp));
+            }
+        }
+        // Second pass: SINR with same-carrier (reuse-1) interference.
+        let noise_lin = 10f64.powf(self.noise_floor_dbm() / 10.0);
+        for &(id, earfcn, rsrp) in &rx {
+            let interference: f64 = rx
+                .iter()
+                .filter(|&&(oid, oearfcn, _)| oid != id && oearfcn == earfcn)
+                .map(|&(_, _, p)| 10f64.powf(p / 10.0))
+                .sum();
+            let sinr = rsrp - 10.0 * (noise_lin + interference).log10();
+            out.push(CellRadio { cell: id, rsrp_dbm: rsrp, snr_db: sinr });
+        }
+        out.sort_by(|a, b| b.rsrp_dbm.partial_cmp(&a.rsrp_dbm).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentSpec;
+    use rem_num::rng::rng_from_seed;
+
+    fn env() -> RadioEnv {
+        let d = DeploymentSpec::hsr_default().generate(&mut rng_from_seed(1));
+        RadioEnv::new(d, ShadowingCfg::default())
+    }
+
+    #[test]
+    fn noise_floor_values() {
+        let e = env();
+        // Per-RE thermal: -174 + 41.8 + 7 = -125.2 dBm.
+        assert!((e.noise_floor_dbm() + 125.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn observation_sorted_and_plausible() {
+        let mut e = env();
+        let mut rng = rng_from_seed(2);
+        let obs = e.observe(5_000.0, 5_000.0, &mut rng);
+        assert!(obs.len() >= 3);
+        for w in obs.windows(2) {
+            assert!(w[0].rsrp_dbm >= w[1].rsrp_dbm);
+        }
+        // Best cell should be in the dataset RSRP range (Table 4).
+        assert!((-136.0..-59.0).contains(&obs[0].rsrp_dbm), "rsrp={}", obs[0].rsrp_dbm);
+    }
+
+    #[test]
+    fn nearest_site_usually_strongest() {
+        let mut e = env();
+        let mut rng = rng_from_seed(3);
+        let site_pos = e.deployment().sites[5].along_m;
+        let site_id = e.deployment().sites[5].id;
+        let obs = e.observe(site_pos, 4_000.0, &mut rng);
+        let best_site = e.deployment().site_of(obs[0].cell).unwrap().id;
+        // With modest shadowing the serving site is the nearest one
+        // (allow the immediate neighbours as shadowing can flip order).
+        let diff = (best_site.0 as i64 - site_id.0 as i64).abs();
+        assert!(diff <= 1, "best={best_site:?} expected~{site_id:?}");
+    }
+
+    #[test]
+    fn rsrp_decays_with_distance() {
+        let mut e = env();
+        let mut rng = rng_from_seed(4);
+        let s = e.deployment().sites[10].clone();
+        let cell = s.cells[0].id;
+        let near = e
+            .observe(s.along_m, 8_000.0, &mut rng)
+            .into_iter()
+            .find(|c| c.cell == cell)
+            .unwrap()
+            .rsrp_dbm;
+        let far = e
+            .observe(s.along_m + 3_000.0, 8_000.0, &mut rng)
+            .into_iter()
+            .find(|c| c.cell == cell)
+            .unwrap()
+            .rsrp_dbm;
+        assert!(near > far + 10.0, "near={near} far={far}");
+    }
+
+    #[test]
+    fn coverage_hole_suppresses_everything() {
+        let mut e = env();
+        let mut rng = rng_from_seed(5);
+        let Some(h) = e.deployment().holes.first().copied() else {
+            return; // this seed produced no holes
+        };
+        let mid = (h.start_m + h.end_m) / 2.0;
+        let inside = e.observe(mid, 4_000.0, &mut rng);
+        let outside = e.observe(h.end_m + 2_000.0, 4_000.0, &mut rng);
+        if let (Some(i), Some(o)) = (inside.first(), outside.first()) {
+            assert!(i.rsrp_dbm < o.rsrp_dbm - 20.0, "in={} out={}", i.rsrp_dbm, o.rsrp_dbm);
+        }
+    }
+
+    #[test]
+    fn sinr_bounded_by_thermal_snr() {
+        // Interference can only lower SINR below RSRP - thermal floor.
+        let mut e = env();
+        let mut rng = rng_from_seed(6);
+        let obs = e.observe(10_000.0, 4_000.0, &mut rng);
+        let floor = e.noise_floor_dbm();
+        for c in obs {
+            assert!(c.snr_db <= c.rsrp_dbm - floor + 1e-9);
+        }
+    }
+
+    #[test]
+    fn boundary_sinr_is_near_zero() {
+        // Equidistant between two same-carrier sites the serving SINR
+        // is interference-limited: close to 0 dB (within shadowing).
+        let mut e = env();
+        let mut rng = rng_from_seed(7);
+        let (a, b) = {
+            let d = e.deployment();
+            (d.sites[8].along_m, d.sites[9].along_m)
+        };
+        let mid = (a + b) / 2.0;
+        let obs = e.observe(mid, 4_000.0, &mut rng);
+        let best = obs[0];
+        assert!((-10.0..12.0).contains(&best.snr_db), "sinr={}", best.snr_db);
+    }
+}

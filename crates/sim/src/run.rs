@@ -1,0 +1,910 @@
+//! The mobility-management campaign simulator.
+//!
+//! Replays a client moving along a synthetic route (dataset spec) under
+//! either the legacy 4G/5G signaling plane or REM's delay-Doppler
+//! overlay, reproducing the paper's replay methodology (§7): same
+//! radio environment, same policies, different mobility machinery.
+//!
+//! Per measurement epoch (20 ms):
+//!
+//! 1. advance the client, observe per-cell RSRP/SNR (slow envelope);
+//! 2. evaluate measurement events on *stale* observations — the
+//!    staleness models the sequential measurement + reporting pipeline
+//!    of §3.1 (legacy intra ≈ 160 ms, inter ≈ 640 ms; REM ≈ 40 ms via
+//!    cross-band estimation);
+//! 3. fired events start a handover attempt: uplink report, decision,
+//!    downlink command, attach — each message drawn from the
+//!    waveform-dependent link model (OFDM for legacy, OTFS for REM);
+//! 4. radio-link failure (serving SINR below `Q_out` for 200 ms) ends
+//!    connectivity; the failure is classified with the Table 2 taxonomy
+//!    and an outage runs until re-establishment.
+
+use crate::dataset::DatasetSpec;
+use crate::deployment::Deployment;
+use crate::linkmodel::{deliver_with_harq, effective_sinr_db, SignalingLinkCfg};
+use crate::metrics::{detect_loops, FailureRecord, HandoverRecord, RunMetrics};
+use crate::radio::{CellRadio, RadioEnv, ShadowingCfg};
+use crate::trace::SignalingEvent;
+use rem_mobility::events::{EventConfig, EventKind, EventMonitor};
+use rem_mobility::{CellId, FailureCause};
+use rem_num::rng::{child_rng, normal};
+use rem_num::SimRng;
+use rem_phy::link::bler_estimate;
+use rem_phy::{Modulation, Waveform};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Which signaling plane drives mobility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Plane {
+    /// Wireless-signal-strength-based 4G/5G (OFDM signaling,
+    /// multi-stage policy, sequential measurements).
+    Legacy,
+    /// REM: delay-Doppler overlay (OTFS signaling, cross-band
+    /// estimation, simplified conflict-free A3 policy).
+    Rem,
+}
+
+/// Which REM components are active (component ablations). Defaults to
+/// the full system; switching parts off isolates each mechanism's
+/// contribution to the failure reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemAblation {
+    /// Delay-Doppler OTFS signaling overlay (§5.1). Off = REM's
+    /// policies/feedback ride legacy OFDM signaling.
+    pub otfs_signaling: bool,
+    /// Cross-band estimation (§5.2). Off = REM measures with legacy
+    /// sequential staleness.
+    pub crossband_feedback: bool,
+}
+
+impl Default for RemAblation {
+    fn default() -> Self {
+        Self { otfs_signaling: true, crossband_feedback: true }
+    }
+}
+
+/// One simulation run's configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The dataset (route, radio plan, policy mix, speed).
+    pub spec: DatasetSpec,
+    /// Signaling plane under test.
+    pub plane: Plane,
+    /// Master seed (environment stream is shared across planes so both
+    /// replay the *same* radio conditions).
+    pub seed: u64,
+    /// Whether REM clamps negative A3 offsets (Theorem 2 repair).
+    /// Fig 15 evaluates failures with this on.
+    pub rem_clamp_offsets: bool,
+    /// REM component switches (ablation studies).
+    pub ablation: RemAblation,
+    /// Record the full signaling event trace into
+    /// [`RunMetrics::trace`] (off by default: long campaigns produce
+    /// large traces).
+    pub record_trace: bool,
+    /// Link model for signaling messages.
+    pub link: SignalingLinkCfg,
+}
+
+impl RunConfig {
+    /// Standard configuration for a spec/plane/seed triple.
+    pub fn new(spec: DatasetSpec, plane: Plane, seed: u64) -> Self {
+        Self {
+            spec,
+            plane,
+            seed,
+            rem_clamp_offsets: true,
+            ablation: RemAblation::default(),
+            record_trace: false,
+            link: SignalingLinkCfg::default(),
+        }
+    }
+}
+
+const EPOCH_MS: f64 = 20.0;
+const RANGE_M: f64 = 4_000.0;
+/// Minimum target SINR to attach (dB).
+const ATTACH_MIN_SNR_DB: f64 = -6.0;
+/// Q_out: serving SINR below this arms the RLF timer (dB).
+const RLF_SNR_DB: f64 = -8.0;
+/// RLF timer (ms) — T310-like.
+const RLF_TIMER_MS: f64 = 200.0;
+/// HARQ attempts per signaling message.
+const HARQ_ATTEMPTS: usize = 3;
+/// Per-HARQ-attempt airtime (ms).
+const HARQ_MS: f64 = 8.0;
+/// Serving-cell decision processing (ms).
+const DECISION_MS: f64 = 10.0;
+/// Random-access + attach time at the target (ms).
+const ATTACH_MS: f64 = 30.0;
+/// Radio-link-failure recovery time before service resumes: cell
+/// scan + RACH + RRC re-establishment + context recovery (ms).
+const REESTABLISH_SCAN_MS: f64 = 2_000.0;
+/// Ping-pong window (Fig 3 shows 8 handovers within 15 s).
+const LOOP_WINDOW_MS: f64 = 15_000.0;
+/// Service interruption per handover (ms).
+const HO_DISRUPTION_MS: f64 = 100.0;
+/// Post-handover measurement settling guard (ms): L3 filtering and
+/// re-synchronisation keep the next trigger ~seconds away (Fig 3b
+/// shows ping-pong at a ~2 s cadence, not per-TTT).
+const POST_HO_GUARD_MS: f64 = 1_500.0;
+/// Legacy multi-stage thresholds (Fig 1b).
+const A2_THRESH_DBM: f64 = -112.0;
+const A1_THRESH_DBM: f64 = -100.0;
+const A4_THRESH_DBM: f64 = -110.0;
+
+#[derive(Clone, Copy, Debug)]
+enum UeState {
+    Connected {
+        serving: CellId,
+    },
+    /// A handover attempt resolving at `resolve_at_ms`.
+    Attempting {
+        serving: CellId,
+        target: CellId,
+        resolve_at_ms: f64,
+        outcome: AttemptOutcome,
+        feedback_delay_ms: f64,
+    },
+    Outage {
+        since_ms: f64,
+        cause: FailureCause,
+        scan_done_ms: f64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum AttemptOutcome {
+    Success,
+    ReportLost,
+    CommandLost,
+    TargetFaded,
+}
+
+/// Runs one campaign and returns its metrics.
+pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
+    let spec = &cfg.spec;
+    let mut env_rng = child_rng(cfg.seed, "environment");
+    let mut link_rng = child_rng(cfg.seed, &format!("link-{:?}", cfg.plane));
+    let mut est_rng = child_rng(cfg.seed, "estimation");
+
+    let deployment = spec.deployment.generate(&mut env_rng);
+    let mut env = RadioEnv::new(
+        deployment.clone(),
+        ShadowingCfg { sigma_db: spec.shadow_sigma_db, d_corr_m: spec.shadow_dcorr_m },
+    );
+
+    let trajectory = spec.trajectory();
+    let duration_ms = spec.duration_s() * 1e3;
+    let waveform = match cfg.plane {
+        Plane::Legacy => Waveform::Ofdm,
+        Plane::Rem if cfg.ablation.otfs_signaling => Waveform::Otfs,
+        Plane::Rem => Waveform::Ofdm,
+    };
+    // Cross-band ablation: REM falls back to legacy measurement
+    // staleness when it must measure every band sequentially.
+    let rem_staleness = if cfg.ablation.crossband_feedback {
+        spec.rem_staleness_ms
+    } else {
+        spec.intra_staleness_ms.max(spec.inter_staleness_ms)
+    };
+
+    // Measurement history for staleness lookups (slots of EPOCH_MS).
+    let hist_len = (1_000.0 / EPOCH_MS) as usize + 2;
+    let mut history: VecDeque<(f64, HashMap<CellId, CellRadio>)> =
+        VecDeque::with_capacity(hist_len);
+
+    // Event-monitor state.
+    let mut a3_monitors: HashMap<CellId, EventMonitor> = HashMap::new();
+    let mut a4_monitors: HashMap<CellId, EventMonitor> = HashMap::new();
+    let mut a2_monitor = EventMonitor::default();
+    let mut a1_monitor = EventMonitor::default();
+    let mut stage2 = false;
+    let mut stage2_since_ms = f64::NAN;
+
+    // REM cross-band estimation error: slowly-varying per-cell AR(1)
+    // (the delay-Doppler profile drifts on path-geometry timescales,
+    // so the estimation error is correlated over hundreds of ms).
+    let mut est_err: HashMap<CellId, f64> = HashMap::new();
+
+    // RLF bookkeeping.
+    let mut below_since: Option<f64> = None;
+    let mut last_msg_failure: Option<(f64, FailureCause)> = None;
+    let mut guard_until_ms = 0.0f64;
+
+    // Rolling BLER window for Fig 2b (5 s).
+    let mut bler_window: VecDeque<(f64, f64, f64)> = VecDeque::new();
+
+    let mut metrics = RunMetrics { duration_s: spec.duration_s(), ..Default::default() };
+
+    // Initial attach.
+    let first_obs = env.observe(0.0, RANGE_M, &mut env_rng);
+    let mut state = match first_obs.first() {
+        Some(best) => {
+            if cfg.record_trace {
+                metrics.trace.push(SignalingEvent::Attach { t_ms: 0.0, cell: best.cell });
+            }
+            UeState::Connected { serving: best.cell }
+        }
+        None => UeState::Outage {
+            since_ms: 0.0,
+            cause: FailureCause::CoverageHole,
+            scan_done_ms: REESTABLISH_SCAN_MS,
+        },
+    };
+
+    let mut t = 0.0f64;
+    while t < duration_ms {
+        let (pos, speed) = trajectory.state_at(t / 1e3);
+        let obs_vec = env.observe(pos, RANGE_M, &mut env_rng);
+        let obs: HashMap<CellId, CellRadio> =
+            obs_vec.iter().map(|c| (c.cell, *c)).collect();
+        history.push_back((t, obs.clone()));
+        if history.len() > hist_len {
+            history.pop_front();
+        }
+        let stale = |delay_ms: f64| -> &HashMap<CellId, CellRadio> {
+            let cutoff = t - delay_ms;
+            history
+                .iter()
+                .rev()
+                .find(|(ht, _)| *ht <= cutoff)
+                .map(|(_, m)| m)
+                .unwrap_or(&history.front().unwrap().1)
+        };
+
+        match state {
+            UeState::Connected { serving } => {
+                let serving_now = obs.get(&serving);
+                let serving_cell = deployment.cell(serving);
+
+                // --- BLER window sample (serving link, both directions).
+                if let (Some(sr), Some(sc)) = (serving_now, serving_cell) {
+                    let ul = bler_estimate(
+                        effective_sinr_db(&cfg.link, sr.snr_db, speed, sc.carrier_hz, waveform, &mut link_rng),
+                        Modulation::Qpsk,
+                    );
+                    let dl = bler_estimate(
+                        effective_sinr_db(&cfg.link, sr.snr_db, speed, sc.carrier_hz, waveform, &mut link_rng),
+                        Modulation::Qpsk,
+                    );
+                    bler_window.push_back((t, ul, dl));
+                    while bler_window.front().is_some_and(|(wt, _, _)| t - wt > 5_000.0) {
+                        bler_window.pop_front();
+                    }
+                }
+
+                // --- RLF detection.
+                let snr_now = serving_now.map(|c| c.snr_db).unwrap_or(-30.0);
+                if snr_now < RLF_SNR_DB {
+                    if below_since.is_none() {
+                        below_since = Some(t);
+                    }
+                } else {
+                    below_since = None;
+                }
+                if below_since.is_some_and(|b| t - b >= RLF_TIMER_MS) {
+                    let cause = classify_rlf(
+                        &deployment,
+                        pos,
+                        &obs_vec,
+                        serving,
+                        stage2,
+                        cfg.plane,
+                        t,
+                        last_msg_failure,
+                    );
+                    for (_, ul, dl) in &bler_window {
+                        metrics.bler_before_failure_ul.push(*ul);
+                        metrics.bler_before_failure_dl.push(*dl);
+                    }
+                    if cfg.record_trace {
+                        metrics.trace.push(SignalingEvent::RadioLinkFailure {
+                            t_ms: t,
+                            serving,
+                            cause,
+                        });
+                    }
+                    state = UeState::Outage {
+                        since_ms: t,
+                        cause,
+                        scan_done_ms: t + REESTABLISH_SCAN_MS,
+                    };
+                    below_since = None;
+                    last_msg_failure = None;
+                    reset_monitors(&mut a3_monitors, &mut a4_monitors, &mut a2_monitor, &mut a1_monitor, &mut stage2);
+                    t += EPOCH_MS;
+                    continue;
+                }
+
+                // --- Event evaluation on stale measurements (suppressed
+                // during the post-handover settling guard).
+                let stage2_before = stage2;
+                let trigger = if t < guard_until_ms {
+                    None
+                } else {
+                    match cfg.plane {
+                    Plane::Legacy => evaluate_legacy(
+                        spec,
+                        &deployment,
+                        serving,
+                        t,
+                        stale(spec.intra_staleness_ms),
+                        stale(spec.inter_staleness_ms),
+                        &mut a3_monitors,
+                        &mut a4_monitors,
+                        &mut a2_monitor,
+                        &mut a1_monitor,
+                        &mut stage2,
+                        &mut stage2_since_ms,
+                    ),
+                    Plane::Rem => evaluate_rem(
+                        spec,
+                        &deployment,
+                        serving,
+                        t,
+                        stale(rem_staleness),
+                        rem_staleness,
+                        cfg.rem_clamp_offsets,
+                        &mut a3_monitors,
+                        &mut est_err,
+                        &mut est_rng,
+                    ),
+                    }
+                };
+
+                // Legacy stage transitions cost a reconfiguration
+                // message each (A2 -> configure inter-freq, A1 -> tear
+                // down).
+                if stage2 != stage2_before {
+                    metrics.signaling.reconfigs += 1;
+                }
+
+                if let Some((target, ttt_ms, staleness_ms)) = trigger {
+                    // Run the attempt's message exchanges now; the
+                    // resolution lands after the accumulated airtime.
+                    let (s_snr, carrier) = match (serving_now, serving_cell) {
+                        (Some(sr), Some(sc)) => (sr.snr_db, sc.carrier_hz),
+                        _ => (-30.0, 2e9),
+                    };
+                    let (report_ok, report_tries, _) = deliver_with_harq(
+                        &cfg.link, s_snr, speed, carrier, waveform, HARQ_ATTEMPTS, &mut link_rng,
+                    );
+                    metrics.signaling.reports += 1;
+                    metrics.signaling.harq_transmissions += report_tries;
+                    if cfg.record_trace {
+                        metrics.trace.push(SignalingEvent::MeasurementReport {
+                            t_ms: t,
+                            serving,
+                            target,
+                            delivered: report_ok,
+                        });
+                    }
+                    let mut elapsed = report_tries as f64 * HARQ_MS;
+                    let mut outcome = AttemptOutcome::ReportLost;
+                    if report_ok {
+                        elapsed += DECISION_MS;
+                        let (cmd_ok, cmd_tries, _) = deliver_with_harq(
+                            &cfg.link, s_snr, speed, carrier, waveform, HARQ_ATTEMPTS, &mut link_rng,
+                        );
+                        metrics.signaling.commands += 1;
+                        metrics.signaling.harq_transmissions += cmd_tries;
+                        if cfg.record_trace {
+                            metrics.trace.push(SignalingEvent::HandoverCommand {
+                                t_ms: t,
+                                serving,
+                                target,
+                                delivered: cmd_ok,
+                            });
+                        }
+                        elapsed += cmd_tries as f64 * HARQ_MS;
+                        if cmd_ok {
+                            elapsed += ATTACH_MS;
+                            outcome = AttemptOutcome::Success; // target checked at resolve
+                        } else {
+                            outcome = AttemptOutcome::CommandLost;
+                        }
+                    }
+                    let feedback_delay = staleness_ms + ttt_ms + report_tries as f64 * HARQ_MS;
+                    metrics.feedback_delays_ms.push(feedback_delay);
+                    state = UeState::Attempting {
+                        serving,
+                        target,
+                        resolve_at_ms: t + elapsed,
+                        outcome,
+                        feedback_delay_ms: feedback_delay,
+                    };
+                }
+            }
+
+            UeState::Attempting { serving, target, resolve_at_ms, outcome, feedback_delay_ms } => {
+                // RLF can still strike mid-attempt.
+                let snr_now = obs.get(&serving).map(|c| c.snr_db).unwrap_or(-30.0);
+                if snr_now < RLF_SNR_DB {
+                    if below_since.is_none() {
+                        below_since = Some(t);
+                    }
+                } else {
+                    below_since = None;
+                }
+                let rlf = below_since.is_some_and(|b| t - b >= RLF_TIMER_MS);
+
+                if t >= resolve_at_ms || rlf {
+                    let mut outcome = outcome;
+                    if rlf && outcome == AttemptOutcome::Success && t < resolve_at_ms {
+                        // Lost the link before the procedure finished.
+                        outcome = AttemptOutcome::TargetFaded;
+                    }
+                    match outcome {
+                        AttemptOutcome::Success => {
+                            let target_ok = obs
+                                .get(&target)
+                                .is_some_and(|c| c.snr_db >= ATTACH_MIN_SNR_DB);
+                            if target_ok {
+                                let from_cell = deployment.cell(serving);
+                                let to_cell = deployment.cell(target);
+                                let intra = match (from_cell, to_cell) {
+                                    (Some(a), Some(b)) => a.earfcn == b.earfcn,
+                                    _ => false,
+                                };
+                                metrics.handovers.push(HandoverRecord {
+                                    t_ms: t,
+                                    from: serving,
+                                    to: target,
+                                    intra_freq: intra,
+                                    feedback_delay_ms,
+                                });
+                                if cfg.record_trace {
+                                    metrics.trace.push(SignalingEvent::HandoverComplete {
+                                        t_ms: t,
+                                        from: serving,
+                                        to: target,
+                                    });
+                                }
+                                state = UeState::Connected { serving: target };
+                                below_since = None;
+                                guard_until_ms = t + POST_HO_GUARD_MS;
+                                reset_monitors(&mut a3_monitors, &mut a4_monitors, &mut a2_monitor, &mut a1_monitor, &mut stage2);
+                            } else {
+                                // Too late: the chosen target already faded.
+                                last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                                state = UeState::Connected { serving };
+                                a3_monitors.clear();
+                                a4_monitors.clear();
+                            }
+                        }
+                        AttemptOutcome::ReportLost => {
+                            last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                            state = UeState::Connected { serving };
+                            // The UE keeps reporting: clear the latched
+                            // monitors so the trigger can re-fire.
+                            a3_monitors.clear();
+                            a4_monitors.clear();
+                        }
+                        AttemptOutcome::CommandLost => {
+                            last_msg_failure = Some((t, FailureCause::CommandLoss));
+                            state = UeState::Connected { serving };
+                            a3_monitors.clear();
+                            a4_monitors.clear();
+                        }
+                        AttemptOutcome::TargetFaded => {
+                            last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                            state = UeState::Connected { serving };
+                            a3_monitors.clear();
+                            a4_monitors.clear();
+                        }
+                    }
+                }
+            }
+
+            UeState::Outage { since_ms, cause, scan_done_ms } => {
+                if t >= scan_done_ms {
+                    let candidate = obs_vec
+                        .iter()
+                        .find(|c| c.snr_db >= ATTACH_MIN_SNR_DB && !deployment.in_hole(pos));
+                    if let Some(best) = candidate {
+                        metrics.failures.push(FailureRecord {
+                            t_ms: since_ms,
+                            cause,
+                            outage_ms: t - since_ms,
+                        });
+                        if cfg.record_trace {
+                            metrics.trace.push(SignalingEvent::Attach { t_ms: t, cell: best.cell });
+                        }
+                        state = UeState::Connected { serving: best.cell };
+                        bler_window.clear();
+                    }
+                }
+            }
+        }
+
+        t += EPOCH_MS;
+    }
+
+    // A run ending inside an outage still records the failure.
+    if let UeState::Outage { since_ms, cause, .. } = state {
+        metrics.failures.push(FailureRecord { t_ms: since_ms, cause, outage_ms: duration_ms - since_ms });
+    }
+
+    // Loop semantics: a bounce is a *policy conflict* when the pair's
+    // effective A3 offsets sum below zero (Theorem 2's violated
+    // condition); under REM's clamping that sum is always >= 0.
+    let clamp = cfg.plane == Plane::Rem && cfg.rem_clamp_offsets;
+    metrics.loops = detect_loops(&metrics.handovers, LOOP_WINDOW_MS, HO_DISRUPTION_MS, |a, b| {
+        let mut fwd = spec.a3_offset(a, b);
+        let mut back = spec.a3_offset(b, a);
+        if clamp {
+            fwd = fwd.max(0.0);
+            back = back.max(0.0);
+        }
+        fwd + back < 0.0
+    });
+    metrics
+}
+
+fn reset_monitors(
+    a3: &mut HashMap<CellId, EventMonitor>,
+    a4: &mut HashMap<CellId, EventMonitor>,
+    a2: &mut EventMonitor,
+    a1: &mut EventMonitor,
+    stage2: &mut bool,
+) {
+    a3.clear();
+    a4.clear();
+    a2.reset();
+    a1.reset();
+    *stage2 = false;
+}
+
+/// Classifies a radio-link failure per the Table 2 taxonomy.
+#[allow(clippy::too_many_arguments)]
+fn classify_rlf(
+    deployment: &Deployment,
+    pos_m: f64,
+    obs: &[CellRadio],
+    serving: CellId,
+    stage2: bool,
+    plane: Plane,
+    now_ms: f64,
+    last_msg_failure: Option<(f64, FailureCause)>,
+) -> FailureCause {
+    if deployment.in_hole(pos_m) {
+        return FailureCause::CoverageHole;
+    }
+    if let Some((ft, cause)) = last_msg_failure {
+        if now_ms - ft <= 5_000.0 {
+            return cause;
+        }
+    }
+    // A viable cell existed on another frequency that legacy stage-1
+    // monitoring never measured: a missed cell.
+    if plane == Plane::Legacy && !stage2 {
+        let serving_earfcn = deployment.cell(serving).map(|c| c.earfcn);
+        let missed = obs.iter().any(|c| {
+            c.snr_db > 0.0
+                && deployment.cell(c.cell).map(|cc| Some(cc.earfcn) != serving_earfcn).unwrap_or(false)
+        });
+        if missed {
+            return FailureCause::MissedCell;
+        }
+    }
+    // No in-coverage candidate at all behaves like a hole.
+    if !obs.iter().any(|c| c.cell != serving && c.snr_db > ATTACH_MIN_SNR_DB) {
+        return FailureCause::CoverageHole;
+    }
+    FailureCause::FeedbackDelayLoss
+}
+
+/// Legacy event evaluation: intra-frequency A3 per neighbour, A2/A1
+/// gated stage 2 with A4 per inter-frequency neighbour. Returns the
+/// chosen `(target, ttt, staleness)` when a handover fires.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_legacy(
+    spec: &DatasetSpec,
+    deployment: &Deployment,
+    serving: CellId,
+    t: f64,
+    intra_obs: &HashMap<CellId, CellRadio>,
+    inter_obs: &HashMap<CellId, CellRadio>,
+    a3_monitors: &mut HashMap<CellId, EventMonitor>,
+    a4_monitors: &mut HashMap<CellId, EventMonitor>,
+    a2_monitor: &mut EventMonitor,
+    a1_monitor: &mut EventMonitor,
+    stage2: &mut bool,
+    stage2_since_ms: &mut f64,
+) -> Option<(CellId, f64, f64)> {
+    let serving_earfcn = deployment.cell(serving)?.earfcn;
+    let serving_rsrp_intra = intra_obs.get(&serving).map(|c| c.rsrp_dbm).unwrap_or(-140.0);
+    let serving_rsrp_inter = inter_obs.get(&serving).map(|c| c.rsrp_dbm).unwrap_or(-140.0);
+
+    // Stage gates on (stale) serving RSRP.
+    if !*stage2 {
+        let a2 = EventConfig {
+            kind: EventKind::A2 { thresh: A2_THRESH_DBM },
+            ttt_ms: spec.inter_ttt_ms,
+            hysteresis_db: 1.0,
+        };
+        if a2_monitor.observe(&a2, t, serving_rsrp_inter, 0.0) {
+            *stage2 = true;
+            *stage2_since_ms = t;
+            a1_monitor.reset();
+        }
+    } else {
+        let a1 = EventConfig {
+            kind: EventKind::A1 { thresh: A1_THRESH_DBM },
+            ttt_ms: spec.inter_ttt_ms,
+            hysteresis_db: 1.0,
+        };
+        if a1_monitor.observe(&a1, t, serving_rsrp_inter, 0.0) {
+            *stage2 = false;
+            a4_monitors.clear();
+            a2_monitor.reset();
+        }
+    }
+
+    let mut best: Option<(f64, CellId, f64, f64)> = None; // (quality, cell, ttt, staleness)
+
+    // Intra-frequency A3.
+    for (cell_id, radio) in intra_obs {
+        if *cell_id == serving {
+            continue;
+        }
+        let Some(cell) = deployment.cell(*cell_id) else { continue };
+        if cell.earfcn != serving_earfcn {
+            continue;
+        }
+        let a3 = EventConfig {
+            kind: EventKind::A3 { offset: spec.a3_offset(serving, *cell_id) },
+            ttt_ms: spec.intra_ttt_ms,
+            hysteresis_db: 1.0,
+        };
+        let mon = a3_monitors.entry(*cell_id).or_default();
+        if mon.observe(&a3, t, serving_rsrp_intra, radio.rsrp_dbm)
+            && best.is_none_or(|(q, _, _, _)| radio.rsrp_dbm > q)
+        {
+            best = Some((radio.rsrp_dbm, *cell_id, spec.intra_ttt_ms, spec.intra_staleness_ms));
+        }
+    }
+
+    // Inter-frequency A4, stage 2 only (the §3.2 missed-cell mechanism:
+    // these cells are simply invisible until the A2 gate opens).
+    if *stage2 {
+        for (cell_id, radio) in inter_obs {
+            if *cell_id == serving {
+                continue;
+            }
+            let Some(cell) = deployment.cell(*cell_id) else { continue };
+            if cell.earfcn == serving_earfcn {
+                continue;
+            }
+            let a4 = EventConfig {
+                kind: EventKind::A4 { thresh: A4_THRESH_DBM },
+                ttt_ms: spec.inter_ttt_ms,
+                hysteresis_db: 1.0,
+            };
+            let mon = a4_monitors.entry(*cell_id).or_default();
+            if mon.observe(&a4, t, serving_rsrp_inter, radio.rsrp_dbm)
+                && best.is_none_or(|(q, _, _, _)| radio.rsrp_dbm > q)
+            {
+                best = Some((radio.rsrp_dbm, *cell_id, spec.inter_ttt_ms, spec.inter_staleness_ms));
+            }
+        }
+    }
+
+    best.map(|(_, cell, ttt, stale)| (cell, ttt, stale))
+}
+
+/// REM event evaluation: single-stage A3 over delay-Doppler SNR for
+/// *every* cell (cross-band estimation covers other frequencies), with
+/// Theorem-2-clamped offsets and a short TTT.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_rem(
+    spec: &DatasetSpec,
+    deployment: &Deployment,
+    serving: CellId,
+    t: f64,
+    obs: &HashMap<CellId, CellRadio>,
+    staleness_ms: f64,
+    clamp_offsets: bool,
+    a3_monitors: &mut HashMap<CellId, EventMonitor>,
+    est_err: &mut HashMap<CellId, f64>,
+    est_rng: &mut SimRng,
+) -> Option<(CellId, f64, f64)> {
+    let serving_snr = obs.get(&serving).map(|c| c.snr_db).unwrap_or(-30.0);
+    let serving_site = deployment.site_of(serving).map(|s| s.id);
+    let rem_ttt = 40.0;
+    // AR(1) error evolution: ~300 ms time constant per 20 ms epoch.
+    const RHO: f64 = 0.935;
+
+    let mut best: Option<(f64, CellId)> = None;
+    for (cell_id, radio) in obs {
+        if *cell_id == serving {
+            continue;
+        }
+        let Some(cell) = deployment.cell(*cell_id) else { continue };
+        // Cross-band estimated cells (not the per-site representative)
+        // carry a small, slowly-varying estimation error (Fig 12:
+        // <= 2 dB for 90% of measurements).
+        let site = deployment.site_of(*cell_id).map(|s| s.id);
+        let representative = deployment
+            .site_of(*cell_id)
+            .map(|s| s.cells.iter().map(|c| c.id).min().unwrap())
+            .unwrap_or(*cell_id);
+        let estimated = representative != *cell_id && site != serving_site;
+        let quality = if estimated {
+            let sigma = spec.rem_estimation_err_db;
+            let e = est_err.entry(*cell_id).or_insert_with(|| normal(est_rng, 0.0, sigma));
+            *e = RHO * *e + (1.0 - RHO * RHO).sqrt() * normal(est_rng, 0.0, sigma);
+            radio.snr_db + *e
+        } else {
+            radio.snr_db
+        };
+        let mut offset = spec.a3_offset(serving, *cell_id);
+        if clamp_offsets {
+            offset = offset.max(0.0);
+        }
+        let a3 = EventConfig {
+            kind: EventKind::A3 { offset },
+            ttt_ms: rem_ttt,
+            hysteresis_db: 1.0,
+        };
+        let mon = a3_monitors.entry(*cell_id).or_default();
+        if mon.observe(&a3, t, serving_snr, quality)
+            && best.is_none_or(|(q, _)| quality > q)
+        {
+            best = Some((quality, *cell_id));
+        }
+        let _ = cell;
+    }
+    best.map(|(_, cell)| (cell, rem_ttt, staleness_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(speed: f64) -> DatasetSpec {
+        DatasetSpec::beijing_taiyuan(20.0, speed)
+    }
+
+    #[test]
+    fn legacy_run_produces_handovers() {
+        let cfg = RunConfig::new(quick_spec(250.0), Plane::Legacy, 1);
+        let m = simulate_run(&cfg);
+        assert!(m.handovers.len() >= 5, "handovers={}", m.handovers.len());
+        // HSR handover cadence: paper Table 2 reports 11-20 s.
+        let iv = m.avg_handover_interval_s();
+        assert!((5.0..60.0).contains(&iv), "interval={iv}");
+    }
+
+    #[test]
+    fn legacy_hsr_has_nonneglible_failures() {
+        let cfg = RunConfig::new(quick_spec(300.0), Plane::Legacy, 2);
+        let m = simulate_run(&cfg);
+        assert!(m.failure_ratio() > 0.01, "ratio={}", m.failure_ratio());
+    }
+
+    #[test]
+    fn rem_reduces_failures_at_hsr_speed() {
+        let spec = quick_spec(300.0);
+        let legacy = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 3));
+        let rem = simulate_run(&RunConfig::new(spec, Plane::Rem, 3));
+        assert!(
+            rem.failure_ratio_no_holes() <= legacy.failure_ratio_no_holes(),
+            "rem={} legacy={}",
+            rem.failure_ratio_no_holes(),
+            legacy.failure_ratio_no_holes()
+        );
+    }
+
+    #[test]
+    fn rem_eliminates_conflict_loops() {
+        let spec = quick_spec(300.0);
+        let rem = simulate_run(&RunConfig::new(spec, Plane::Rem, 4));
+        assert_eq!(rem.conflict_loops().count(), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = RunConfig::new(quick_spec(250.0), Plane::Legacy, 5);
+        let a = simulate_run(&cfg);
+        let b = simulate_run(&cfg);
+        assert_eq!(a.handovers, b.handovers);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn feedback_delays_recorded() {
+        let cfg = RunConfig::new(quick_spec(250.0), Plane::Legacy, 6);
+        let m = simulate_run(&cfg);
+        assert!(!m.feedback_delays_ms.is_empty());
+        for &d in &m.feedback_delays_ms {
+            assert!(d > 0.0 && d < 5_000.0, "delay={d}");
+        }
+    }
+
+    #[test]
+    fn rem_feedback_faster_than_legacy() {
+        let spec = quick_spec(300.0);
+        let legacy = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 7));
+        let rem = simulate_run(&RunConfig::new(spec, Plane::Rem, 7));
+        let ml = rem_num::stats::mean(&legacy.feedback_delays_ms);
+        let mr = rem_num::stats::mean(&rem.feedback_delays_ms);
+        assert!(mr < ml, "rem={mr} legacy={ml}");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn trace_recording_captures_the_procedure() {
+        let spec = DatasetSpec::beijing_taiyuan(15.0, 250.0);
+        let mut cfg = RunConfig::new(spec, Plane::Legacy, 1);
+        cfg.record_trace = true;
+        let m = simulate_run(&cfg);
+        assert!(!m.trace.is_empty());
+        // Every completed handover appears in the trace.
+        assert_eq!(m.trace.count("HO_COMPLETE"), m.handovers.len());
+        // Every failure appears as an RLF.
+        assert_eq!(m.trace.count("RLF"), m.failures.len());
+        // Reports precede commands precede completions.
+        assert!(m.trace.count("MEAS_REPORT") >= m.trace.count("HO_COMMAND"));
+        assert!(m.trace.count("HO_COMMAND") >= m.trace.count("HO_COMPLETE"));
+        // Chronological order.
+        for w in m.trace.events.windows(2) {
+            assert!(w[1].t_ms() >= w[0].t_ms());
+        }
+        // JSONL round trip.
+        let back = crate::trace::SignalingTrace::from_jsonl(&m.trace.to_jsonl()).unwrap();
+        assert_eq!(back.events.len(), m.trace.events.len());
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let spec = DatasetSpec::beijing_taiyuan(10.0, 250.0);
+        let m = simulate_run(&RunConfig::new(spec, Plane::Legacy, 2));
+        assert!(m.trace.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod trajectory_run_tests {
+    use super::*;
+    use crate::trajectory::SpeedProfile;
+
+    #[test]
+    fn station_profile_campaign_runs() {
+        let mut spec = DatasetSpec::beijing_taiyuan(25.0, 300.0);
+        // 300 km/h at 0.5 m/s^2 needs ~14 km of ramp: stops every 20 km.
+        spec.speed_profile = SpeedProfile::Stations {
+            stop_every_m: 20_000.0,
+            dwell_s: 90.0,
+            accel_ms2: 0.5,
+        };
+        // Stops lengthen the journey.
+        let constant = DatasetSpec::beijing_taiyuan(25.0, 300.0);
+        assert!(spec.duration_s() > constant.duration_s() + 120.0);
+
+        let m = simulate_run(&RunConfig::new(spec, Plane::Rem, 3));
+        assert!(m.handovers.len() >= 5, "handovers={}", m.handovers.len());
+        // The run covers the same cells, just over more time.
+        assert!(m.duration_s > constant.duration_s());
+    }
+
+    #[test]
+    fn station_profile_is_deterministic() {
+        let mut spec = DatasetSpec::beijing_taiyuan(15.0, 250.0);
+        spec.speed_profile = SpeedProfile::Stations {
+            stop_every_m: 12_000.0,
+            dwell_s: 60.0,
+            accel_ms2: 0.5,
+        };
+        let cfg = RunConfig::new(spec, Plane::Legacy, 9);
+        let a = simulate_run(&cfg);
+        let b = simulate_run(&cfg);
+        assert_eq!(a.handovers, b.handovers);
+    }
+}

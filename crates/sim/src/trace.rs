@@ -1,0 +1,200 @@
+//! MobileInsight-style signaling event traces.
+//!
+//! The paper's datasets are streams of captured signaling messages
+//! (measurement configurations/reports, handover commands, RRC
+//! re-establishments) with timestamps. The simulator can emit the same
+//! stream for any run, so downstream tooling — or a future replay
+//! against real traces — consumes one format. Serialisable with serde
+//! (JSON via `serde_json`).
+
+use rem_mobility::{CellId, FailureCause};
+use serde::{Deserialize, Serialize};
+
+/// One captured signaling event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SignalingEvent {
+    /// Client attached (initially or after re-establishment).
+    Attach {
+        /// Time (ms).
+        t_ms: f64,
+        /// Cell attached to.
+        cell: CellId,
+    },
+    /// A measurement event fired at the client and a report was sent.
+    MeasurementReport {
+        /// Time (ms).
+        t_ms: f64,
+        /// Serving cell.
+        serving: CellId,
+        /// Reported best target.
+        target: CellId,
+        /// Whether the report survived the uplink.
+        delivered: bool,
+    },
+    /// The serving cell issued a handover command.
+    HandoverCommand {
+        /// Time (ms).
+        t_ms: f64,
+        /// Serving cell.
+        serving: CellId,
+        /// Commanded target.
+        target: CellId,
+        /// Whether the command survived the downlink.
+        delivered: bool,
+    },
+    /// The client completed a handover.
+    HandoverComplete {
+        /// Time (ms).
+        t_ms: f64,
+        /// Old serving cell.
+        from: CellId,
+        /// New serving cell.
+        to: CellId,
+    },
+    /// Radio link failure.
+    RadioLinkFailure {
+        /// Time (ms).
+        t_ms: f64,
+        /// Serving cell at failure.
+        serving: CellId,
+        /// Classified cause.
+        cause: FailureCause,
+    },
+}
+
+impl SignalingEvent {
+    /// Event timestamp (ms).
+    pub fn t_ms(&self) -> f64 {
+        match self {
+            SignalingEvent::Attach { t_ms, .. }
+            | SignalingEvent::MeasurementReport { t_ms, .. }
+            | SignalingEvent::HandoverCommand { t_ms, .. }
+            | SignalingEvent::HandoverComplete { t_ms, .. }
+            | SignalingEvent::RadioLinkFailure { t_ms, .. } => *t_ms,
+        }
+    }
+
+    /// Short type tag (for grep-friendly dumps).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SignalingEvent::Attach { .. } => "ATTACH",
+            SignalingEvent::MeasurementReport { .. } => "MEAS_REPORT",
+            SignalingEvent::HandoverCommand { .. } => "HO_COMMAND",
+            SignalingEvent::HandoverComplete { .. } => "HO_COMPLETE",
+            SignalingEvent::RadioLinkFailure { .. } => "RLF",
+        }
+    }
+}
+
+/// A full captured trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SignalingTrace {
+    /// Events in chronological order.
+    pub events: Vec<SignalingEvent>,
+}
+
+impl SignalingTrace {
+    /// Appends an event (keeps chronological order by construction —
+    /// the simulator emits in time order).
+    pub fn push(&mut self, e: SignalingEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| e.t_ms() >= last.t_ms()),
+            "trace must be chronological"
+        );
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts events of one kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// Serialises to JSON lines (one event per line — the MobileInsight
+    /// export convention).
+    pub fn to_jsonl(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("trace events serialise"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parses a JSON-lines dump back into a trace.
+    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let mut t = SignalingTrace::default();
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            t.events.push(serde_json::from_str(line)?);
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SignalingTrace {
+        let mut t = SignalingTrace::default();
+        t.push(SignalingEvent::Attach { t_ms: 0.0, cell: CellId(1) });
+        t.push(SignalingEvent::MeasurementReport {
+            t_ms: 100.0,
+            serving: CellId(1),
+            target: CellId(2),
+            delivered: true,
+        });
+        t.push(SignalingEvent::HandoverCommand {
+            t_ms: 130.0,
+            serving: CellId(1),
+            target: CellId(2),
+            delivered: true,
+        });
+        t.push(SignalingEvent::HandoverComplete { t_ms: 160.0, from: CellId(1), to: CellId(2) });
+        t.push(SignalingEvent::RadioLinkFailure {
+            t_ms: 5_000.0,
+            serving: CellId(2),
+            cause: FailureCause::CommandLoss,
+        });
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let dump = t.to_jsonl();
+        assert_eq!(dump.lines().count(), 5);
+        let back = SignalingTrace::from_jsonl(&dump).unwrap();
+        assert_eq!(back.events, t.events);
+    }
+
+    #[test]
+    fn kinds_and_counts() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count("MEAS_REPORT"), 1);
+        assert_eq!(t.count("RLF"), 1);
+        assert_eq!(t.count("NOPE"), 0);
+    }
+
+    #[test]
+    fn timestamps_accessible() {
+        let t = sample();
+        assert_eq!(t.events[0].t_ms(), 0.0);
+        assert_eq!(t.events[4].t_ms(), 5_000.0);
+    }
+
+    #[test]
+    fn malformed_jsonl_rejected() {
+        assert!(SignalingTrace::from_jsonl("{not json}").is_err());
+        assert!(SignalingTrace::from_jsonl("").unwrap().is_empty());
+    }
+}

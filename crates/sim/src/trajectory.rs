@@ -1,0 +1,208 @@
+//! Client trajectories: constant cruise or station-stop profiles.
+//!
+//! The paper's Appendix A notes the delay-Doppler channel only drifts
+//! when the client *accelerates* — "infrequent in high-speed rails" —
+//! and its Table 2 bins journeys by speed. A piecewise
+//! accelerate/cruise/brake/dwell profile lets one run sweep through
+//! speeds the way a real service does, instead of pinning a synthetic
+//! constant speed.
+
+use serde::{Deserialize, Serialize};
+
+/// How the client's speed evolves along the route.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// Constant cruise speed for the whole route.
+    #[default]
+    Constant,
+    /// Station stops: every `stop_every_m` metres the train brakes to a
+    /// stop, dwells `dwell_s` seconds, and accelerates back to cruise
+    /// at `accel_ms2` (used for both acceleration and braking).
+    Stations {
+        /// Distance between stops (m).
+        stop_every_m: f64,
+        /// Dwell time at each stop (s).
+        dwell_s: f64,
+        /// Acceleration/braking magnitude (m/s²); HSR ~0.5.
+        accel_ms2: f64,
+    },
+}
+
+/// A deterministic position/speed function of time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    cruise_ms: f64,
+    profile: SpeedProfile,
+}
+
+impl Trajectory {
+    /// Creates a trajectory with the given cruise speed (m/s).
+    ///
+    /// # Panics
+    /// Panics on nonpositive cruise speed, or a `Stations` profile
+    /// whose inter-stop distance cannot fit the accelerate+brake ramp.
+    pub fn new(cruise_ms: f64, profile: SpeedProfile) -> Self {
+        assert!(cruise_ms > 0.0, "cruise speed must be positive");
+        if let SpeedProfile::Stations { stop_every_m, dwell_s, accel_ms2 } = profile {
+            assert!(accel_ms2 > 0.0 && dwell_s >= 0.0);
+            let ramp = cruise_ms * cruise_ms / accel_ms2; // accel + brake distance
+            assert!(
+                stop_every_m > ramp,
+                "stops too close for the ramp: need > {ramp} m"
+            );
+        }
+        Self { cruise_ms, profile }
+    }
+
+    /// Cruise speed (m/s).
+    pub fn cruise_ms(&self) -> f64 {
+        self.cruise_ms
+    }
+
+    /// `(position_m, speed_ms)` at time `t_s >= 0`.
+    pub fn state_at(&self, t_s: f64) -> (f64, f64) {
+        match self.profile {
+            SpeedProfile::Constant => (self.cruise_ms * t_s, self.cruise_ms),
+            SpeedProfile::Stations { stop_every_m, dwell_s, accel_ms2 } => {
+                let v = self.cruise_ms;
+                let a = accel_ms2;
+                let t_ramp = v / a;
+                let d_ramp = 0.5 * v * v / a;
+                let d_cruise = stop_every_m - 2.0 * d_ramp;
+                let t_cruise = d_cruise / v;
+                let t_cycle = dwell_s + 2.0 * t_ramp + t_cruise;
+
+                let cycles = (t_s / t_cycle).floor();
+                let base = cycles * stop_every_m;
+                let mut t = t_s - cycles * t_cycle;
+
+                // Phase 1: dwell at the station.
+                if t < dwell_s {
+                    return (base, 0.0);
+                }
+                t -= dwell_s;
+                // Phase 2: accelerate.
+                if t < t_ramp {
+                    return (base + 0.5 * a * t * t, a * t);
+                }
+                t -= t_ramp;
+                // Phase 3: cruise.
+                if t < t_cruise {
+                    return (base + d_ramp + v * t, v);
+                }
+                t -= t_cruise;
+                // Phase 4: brake.
+                let pos = base + d_ramp + d_cruise + v * t - 0.5 * a * t * t;
+                (pos, (v - a * t).max(0.0))
+            }
+        }
+    }
+
+    /// Time (s) to reach `route_m`.
+    pub fn time_to(&self, route_m: f64) -> f64 {
+        match self.profile {
+            SpeedProfile::Constant => route_m / self.cruise_ms,
+            SpeedProfile::Stations { stop_every_m, dwell_s, accel_ms2 } => {
+                let v = self.cruise_ms;
+                let t_ramp = v / accel_ms2;
+                let d_ramp = 0.5 * v * v / accel_ms2;
+                let t_cycle = dwell_s + 2.0 * t_ramp + (stop_every_m - 2.0 * d_ramp) / v;
+                let full = (route_m / stop_every_m).floor();
+                let rem = route_m - full * stop_every_m;
+                // Walk the final partial cycle numerically (it is short).
+                let t = full * t_cycle;
+                let mut step_t = t;
+                while self.state_at(step_t).0 < full * stop_every_m + rem - 0.5 {
+                    step_t += 0.5;
+                    if step_t - t > 10.0 * t_cycle {
+                        break; // safety net
+                    }
+                }
+                step_t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stations() -> Trajectory {
+        // 300 km/h cruise, stops every 30 km, 120 s dwell, 0.5 m/s².
+        Trajectory::new(83.3, SpeedProfile::Stations {
+            stop_every_m: 30_000.0,
+            dwell_s: 120.0,
+            accel_ms2: 0.5,
+        })
+    }
+
+    #[test]
+    fn constant_profile_is_linear() {
+        let tr = Trajectory::new(80.0, SpeedProfile::Constant);
+        assert_eq!(tr.state_at(10.0), (800.0, 80.0));
+        assert_eq!(tr.time_to(8_000.0), 100.0);
+    }
+
+    #[test]
+    fn position_is_monotone_and_speed_bounded() {
+        let tr = stations();
+        let mut prev = -1.0;
+        for i in 0..5_000 {
+            let (pos, v) = tr.state_at(i as f64);
+            assert!(pos >= prev - 1e-9, "t={i}");
+            assert!((0.0..=83.3 + 1e-9).contains(&v), "v={v}");
+            prev = pos;
+        }
+    }
+
+    #[test]
+    fn dwell_keeps_the_train_still() {
+        let tr = stations();
+        let (p0, v0) = tr.state_at(0.0);
+        let (p1, v1) = tr.state_at(60.0);
+        assert_eq!((p0, v0), (0.0, 0.0));
+        assert_eq!((p1, v1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn reaches_cruise_between_stations() {
+        let tr = stations();
+        // Mid-segment (after dwell 120 s + ramp ~167 s): cruising.
+        let (_, v) = tr.state_at(400.0);
+        assert!((v - 83.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_repeats_exactly() {
+        let tr = stations();
+        let v = 83.3;
+        let t_cycle = 120.0 + 2.0 * v / 0.5 + (30_000.0 - v * v / 0.5) / v;
+        let (p1, s1) = tr.state_at(77.0);
+        let (p2, s2) = tr.state_at(77.0 + t_cycle);
+        assert!((p2 - p1 - 30_000.0).abs() < 1e-6);
+        assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_accounts_for_stops() {
+        let tr = stations();
+        let constant = Trajectory::new(83.3, SpeedProfile::Constant);
+        let with_stops = tr.time_to(60_000.0);
+        let without = constant.time_to(60_000.0);
+        assert!(with_stops > without + 200.0, "stops={with_stops} constant={without}");
+        // And the position at that time is (approximately) the route end.
+        let (pos, _) = tr.state_at(with_stops);
+        assert!((pos - 60_000.0).abs() < 100.0, "pos={pos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stops too close")]
+    fn impossible_profile_rejected() {
+        Trajectory::new(100.0, SpeedProfile::Stations {
+            stop_every_m: 1_000.0,
+            dwell_s: 30.0,
+            accel_ms2: 0.5,
+        });
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-band estimation walkthrough: builds a ground-truth multipath
+//! channel, estimates band 1's delay-Doppler matrix through the OTFS
+//! modem with an embedded pilot, runs Algorithm 1, and compares the
+//! predicted band-2 channel against the truth — with the recovered
+//! path profile printed along the way.
+//!
+//! ```sh
+//! cargo run --release --example crossband_demo
+//! ```
+
+use rem_channel::delaydoppler::{dd_channel_matrix, snap_to_grid, DdGrid};
+use rem_channel::{MultipathChannel, Path};
+use rem_crossband::{estimate_band2, SvdEstimatorConfig};
+use rem_num::rng::rng_from_seed;
+use rem_num::c64;
+use rem_phy::chanest::estimate_dd_embedded_pilot;
+
+fn main() {
+    let grid = DdGrid::lte(24, 16);
+    let (f1, f2) = (1.86e9, 2.59e9);
+
+    // Ground truth: a 3-path HSR-like channel (LOS + two reflectors).
+    // Paths land on *distinct* delay and Doppler bins after snapping —
+    // Theorem 1's condition (ii), under which the SVD coincides with
+    // the physical factorisation.
+    let truth = snap_to_grid(
+        &grid,
+        &MultipathChannel::new(vec![
+            Path::new(c64(0.9, 0.1), 0.3e-6, 520.0),
+            Path::new(c64(0.1, 0.4), 3.1e-6, -930.0),
+            Path::new(c64(-0.2, 0.1), 5.8e-6, 1900.0),
+        ]),
+    );
+    println!("ground-truth paths (band 1 @ {:.2} GHz):", f1 / 1e9);
+    for p in truth.paths() {
+        println!(
+            "  |h|={:.2}  tau={:.2} us  nu={:+.0} Hz",
+            p.gain.abs(),
+            p.delay_s * 1e6,
+            p.doppler_hz
+        );
+    }
+
+    // Step 1: the client estimates band 1's DD channel from an
+    // embedded pilot through the actual OTFS modem.
+    let mut rng = rng_from_seed(7);
+    let h1 = estimate_dd_embedded_pilot(&grid, &truth, 30.0, &mut rng);
+    println!("\nband-1 DD estimate: {}x{} matrix from one pilot frame", grid.m, grid.n);
+
+    // Step 2: Algorithm 1 — SVD factorisation, per-path extraction,
+    // Doppler scaling to band 2, reconstruction.
+    let est = estimate_band2(&grid, &h1, f1, f2, &SvdEstimatorConfig::default());
+    println!("\nrecovered paths (Doppler scaled x{:.3} for band 2):", f2 / f1);
+    for p in &est.paths {
+        println!(
+            "  |h|={:.2}  tau={:.2} us  nu1={:+.0} Hz -> nu2={:+.0} Hz",
+            p.magnitude,
+            p.delay_s * 1e6,
+            p.doppler_hz,
+            p.doppler_hz * f2 / f1
+        );
+    }
+
+    // Step 3: compare against band 2's true DD channel.
+    let truth2 = dd_channel_matrix(&grid, &truth.scaled_to_carrier(f1, f2));
+    let rel = est.h2_dd.frobenius_dist(&truth2) / truth2.frobenius_norm();
+    println!("\nband-2 prediction error: {:.1}% (Frobenius, vs ground truth)", rel * 100.0);
+    println!("=> the serving cell now knows band 2's quality without ever measuring it.");
+    assert!(rel < 0.25, "demo regression: rel={rel}");
+}

@@ -1,0 +1,33 @@
+//! Exports a synthetic campaign as a MobileInsight-style signaling
+//! trace (JSON lines): the dataset format the rest of the tooling —
+//! and any future replay against real captures — consumes.
+//!
+//! ```sh
+//! cargo run --release --example export_trace [out.jsonl]
+//! ```
+
+use rem_core::{DatasetSpec, Plane, RunConfig};
+use rem_sim::simulate_run;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "trace.jsonl".into());
+    let spec = DatasetSpec::beijing_taiyuan(20.0, 300.0);
+    let mut cfg = RunConfig::new(spec, Plane::Legacy, 42);
+    cfg.record_trace = true;
+    let m = simulate_run(&cfg);
+
+    std::fs::write(&out, m.trace.to_jsonl()).expect("write trace");
+    println!("wrote {} events to {out}", m.trace.len());
+    println!(
+        "  {} reports, {} commands, {} completions, {} RLFs, {} attaches",
+        m.trace.count("MEAS_REPORT"),
+        m.trace.count("HO_COMMAND"),
+        m.trace.count("HO_COMPLETE"),
+        m.trace.count("RLF"),
+        m.trace.count("ATTACH"),
+    );
+    for e in m.trace.events.iter().take(8) {
+        println!("  {:>10.1}ms {:<12}", e.t_ms(), e.kind());
+    }
+    println!("  ...");
+}

@@ -1,0 +1,45 @@
+//! Simulates a full high-speed-rail journey across all three synthetic
+//! datasets and speed bins, printing the Table 2-style reliability
+//! summary for the legacy plane and the REM overlay side by side.
+//!
+//! ```sh
+//! cargo run --release --example hsr_journey [route_km]
+//! ```
+
+use rem_core::{Comparison, DatasetSpec};
+use rem_mobility::FailureCause;
+
+fn main() {
+    let route_km: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+
+    let scenarios = [
+        DatasetSpec::la_driving(route_km, 50.0),
+        DatasetSpec::beijing_taiyuan(route_km, 150.0),
+        DatasetSpec::beijing_taiyuan(route_km, 250.0),
+        DatasetSpec::beijing_shanghai(route_km, 325.0),
+    ];
+
+    println!(
+        "{:<18} {:>5}  {:>8} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "dataset", "km/h", "HO int.", "fail LGC", "fail REM", "fd/loss", "cmd loss", "loops"
+    );
+    for spec in scenarios {
+        let cmp = Comparison::run(&spec, &[1, 2, 3]);
+        println!(
+            "{:<18} {:>5}  {:>7.1}s {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>3}/{:<3}",
+            cmp.dataset,
+            cmp.speed_kmh,
+            cmp.legacy.avg_handover_interval_s(),
+            cmp.legacy.failure_ratio() * 100.0,
+            cmp.rem.failure_ratio() * 100.0,
+            cmp.legacy.failure_ratio_by(FailureCause::FeedbackDelayLoss) * 100.0,
+            cmp.legacy.failure_ratio_by(FailureCause::CommandLoss) * 100.0,
+            cmp.legacy.conflict_loops().count(),
+            cmp.rem.conflict_loops().count(),
+        );
+    }
+    println!("\n(loops column: legacy/REM policy-conflict loops; REM is provably 0)");
+}

@@ -1,0 +1,91 @@
+//! Cross-band estimation accuracy across estimators and regimes —
+//! the Fig 12/13 claims as assertions.
+
+use rem_crossband::estimator::{R2f2Estimator, RemEstimator};
+use rem_crossband::harness::{
+    evaluate, generate_scenarios, test_split, train_optml, Regime, ScenarioConfig,
+};
+use rem_crossband::optml::OptMlConfig;
+use rem_num::rng::rng_from_seed;
+
+#[test]
+fn fig12_rem_is_accurate_in_every_regime() {
+    let cfg = ScenarioConfig::default();
+    for regime in [Regime::Usrp, Regime::Driving, Regime::Hsr] {
+        let scenarios = generate_scenarios(regime, &cfg, 60, &mut rng_from_seed(1));
+        let res = evaluate(&RemEstimator::default(), &scenarios, 0.1, 3.0);
+        // Paper Fig 12: <= 2 dB error for >= 90% of measurements and
+        // >= 0.9 decision precision (we allow a small margin).
+        assert!(
+            res.snr_error_percentile(90.0) <= 3.0,
+            "{}: p90 error {}",
+            regime.label(),
+            res.snr_error_percentile(90.0)
+        );
+        assert!(res.precision >= 0.85, "{}: precision {}", regime.label(), res.precision);
+    }
+}
+
+#[test]
+fn fig13_rem_beats_both_baselines_at_hsr() {
+    let cfg = ScenarioConfig::default();
+    let scenarios = generate_scenarios(Regime::Hsr, &cfg, 75, &mut rng_from_seed(2));
+    let test = test_split(&scenarios);
+
+    let rem = evaluate(&RemEstimator::default(), test, 0.1, 3.0);
+    let r2f2 = evaluate(&R2f2Estimator::default(), test, 0.1, 3.0);
+    let optml_cfg = OptMlConfig { hidden: 32, epochs: 30, lr: 0.01 };
+    let optml = evaluate(&train_optml(&scenarios, &optml_cfg, &cfg.grid, 3), test, 0.1, 3.0);
+
+    assert!(
+        rem.mean_snr_error_db() < r2f2.mean_snr_error_db(),
+        "rem={} r2f2={}",
+        rem.mean_snr_error_db(),
+        r2f2.mean_snr_error_db()
+    );
+    assert!(
+        rem.mean_snr_error_db() < optml.mean_snr_error_db(),
+        "rem={} optml={}",
+        rem.mean_snr_error_db(),
+        optml.mean_snr_error_db()
+    );
+    assert!(rem.precision >= r2f2.precision);
+}
+
+#[test]
+fn rem_runtime_is_fastest() {
+    // Fig 14b's ordering as a coarse wall-clock check (REM's closed
+    // form vs R2F2's dictionary search).
+    use rem_crossband::estimator::CrossBandEstimator;
+    use std::time::Instant;
+    let cfg = ScenarioConfig::default();
+    let scenarios = generate_scenarios(Regime::Hsr, &cfg, 4, &mut rng_from_seed(4));
+    let obs = &scenarios[0].obs;
+
+    let rem = RemEstimator::default();
+    let r2f2 = R2f2Estimator::default();
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        let _ = rem.predict_band2_tf(obs);
+    }
+    let t_rem = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        let _ = r2f2.predict_band2_tf(obs);
+    }
+    let t_r2f2 = t0.elapsed();
+    assert!(t_rem < t_r2f2, "rem={t_rem:?} r2f2={t_r2f2:?}");
+}
+
+#[test]
+fn estimation_noise_degrades_gracefully() {
+    let mut errors = Vec::new();
+    for pilot_snr in [10.0, 20.0, 35.0] {
+        let cfg = ScenarioConfig { pilot_snr_db: pilot_snr, ..Default::default() };
+        let scenarios = generate_scenarios(Regime::Driving, &cfg, 40, &mut rng_from_seed(5));
+        let res = evaluate(&RemEstimator::default(), &scenarios, 0.1, 3.0);
+        errors.push(res.mean_snr_error_db());
+    }
+    // More pilot SNR, less error (weak monotonicity with margin).
+    assert!(errors[2] <= errors[0] + 0.3, "{errors:?}");
+}

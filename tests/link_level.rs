@@ -1,0 +1,123 @@
+//! Link-level integration: the full coded OFDM/OTFS pipeline through
+//! 3GPP channels reproduces the Fig 10 relationships.
+
+use rem_channel::doppler::kmh_to_ms;
+use rem_channel::models::ChannelModel;
+use rem_num::rng::rng_from_seed;
+use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+
+#[test]
+fn fig10a_shape_otfs_beats_ofdm_at_hsr() {
+    let speed = kmh_to_ms(350.0);
+    let mut r1 = rng_from_seed(1);
+    let ofdm = measure_bler(
+        &LinkConfig::signaling(Waveform::Ofdm),
+        ChannelModel::Hst,
+        speed,
+        2.6e9,
+        8.0,
+        120,
+        &mut r1,
+    );
+    let mut r2 = rng_from_seed(1);
+    let otfs = measure_bler(
+        &LinkConfig::signaling(Waveform::Otfs),
+        ChannelModel::Hst,
+        speed,
+        2.6e9,
+        8.0,
+        120,
+        &mut r2,
+    );
+    assert!(otfs < ofdm, "otfs={otfs} ofdm={ofdm}");
+    // Legacy floor: even at very high SNR it keeps failing.
+    let mut r3 = rng_from_seed(2);
+    let ofdm_hi = measure_bler(
+        &LinkConfig::signaling(Waveform::Ofdm),
+        ChannelModel::Hst,
+        speed,
+        2.6e9,
+        20.0,
+        120,
+        &mut r3,
+    );
+    assert!(ofdm_hi > 0.05, "legacy floor missing: {ofdm_hi}");
+}
+
+#[test]
+fn fig10b_shape_parity_at_low_mobility() {
+    let speed = kmh_to_ms(30.0);
+    let mut r1 = rng_from_seed(3);
+    let ofdm = measure_bler(
+        &LinkConfig::signaling(Waveform::Ofdm),
+        ChannelModel::Eva,
+        speed,
+        2.0e9,
+        12.0,
+        120,
+        &mut r1,
+    );
+    let mut r2 = rng_from_seed(3);
+    let otfs = measure_bler(
+        &LinkConfig::signaling(Waveform::Otfs),
+        ChannelModel::Eva,
+        speed,
+        2.0e9,
+        12.0,
+        120,
+        &mut r2,
+    );
+    // Comparable at low mobility (backward compatibility).
+    assert!((ofdm - otfs).abs() < 0.25, "ofdm={ofdm} otfs={otfs}");
+}
+
+#[test]
+fn scheduler_keeps_signaling_in_contiguous_subgrid_under_load() {
+    use bytes::Bytes;
+    use rem_phy::scheduler::{MessageKind, Scheduler};
+    let mut s = Scheduler::lte_default();
+    s.enqueue_data(100_000);
+    for i in 0..50 {
+        s.enqueue_signaling(
+            if i % 2 == 0 { MessageKind::MeasurementReport } else { MessageKind::HandoverCommand },
+            Bytes::from(vec![0u8; 6]),
+        );
+    }
+    let mut served = 0;
+    for _ in 0..100 {
+        let plan = s.schedule_subframe();
+        if let Some(r) = plan.signaling_region {
+            assert!(r.n0 + r.cols <= 14);
+            assert_eq!(r.rows, 12);
+            assert_eq!(plan.data_slots, 12 * 14 - r.slots());
+        }
+        served += plan.signaling.len();
+        if s.signaling_backlog() == 0 {
+            break;
+        }
+    }
+    assert_eq!(served, 50);
+}
+
+#[test]
+fn dd_channel_estimation_feeds_algorithm1() {
+    // chanest -> Algorithm 1 round trip at realistic pilot SNR.
+    use rem_channel::delaydoppler::{dd_channel_matrix, snap_to_grid, DdGrid};
+    use rem_channel::{MultipathChannel, Path};
+    use rem_crossband::{estimate_band2, SvdEstimatorConfig};
+    use rem_num::c64;
+    use rem_phy::chanest::estimate_dd;
+
+    let grid = DdGrid::lte(24, 16);
+    let raw = MultipathChannel::new(vec![
+        Path::new(c64(1.0, 0.0), 0.4e-6, 300.0),
+        Path::new(c64(0.0, 0.5), 1.5e-6, -150.0),
+    ]);
+    let ch = snap_to_grid(&grid, &raw);
+    let mut rng = rng_from_seed(4);
+    let h1 = estimate_dd(&grid, &ch, 30.0, &mut rng);
+    let est = estimate_band2(&grid, &h1, 1.8e9, 2.4e9, &SvdEstimatorConfig::default());
+    let truth = dd_channel_matrix(&grid, &ch.scaled_to_carrier(1.8e9, 2.4e9));
+    let rel = est.h2_dd.frobenius_dist(&truth) / truth.frobenius_norm();
+    assert!(rel < 0.35, "relative error {rel}");
+}

@@ -1,0 +1,144 @@
+//! Conflict analysis integration: Theorems 2/3 as executable claims,
+//! plus a behavioural check that the sufficient condition actually
+//! prevents loops under simulated SNR processes.
+
+use proptest::prelude::*;
+use rem_mobility::conflict::A3Graph;
+use rem_mobility::events::{EventConfig, EventKind, EventMonitor};
+use rem_mobility::policy::CellId;
+use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
+use rem_mobility::policy::{legacy_multi_stage_policy, Earfcn};
+use rem_num::rng::{rng_from_seed, standard_normal};
+
+/// Simulates three cells' SNR processes and a client following A3
+/// rules with the given offsets; returns the handover count within a
+/// bounded horizon (a loop shows up as an explosion of handovers).
+fn simulate_handovers(offsets: &[[f64; 3]; 3], seed: u64) -> usize {
+    let mut rng = rng_from_seed(seed);
+    let mut serving = 0usize;
+    let mut handovers = 0usize;
+    let mut monitors = vec![EventMonitor::default(); 9];
+    // Static mean SNRs inside the mutual-coverage region + noise.
+    let means = [10.0, 9.0, 11.0];
+    let mut t = 0.0;
+    while t < 60_000.0 {
+        let snr: Vec<f64> = means.iter().map(|m| m + 0.5 * standard_normal(&mut rng)).collect();
+        let mut best: Option<(f64, usize)> = None;
+        for target in 0..3 {
+            if target == serving {
+                continue;
+            }
+            let cfg = EventConfig {
+                kind: EventKind::A3 { offset: offsets[serving][target] },
+                ttt_ms: 80.0,
+                hysteresis_db: 0.0,
+            };
+            let mon = &mut monitors[serving * 3 + target];
+            if mon.observe(&cfg, t, snr[serving], snr[target])
+                && best.is_none_or(|(q, _)| snr[target] > q)
+            {
+                best = Some((snr[target], target));
+            }
+        }
+        if let Some((_, target)) = best {
+            serving = target;
+            handovers += 1;
+            for m in &mut monitors {
+                m.reset();
+            }
+        }
+        t += 20.0;
+    }
+    handovers
+}
+
+#[test]
+fn theorem2_compliant_offsets_prevent_loops_behaviourally() {
+    // Conservative (+3 everywhere): nearly no handovers.
+    let ok = [[0.0, 3.0, 3.0], [3.0, 0.0, 3.0], [3.0, 3.0, 0.0]];
+    let n_ok = simulate_handovers(&ok, 1);
+    // Violating pair (0 <-> 2 sums to -2): persistent oscillation.
+    let bad = [[0.0, 3.0, -1.0], [3.0, 0.0, 3.0], [-1.0, 3.0, 0.0]];
+    let n_bad = simulate_handovers(&bad, 1);
+    assert!(n_bad > 10 * (n_ok + 1), "ok={n_ok} bad={n_bad}");
+}
+
+#[test]
+fn rem_simplification_of_fig1b_policy_is_conflict_free() {
+    // Recreate the Fig 1b-style multi-stage policies for a handful of
+    // cells with mixed proactive offsets, simplify, verify.
+    let policies: Vec<_> = (0..6u32)
+        .map(|i| {
+            let offset = if i % 3 == 0 { -3.0 } else { 2.0 };
+            legacy_multi_stage_policy(
+                CellId(i),
+                Earfcn(if i % 2 == 0 { 1825 } else { 2452 }),
+                &[Earfcn(100)],
+                offset,
+                80.0,
+                640.0,
+            )
+        })
+        .collect();
+    let fixed = rem_policies(&policies, &SimplifyConfig::default());
+    let g = rem_mobility::conflict::a3_graph_from_policies(&fixed);
+    assert!(g.theorem2_holds());
+    assert!(!g.has_persistent_loop());
+    for p in &fixed {
+        assert!(!p.is_multi_stage());
+        assert!(p.stage1.iter().all(|r| matches!(r.event.kind, EventKind::A3 { .. })));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2 (property form): if every composable offset pair sums
+    /// to >= 0, Bellman-Ford finds no negative cycle.
+    #[test]
+    fn theorem2_implies_loop_freedom(raw in proptest::collection::vec(-40i32..80, 20)) {
+        let mut g = A3Graph::new();
+        let mut k = 0;
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j && k < raw.len() {
+                    g.set_offset(CellId(i), CellId(j), raw[k] as f64 / 10.0);
+                    k += 1;
+                }
+            }
+        }
+        if g.theorem2_holds() {
+            prop_assert!(!g.has_persistent_loop());
+        }
+    }
+
+    /// The clamp repair always restores Theorem 2 and loop freedom.
+    #[test]
+    fn clamp_repair_always_works(raw in proptest::collection::vec(-60i32..60, 20)) {
+        let mut g = A3Graph::new();
+        let mut k = 0;
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j && k < raw.len() {
+                    g.set_offset(CellId(i), CellId(j), raw[k] as f64 / 10.0);
+                    k += 1;
+                }
+            }
+        }
+        let fixed = g.make_conflict_free();
+        prop_assert!(fixed.theorem2_holds());
+        prop_assert!(!fixed.has_persistent_loop());
+    }
+
+    /// A5 -> A3 rewriting is sound: whenever A5 fires, its A3 rewrite
+    /// fires too (the simplified policy never misses a handover).
+    #[test]
+    fn a5_rewrite_is_sound(s in -140.0f64..-44.0, n in -140.0f64..-44.0,
+                           t1 in -130.0f64..-60.0, t2 in -130.0f64..-60.0) {
+        let a5 = EventKind::A5 { serving_below: t1, neighbor_above: t2 };
+        let a3 = EventKind::A3 { offset: t2 - t1 };
+        if a5.entering(s, n, 0.0) {
+            prop_assert!(a3.entering(s, n, 0.0));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Movement prediction coupled to the campaign: the Kalman filter
+//! tracks the (noisy) client trajectory of a simulated run and its
+//! predictions anticipate the observed handover cadence — §10's
+//! "predictive client trajectory" made executable.
+
+use rem_core::{DatasetSpec, Plane, RunConfig};
+use rem_num::rng::{normal, rng_from_seed};
+use rem_sim::{simulate_run, TrajectoryFilter};
+
+#[test]
+fn filter_tracks_a_campaign_trajectory() {
+    let spec = DatasetSpec::beijing_taiyuan(15.0, 300.0);
+    let speed = spec.speed_ms();
+    let mut f = TrajectoryFilter::new(0.1, 25.0);
+    let mut rng = rng_from_seed(3);
+    let dt = 1.0;
+    // Feed GNSS-grade fixes along the run.
+    let steps = spec.duration_s() as usize;
+    for i in 0..steps {
+        let true_pos = speed * i as f64 * dt;
+        f.step(dt, normal(&mut rng, true_pos, 5.0));
+    }
+    assert!((f.velocity_ms() - speed).abs() < 1.0, "v={} want={speed}", f.velocity_ms());
+}
+
+#[test]
+fn predicted_site_passings_match_observed_handovers() {
+    // The filter's time-to-site predictions should land within a few
+    // seconds of when the campaign actually handed the client over
+    // near each site.
+    let spec = DatasetSpec::beijing_taiyuan(20.0, 300.0);
+    let m = simulate_run(&RunConfig::new(spec.clone(), Plane::Rem, 4));
+    assert!(m.handovers.len() >= 4);
+
+    let speed = spec.speed_ms();
+    let mut f = TrajectoryFilter::new(0.1, 25.0);
+    let mut rng = rng_from_seed(5);
+    // Train the filter on the first 30 s of trajectory.
+    for i in 0..30 {
+        f.step(1.0, normal(&mut rng, speed * i as f64, 5.0));
+    }
+    // Every later handover: predicted arrival at the handover position
+    // is within 10% of the actual time.
+    for h in m.handovers.iter().filter(|h| h.t_ms > 35_000.0).take(5) {
+        let pos_at_ho = speed * h.t_ms / 1e3;
+        let predicted = f
+            .time_to_site_s(pos_at_ho)
+            .expect("handover positions are ahead of the filter");
+        let actual = h.t_ms / 1e3 - 29.0; // filter time origin
+        let rel = (predicted - actual).abs() / actual;
+        assert!(rel < 0.1, "predicted {predicted:.1}s vs actual {actual:.1}s");
+    }
+}
+
+#[test]
+fn doppler_prediction_sign_flips_at_site_passing() {
+    let mut f = TrajectoryFilter::new(0.1, 25.0);
+    let mut rng = rng_from_seed(7);
+    for i in 0..60 {
+        f.step(1.0, normal(&mut rng, 90.0 * i as f64, 4.0));
+    }
+    let site = f.position_m() + 500.0;
+    // Approaching now, receding after passing.
+    let before = f.predict_doppler_hz(0.0, site, 150.0, 2.6e9);
+    let t_pass = f.time_to_site_s(site).unwrap();
+    let after = f.predict_doppler_hz(t_pass + 5.0, site, 150.0, 2.6e9);
+    assert!(before > 0.0 && after < 0.0, "before={before} after={after}");
+}

@@ -1,0 +1,99 @@
+//! Serialisation contracts: every public configuration/result type
+//! survives a JSON round trip (the stability downstream tooling —
+//! including the CLI's policy audit and the trace export — relies on).
+
+use rem_core::{DatasetSpec, ExperimentReport, Plane, RunConfig, RunMetrics};
+use rem_mobility::events::{EventConfig, EventKind};
+use rem_mobility::policy::{CellId, CellPolicy, Earfcn, HandoverRule, TargetScope};
+use rem_net::{CongestionControl, LinkModel, Outage, TcpConfig};
+use rem_sim::simulate_run;
+
+fn round_trip<T>(v: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(v).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+#[test]
+fn dataset_spec_round_trips() {
+    let spec = DatasetSpec::beijing_shanghai(40.0, 300.0);
+    let back: DatasetSpec = round_trip(&spec);
+    assert_eq!(back.name, spec.name);
+    assert_eq!(back.speed_kmh, spec.speed_kmh);
+    assert_eq!(back.deployment.route_m, spec.deployment.route_m);
+    assert_eq!(back.proactive_prob, spec.proactive_prob);
+}
+
+#[test]
+fn run_metrics_round_trip_preserves_everything() {
+    let mut cfg = RunConfig::new(DatasetSpec::beijing_taiyuan(10.0, 250.0), Plane::Legacy, 1);
+    cfg.record_trace = true;
+    let m = simulate_run(&cfg);
+    let back: RunMetrics = round_trip(&m);
+    assert_eq!(back.handovers, m.handovers);
+    assert_eq!(back.failures, m.failures);
+    assert_eq!(back.loops, m.loops);
+    assert_eq!(back.signaling, m.signaling);
+    assert_eq!(back.trace.events, m.trace.events);
+    assert_eq!(back.feedback_delays_ms, m.feedback_delays_ms);
+}
+
+#[test]
+fn cell_policy_round_trips() {
+    let p = CellPolicy {
+        cell: CellId(7),
+        earfcn: Earfcn(1825),
+        stage1: vec![HandoverRule {
+            event: EventConfig {
+                kind: EventKind::A3 { offset: -2.5 },
+                ttt_ms: 80.0,
+                hysteresis_db: 1.0,
+            },
+            target: TargetScope::IntraFreq,
+        }],
+        a2_gate: Some(EventConfig {
+            kind: EventKind::A2 { thresh: -110.0 },
+            ttt_ms: 640.0,
+            hysteresis_db: 1.0,
+        }),
+        stage2: vec![HandoverRule {
+            event: EventConfig {
+                kind: EventKind::A5 { serving_below: -110.0, neighbor_above: -108.0 },
+                ttt_ms: 640.0,
+                hysteresis_db: 1.0,
+            },
+            target: TargetScope::InterFreq(Earfcn(2452)),
+        }],
+        a1_exit: None,
+    };
+    assert_eq!(round_trip(&p), p);
+}
+
+#[test]
+fn tcp_types_round_trip() {
+    let cfg = TcpConfig { congestion: CongestionControl::Cubic, ..Default::default() };
+    let back: TcpConfig = round_trip(&cfg);
+    assert_eq!(back.congestion, CongestionControl::Cubic);
+    assert_eq!(back.mss_bytes, cfg.mss_bytes);
+
+    let link = LinkModel {
+        rtt_ms: 55.0,
+        loss_prob: 0.02,
+        outages: vec![Outage { start_ms: 1.0, end_ms: 2.0 }],
+        ..Default::default()
+    };
+    let back: LinkModel = round_trip(&link);
+    assert_eq!(back.outages, link.outages);
+    assert_eq!(back.rtt_ms, 55.0);
+}
+
+#[test]
+fn experiment_report_is_stable_json() {
+    let mut r = ExperimentReport::new("x").with_context("k", "v");
+    r.push_row("row", &[("m", 1.5)]);
+    let a = r.to_json();
+    let b = ExperimentReport::from_json(&a).unwrap().to_json();
+    assert_eq!(a, b, "serialisation must be canonical/stable");
+}
