@@ -4,23 +4,25 @@
 //! reduction? Each variant disables one component and replays the
 //! same environments.
 
-use rem_bench::{header, pct, ROUTE_KM, SEEDS};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_bench::{bench_args, header, pct, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane, RunMetrics};
 use rem_sim::run::RemAblation;
-use rem_sim::simulate_run;
 
-fn run(spec: &DatasetSpec, plane: Plane, ablation: RemAblation, clamp: bool) -> RunMetrics {
-    let mut m = RunMetrics::default();
-    for &seed in &SEEDS {
-        let mut cfg = RunConfig::new(spec.clone(), plane, seed);
+fn run(
+    spec: &DatasetSpec,
+    plane: Plane,
+    ablation: RemAblation,
+    clamp: bool,
+    threads: usize,
+) -> RunMetrics {
+    CampaignSpec::new(spec.clone()).with_threads(threads).aggregate_with(plane, |cfg| {
         cfg.ablation = ablation;
         cfg.rem_clamp_offsets = clamp;
-        merge(&mut m, simulate_run(&cfg));
-    }
-    m
+    })
 }
 
 fn main() {
+    let args = bench_args();
     header("Ablation: REM component contributions (300 km/h, Beijing-Shanghai)");
     let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, 300.0);
     let full = RemAblation::default();
@@ -39,7 +41,7 @@ fn main() {
         "variant", "failures", "w/o holes", "fb delay ms", "loops"
     );
     for (name, plane, ablation, clamp) in variants {
-        let m = run(&spec, plane, ablation, clamp);
+        let m = run(&spec, plane, ablation, clamp, args.threads);
         println!(
             "{:<28} {:>9} {:>10} {:>12.0} {:>8}",
             name,

@@ -2,19 +2,20 @@
 //! shortens symbols, shrinking Doppler-induced ICI and CSI aging — but
 //! even mu=2 does not close the legacy/REM gap at 350 km/h, supporting
 //! the paper's claim that 5G's OFDM refinements inherit the problem.
+//!
+//! Usage: `cargo bench --bench ablation_numerology -- [blocks] [--threads N]`
 
-use rem_bench::header;
-use rem_channel::doppler::kmh_to_ms;
+use rem_bench::{bench_args, header};
 use rem_channel::models::ChannelModel;
 use rem_channel::DdGrid;
-use rem_num::rng::rng_from_seed;
-use rem_phy::link::{measure_bler, CsiModel, LinkConfig, OtfsReceiver, Waveform};
+use rem_phy::link::{BlerScenario, CsiModel, LinkConfig, OtfsReceiver, Waveform};
 use rem_phy::Modulation;
 
 fn main() {
+    let args = bench_args();
     header("Ablation: 5G NR numerologies at 350 km/h (HST, SNR 6 dB)");
     println!("{:>4} {:>10} {:>12} {:>10}", "mu", "SCS kHz", "legacy OFDM", "REM OTFS");
-    let blocks = 200;
+    let blocks = args.trials_or(200);
     for mu in 0..=2u32 {
         let grid = DdGrid::nr(mu, 12, 14);
         let ofdm_cfg = LinkConfig {
@@ -31,19 +32,25 @@ fn main() {
             csi: CsiModel::DdProfile,
             otfs_receiver: OtfsReceiver::TwoStep,
         };
-        let mut r1 = rng_from_seed(21);
-        let ofdm = measure_bler(&ofdm_cfg, ChannelModel::Hst, kmh_to_ms(350.0), 2.6e9, 6.0, blocks, &mut r1);
-        let mut r2 = rng_from_seed(21);
-        let otfs = measure_bler(&otfs_cfg, ChannelModel::Hst, kmh_to_ms(350.0), 2.6e9, 6.0, blocks, &mut r2);
+        // Shared seed 21: the waveforms see identical channel draws.
+        let base = BlerScenario::new(ofdm_cfg, ChannelModel::Hst)
+            .with_blocks(blocks)
+            .with_seed(21)
+            .with_threads(args.threads);
+        let ofdm = base.run();
+        let otfs = BlerScenario { cfg: otfs_cfg, ..base }.run();
         println!("{mu:>4} {:>10} {ofdm:>12.3} {otfs:>10.3}", 15 * (1 << mu));
     }
     println!("\nHigher SCS helps legacy OFDM (shorter symbols age less) but the");
     println!("delay-Doppler overlay stays ahead at every numerology.");
 
     header("5G dense small cells at 300 km/h (campaign level)");
-    use rem_core::{Comparison, DatasetSpec};
-    let lte = Comparison::run(&DatasetSpec::beijing_shanghai(30.0, 300.0), &[1, 2]);
-    let nr = Comparison::run(&DatasetSpec::nr_smallcell(30.0, 300.0), &[1, 2]);
+    use rem_core::{CampaignSpec, Comparison, DatasetSpec};
+    let campaign = |spec| {
+        CampaignSpec::new(spec).with_seeds(&[1, 2]).with_threads(args.threads)
+    };
+    let lte = Comparison::run(&campaign(DatasetSpec::beijing_shanghai(30.0, 300.0)));
+    let nr = Comparison::run(&campaign(DatasetSpec::nr_smallcell(30.0, 300.0)));
     println!(
         "{:<16} {:>9} {:>12} {:>12}",
         "deployment", "HO int.", "legacy fail", "REM fail"

@@ -1,34 +1,32 @@
 //! OTFS receiver ablation: two-step TF-MMSE vs delay-Doppler message
 //! passing (paper ref [21]) through the full coded pipeline on a
 //! doubly-selective channel.
+//!
+//! Usage: `cargo bench --bench ablation_receiver -- [blocks] [--threads N]`
 
-use rem_bench::header;
-use rem_channel::doppler::kmh_to_ms;
+use rem_bench::{bench_args, header};
 use rem_channel::models::ChannelModel;
-use rem_num::rng::rng_from_seed;
-use rem_phy::link::{measure_bler, LinkConfig, OtfsReceiver, Waveform};
+use rem_phy::link::{BlerScenario, LinkConfig, OtfsReceiver, Waveform};
 
 fn main() {
+    let args = bench_args();
     header("Ablation: OTFS receivers (ETU @300 km/h, coded BLER)");
-    let blocks = 150;
+    let blocks = args.trials_or(150);
     println!("{:>7} {:>12} {:>16}", "SNR dB", "two-step", "message passing");
+    // Shared seed 31: both receivers decode identical channel/payload
+    // draws per trial.
+    let base = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Etu)
+        .with_speed_kmh(300.0)
+        .with_blocks(blocks)
+        .with_seed(31)
+        .with_threads(args.threads);
+    let mp_cfg = LinkConfig {
+        otfs_receiver: OtfsReceiver::MessagePassing,
+        ..LinkConfig::signaling(Waveform::Otfs)
+    };
     for snr in [-2.0, 0.0, 2.0, 4.0, 8.0] {
-        let mut r1 = rng_from_seed(31);
-        let two = measure_bler(
-            &LinkConfig::signaling(Waveform::Otfs),
-            ChannelModel::Etu,
-            kmh_to_ms(300.0),
-            2.6e9,
-            snr,
-            blocks,
-            &mut r1,
-        );
-        let mut r2 = rng_from_seed(31);
-        let mp_cfg = LinkConfig {
-            otfs_receiver: OtfsReceiver::MessagePassing,
-            ..LinkConfig::signaling(Waveform::Otfs)
-        };
-        let mp = measure_bler(&mp_cfg, ChannelModel::Etu, kmh_to_ms(300.0), 2.6e9, snr, blocks, &mut r2);
+        let two = base.with_snr_db(snr).run();
+        let mp = BlerScenario { cfg: mp_cfg, ..base.with_snr_db(snr) }.run();
         println!("{snr:>7} {two:>12.3} {mp:>16.3}");
     }
     println!("\nOn real (off-grid) channels the coded pipelines land close: the MP");

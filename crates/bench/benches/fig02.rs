@@ -2,13 +2,13 @@
 //! (a) measurement/feedback delay CDF, HSR vs driving;
 //! (b) block-error-rate CDF in the 5 s before signaling-loss failures.
 
-use rem_bench::{header, print_cdf, ROUTE_KM, SEEDS};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_bench::{bench_args, header, print_cdf, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane};
 use rem_mobility::feedback::{sample_feedback_delays, MeasurementTiming};
 use rem_num::rng::rng_from_seed;
-use rem_sim::simulate_run;
 
 fn main() {
+    let args = bench_args();
     header("Fig 2a: measurement delay CDF (legacy feedback pipeline)");
     let t = MeasurementTiming::default();
     let mut rng = rng_from_seed(1);
@@ -25,11 +25,8 @@ fn main() {
     println!("paper: HSR average 800 ms, long tail to several seconds");
 
     header("Fig 2b: block error rate before signaling-loss failures");
-    let mut agg = RunMetrics::default();
-    for &seed in &SEEDS {
-        let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0);
-        merge(&mut agg, simulate_run(&RunConfig::new(spec, Plane::Legacy, seed)));
-    }
+    let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0);
+    let agg = CampaignSpec::new(spec).with_threads(args.threads).aggregate(Plane::Legacy);
     let ul: Vec<f64> = agg.bler_before_failure_ul.iter().map(|b| b * 100.0).collect();
     let dl: Vec<f64> = agg.bler_before_failure_dl.iter().map(|b| b * 100.0).collect();
     print_cdf("uplink (measurement feedback)", &ul, 11, "%");

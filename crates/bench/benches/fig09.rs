@@ -1,10 +1,11 @@
 //! Fig 9: REM's benefit for TCP — stalling times (a) and a microtrace
 //! around one failure showing RTO inflation (b).
 
-use rem_bench::{header, ROUTE_KM};
-use rem_core::{replay_tcp, Comparison, DatasetSpec, STALL_GAP_MS};
+use rem_bench::{bench_args, header, ROUTE_KM};
+use rem_core::{replay_tcp, CampaignSpec, Comparison, DatasetSpec, STALL_GAP_MS};
 
 fn main() {
+    let args = bench_args();
     header("Fig 9a: TCP stalling time, legacy vs REM");
     println!(
         "{:>8} {:>13} {:>13} {:>14} {:>14} {:>9}  (paper avg: 7.9->4.2s @200, 6.6->4.5s @300)",
@@ -12,7 +13,9 @@ fn main() {
     );
     for speed in [200.0, 300.0] {
         let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, speed);
-        let cmp = Comparison::run(&spec, &[5, 6]);
+        let cmp = Comparison::run(
+            &CampaignSpec::new(spec).with_seeds(&[5, 6]).with_threads(args.threads),
+        );
         let window = cmp.legacy.duration_s * 1e3;
         let lt = replay_tcp(&cmp.legacy, window, 9);
         let rt = replay_tcp(&cmp.rem, window, 9);

@@ -2,51 +2,52 @@
 //! OTFS overlay, through the full coded pipeline (CRC, convolutional
 //! code, interleaver, QAM, Viterbi) on 3GPP channels.
 //! (a) high-speed rail (HST @350 km/h); (b) low mobility (EVA).
+//!
+//! Usage: `cargo bench --bench fig10 -- [blocks] [--threads N]`
 
-use rem_bench::header;
-use rem_channel::doppler::kmh_to_ms;
+use rem_bench::{bench_args, header};
 use rem_channel::models::ChannelModel;
-use rem_num::rng::rng_from_seed;
-use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+use rem_phy::link::{BlerScenario, LinkConfig, Waveform};
 
-fn sweep(title: &str, model: ChannelModel, speed_kmh: f64, carrier: f64, blocks: usize) {
+fn sweep(
+    title: &str,
+    model: ChannelModel,
+    speed_kmh: f64,
+    carrier: f64,
+    blocks: usize,
+    threads: usize,
+) {
     header(title);
     println!("{:>7} {:>12} {:>10}", "SNR dB", "legacy OFDM", "REM OTFS");
+    // One scenario per SNR point; both waveforms share seed 10, so each
+    // trial is a paired draw of the same channel and payload.
+    let base = BlerScenario::signaling(Waveform::Ofdm, model)
+        .with_speed_kmh(speed_kmh)
+        .with_carrier_hz(carrier)
+        .with_blocks(blocks)
+        .with_seed(10)
+        .with_threads(threads);
     for snr in [-8.0, -4.0, 0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0] {
-        let mut r1 = rng_from_seed(10);
-        let ofdm = measure_bler(
-            &LinkConfig::signaling(Waveform::Ofdm),
-            model,
-            kmh_to_ms(speed_kmh),
-            carrier,
-            snr,
-            blocks,
-            &mut r1,
-        );
-        let mut r2 = rng_from_seed(10);
-        let otfs = measure_bler(
-            &LinkConfig::signaling(Waveform::Otfs),
-            model,
-            kmh_to_ms(speed_kmh),
-            carrier,
-            snr,
-            blocks,
-            &mut r2,
-        );
+        let ofdm = base.with_snr_db(snr).run();
+        let otfs = BlerScenario {
+            cfg: LinkConfig::signaling(Waveform::Otfs),
+            ..base.with_snr_db(snr)
+        }
+        .run();
         println!("{snr:>7} {:>12.3} {:>10.3}", ofdm, otfs);
     }
 }
 
 fn main() {
-    let blocks = std::env::args()
-        .find_map(|a| a.parse::<usize>().ok())
-        .unwrap_or(300);
+    let args = bench_args();
+    let blocks = args.trials_or(300);
     sweep(
         "Fig 10a: BLER vs SNR, high-speed rails (HST, 350 km/h)",
         ChannelModel::Hst,
         350.0,
         2.6e9,
         blocks,
+        args.threads,
     );
     println!("paper: legacy keeps a high error floor; REM drops steeply with SNR");
     sweep(
@@ -55,6 +56,7 @@ fn main() {
         30.0,
         2.0e9,
         blocks,
+        args.threads,
     );
     println!("paper: the two waveforms are comparable in low mobility");
 }

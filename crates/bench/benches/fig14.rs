@@ -2,14 +2,14 @@
 //! cross-band estimation (CDF) — both from the analytic timing model
 //! and from the campaign simulator's recorded attempts.
 
-use rem_bench::{header, print_cdf, ROUTE_KM};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_bench::{bench_args, header, print_cdf, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane};
 use rem_mobility::feedback::{sample_feedback_delays, MeasurementTiming};
 use rem_num::rng::rng_from_seed;
 use rem_num::stats::mean;
-use rem_sim::simulate_run;
 
 fn main() {
+    let args = bench_args();
     header("Fig 14a: feedback delay CDF, legacy vs REM (timing model)");
     let t = MeasurementTiming::default();
     let mut rng = rng_from_seed(8);
@@ -26,12 +26,10 @@ fn main() {
 
     header("Fig 14a': realized feedback delays from the campaign replays");
     let spec = DatasetSpec::beijing_shanghai(ROUTE_KM, 300.0);
-    let mut l = RunMetrics::default();
-    let mut r = RunMetrics::default();
-    for seed in [1, 2] {
-        merge(&mut l, simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, seed)));
-        merge(&mut r, simulate_run(&RunConfig::new(spec.clone(), Plane::Rem, seed)));
-    }
+    let campaign =
+        CampaignSpec::new(spec).with_seeds(&[1, 2]).with_threads(args.threads);
+    let l = campaign.aggregate(Plane::Legacy);
+    let r = campaign.aggregate(Plane::Rem);
     println!(
         "realized means: legacy {:.0} ms -> REM {:.0} ms",
         mean(&l.feedback_delays_ms),

@@ -4,21 +4,17 @@
 //! it does not, because REM's faster feedback and robust signaling
 //! already prevent the late handovers the proactive offsets targeted.
 
-use rem_bench::{header, pct, ROUTE_KM, SEEDS};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
-use rem_sim::simulate_run;
+use rem_bench::{bench_args, header, pct, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane, RunMetrics};
 
-fn agg(spec: &DatasetSpec, plane: Plane, clamp: bool) -> RunMetrics {
-    let mut m = RunMetrics::default();
-    for &seed in &SEEDS {
-        let mut cfg = RunConfig::new(spec.clone(), plane, seed);
-        cfg.rem_clamp_offsets = clamp;
-        merge(&mut m, simulate_run(&cfg));
-    }
-    m
+fn agg(spec: &DatasetSpec, plane: Plane, clamp: bool, threads: usize) -> RunMetrics {
+    CampaignSpec::new(spec.clone())
+        .with_threads(threads)
+        .aggregate_with(plane, |cfg| cfg.rem_clamp_offsets = clamp)
 }
 
 fn main() {
+    let args = bench_args();
     header("Fig 15: failures (w/o coverage holes) after conflict repair");
     println!(
         "{:>10} {:>12} {:>14} {:>16}",
@@ -29,9 +25,9 @@ fn main() {
         (250.0, DatasetSpec::beijing_shanghai(ROUTE_KM, 250.0)),
         (325.0, DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0)),
     ] {
-        let legacy = agg(&spec, Plane::Legacy, true);
-        let rem = agg(&spec, Plane::Rem, true);
-        let rem_raw = agg(&spec, Plane::Rem, false);
+        let legacy = agg(&spec, Plane::Legacy, true, args.threads);
+        let rem = agg(&spec, Plane::Rem, true, args.threads);
+        let rem_raw = agg(&spec, Plane::Rem, false, args.threads);
         println!(
             "{speed:>10} {:>12} {:>14} {:>16}",
             pct(legacy.failure_ratio_no_holes()),

@@ -5,19 +5,15 @@
 //! (O(MN log MN), §5.1 — compare the measured kernel in
 //! `dsp_throughput`).
 
-use rem_bench::{header, ROUTE_KM, SEEDS};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
-use rem_sim::simulate_run;
+use rem_bench::{bench_args, header, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane, RunMetrics};
 
-fn agg(spec: &DatasetSpec, plane: Plane) -> RunMetrics {
-    let mut m = RunMetrics::default();
-    for &seed in &SEEDS {
-        merge(&mut m, simulate_run(&RunConfig::new(spec.clone(), plane, seed)));
-    }
-    m
+fn agg(spec: &DatasetSpec, plane: Plane, threads: usize) -> RunMetrics {
+    CampaignSpec::new(spec.clone()).with_threads(threads).aggregate(plane)
 }
 
 fn main() {
+    let args = bench_args();
     header("Signaling overhead: legacy vs REM on identical replays");
     println!(
         "{:<24} {:>8} {:>9} {:>9} {:>10} {:>10} {:>11}",
@@ -29,7 +25,7 @@ fn main() {
         ("LA 50 km/h", DatasetSpec::la_driving(ROUTE_KM, 50.0)),
     ] {
         for plane in [Plane::Legacy, Plane::Rem] {
-            let m = agg(&spec, plane);
+            let m = agg(&spec, plane, args.threads);
             println!(
                 "{:<24} {:>8} {:>9} {:>9} {:>10} {:>10} {:>11.1}",
                 name,

@@ -2,20 +2,16 @@
 //! bins — handover intervals, failure breakdown, and policy-conflict
 //! loop statistics.
 
-use rem_bench::{header, pct, ROUTE_KM, SEEDS};
-use rem_core::{merge, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_bench::{bench_args, header, pct, ROUTE_KM};
+use rem_core::{CampaignSpec, DatasetSpec, Plane, RunMetrics};
 use rem_mobility::FailureCause;
-use rem_sim::simulate_run;
 
-fn legacy_agg(spec: &DatasetSpec) -> RunMetrics {
-    let mut agg = RunMetrics::default();
-    for &seed in &SEEDS {
-        merge(&mut agg, simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, seed)));
-    }
-    agg
+fn legacy_agg(spec: &DatasetSpec, threads: usize) -> RunMetrics {
+    CampaignSpec::new(spec.clone()).with_threads(threads).aggregate(Plane::Legacy)
 }
 
 fn main() {
+    let args = bench_args();
     header("Table 2: Network reliability in extreme mobility (legacy plane)");
     let scenarios = [
         ("low mobility 0-100", DatasetSpec::la_driving(ROUTE_KM, 50.0), "50.2s/4.3%"),
@@ -28,7 +24,7 @@ fn main() {
         "scenario", "HO int.", "fail", "fb d/l", "missed", "cmdloss", "holes", "loop int.", "HO/loop", "disr/loop", "intra%", "inter%"
     );
     for (name, spec, paper) in scenarios {
-        let m = legacy_agg(&spec);
+        let m = legacy_agg(&spec, args.threads);
         println!(
             "{:<20} {:>7.1}s {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8.1}s {:>7.1} {:>8.2}s {:>6.0}% {:>6.0}%  ({paper})",
             name,

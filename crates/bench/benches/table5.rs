@@ -1,8 +1,8 @@
 //! Table 5: reduction of failures and policy conflicts, legacy (LGC)
 //! vs REM, across datasets and speed bins.
 
-use rem_bench::{eps, header, pct, ROUTE_KM, SEEDS};
-use rem_core::{Comparison, DatasetSpec, ExperimentReport};
+use rem_bench::{bench_args, eps, header, pct, ROUTE_KM, SEEDS};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec, ExperimentReport};
 use rem_mobility::FailureCause;
 
 fn row(label: &str, l: f64, r: f64) {
@@ -10,6 +10,7 @@ fn row(label: &str, l: f64, r: f64) {
 }
 
 fn main() {
+    let args = bench_args();
     header("Table 5: failure/conflict reduction, LGC vs REM");
     let mut report = ExperimentReport::new("table5")
         .with_context("route_km", &format!("{ROUTE_KM}"))
@@ -22,7 +23,7 @@ fn main() {
         ("Beijing-Shanghai 300-350", DatasetSpec::beijing_shanghai(ROUTE_KM, 325.0), "12.5->3.5% (2.6x)"),
     ];
     for (name, spec, paper) in scenarios {
-        let cmp = Comparison::run(&spec, &SEEDS);
+        let cmp = Comparison::run(&CampaignSpec::new(spec).with_threads(args.threads));
         println!("\n{name}   [paper total: {paper}]");
         println!("  {:<26} {:>8} {:>8} {:>8}", "", "LGC", "REM", "eps");
         row("total failure ratio", cmp.legacy.failure_ratio(), cmp.rem.failure_ratio());

@@ -8,10 +8,66 @@ use rem_num::stats::Ecdf;
 
 /// Route length (km) used by campaign benches. Longer routes tighten
 /// the statistics at the cost of runtime.
-pub const ROUTE_KM: f64 = 60.0;
+///
+/// Re-exported from [`rem_core`]: the campaign configuration (route,
+/// seeds, threads) now lives in [`rem_core::CampaignSpec`] so benches
+/// and the CLI share one sweep-configuration type.
+pub use rem_core::DEFAULT_ROUTE_KM as ROUTE_KM;
 
-/// Seeds aggregated per configuration.
-pub const SEEDS: [u64; 4] = [1, 2, 3, 4];
+/// Seeds aggregated per configuration (re-exported from [`rem_core`]).
+pub use rem_core::DEFAULT_SEEDS as SEEDS;
+
+/// Arguments of a `harness = false` bench invocation: the optional
+/// positional trial-count and the `--threads N` worker count.
+///
+/// Cargo passes its own tokens (e.g. `--bench`) through to the binary;
+/// unknown flags are ignored rather than rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// First bare integer argument (conventionally the Monte-Carlo
+    /// block/trial count), if any.
+    pub trials: Option<usize>,
+    /// Worker threads (`0` = all available hardware threads).
+    pub threads: usize,
+}
+
+impl BenchArgs {
+    /// The positional trial count, or `default` when absent.
+    pub fn trials_or(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+}
+
+/// Parses bench command-line tokens (everything after the program
+/// name). See [`BenchArgs`].
+pub fn parse_bench_args<I, S>(tokens: I) -> BenchArgs
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = BenchArgs { trials: None, threads: 0 };
+    let mut it = tokens.into_iter();
+    while let Some(tok) = it.next() {
+        let tok = tok.as_ref();
+        if tok == "--threads" {
+            if let Some(v) = it.next() {
+                if let Ok(n) = v.as_ref().parse() {
+                    out.threads = n;
+                }
+            }
+        } else if out.trials.is_none() {
+            if let Ok(n) = tok.parse() {
+                out.trials = Some(n);
+            }
+        }
+    }
+    out
+}
+
+/// [`parse_bench_args`] over the process arguments.
+pub fn bench_args() -> BenchArgs {
+    parse_bench_args(std::env::args().skip(1))
+}
 
 /// Prints a section header.
 pub fn header(title: &str) {
@@ -40,5 +96,41 @@ pub fn eps(e: f64) -> String {
         "inf".to_string()
     } else {
         format!("{e:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_args_parses_positional_and_threads() {
+        let a = parse_bench_args(["60", "--threads", "2"]);
+        assert_eq!(a, BenchArgs { trials: Some(60), threads: 2 });
+        assert_eq!(a.trials_or(200), 60);
+    }
+
+    #[test]
+    fn bench_args_defaults() {
+        let a = parse_bench_args::<_, &str>([]);
+        assert_eq!(a, BenchArgs { trials: None, threads: 0 });
+        assert_eq!(a.trials_or(200), 200);
+    }
+
+    #[test]
+    fn bench_args_ignores_cargo_tokens() {
+        // Cargo injects e.g. `--bench`; the threads value must not be
+        // mistaken for the positional trial count.
+        let a = parse_bench_args(["--bench", "--threads", "4", "80"]);
+        assert_eq!(a, BenchArgs { trials: Some(80), threads: 4 });
+        let b = parse_bench_args(["--threads", "4"]);
+        assert_eq!(b.trials, None);
+        assert_eq!(b.threads, 4);
+    }
+
+    #[test]
+    fn campaign_constants_come_from_core() {
+        assert_eq!(ROUTE_KM, rem_core::DEFAULT_ROUTE_KM);
+        assert_eq!(SEEDS, rem_core::DEFAULT_SEEDS);
     }
 }

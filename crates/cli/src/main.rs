@@ -11,7 +11,7 @@
 mod args;
 
 use args::{ArgError, Args};
-use rem_core::{Comparison, DatasetSpec, Plane, RunConfig};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec, Plane, RunConfig};
 use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
 use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
 use rem_mobility::CellPolicy;
@@ -51,6 +51,7 @@ COMMANDS:
               --speed <km/h>       (default 300)
               --route-km <km>      (default 40)
               --seeds <n>          (default 2)
+              --threads <n>        (default 0 = all cores)
   trace     Export a MobileInsight-style signaling trace (JSON lines)
               --dataset/--speed/--route-km as above
               --plane legacy|rem   (default legacy)
@@ -64,9 +65,15 @@ COMMANDS:
               --speed <km/h>           (default 350)
               --snr <dB>               (default 6)
               --blocks <n>             (default 200)
+              --seed <n>               (default 1)
+              --threads <n>            (default 0 = all cores)
   storm     Whole-train signaling burst statistics
               --clients <n>        (default 8)
-              --dataset/--speed/--route-km/--plane as above"
+              --threads <n>        (default 0 = all cores)
+              --dataset/--speed/--route-km/--plane as above
+
+Monte-Carlo trials are scheduled over --threads workers but reduced
+in canonical order: any thread count gives identical results."
     );
 }
 
@@ -94,9 +101,10 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), ArgError> {
     let a = Args::parse(rest)?;
     let spec = dataset(&a)?;
     let n_seeds = a.int_or("seeds", 2)? as usize;
-    let seeds: Vec<u64> = (1..=n_seeds as u64).collect();
+    let threads = a.int_or("threads", 0)? as usize;
     println!("{} @ {} km/h, {:.0} km x {} seeds", spec.name, spec.speed_kmh, spec.deployment.route_m / 1e3, n_seeds);
-    let cmp = Comparison::run(&spec, &seeds);
+    let campaign = CampaignSpec::new(spec).with_seed_count(n_seeds).with_threads(threads);
+    let cmp = Comparison::run(&campaign);
     println!("\n{:<26} {:>10} {:>10}", "", "legacy", "REM");
     println!("{:<26} {:>10} {:>10}", "handovers", cmp.legacy.handovers.len(), cmp.rem.handovers.len());
     println!(
@@ -192,10 +200,8 @@ fn cmd_audit(rest: Vec<String>) -> Result<(), ArgError> {
 }
 
 fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
-    use rem_channel::doppler::kmh_to_ms;
     use rem_channel::models::ChannelModel;
-    use rem_num::rng::rng_from_seed;
-    use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+    use rem_phy::link::{BlerScenario, Waveform};
 
     let a = Args::parse(rest)?;
     let model = match a.get_or("model", "hst") {
@@ -205,14 +211,20 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
         "epa" => ChannelModel::Epa,
         other => return Err(ArgError(format!("unknown model '{other}'"))),
     };
-    let speed = kmh_to_ms(a.num_or("speed", 350.0)?);
+    let speed_kmh = a.num_or("speed", 350.0)?;
     let snr = a.num_or("snr", 6.0)?;
     let blocks = a.int_or("blocks", 200)? as usize;
-    let mut r1 = rng_from_seed(1);
-    let ofdm = measure_bler(&LinkConfig::signaling(Waveform::Ofdm), model, speed, 2.6e9, snr, blocks, &mut r1);
-    let mut r2 = rng_from_seed(1);
-    let otfs = measure_bler(&LinkConfig::signaling(Waveform::Otfs), model, speed, 2.6e9, snr, blocks, &mut r2);
-    println!("{model:?} @ {:.0} km/h, SNR {snr} dB, {blocks} blocks:", a.num_or("speed", 350.0)?);
+    // Same seed for both waveforms: trial i sees the identical channel
+    // and payload under each, so the comparison is paired.
+    let scenario = BlerScenario::signaling(Waveform::Ofdm, model)
+        .with_speed_kmh(speed_kmh)
+        .with_snr_db(snr)
+        .with_blocks(blocks)
+        .with_seed(a.int_or("seed", 1)?)
+        .with_threads(a.int_or("threads", 0)? as usize);
+    let ofdm = scenario.run();
+    let otfs = BlerScenario { cfg: rem_phy::link::LinkConfig::signaling(Waveform::Otfs), ..scenario }.run();
+    println!("{model:?} @ {speed_kmh:.0} km/h, SNR {snr} dB, {blocks} blocks:");
     println!("  legacy OFDM BLER: {ofdm:.3}");
     println!("  REM OTFS BLER:    {otfs:.3}");
     Ok(())
@@ -223,7 +235,8 @@ fn cmd_storm(rest: Vec<String>) -> Result<(), ArgError> {
     let spec = dataset(&a)?;
     let cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 7)?);
     let clients = a.int_or("clients", 8)? as usize;
-    let t = simulate_train(&cfg, clients, 400.0, 1_000.0);
+    let threads = a.int_or("threads", 0)? as usize;
+    let t = simulate_train(&cfg, clients, 400.0, 1_000.0, threads);
     println!(
         "{} clients, {} messages total: mean {:.1} msg/s, peak {:.1} msg/s over {:.0} ms windows",
         t.n_clients, t.total_messages, t.mean_rate_per_s, t.peak_rate_per_s, t.window_ms

@@ -9,6 +9,81 @@ use rem_mobility::FailureCause;
 use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};
 use serde::{Deserialize, Serialize};
 
+/// Route length (km) used by the headline Table 5 campaign.
+pub const DEFAULT_ROUTE_KM: f64 = 60.0;
+
+/// Seeds used by the headline Table 5 campaign.
+pub const DEFAULT_SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+/// A Monte-Carlo replay campaign: the dataset, the seeds to replay it
+/// under, and how many worker threads to run them on.
+///
+/// Each `(plane, seed)` replay is an independent trial
+/// ([`rem_sim::simulate_run`] derives all randomness from the config's
+/// seed), so a campaign fans its trials out over
+/// [`rem_exec::par_map`] and reduces them in canonical seed order —
+/// the aggregate is bit-identical for every thread count, including 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Dataset/route to replay.
+    pub spec: DatasetSpec,
+    /// Seeds to replay under; aggregation order follows this slice.
+    pub seeds: Vec<u64>,
+    /// Worker threads (`0` = all available hardware threads).
+    pub threads: usize,
+}
+
+impl CampaignSpec {
+    /// A campaign over `spec` with the headline defaults
+    /// ([`DEFAULT_SEEDS`], all hardware threads).
+    pub fn new(spec: DatasetSpec) -> Self {
+        Self { spec, seeds: DEFAULT_SEEDS.to_vec(), threads: 0 }
+    }
+
+    /// Replaces the seed list.
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Uses seeds `1..=n`.
+    pub fn with_seed_count(mut self, n: usize) -> Self {
+        self.seeds = (1..=n as u64).collect();
+        self
+    }
+
+    /// Sets the worker thread count (`0` = all available).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs one plane over every seed in parallel, letting `configure`
+    /// adjust each [`RunConfig`] (clamping, ablations, tracing...), and
+    /// merges the per-seed metrics in canonical seed order.
+    pub fn aggregate_with(
+        &self,
+        plane: Plane,
+        configure: impl Fn(&mut RunConfig) + Sync,
+    ) -> RunMetrics {
+        let runs = rem_exec::par_map(self.threads, self.seeds.len(), |i| {
+            let mut cfg = RunConfig::new(self.spec.clone(), plane, self.seeds[i]);
+            configure(&mut cfg);
+            simulate_run(&cfg)
+        });
+        let mut agg = RunMetrics::default();
+        for m in runs {
+            merge(&mut agg, m);
+        }
+        agg
+    }
+
+    /// [`CampaignSpec::aggregate_with`] with the stock configuration.
+    pub fn aggregate(&self, plane: Plane) -> RunMetrics {
+        self.aggregate_with(plane, |_| {})
+    }
+}
+
 /// Results of one paired replay.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Comparison {
@@ -23,17 +98,46 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Runs both planes over `seeds` and aggregates.
-    pub fn run(spec: &DatasetSpec, seeds: &[u64]) -> Self {
+    /// Runs both planes over the campaign's seeds and aggregates.
+    ///
+    /// All `2 * seeds` replays (legacy and REM) are independent trials
+    /// scheduled over the campaign's worker threads; per-plane metrics
+    /// are merged in seed order, so the result is bit-identical for
+    /// every thread count.
+    pub fn run(campaign: &CampaignSpec) -> Self {
+        let n = campaign.seeds.len();
+        let runs = rem_exec::par_map(campaign.threads, 2 * n, |i| {
+            let (plane, seed) = if i < n {
+                (Plane::Legacy, campaign.seeds[i])
+            } else {
+                (Plane::Rem, campaign.seeds[i - n])
+            };
+            simulate_run(&RunConfig::new(campaign.spec.clone(), plane, seed))
+        });
         let mut legacy = RunMetrics::default();
         let mut rem = RunMetrics::default();
-        for &seed in seeds {
-            let l = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, seed));
-            let r = simulate_run(&RunConfig::new(spec.clone(), Plane::Rem, seed));
-            merge(&mut legacy, l);
-            merge(&mut rem, r);
+        for (i, m) in runs.into_iter().enumerate() {
+            if i < n {
+                merge(&mut legacy, m);
+            } else {
+                merge(&mut rem, m);
+            }
         }
-        Self { dataset: spec.name.clone(), speed_kmh: spec.speed_kmh, legacy, rem }
+        Self {
+            dataset: campaign.spec.name.clone(),
+            speed_kmh: campaign.spec.speed_kmh,
+            legacy,
+            rem,
+        }
+    }
+
+    /// Runs both planes over explicit `seeds`, serially.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Comparison::run(&CampaignSpec)` (seed list + thread count as a value) instead"
+    )]
+    pub fn run_seeds(spec: &DatasetSpec, seeds: &[u64]) -> Self {
+        Self::run(&CampaignSpec::new(spec.clone()).with_seeds(seeds).with_threads(1))
     }
 
     /// The paper's reduction factor `ε = (K_lgc − K_rem) / K_rem` for a
@@ -115,7 +219,7 @@ mod tests {
     #[test]
     fn paired_run_shows_rem_advantage_at_speed() {
         let spec = DatasetSpec::beijing_taiyuan(20.0, 300.0);
-        let cmp = Comparison::run(&spec, &[11]);
+        let cmp = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[11]));
         assert!(
             cmp.rem.failure_ratio_no_holes() <= cmp.legacy.failure_ratio_no_holes(),
             "rem={} legacy={}",
@@ -123,6 +227,56 @@ mod tests {
             cmp.legacy.failure_ratio_no_holes()
         );
         assert_eq!(cmp.rem.conflict_loops().count(), 0);
+    }
+
+    #[test]
+    fn campaign_defaults_match_headline_constants() {
+        let c = CampaignSpec::new(DatasetSpec::beijing_taiyuan(DEFAULT_ROUTE_KM, 300.0));
+        assert_eq!(c.seeds, DEFAULT_SEEDS.to_vec());
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.clone().with_seed_count(3).seeds, vec![1, 2, 3]);
+        assert_eq!(c.with_threads(2).threads, 2);
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let campaign =
+            CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0)).with_seeds(&[7, 8]);
+        let serial = Comparison::run(&campaign.clone().with_threads(1));
+        let parallel = Comparison::run(&campaign.with_threads(4));
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "1-thread and 4-thread campaigns must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn aggregate_matches_manual_serial_merge() {
+        let campaign =
+            CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0)).with_seeds(&[1, 2]);
+        let mut manual = RunMetrics::default();
+        for &seed in &campaign.seeds {
+            let spec = campaign.spec.clone();
+            merge(&mut manual, simulate_run(&RunConfig::new(spec, Plane::Legacy, seed)));
+        }
+        let agg = campaign.with_threads(4).aggregate(Plane::Legacy);
+        assert_eq!(
+            serde_json::to_string(&manual).unwrap(),
+            serde_json::to_string(&agg).unwrap()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_seeds_shim_matches_campaign() {
+        let spec = DatasetSpec::beijing_taiyuan(10.0, 250.0);
+        let shim = Comparison::run_seeds(&spec, &[5]);
+        let new = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[5]));
+        assert_eq!(
+            serde_json::to_string(&shim).unwrap(),
+            serde_json::to_string(&new).unwrap()
+        );
     }
 
     #[test]

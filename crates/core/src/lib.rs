@@ -21,10 +21,14 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use rem_core::{Comparison, DatasetSpec};
+//! use rem_core::{CampaignSpec, Comparison, DatasetSpec};
 //!
+//! // A campaign is a value: dataset + seeds + worker threads. Trials
+//! // are scheduled in parallel but reduced in canonical seed order, so
+//! // the result is identical for every thread count.
 //! let spec = DatasetSpec::beijing_taiyuan(50.0, 300.0);
-//! let cmp = Comparison::run(&spec, &[1, 2, 3]);
+//! let campaign = CampaignSpec::new(spec).with_seeds(&[1, 2, 3]);
+//! let cmp = Comparison::run(&campaign);
 //! println!(
 //!     "legacy {:.1}% -> REM {:.1}% failures ({:.1}x reduction)",
 //!     cmp.legacy.failure_ratio() * 100.0,
@@ -37,13 +41,14 @@ pub mod experiment;
 pub mod report;
 pub mod tcp_coupling;
 
-pub use experiment::{merge, Comparison};
+pub use experiment::{merge, CampaignSpec, Comparison, DEFAULT_ROUTE_KM, DEFAULT_SEEDS};
 pub use report::{ExperimentReport, ReportRow};
 pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, STALL_GAP_MS};
 
 // Subsystem re-exports so downstream users depend on one crate.
 pub use rem_channel;
 pub use rem_crossband;
+pub use rem_exec;
 pub use rem_mobility;
 pub use rem_net;
 pub use rem_num;

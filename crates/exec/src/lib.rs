@@ -1,0 +1,205 @@
+#![warn(missing_docs)]
+
+//! # rem-exec
+//!
+//! Deterministic parallel execution for embarrassingly parallel
+//! Monte-Carlo workloads: BLER blocks, per-seed campaign replays, and
+//! SNR/speed sweep points.
+//!
+//! Every headline result in this workspace is a loop over *independent*
+//! trials whose randomness is derived from `(seed, trial index)` rather
+//! than threaded through a shared `&mut SimRng`. That makes the trials
+//! schedulable in any order on any number of workers while the reduced
+//! result stays bit-identical — the property the paper's paired
+//! same-seed replay methodology (§7) depends on.
+//!
+//! [`par_map`] is the whole API: worker threads *steal* trial indices
+//! from a shared atomic counter (a single-ended work-stealing queue —
+//! whichever worker is free takes the next trial, so uneven trial costs
+//! load-balance themselves), and results are reduced back in canonical
+//! trial order, independent of which worker computed what when.
+//!
+//! Scoped threads come from the standard library
+//! ([`std::thread::scope`], the stabilised descendant of
+//! `crossbeam::thread::scope`), so the crate has zero dependencies and
+//! builds in hermetic environments.
+//!
+//! ```
+//! // Any thread count — including 1 — produces the same vector.
+//! let serial = rem_exec::par_map(1, 100, |i| i * i);
+//! let parallel = rem_exec::par_map(4, 100, |i| i * i);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "use every available
+/// hardware thread"; anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over the trial indices `0..n` on `threads` worker threads
+/// (`0` = available parallelism) and returns the results **in canonical
+/// trial order** — `out[i] == f(i)` regardless of scheduling.
+///
+/// Work distribution is dynamic: each worker repeatedly claims the next
+/// unclaimed index from a shared atomic cursor, so slow trials don't
+/// stall a statically assigned stripe. Determinism is therefore the
+/// *caller's* contract to keep per-trial: `f` must depend only on its
+/// index (derive per-trial RNG streams from `(seed, index)`, e.g. with
+/// `rem_num::rng::child_rng`), never on shared mutable state.
+///
+/// Panics in `f` are propagated to the caller after the scope joins.
+pub fn par_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rem-exec worker panicked")).collect()
+    });
+
+    // Canonical-order reduction: scatter each worker's (index, value)
+    // pairs into place, then collect in index order.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            debug_assert!(slots[i].is_none(), "trial {i} computed twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("trial {i} never ran")))
+        .collect()
+}
+
+/// Folds the results of [`par_map`] in canonical trial order: trials
+/// run in parallel, the reduction runs serially over `0..n`, so the
+/// fold sees results exactly as a serial loop would.
+pub fn par_map_reduce<T, A, F, R>(threads: usize, n: usize, init: A, f: F, mut reduce: R) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(A, T) -> A,
+{
+    let mut acc = init;
+    for v in par_map(threads, n, f) {
+        acc = reduce(acc, v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    use std::sync::atomic::AtomicUsize;
+
+    /// A cheap deterministic per-index value with an uneven cost
+    /// profile, to exercise the stealing path.
+    fn trial(i: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        i.hash(&mut h);
+        // Uneven work: some indices spin longer than others.
+        let spin = (i % 7) * 400;
+        let mut x = h.finish();
+        for _ in 0..spin {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        x
+    }
+
+    #[test]
+    fn preserves_canonical_order() {
+        let out = par_map(4, 64, |i| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn any_thread_count_is_bit_identical() {
+        let reference: Vec<u64> = (0..97).map(trial).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            assert_eq!(par_map(threads, 97, trial), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(available_parallelism() >= 1);
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+        let out = par_map(0, 10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(par_map(4, 0, |i| i).is_empty());
+        assert_eq!(par_map(4, 1, |i| i * 10), vec![0]);
+        // More workers than trials.
+        assert_eq!(par_map(32, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let _ = par_map(8, 50, |i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn reduce_sees_canonical_order() {
+        let order = par_map_reduce(4, 20, Vec::new(), |i| i, |mut acc, i| {
+            acc.push(i);
+            acc
+        });
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map(2, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -11,16 +11,19 @@
 //! block simulator producing the BLER curves of Fig 10.
 //!
 //! ```
-//! use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+//! use rem_phy::link::{BlerScenario, Waveform};
 //! use rem_channel::models::ChannelModel;
-//! use rem_channel::doppler::kmh_to_ms;
-//! use rem_num::rng::rng_from_seed;
 //!
-//! let mut rng = rng_from_seed(7);
-//! let cfg = LinkConfig::signaling(Waveform::Otfs);
-//! let bler = measure_bler(&cfg, ChannelModel::Hst, kmh_to_ms(350.0), 2.6e9,
-//!                         10.0, 20, &mut rng);
+//! // A BLER measurement is a value: build it, then run it on any
+//! // number of threads — the result is bit-identical for all of them.
+//! let scenario = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Hst)
+//!     .with_snr_db(10.0)
+//!     .with_blocks(20)
+//!     .with_seed(7);
+//! let bler = scenario.run();
 //! assert!(bler < 0.5);
+//! assert_eq!(scenario.with_threads(1).outcomes(),
+//!            scenario.with_threads(4).outcomes());
 //! ```
 
 pub mod chanest;
@@ -36,6 +39,8 @@ pub mod qam;
 pub mod scfdma;
 pub mod scheduler;
 
-pub use link::{measure_bler, simulate_block, BlockOutcome, LinkConfig, Waveform};
+pub use link::{simulate_block, BlerScenario, BlockOutcome, LinkConfig, Waveform};
+#[allow(deprecated)]
+pub use link::measure_bler;
 pub use qam::Modulation;
 pub use scheduler::{MessageKind, Scheduler};

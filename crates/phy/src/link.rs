@@ -335,8 +335,138 @@ fn estimated_gains(gains: &CMatrix, csi: CsiModel) -> CMatrix {
     }
 }
 
+/// Declarative parameters of a Monte-Carlo BLER measurement: the link,
+/// the channel statistics, the operating point, and how to execute it.
+///
+/// This replaces the positional-argument `measure_bler` call: the
+/// scenario is a value (buildable, serialisable, comparable across
+/// sweeps) and carries a `seed` instead of a threaded `&mut SimRng`.
+/// Every trial derives its own RNG stream from `(seed, trial index)`,
+/// which makes two things true at once:
+///
+/// * **Parallel determinism** — trials are independent, so
+///   [`BlerScenario::outcomes`] fans them out over [`rem_exec::par_map`]
+///   and any thread count (including 1) produces bit-identical results;
+/// * **Paired realizations** — the channel and payload of trial `i`
+///   depend only on `(seed, i)`, so two scenarios differing only in
+///   waveform/receiver see *identical* channels per trial (the paper's
+///   same-environment replay methodology at link level).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BlerScenario {
+    /// Link configuration (grid, modulation, waveform, CSI, receiver).
+    pub cfg: LinkConfig,
+    /// 3GPP channel statistics the trials draw realizations from.
+    pub model: ChannelModel,
+    /// Client speed (m/s).
+    pub speed_ms: f64,
+    /// Carrier frequency (Hz).
+    pub carrier_hz: f64,
+    /// Average SNR per block (dB).
+    pub snr_db: f64,
+    /// Monte-Carlo trials (one coded block each).
+    pub blocks: usize,
+    /// Master seed; trial `i` uses the derived stream
+    /// `child_rng(seed, "bler-trial-i")`.
+    pub seed: u64,
+    /// Worker threads (`0` = all available hardware threads).
+    pub threads: usize,
+}
+
+impl BlerScenario {
+    /// A scenario at the paper's Fig 10a operating point (HST-style
+    /// defaults: 350 km/h, 2.6 GHz, 6 dB, 200 blocks, seed 1, all
+    /// cores); adjust with the builder methods.
+    pub fn new(cfg: LinkConfig, model: ChannelModel) -> Self {
+        Self {
+            cfg,
+            model,
+            speed_ms: rem_channel::doppler::kmh_to_ms(350.0),
+            carrier_hz: 2.6e9,
+            snr_db: 6.0,
+            blocks: 200,
+            seed: 1,
+            threads: 0,
+        }
+    }
+
+    /// Shorthand for the signaling-link configuration of
+    /// [`LinkConfig::signaling`] over `model`.
+    pub fn signaling(waveform: Waveform, model: ChannelModel) -> Self {
+        Self::new(LinkConfig::signaling(waveform), model)
+    }
+
+    /// Sets the client speed in km/h.
+    pub fn with_speed_kmh(mut self, kmh: f64) -> Self {
+        self.speed_ms = rem_channel::doppler::kmh_to_ms(kmh);
+        self
+    }
+
+    /// Sets the client speed in m/s.
+    pub fn with_speed_ms(mut self, speed_ms: f64) -> Self {
+        self.speed_ms = speed_ms;
+        self
+    }
+
+    /// Sets the carrier frequency (Hz).
+    pub fn with_carrier_hz(mut self, carrier_hz: f64) -> Self {
+        self.carrier_hz = carrier_hz;
+        self
+    }
+
+    /// Sets the average SNR (dB).
+    pub fn with_snr_db(mut self, snr_db: f64) -> Self {
+        self.snr_db = snr_db;
+        self
+    }
+
+    /// Sets the number of Monte-Carlo blocks.
+    pub fn with_blocks(mut self, blocks: usize) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = all available).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs trial `index` on its own derived RNG stream: realize the
+    /// channel, draw a random payload, push the block through the full
+    /// coded pipeline. Depends only on `(self, index)` — never on which
+    /// thread runs it or what ran before.
+    pub fn trial(&self, index: usize) -> BlockOutcome {
+        let mut rng = rem_num::rng::child_rng(self.seed, &format!("bler-trial-{index}"));
+        let ch = self.model.realize(&mut rng, self.speed_ms, self.carrier_hz);
+        let payload: Vec<bool> = (0..self.cfg.max_payload_bits()).map(|_| rng.gen()).collect();
+        simulate_block(&self.cfg, &ch, self.snr_db, &payload, &mut rng)
+    }
+
+    /// All per-block outcomes in canonical trial order, computed on
+    /// `self.threads` workers. Bit-identical for every thread count.
+    pub fn outcomes(&self) -> Vec<BlockOutcome> {
+        rem_exec::par_map(self.threads, self.blocks, |i| self.trial(i))
+    }
+
+    /// Monte-Carlo BLER: the fraction of trials whose CRC failed.
+    pub fn run(&self) -> f64 {
+        let failures = self.outcomes().iter().filter(|o| !o.crc_ok).count();
+        failures as f64 / self.blocks.max(1) as f64
+    }
+}
+
 /// Monte-Carlo BLER: fraction of failed blocks over `n_blocks`, with a
 /// fresh channel realization per block.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `BlerScenario` (seed-based, parallel, canonical trial order) instead"
+)]
 pub fn measure_bler(
     cfg: &LinkConfig,
     model: ChannelModel,
@@ -376,7 +506,6 @@ pub fn bler_estimate(effective_sinr_db: f64, modulation: Modulation) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rem_channel::doppler::kmh_to_ms;
     use rem_num::rng::rng_from_seed;
 
     fn payload(cfg: &LinkConfig, rng: &mut SimRng) -> Vec<bool> {
@@ -427,41 +556,77 @@ mod tests {
     #[test]
     fn otfs_beats_ofdm_in_hst_fading() {
         // The Fig 10 shape: at mid SNR under high Doppler fading, the
-        // OTFS waveform has (weakly) lower BLER than OFDM.
-        let mut rng = rng_from_seed(3);
-        let speed = kmh_to_ms(350.0);
-        let carrier = 2.6e9;
-        let snr = 4.0;
-        let blocks = 150;
-        let b_ofdm = measure_bler(
-            &LinkConfig::signaling(Waveform::Ofdm),
-            ChannelModel::Hst,
-            speed,
-            carrier,
-            snr,
-            blocks,
-            &mut rng,
-        );
-        let mut rng = rng_from_seed(3);
-        let b_otfs = measure_bler(
-            &LinkConfig::signaling(Waveform::Otfs),
-            ChannelModel::Hst,
-            speed,
-            carrier,
-            snr,
-            blocks,
-            &mut rng,
-        );
+        // OTFS waveform has (weakly) lower BLER than OFDM. Same seed =>
+        // identical channel/payload per trial, so the comparison is
+        // paired.
+        let scenario = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Hst)
+            .with_snr_db(4.0)
+            .with_blocks(150)
+            .with_seed(3);
+        let b_ofdm = scenario.run();
+        let b_otfs = BlerScenario { cfg: LinkConfig::signaling(Waveform::Otfs), ..scenario }.run();
         assert!(b_otfs <= b_ofdm + 0.02, "otfs={b_otfs} ofdm={b_ofdm}");
     }
 
     #[test]
     fn bler_monotone_in_snr() {
-        let cfg = LinkConfig::signaling(Waveform::Ofdm);
-        let mut rng = rng_from_seed(4);
-        let lo = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, -5.0, 60, &mut rng);
-        let hi = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, 15.0, 60, &mut rng);
+        let scenario = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Eva)
+            .with_speed_ms(8.3)
+            .with_carrier_hz(2e9)
+            .with_blocks(60)
+            .with_seed(4);
+        let lo = scenario.with_snr_db(-5.0).run();
+        let hi = scenario.with_snr_db(15.0).run();
         assert!(lo > hi, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn scenario_is_thread_count_invariant() {
+        // The determinism contract of the parallel engine: serial and
+        // 4-worker runs of the same scenario are bit-identical.
+        let scenario = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Etu)
+            .with_speed_kmh(300.0)
+            .with_snr_db(2.0)
+            .with_blocks(24)
+            .with_seed(17);
+        let serial = scenario.with_threads(1).outcomes();
+        let parallel = scenario.with_threads(4).outcomes();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            scenario.with_threads(1).run(),
+            scenario.with_threads(4).run()
+        );
+    }
+
+    #[test]
+    fn scenario_trials_depend_only_on_seed_and_index() {
+        let scenario = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Eva)
+            .with_snr_db(5.0)
+            .with_blocks(8)
+            .with_seed(21);
+        // trial(i) called directly matches its slot in outcomes(),
+        // whatever the scheduling.
+        let outcomes = scenario.with_threads(3).outcomes();
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(*out, scenario.trial(i), "trial {i}");
+        }
+        // A different seed changes the draw.
+        assert_ne!(
+            scenario.trial(0).effective_sinr_db,
+            scenario.with_seed(22).trial(0).effective_sinr_db
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_measure_bler_shim_still_works() {
+        let cfg = LinkConfig::signaling(Waveform::Ofdm);
+        let mut r1 = rng_from_seed(4);
+        let a = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, 2.0, 30, &mut r1);
+        let mut r2 = rng_from_seed(4);
+        let b = measure_bler(&cfg, ChannelModel::Eva, 8.3, 2e9, 2.0, 30, &mut r2);
+        assert!((0.0..=1.0).contains(&a));
+        assert_eq!(a, b, "shim must stay deterministic");
     }
 
     #[test]
@@ -624,20 +789,15 @@ mod mp_receiver_tests {
 
     #[test]
     fn mp_not_worse_than_two_step_at_low_snr() {
-        let snr = 2.0;
-        let blocks = 60;
-        let mut r1 = rng_from_seed(3);
-        let two_step = measure_bler(
-            &LinkConfig::signaling(Waveform::Otfs),
-            ChannelModel::Etu,
-            kmh_to_ms(300.0),
-            2.6e9,
-            snr,
-            blocks,
-            &mut r1,
-        );
-        let mut r2 = rng_from_seed(3);
-        let mp = measure_bler(&cfg_mp(), ChannelModel::Etu, kmh_to_ms(300.0), 2.6e9, snr, blocks, &mut r2);
+        // Paired trials: same seed => identical channels and payloads
+        // for both receivers.
+        let scenario = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Etu)
+            .with_speed_kmh(300.0)
+            .with_snr_db(2.0)
+            .with_blocks(60)
+            .with_seed(3);
+        let two_step = scenario.run();
+        let mp = BlerScenario { cfg: cfg_mp(), ..scenario }.run();
         assert!(mp <= two_step + 0.1, "mp={mp} two_step={two_step}");
     }
 }

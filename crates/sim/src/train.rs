@@ -39,11 +39,17 @@ pub struct TrainMetrics {
 /// Each client's events are time-shifted by its car's offset (the cars
 /// cross each boundary `offset / speed` seconds apart), then merged on
 /// the event queue.
+///
+/// Clients are independent trials — client `i` derives its seed from
+/// `(base.seed, i)` alone — so they run on `threads` workers
+/// (`0` = all available) and merge in canonical client order; the
+/// result is bit-identical for every thread count.
 pub fn simulate_train(
     base: &RunConfig,
     n_clients: usize,
     train_len_m: f64,
     window_ms: f64,
+    threads: usize,
 ) -> TrainMetrics {
     assert!(n_clients > 0);
     let speed = base.spec.speed_ms();
@@ -52,12 +58,14 @@ pub fn simulate_train(
     let mut handovers = 0usize;
     let mut duration_ms = 0.0f64;
 
-    for i in 0..n_clients {
+    let runs = rem_exec::par_map(threads, n_clients, |i| {
         let mut cfg = base.clone();
         cfg.record_trace = true;
         // Same environment, different link/measurement randomness.
         cfg.seed = base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
-        let m = simulate_run(&cfg);
+        simulate_run(&cfg)
+    });
+    for (i, m) in runs.into_iter().enumerate() {
         failures += m.failures.len();
         handovers += m.handovers.len();
         duration_ms = duration_ms.max(m.duration_s * 1e3);
@@ -112,8 +120,8 @@ mod tests {
 
     #[test]
     fn train_aggregates_clients() {
-        let one = simulate_train(&base(Plane::Legacy), 1, 200.0, 1_000.0);
-        let four = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0);
+        let one = simulate_train(&base(Plane::Legacy), 1, 200.0, 1_000.0, 1);
+        let four = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 1);
         assert!(four.total_messages > one.total_messages);
         assert!(four.handovers >= one.handovers);
         assert_eq!(four.n_clients, 4);
@@ -123,15 +131,26 @@ mod tests {
     fn bursts_exceed_mean_rate() {
         // Clients cross boundaries together: the peak windowed rate is
         // far above the average — the signaling-storm shape.
-        let t = simulate_train(&base(Plane::Legacy), 6, 200.0, 1_000.0);
+        let t = simulate_train(&base(Plane::Legacy), 6, 200.0, 1_000.0, 1);
         assert!(t.peak_rate_per_s > 2.0 * t.mean_rate_per_s, "peak={} mean={}", t.peak_rate_per_s, t.mean_rate_per_s);
     }
 
     #[test]
     fn deterministic() {
-        let a = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0);
-        let b = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0);
+        let a = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0, 1);
+        let b = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0, 1);
         assert_eq!(a.total_messages, b.total_messages);
         assert_eq!(a.peak_rate_per_s, b.peak_rate_per_s);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let serial = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 1);
+        let parallel = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 4);
+        assert_eq!(serial.total_messages, parallel.total_messages);
+        assert_eq!(serial.peak_rate_per_s, parallel.peak_rate_per_s);
+        assert_eq!(serial.mean_rate_per_s, parallel.mean_rate_per_s);
+        assert_eq!(serial.failures, parallel.failures);
+        assert_eq!(serial.handovers, parallel.handovers);
     }
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example hsr_journey [route_km]
 //! ```
 
-use rem_core::{Comparison, DatasetSpec};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec};
 use rem_mobility::FailureCause;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         "dataset", "km/h", "HO int.", "fail LGC", "fail REM", "fd/loss", "cmd loss", "loops"
     );
     for spec in scenarios {
-        let cmp = Comparison::run(&spec, &[1, 2, 3]);
+        let cmp = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[1, 2, 3]));
         println!(
             "{:<18} {:>5}  {:>7.1}s {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>3}/{:<3}",
             cmp.dataset,

@@ -7,42 +7,29 @@
 //! cargo run --release --example otfs_link [blocks_per_point]
 //! ```
 
-use rem_channel::doppler::kmh_to_ms;
 use rem_channel::models::ChannelModel;
-use rem_num::rng::rng_from_seed;
-use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+use rem_phy::link::{BlerScenario, LinkConfig, Waveform};
 
 fn main() {
     let blocks: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let speed = kmh_to_ms(350.0);
-    let carrier = 2.6e9;
 
     println!("HST channel @350 km/h, {blocks} blocks/point, 12x14 QPSK r=1/2 subframe\n");
     println!("{:>6} {:>12} {:>12}", "SNR dB", "legacy OFDM", "REM OTFS");
+    // Seed 42 shared by both waveforms: each trial is a paired draw of
+    // the same channel realization and payload.
+    let base = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Hst)
+        .with_blocks(blocks)
+        .with_seed(42);
     for snr in [-4.0, 0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
-        let mut r1 = rng_from_seed(42);
-        let b_ofdm = measure_bler(
-            &LinkConfig::signaling(Waveform::Ofdm),
-            ChannelModel::Hst,
-            speed,
-            carrier,
-            snr,
-            blocks,
-            &mut r1,
-        );
-        let mut r2 = rng_from_seed(42);
-        let b_otfs = measure_bler(
-            &LinkConfig::signaling(Waveform::Otfs),
-            ChannelModel::Hst,
-            speed,
-            carrier,
-            snr,
-            blocks,
-            &mut r2,
-        );
+        let b_ofdm = base.with_snr_db(snr).run();
+        let b_otfs = BlerScenario {
+            cfg: LinkConfig::signaling(Waveform::Otfs),
+            ..base.with_snr_db(snr)
+        }
+        .run();
         println!("{snr:>6} {b_ofdm:>12.3} {b_otfs:>12.3}");
     }
     println!("\nLegacy floors at high SNR (pilot-hold CSI ages under Doppler);");

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rem_core::{Comparison, DatasetSpec};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec};
 
 fn main() {
     // A 30 km Beijing-Taiyuan-like route at 300 km/h.
@@ -17,7 +17,9 @@ fn main() {
         spec.duration_s()
     );
 
-    let cmp = Comparison::run(&spec, &[1, 2]);
+    // Both planes and both seeds run as parallel trials; results are
+    // reduced in seed order, so any thread count gives the same output.
+    let cmp = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[1, 2]));
 
     println!("\n               {:>10} {:>10}", "Legacy", "REM");
     println!(

@@ -6,12 +6,12 @@
 //! cargo run --release --example tcp_over_hsr
 //! ```
 
-use rem_core::{replay_tcp, Comparison, DatasetSpec, STALL_GAP_MS};
+use rem_core::{replay_tcp, CampaignSpec, Comparison, DatasetSpec, STALL_GAP_MS};
 
 fn main() {
     let spec = DatasetSpec::beijing_shanghai(30.0, 300.0);
-    let cmp = Comparison::run(&spec, &[5]);
     let window_ms = spec.duration_s() * 1e3;
+    let cmp = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[5]));
 
     let legacy_trace = replay_tcp(&cmp.legacy, window_ms, 7);
     let rem_trace = replay_tcp(&cmp.rem, window_ms, 7);

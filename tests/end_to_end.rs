@@ -1,12 +1,15 @@
 //! End-to-end integration: a full paired campaign across planes, with
 //! the headline claims of the paper asserted on the outputs.
 
-use rem_core::{Comparison, DatasetSpec};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec};
+
+fn run(spec: DatasetSpec, seeds: &[u64]) -> Comparison {
+    Comparison::run(&CampaignSpec::new(spec).with_seeds(seeds))
+}
 
 #[test]
 fn rem_beats_legacy_on_hsr_replay() {
-    let spec = DatasetSpec::beijing_shanghai(40.0, 300.0);
-    let cmp = Comparison::run(&spec, &[1, 2, 3]);
+    let cmp = run(DatasetSpec::beijing_shanghai(40.0, 300.0), &[1, 2, 3]);
 
     // Non-trivial campaign.
     assert!(cmp.legacy.handovers.len() >= 20, "legacy HOs: {}", cmp.legacy.handovers.len());
@@ -31,8 +34,8 @@ fn rem_failures_comparable_to_low_mobility() {
     // Paper: "REM achieves comparable failure ratios to static and low
     // mobility" — REM at 325 km/h should be within ~2.5x of the legacy
     // low-mobility baseline.
-    let hsr = Comparison::run(&DatasetSpec::beijing_shanghai(40.0, 325.0), &[4, 5]);
-    let low = Comparison::run(&DatasetSpec::la_driving(40.0, 50.0), &[4, 5]);
+    let hsr = run(DatasetSpec::beijing_shanghai(40.0, 325.0), &[4, 5]);
+    let low = run(DatasetSpec::la_driving(40.0, 50.0), &[4, 5]);
     let rem_hsr = hsr.rem.failure_ratio_no_holes();
     let legacy_low = low.legacy.failure_ratio_no_holes();
     assert!(
@@ -44,16 +47,16 @@ fn rem_failures_comparable_to_low_mobility() {
 #[test]
 fn campaigns_are_reproducible() {
     let spec = DatasetSpec::beijing_taiyuan(15.0, 250.0);
-    let a = Comparison::run(&spec, &[9]);
-    let b = Comparison::run(&spec, &[9]);
+    let a = run(spec.clone(), &[9]);
+    let b = run(spec, &[9]);
     assert_eq!(a.legacy.handovers, b.legacy.handovers);
     assert_eq!(a.rem.failures, b.rem.failures);
 }
 
 #[test]
 fn failure_ratios_grow_with_speed_for_legacy() {
-    let slow = Comparison::run(&DatasetSpec::beijing_taiyuan(40.0, 120.0), &[1, 2]);
-    let fast = Comparison::run(&DatasetSpec::beijing_taiyuan(40.0, 325.0), &[1, 2]);
+    let slow = run(DatasetSpec::beijing_taiyuan(40.0, 120.0), &[1, 2]);
+    let fast = run(DatasetSpec::beijing_taiyuan(40.0, 325.0), &[1, 2]);
     assert!(
         fast.legacy.failure_ratio() > slow.legacy.failure_ratio(),
         "fast={} slow={}",

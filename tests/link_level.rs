@@ -1,72 +1,35 @@
 //! Link-level integration: the full coded OFDM/OTFS pipeline through
 //! 3GPP channels reproduces the Fig 10 relationships.
 
-use rem_channel::doppler::kmh_to_ms;
 use rem_channel::models::ChannelModel;
 use rem_num::rng::rng_from_seed;
-use rem_phy::link::{measure_bler, LinkConfig, Waveform};
+use rem_phy::link::{BlerScenario, LinkConfig, Waveform};
 
 #[test]
 fn fig10a_shape_otfs_beats_ofdm_at_hsr() {
-    let speed = kmh_to_ms(350.0);
-    let mut r1 = rng_from_seed(1);
-    let ofdm = measure_bler(
-        &LinkConfig::signaling(Waveform::Ofdm),
-        ChannelModel::Hst,
-        speed,
-        2.6e9,
-        8.0,
-        120,
-        &mut r1,
-    );
-    let mut r2 = rng_from_seed(1);
-    let otfs = measure_bler(
-        &LinkConfig::signaling(Waveform::Otfs),
-        ChannelModel::Hst,
-        speed,
-        2.6e9,
-        8.0,
-        120,
-        &mut r2,
-    );
+    // Shared seed: each trial pairs the waveforms on the same channel.
+    let base = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Hst)
+        .with_snr_db(8.0)
+        .with_blocks(120)
+        .with_seed(1);
+    let ofdm = base.run();
+    let otfs = BlerScenario { cfg: LinkConfig::signaling(Waveform::Otfs), ..base }.run();
     assert!(otfs < ofdm, "otfs={otfs} ofdm={ofdm}");
     // Legacy floor: even at very high SNR it keeps failing.
-    let mut r3 = rng_from_seed(2);
-    let ofdm_hi = measure_bler(
-        &LinkConfig::signaling(Waveform::Ofdm),
-        ChannelModel::Hst,
-        speed,
-        2.6e9,
-        20.0,
-        120,
-        &mut r3,
-    );
+    let ofdm_hi = base.with_snr_db(20.0).with_seed(2).run();
     assert!(ofdm_hi > 0.05, "legacy floor missing: {ofdm_hi}");
 }
 
 #[test]
 fn fig10b_shape_parity_at_low_mobility() {
-    let speed = kmh_to_ms(30.0);
-    let mut r1 = rng_from_seed(3);
-    let ofdm = measure_bler(
-        &LinkConfig::signaling(Waveform::Ofdm),
-        ChannelModel::Eva,
-        speed,
-        2.0e9,
-        12.0,
-        120,
-        &mut r1,
-    );
-    let mut r2 = rng_from_seed(3);
-    let otfs = measure_bler(
-        &LinkConfig::signaling(Waveform::Otfs),
-        ChannelModel::Eva,
-        speed,
-        2.0e9,
-        12.0,
-        120,
-        &mut r2,
-    );
+    let base = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Eva)
+        .with_speed_kmh(30.0)
+        .with_carrier_hz(2.0e9)
+        .with_snr_db(12.0)
+        .with_blocks(120)
+        .with_seed(3);
+    let ofdm = base.run();
+    let otfs = BlerScenario { cfg: LinkConfig::signaling(Waveform::Otfs), ..base }.run();
     // Comparable at low mobility (backward compatibility).
     assert!((ofdm - otfs).abs() < 0.25, "ofdm={ofdm} otfs={otfs}");
 }

@@ -1,0 +1,102 @@
+//! Parallel-execution determinism: the acceptance contract of the
+//! work-stealing Monte-Carlo engine. Every entry point that fans
+//! trials out over `rem_exec` must produce bit-identical results for
+//! any worker count — serial (1 thread) is the reference.
+
+use rem_channel::models::ChannelModel;
+use rem_core::{CampaignSpec, Comparison, DatasetSpec, Plane};
+use rem_phy::link::{BlerScenario, Waveform};
+
+#[test]
+fn par_map_preserves_canonical_order_for_any_thread_count() {
+    let reference: Vec<usize> = (0..97).map(|i| i * 31 % 89).collect();
+    for threads in [1, 2, 3, 4, 8] {
+        assert_eq!(
+            rem_exec::par_map(threads, 97, |i| i * 31 % 89),
+            reference,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn bler_scenario_serial_vs_parallel_outcomes_identical() {
+    let scenario = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Hst)
+        .with_snr_db(4.0)
+        .with_blocks(32)
+        .with_seed(9);
+    let serial = scenario.with_threads(1).outcomes();
+    let parallel = scenario.with_threads(4).outcomes();
+    assert_eq!(serial, parallel);
+    // The scalar reduction agrees too.
+    assert_eq!(scenario.with_threads(1).run(), scenario.with_threads(4).run());
+}
+
+#[test]
+fn comparison_serial_vs_parallel_bit_identical() {
+    let campaign =
+        CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0)).with_seeds(&[3, 4]);
+    let serial = Comparison::run(&campaign.clone().with_threads(1));
+    let parallel = Comparison::run(&campaign.with_threads(4));
+    // Field-level spot checks (readable failure messages)...
+    assert_eq!(serial.legacy.handovers, parallel.legacy.handovers);
+    assert_eq!(serial.legacy.failures, parallel.legacy.failures);
+    assert_eq!(serial.rem.handovers, parallel.rem.handovers);
+    assert_eq!(serial.rem.failures, parallel.rem.failures);
+    assert_eq!(serial.legacy.duration_s, parallel.legacy.duration_s);
+    // ...then the whole structure.
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn campaign_aggregate_matches_serial_merge() {
+    let campaign =
+        CampaignSpec::new(DatasetSpec::beijing_shanghai(10.0, 250.0)).with_seeds(&[1, 2]);
+    let mut manual = rem_core::RunMetrics::default();
+    for &seed in &campaign.seeds {
+        let cfg = rem_core::RunConfig::new(campaign.spec.clone(), Plane::Rem, seed);
+        rem_core::merge(&mut manual, rem_core::simulate_run(&cfg));
+    }
+    let agg = campaign.with_threads(4).aggregate(Plane::Rem);
+    assert_eq!(
+        serde_json::to_string(&manual).unwrap(),
+        serde_json::to_string(&agg).unwrap()
+    );
+}
+
+#[test]
+fn child_rng_streams_are_independent_of_scheduling() {
+    use rand::Rng;
+    // Drawing from per-trial child streams in parallel must reproduce
+    // the serial draws exactly: each stream depends only on
+    // (seed, label), never on which thread or in what order it runs.
+    let draw = |i: usize| -> u64 {
+        let mut rng = rem_num::rng::child_rng(77, &format!("trial-{i}"));
+        rng.gen()
+    };
+    let serial: Vec<u64> = (0..64).map(draw).collect();
+    for threads in [2, 4, 8] {
+        assert_eq!(rem_exec::par_map(threads, 64, draw), serial, "threads={threads}");
+    }
+    // Distinct labels give distinct streams.
+    assert_ne!(draw(0), draw(1));
+}
+
+#[test]
+fn simulate_train_serial_vs_parallel_identical() {
+    let base = rem_core::RunConfig::new(
+        DatasetSpec::beijing_taiyuan(10.0, 300.0),
+        Plane::Legacy,
+        5,
+    );
+    let serial = rem_sim::simulate_train(&base, 4, 200.0, 1_000.0, 1);
+    let parallel = rem_sim::simulate_train(&base, 4, 200.0, 1_000.0, 4);
+    assert_eq!(serial.total_messages, parallel.total_messages);
+    assert_eq!(serial.peak_rate_per_s, parallel.peak_rate_per_s);
+    assert_eq!(serial.mean_rate_per_s, parallel.mean_rate_per_s);
+    assert_eq!(serial.failures, parallel.failures);
+    assert_eq!(serial.handovers, parallel.handovers);
+}

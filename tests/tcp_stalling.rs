@@ -1,7 +1,7 @@
 //! TCP-over-outage integration (Fig 9): stall accounting, RTO
 //! inflation, and the REM-vs-legacy stall comparison.
 
-use rem_core::{replay_tcp, Comparison, DatasetSpec, STALL_GAP_MS};
+use rem_core::{replay_tcp, CampaignSpec, Comparison, DatasetSpec, STALL_GAP_MS};
 use rem_net::{simulate_transfer, LinkModel, Outage, TcpConfig};
 use rem_num::rng::rng_from_seed;
 
@@ -25,7 +25,7 @@ fn rto_inflates_stall_beyond_outage() {
 #[test]
 fn fewer_failures_mean_less_stalling() {
     let spec = DatasetSpec::beijing_shanghai(40.0, 300.0);
-    let cmp = Comparison::run(&spec, &[5, 6]);
+    let cmp = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[5, 6]));
     let window = cmp.legacy.duration_s * 1e3;
     let lt = replay_tcp(&cmp.legacy, window, 2);
     let rt = replay_tcp(&cmp.rem, window, 2);
