@@ -1,0 +1,59 @@
+//! Fault-injection robustness sweep: failure/recovery statistics and
+//! the classification oracle under escalating fault rates, both planes.
+//!
+//! Not a paper table — this is the regression harness for the
+//! `rem-faults` subsystem: every printed row re-checks that classified
+//! failure causes match the injected ground truth, so `cargo bench
+//! --bench faults` doubles as an oracle audit.
+
+use rem_bench::{bench_args, header, pct};
+use rem_core::{CampaignSpec, DatasetSpec, FaultConfig, FaultKind, Plane, RunMetrics};
+
+fn faulted_agg(spec: &DatasetSpec, plane: Plane, scale: f64, threads: usize) -> RunMetrics {
+    CampaignSpec::new(spec.clone())
+        .with_seeds(&[1, 2, 3])
+        .with_threads(threads)
+        .with_faults(FaultConfig::default().scaled(scale))
+        .aggregate(plane)
+}
+
+fn main() {
+    let args = bench_args();
+    header("Fault injection: reliability and oracle under seeded faults");
+    let spec = DatasetSpec::beijing_taiyuan(30.0, 300.0);
+    println!(
+        "{:<10} {:>6} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7}",
+        "plane", "rate", "injected", "fail", "HOs", "reestab", "fallback", "oracle", "miss"
+    );
+    let mut any_mismatch = false;
+    for plane in [Plane::Legacy, Plane::Rem] {
+        for scale in [0.0, 0.5, 1.0, 2.0] {
+            let m = faulted_agg(&spec, plane, scale, args.threads);
+            let mismatches = m.oracle_mismatches().len();
+            any_mismatch |= mismatches > 0;
+            println!(
+                "{:<10} {:>5.1}x {:>9} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7}",
+                format!("{plane:?}"),
+                scale,
+                m.injected.len(),
+                pct(m.failure_ratio()),
+                m.handovers.len(),
+                m.reestablish_attempts,
+                m.rem_fallback_epochs,
+                m.fault_oracle.len(),
+                mismatches,
+            );
+        }
+    }
+    println!("\nper-kind injection mix at 1.0x (legacy):");
+    let m = faulted_agg(&spec, Plane::Legacy, 1.0, args.threads);
+    for kind in FaultKind::all() {
+        let n = m.injected.iter().filter(|f| f.kind == kind).count();
+        println!("  {:<14} {:>4}", kind.label(), n);
+    }
+    if any_mismatch {
+        println!("\nWARNING: oracle mismatches detected — classifier disagrees with injected truth");
+        std::process::exit(1);
+    }
+    println!("\noracle clean: every attributed failure classified as its injected cause");
+}

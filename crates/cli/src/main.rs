@@ -6,12 +6,13 @@
 //! rem audit   policies.json
 //! rem bler    --model hst --speed 350 --snr 6 --blocks 200
 //! rem storm   --clients 8 --dataset bs --speed 300
+//! rem faults  --dataset bt --plane legacy --seeds 3 --verify 2
 //! ```
 
 mod args;
 
 use args::{ArgError, Args};
-use rem_core::{CampaignSpec, Comparison, DatasetSpec, Plane, RunConfig};
+use rem_core::{CampaignSpec, Comparison, DatasetSpec, FaultConfig, FaultKind, Plane, RunConfig};
 use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
 use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
 use rem_mobility::CellPolicy;
@@ -27,6 +28,7 @@ fn main() {
         "audit" => cmd_audit(rest),
         "bler" => cmd_bler(rest),
         "storm" => cmd_storm(rest),
+        "faults" => cmd_faults(rest),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -71,6 +73,16 @@ COMMANDS:
               --clients <n>        (default 8)
               --threads <n>        (default 0 = all cores)
               --dataset/--speed/--route-km/--plane as above
+  faults    Fault-injection campaign: seeded faults (Table 2 taxonomy),
+            recovery statistics, and the classification oracle.
+            Exits non-zero if any classified cause contradicts the
+            injected ground truth.
+              --dataset/--speed/--route-km/--plane as above
+              --seeds <n>          (default 3)
+              --threads <n>        (default 0 = all cores)
+              --rate-scale <x>     (default 1.0; scales all fault rates)
+              --verify <n>         also re-run on 1 vs <n> threads and
+                                   require bit-identical metrics
 
 Monte-Carlo trials are scheduled over --threads workers but reduced
 in canonical order: any thread count gives identical results."
@@ -227,6 +239,86 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
     println!("{model:?} @ {speed_kmh:.0} km/h, SNR {snr} dB, {blocks} blocks:");
     println!("  legacy OFDM BLER: {ofdm:.3}");
     println!("  REM OTFS BLER:    {otfs:.3}");
+    Ok(())
+}
+
+fn cmd_faults(rest: Vec<String>) -> Result<(), ArgError> {
+    use rem_mobility::FailureCause;
+
+    let a = Args::parse(rest)?;
+    let spec = dataset(&a)?;
+    let pl = plane(&a)?;
+    let n_seeds = a.int_or("seeds", 3)? as usize;
+    let threads = a.int_or("threads", 0)? as usize;
+    let scale = a.num_or("rate-scale", 1.0)?;
+    let faults = FaultConfig::default().scaled(scale);
+    faults.validate().map_err(ArgError)?;
+
+    println!(
+        "{} @ {} km/h, {:?} plane, {} seeds, fault rates x{:.2}",
+        spec.name, spec.speed_kmh, pl, n_seeds, scale
+    );
+    let campaign = CampaignSpec::new(spec)
+        .with_seed_count(n_seeds)
+        .with_threads(threads)
+        .with_faults(faults);
+    let m = campaign.aggregate(pl);
+
+    println!("\ninjected faults:");
+    for kind in FaultKind::all() {
+        let n = m.injected.iter().filter(|f| f.kind == kind).count();
+        println!("  {:<14} {:>4}", kind.label(), n);
+    }
+    println!("\nfailures {} / handovers {}:", m.failures.len(), m.handovers.len());
+    for cause in [
+        FailureCause::FeedbackDelayLoss,
+        FailureCause::MissedCell,
+        FailureCause::CommandLoss,
+        FailureCause::CoverageHole,
+    ] {
+        let n = m.failures.iter().filter(|f| f.cause == cause).count();
+        println!("  {cause:<18?} {n:>4}");
+    }
+    println!("\nrecovery:");
+    println!("  re-establishment attempts {:>4}", m.reestablish_attempts);
+    println!("  REM fallback epochs       {:>4}", m.rem_fallback_epochs);
+    println!("  X2 backhaul messages      {:>4}", m.signaling.x2_messages);
+
+    let mismatches = m.oracle_mismatches();
+    println!(
+        "\noracle: {} attributed failures, {} mismatched",
+        m.fault_oracle.len(),
+        mismatches.len()
+    );
+    for p in &mismatches {
+        println!(
+            "  t={:.0}ms {}: truth {:?}, classified {:?}",
+            p.t_ms,
+            p.kind.label(),
+            p.truth,
+            p.classified
+        );
+    }
+
+    let verify = a.int_or("verify", 0)? as usize;
+    if verify > 0 {
+        let serial = campaign.clone().with_threads(1).aggregate(pl);
+        let parallel = campaign.clone().with_threads(verify).aggregate(pl);
+        let a_json = serde_json::to_string(&serial)
+            .map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let b_json = serde_json::to_string(&parallel)
+            .map_err(|e| ArgError(format!("serialize: {e}")))?;
+        if a_json != b_json {
+            eprintln!("error: 1-thread and {verify}-thread campaigns diverged");
+            std::process::exit(1);
+        }
+        println!("\nverified: 1-thread and {verify}-thread campaigns are bit-identical");
+    }
+
+    if !mismatches.is_empty() {
+        eprintln!("error: fault oracle found misclassified failures");
+        std::process::exit(1);
+    }
     Ok(())
 }
 

@@ -5,6 +5,7 @@
 //! derives the reduction factors `ε = (K_legacy − K_rem) / K_rem`
 //! reported in Table 5.
 
+use rem_faults::FaultConfig;
 use rem_mobility::FailureCause;
 use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};
 use serde::{Deserialize, Serialize};
@@ -31,13 +32,26 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Worker threads (`0` = all available hardware threads).
     pub threads: usize,
+    /// Fault-injection configuration, applied to every trial. `None`
+    /// (the default, and what older serialized campaigns deserialize
+    /// to) replays the clean environment.
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
 }
 
 impl CampaignSpec {
     /// A campaign over `spec` with the headline defaults
-    /// ([`DEFAULT_SEEDS`], all hardware threads).
+    /// ([`DEFAULT_SEEDS`], all hardware threads, no fault injection).
     pub fn new(spec: DatasetSpec) -> Self {
-        Self { spec, seeds: DEFAULT_SEEDS.to_vec(), threads: 0 }
+        Self { spec, seeds: DEFAULT_SEEDS.to_vec(), threads: 0, faults: None }
+    }
+
+    /// Enables fault injection: every trial runs under a
+    /// [`rem_faults::FaultPlan`] derived from this config and the
+    /// trial's seed.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Replaces the seed list.
@@ -68,6 +82,7 @@ impl CampaignSpec {
     ) -> RunMetrics {
         let runs = rem_exec::par_map(self.threads, self.seeds.len(), |i| {
             let mut cfg = RunConfig::new(self.spec.clone(), plane, self.seeds[i]);
+            cfg.faults = self.faults.clone();
             configure(&mut cfg);
             simulate_run(&cfg)
         });
@@ -112,7 +127,9 @@ impl Comparison {
             } else {
                 (Plane::Rem, campaign.seeds[i - n])
             };
-            simulate_run(&RunConfig::new(campaign.spec.clone(), plane, seed))
+            let mut cfg = RunConfig::new(campaign.spec.clone(), plane, seed);
+            cfg.faults = campaign.faults.clone();
+            simulate_run(&cfg)
         });
         let mut legacy = RunMetrics::default();
         let mut rem = RunMetrics::default();
@@ -200,6 +217,17 @@ pub fn merge(into: &mut RunMetrics, from: RunMetrics) {
     into.signaling.commands += from.signaling.commands;
     into.signaling.reconfigs += from.signaling.reconfigs;
     into.signaling.harq_transmissions += from.signaling.harq_transmissions;
+    into.signaling.x2_messages += from.signaling.x2_messages;
+    into.injected.extend(from.injected.into_iter().map(|mut f| {
+        f.t_ms += offset;
+        f
+    }));
+    into.fault_oracle.extend(from.fault_oracle.into_iter().map(|mut p| {
+        p.t_ms += offset;
+        p
+    }));
+    into.reestablish_attempts += from.reestablish_attempts;
+    into.rem_fallback_epochs += from.rem_fallback_epochs;
     into.trace.events.extend(from.trace.events);
 }
 
@@ -277,6 +305,62 @@ mod tests {
             serde_json::to_string(&shim).unwrap(),
             serde_json::to_string(&new).unwrap()
         );
+    }
+
+    #[test]
+    fn faulted_campaign_is_thread_count_invariant() {
+        let campaign = CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0))
+            .with_seeds(&[3, 4])
+            .with_faults(FaultConfig::aggressive());
+        let serial = Comparison::run(&campaign.clone().with_threads(1));
+        let parallel = Comparison::run(&campaign.with_threads(4));
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "faulted campaigns must stay bit-identical across thread counts"
+        );
+        assert!(!serial.legacy.injected.is_empty(), "aggressive plan injected nothing");
+        assert!(serial.legacy.oracle_mismatches().is_empty());
+        assert!(serial.rem.oracle_mismatches().is_empty());
+    }
+
+    #[test]
+    fn merge_aggregates_fault_fields() {
+        let spec = DatasetSpec::beijing_taiyuan(10.0, 300.0);
+        let mk = |seed| {
+            let mut cfg = RunConfig::new(spec.clone(), Plane::Legacy, seed);
+            cfg.faults = Some(FaultConfig::aggressive());
+            simulate_run(&cfg)
+        };
+        let (a, b) = (mk(1), mk(2));
+        let dur_a_ms = a.duration_s * 1e3;
+        let n_inj = a.injected.len() + b.injected.len();
+        let n_oracle = a.fault_oracle.len() + b.fault_oracle.len();
+        let reest = a.reestablish_attempts + b.reestablish_attempts;
+        let x2 = a.signaling.x2_messages + b.signaling.x2_messages;
+        let b_first_inj = b.injected.first().map(|f| f.t_ms);
+        let mut m = RunMetrics::default();
+        merge(&mut m, a);
+        merge(&mut m, b);
+        assert_eq!(m.injected.len(), n_inj);
+        assert_eq!(m.fault_oracle.len(), n_oracle);
+        assert_eq!(m.reestablish_attempts, reest);
+        assert_eq!(m.signaling.x2_messages, x2);
+        if let Some(t) = b_first_inj {
+            // The second run's fault times were shifted past the first.
+            assert!(m.injected.iter().any(|f| (f.t_ms - (t + dur_a_ms)).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn campaign_spec_deserializes_without_faults_field() {
+        // Campaign JSON from before fault injection existed has no
+        // `faults` key; it must load as a clean campaign.
+        let spec = CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 300.0));
+        let mut v: serde_json::Value = serde_json::to_value(&spec).unwrap();
+        v.as_object_mut().unwrap().remove("faults");
+        let back: CampaignSpec = serde_json::from_value(v).unwrap();
+        assert!(back.faults.is_none());
     }
 
     #[test]

@@ -43,16 +43,18 @@ pub mod tcp_coupling;
 
 pub use experiment::{merge, CampaignSpec, Comparison, DEFAULT_ROUTE_KM, DEFAULT_SEEDS};
 pub use report::{ExperimentReport, ReportRow};
-pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, STALL_GAP_MS};
+pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, replay_tcp_faulted, STALL_GAP_MS};
 
 // Subsystem re-exports so downstream users depend on one crate.
 pub use rem_channel;
 pub use rem_crossband;
 pub use rem_exec;
+pub use rem_faults;
 pub use rem_mobility;
 pub use rem_net;
 pub use rem_num;
 pub use rem_phy;
 pub use rem_sim;
 
+pub use rem_faults::{FaultConfig, FaultKind, FaultPlan, InjectedFault, OraclePair};
 pub use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};

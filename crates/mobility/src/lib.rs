@@ -30,5 +30,7 @@ pub use policy::{
     TargetScope,
 };
 pub use rem_policy::{rem_policies, simplify_policy, SimplifyConfig};
-pub use statemachine::{FailureCause, HandoverAttempt, HoPhase};
+pub use statemachine::{
+    FailureCause, HandoverAttempt, HoPhase, InvalidTransition, SupervisionExpiry, SupervisionTimers,
+};
 pub use x2::{AdmissionControl, HandoverPreparation, PrepState, UeId, X2Message};

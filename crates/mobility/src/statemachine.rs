@@ -103,11 +103,27 @@ impl HandoverAttempt {
         self.phase
     }
 
+    /// Timestamp of the most recent recorded event.
+    pub fn last_event_ms(&self) -> f64 {
+        self.finished_at_ms
+            .or(self.command_at_ms)
+            .or(self.report_at_ms)
+            .unwrap_or(self.triggered_at_ms)
+    }
+
+    fn check_time(&self, now_ms: f64, op: &'static str) -> Result<(), InvalidTransition> {
+        if !now_ms.is_finite() || now_ms < self.last_event_ms() {
+            return Err(InvalidTransition { from: self.phase, op });
+        }
+        Ok(())
+    }
+
     /// The measurement report arrived at the serving cell.
     pub fn report_received(&mut self, now_ms: f64) -> Result<(), InvalidTransition> {
         if self.phase != HoPhase::Triggering {
             return Err(InvalidTransition { from: self.phase, op: "report_received" });
         }
+        self.check_time(now_ms, "report_received (time ordering)")?;
         self.phase = HoPhase::Deciding;
         self.report_at_ms = Some(now_ms);
         Ok(())
@@ -118,6 +134,7 @@ impl HandoverAttempt {
         if self.phase != HoPhase::Deciding {
             return Err(InvalidTransition { from: self.phase, op: "command_received" });
         }
+        self.check_time(now_ms, "command_received (time ordering)")?;
         self.phase = HoPhase::Executing;
         self.command_at_ms = Some(now_ms);
         Ok(())
@@ -128,6 +145,7 @@ impl HandoverAttempt {
         if self.phase != HoPhase::Executing {
             return Err(InvalidTransition { from: self.phase, op: "complete" });
         }
+        self.check_time(now_ms, "complete (time ordering)")?;
         self.phase = HoPhase::Complete;
         self.finished_at_ms = Some(now_ms);
         Ok(())
@@ -140,6 +158,7 @@ impl HandoverAttempt {
                 Err(InvalidTransition { from: self.phase, op: "fail" })
             }
             _ => {
+                self.check_time(now_ms, "fail (time ordering)")?;
                 self.phase = HoPhase::Failed(cause);
                 self.finished_at_ms = Some(now_ms);
                 Ok(())
@@ -155,6 +174,71 @@ impl HandoverAttempt {
     /// Whether the attempt concluded (success or failure).
     pub fn is_terminal(&self) -> bool {
         matches!(self.phase, HoPhase::Complete | HoPhase::Failed(_))
+    }
+}
+
+/// Which supervision timer expired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupervisionExpiry {
+    /// T310-style: no usable feedback/decision before the deadline —
+    /// the report (or the decision it should have produced) is
+    /// treated as lost.
+    Feedback,
+    /// T304-style: the command was issued but execution never
+    /// concluded — treated as command loss.
+    Execution,
+}
+
+impl SupervisionExpiry {
+    /// The failure cause an expiry implies.
+    pub fn cause(&self) -> FailureCause {
+        match self {
+            SupervisionExpiry::Feedback => FailureCause::FeedbackDelayLoss,
+            SupervisionExpiry::Execution => FailureCause::CommandLoss,
+        }
+    }
+}
+
+/// 3GPP-style handover supervision deadlines (T310 / T304 analogues).
+///
+/// The radio stack cannot wait forever on an in-flight report or
+/// command: [`SupervisionTimers::supervise`] turns a silently stuck
+/// [`HandoverAttempt`] into a classified failure, which is what makes
+/// injected *delay* faults observable rather than hangs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionTimers {
+    /// Budget from trigger to a received command (ms); covers the
+    /// Triggering and Deciding phases (T310 analogue).
+    pub feedback_ms: f64,
+    /// Budget from command receipt to completion (ms); covers the
+    /// Executing phase (T304 analogue).
+    pub execution_ms: f64,
+}
+
+impl Default for SupervisionTimers {
+    fn default() -> Self {
+        // Both sit well above the worst-case healthy attempt in the
+        // simulator (tens of ms incl. HARQ retries and X2 prep), so
+        // they only ever fire on genuinely lost/delayed messages.
+        Self { feedback_ms: 800.0, execution_ms: 400.0 }
+    }
+}
+
+impl SupervisionTimers {
+    /// Checks a non-terminal attempt against the deadlines. Returns
+    /// which timer expired, if any; terminal attempts never expire.
+    pub fn supervise(&self, attempt: &HandoverAttempt, now_ms: f64) -> Option<SupervisionExpiry> {
+        match attempt.phase() {
+            HoPhase::Triggering | HoPhase::Deciding => {
+                (now_ms - attempt.triggered_at_ms > self.feedback_ms)
+                    .then_some(SupervisionExpiry::Feedback)
+            }
+            HoPhase::Executing => {
+                let since = attempt.command_at_ms.unwrap_or(attempt.triggered_at_ms);
+                (now_ms - since > self.execution_ms).then_some(SupervisionExpiry::Execution)
+            }
+            HoPhase::Idle | HoPhase::Complete | HoPhase::Failed(_) => None,
+        }
     }
 }
 
@@ -215,5 +299,154 @@ mod tests {
         assert_eq!(FailureCause::all().len(), 4);
         assert_eq!(FailureCause::FeedbackDelayLoss.label(), "Feedback delay/loss");
         assert_eq!(FailureCause::CoverageHole.label(), "Coverage holes");
+    }
+
+    /// Drives a fresh attempt to the requested phase with sane times.
+    fn attempt_at(phase: HoPhase) -> HandoverAttempt {
+        let mut a = HandoverAttempt::trigger(100.0);
+        match phase {
+            HoPhase::Triggering => {}
+            HoPhase::Deciding => a.report_received(150.0).unwrap(),
+            HoPhase::Executing => {
+                a.report_received(150.0).unwrap();
+                a.command_received(180.0).unwrap();
+            }
+            HoPhase::Complete => {
+                a.report_received(150.0).unwrap();
+                a.command_received(180.0).unwrap();
+                a.complete(220.0).unwrap();
+            }
+            HoPhase::Failed(cause) => {
+                a.fail(150.0, cause).unwrap();
+            }
+            HoPhase::Idle => unreachable!("trigger() never yields Idle"),
+        }
+        a
+    }
+
+    #[test]
+    fn every_illegal_phase_transition_is_rejected() {
+        let phases = [
+            HoPhase::Triggering,
+            HoPhase::Deciding,
+            HoPhase::Executing,
+            HoPhase::Complete,
+            HoPhase::Failed(FailureCause::CommandLoss),
+        ];
+        for from in phases {
+            // Legal ops per phase; everything else must error and
+            // leave the attempt untouched.
+            let legal_report = from == HoPhase::Triggering;
+            let legal_command = from == HoPhase::Deciding;
+            let legal_complete = from == HoPhase::Executing;
+            let legal_fail =
+                !matches!(from, HoPhase::Complete | HoPhase::Failed(_));
+
+            let mut a = attempt_at(from);
+            assert_eq!(a.report_received(1e6).is_ok(), legal_report, "report from {from:?}");
+            let mut a = attempt_at(from);
+            assert_eq!(a.command_received(1e6).is_ok(), legal_command, "command from {from:?}");
+            let mut a = attempt_at(from);
+            assert_eq!(a.complete(1e6).is_ok(), legal_complete, "complete from {from:?}");
+            let mut a = attempt_at(from);
+            assert_eq!(
+                a.fail(1e6, FailureCause::CoverageHole).is_ok(),
+                legal_fail,
+                "fail from {from:?}"
+            );
+
+            // A rejected op must not mutate state.
+            let mut a = attempt_at(from);
+            let before = (a.phase(), a.last_event_ms());
+            let _ = a.complete(f64::NAN);
+            if !legal_complete {
+                assert_eq!((a.phase(), a.last_event_ms()), before);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_rejected() {
+        // Report earlier than trigger.
+        let mut a = HandoverAttempt::trigger(100.0);
+        let err = a.report_received(99.0).unwrap_err();
+        assert_eq!(err.from, HoPhase::Triggering);
+        assert_eq!(a.phase(), HoPhase::Triggering, "rejected op must not advance");
+        // Equal timestamps are fine (same-epoch events).
+        a.report_received(100.0).unwrap();
+
+        // Command earlier than report.
+        let err = a.command_received(50.0).unwrap_err();
+        assert_eq!(err.from, HoPhase::Deciding);
+        a.command_received(120.0).unwrap();
+
+        // Completion earlier than the command — the satellite case:
+        // complete(now) before trigger time must not be accepted.
+        assert!(a.complete(80.0).is_err());
+        assert!(a.complete(119.0).is_err());
+        assert_eq!(a.phase(), HoPhase::Executing);
+        a.complete(130.0).unwrap();
+
+        // Failure timestamped before the last event.
+        let mut a = HandoverAttempt::trigger(100.0);
+        a.report_received(110.0).unwrap();
+        assert!(a.fail(90.0, FailureCause::CommandLoss).is_err());
+        assert_eq!(a.phase(), HoPhase::Deciding);
+        a.fail(110.0, FailureCause::CommandLoss).unwrap();
+    }
+
+    #[test]
+    fn non_finite_timestamps_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut a = HandoverAttempt::trigger(0.0);
+            assert!(a.report_received(bad).is_err(), "report at {bad}");
+            a.report_received(1.0).unwrap();
+            assert!(a.command_received(bad).is_err(), "command at {bad}");
+            a.command_received(2.0).unwrap();
+            assert!(a.complete(bad).is_err(), "complete at {bad}");
+            assert!(a.fail(bad, FailureCause::CommandLoss).is_err(), "fail at {bad}");
+            a.complete(3.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn supervision_timers_fire_per_phase() {
+        let timers = SupervisionTimers::default();
+
+        // Feedback (T310 analogue) covers Triggering and Deciding.
+        let a = HandoverAttempt::trigger(0.0);
+        assert_eq!(timers.supervise(&a, timers.feedback_ms), None);
+        assert_eq!(
+            timers.supervise(&a, timers.feedback_ms + 1.0),
+            Some(SupervisionExpiry::Feedback)
+        );
+        let mut a = HandoverAttempt::trigger(0.0);
+        a.report_received(10.0).unwrap();
+        assert_eq!(
+            timers.supervise(&a, timers.feedback_ms + 1.0),
+            Some(SupervisionExpiry::Feedback)
+        );
+
+        // Execution (T304 analogue) restarts from command receipt.
+        let mut a = HandoverAttempt::trigger(0.0);
+        a.report_received(10.0).unwrap();
+        a.command_received(700.0).unwrap();
+        assert_eq!(timers.supervise(&a, 700.0 + timers.execution_ms), None);
+        assert_eq!(
+            timers.supervise(&a, 700.0 + timers.execution_ms + 1.0),
+            Some(SupervisionExpiry::Execution)
+        );
+
+        // Terminal attempts never expire.
+        let mut done = a;
+        done.complete(750.0).unwrap();
+        assert_eq!(timers.supervise(&done, 1e9), None);
+        let mut failed = HandoverAttempt::trigger(0.0);
+        failed.fail(1.0, FailureCause::CoverageHole).unwrap();
+        assert_eq!(timers.supervise(&failed, 1e9), None);
+
+        // Expiry causes map onto the Table 2 taxonomy.
+        assert_eq!(SupervisionExpiry::Feedback.cause(), FailureCause::FeedbackDelayLoss);
+        assert_eq!(SupervisionExpiry::Execution.cause(), FailureCause::CommandLoss);
     }
 }

@@ -9,4 +9,7 @@
 
 pub mod tcp;
 
-pub use tcp::{simulate_transfer, CongestionControl, LinkModel, Outage, TcpConfig, TcpTrace};
+pub use tcp::{
+    simulate_transfer, try_simulate_transfer, CongestionControl, LinkModel, LossEpisode, Outage,
+    TcpConfig, TcpError, TcpTrace,
+};

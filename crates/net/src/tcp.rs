@@ -17,6 +17,32 @@ use rand::Rng;
 use rem_num::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A malformed TCP scenario: configuration or link parameters that
+/// would make the replay meaningless (NaN timers, negative capacity,
+/// probabilities outside `[0, 1]`, …).
+///
+/// Produced by [`TcpConfig::validate`], [`LinkModel::validate`] and
+/// [`try_simulate_transfer`] instead of panicking mid-replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcpError {
+    /// The sender configuration is invalid.
+    InvalidConfig(String),
+    /// The link model is invalid.
+    InvalidLink(String),
+}
+
+impl fmt::Display for TcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcpError::InvalidConfig(why) => write!(f, "invalid TCP config: {why}"),
+            TcpError::InvalidLink(why) => write!(f, "invalid link model: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
 
 /// Congestion-control algorithm (smoltcp ships the same pair).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +88,32 @@ impl Default for TcpConfig {
     }
 }
 
+impl TcpConfig {
+    /// Checks the configuration for values the replay cannot handle.
+    pub fn validate(&self) -> Result<(), TcpError> {
+        let bad = |why: &str| Err(TcpError::InvalidConfig(why.to_string()));
+        if self.mss_bytes == 0 {
+            return bad("mss_bytes must be positive");
+        }
+        if !(self.init_cwnd.is_finite() && self.init_cwnd >= 1.0) {
+            return bad("init_cwnd must be finite and >= 1");
+        }
+        if !(self.init_ssthresh.is_finite() && self.init_ssthresh >= 1.0) {
+            return bad("init_ssthresh must be finite and >= 1");
+        }
+        if !(self.rto_min_ms.is_finite() && self.rto_min_ms > 0.0) {
+            return bad("rto_min_ms must be finite and positive");
+        }
+        if !(self.rto_max_ms.is_finite() && self.rto_max_ms >= self.rto_min_ms) {
+            return bad("rto_max_ms must be finite and >= rto_min_ms");
+        }
+        if !(self.rwnd.is_finite() && self.rwnd >= 1.0) {
+            return bad("rwnd must be finite and >= 1");
+        }
+        Ok(())
+    }
+}
+
 /// A radio outage interval during which every packet is lost.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Outage {
@@ -83,6 +135,29 @@ impl Outage {
     }
 }
 
+/// A bursty-loss window: while active, the packet-loss probability is
+/// raised to `loss_prob` (the base random loss still applies outside).
+///
+/// Fault-injection campaigns map their TCP loss bursts onto these
+/// episodes, so a radio-layer fault plan degrades the transport replay
+/// without taking the link fully down the way an [`Outage`] does.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LossEpisode {
+    /// Start (ms).
+    pub start_ms: f64,
+    /// End (ms).
+    pub end_ms: f64,
+    /// Loss probability while the episode is active.
+    pub loss_prob: f64,
+}
+
+impl LossEpisode {
+    /// Whether `t` falls inside the episode.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_ms && t < self.end_ms
+    }
+}
+
 /// The path model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinkModel {
@@ -94,17 +169,64 @@ pub struct LinkModel {
     pub loss_prob: f64,
     /// Radio outages (e.g. from handover failures).
     pub outages: Vec<Outage>,
+    /// Bursty-loss windows (e.g. from injected TCP faults). Absent in
+    /// serialized links from before this field existed.
+    #[serde(default)]
+    pub episodes: Vec<LossEpisode>,
 }
 
 impl Default for LinkModel {
     fn default() -> Self {
-        Self { rtt_ms: 40.0, capacity_pkts_per_ms: 2.0, loss_prob: 0.0, outages: vec![] }
+        Self {
+            rtt_ms: 40.0,
+            capacity_pkts_per_ms: 2.0,
+            loss_prob: 0.0,
+            outages: vec![],
+            episodes: vec![],
+        }
     }
 }
 
 impl LinkModel {
     fn is_down(&self, t: f64) -> bool {
         self.outages.iter().any(|o| o.contains(t))
+    }
+
+    /// Effective loss probability at `t`: the base rate, raised by any
+    /// active bursty-loss episode.
+    pub fn loss_prob_at(&self, t: f64) -> f64 {
+        self.episodes
+            .iter()
+            .filter(|e| e.contains(t))
+            .fold(self.loss_prob, |p, e| p.max(e.loss_prob))
+    }
+
+    /// Checks the link for values the replay cannot handle.
+    pub fn validate(&self) -> Result<(), TcpError> {
+        let bad = |why: String| Err(TcpError::InvalidLink(why));
+        if !(self.rtt_ms.is_finite() && self.rtt_ms > 0.0) {
+            return bad("rtt_ms must be finite and positive".into());
+        }
+        if !(self.capacity_pkts_per_ms.is_finite() && self.capacity_pkts_per_ms > 0.0) {
+            return bad("capacity_pkts_per_ms must be finite and positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return bad(format!("loss_prob {} outside [0, 1]", self.loss_prob));
+        }
+        for o in &self.outages {
+            if !(o.start_ms.is_finite() && o.end_ms.is_finite() && o.start_ms <= o.end_ms) {
+                return bad(format!("outage [{}, {}] is malformed", o.start_ms, o.end_ms));
+            }
+        }
+        for e in &self.episodes {
+            if !(e.start_ms.is_finite() && e.end_ms.is_finite() && e.start_ms <= e.end_ms) {
+                return bad(format!("episode [{}, {}] is malformed", e.start_ms, e.end_ms));
+            }
+            if !(0.0..=1.0).contains(&e.loss_prob) {
+                return bad(format!("episode loss_prob {} outside [0, 1]", e.loss_prob));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -184,12 +306,37 @@ struct InFlight {
 
 /// Simulates a bulk transfer (infinite source, like iperf) for
 /// `duration_ms` over `link`. Deterministic given the RNG.
+///
+/// Panics on malformed inputs; use [`try_simulate_transfer`] to get a
+/// typed [`TcpError`] instead.
 pub fn simulate_transfer(
     cfg: &TcpConfig,
     link: &LinkModel,
     duration_ms: f64,
     rng: &mut SimRng,
 ) -> TcpTrace {
+    match try_simulate_transfer(cfg, link, duration_ms, rng) {
+        Ok(trace) => trace,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Validating front door to [`simulate_transfer`]: rejects malformed
+/// configs and links with a [`TcpError`] rather than producing NaN
+/// timers or panicking mid-replay.
+pub fn try_simulate_transfer(
+    cfg: &TcpConfig,
+    link: &LinkModel,
+    duration_ms: f64,
+    rng: &mut SimRng,
+) -> Result<TcpTrace, TcpError> {
+    cfg.validate()?;
+    link.validate()?;
+    if !(duration_ms.is_finite() && duration_ms >= 0.0) {
+        return Err(TcpError::InvalidLink(format!(
+            "duration_ms {duration_ms} must be finite and non-negative"
+        )));
+    }
     let owd = link.rtt_ms / 2.0;
 
     // Sender state.
@@ -241,7 +388,7 @@ pub fn simulate_transfer(
         // 1. Receiver: process packet deliveries up to now.
         let due: Vec<u64> = deliveries.range(..=now_us).map(|(&k, _)| k).collect();
         for k in due {
-            for seq in deliveries.remove(&k).unwrap() {
+            for seq in deliveries.remove(&k).unwrap_or_default() {
                 let is_dup_ack;
                 if seq == rcv_next {
                     rcv_next += 1;
@@ -266,7 +413,7 @@ pub fn simulate_transfer(
         // 2. Sender: process ack arrivals.
         let due: Vec<u64> = acks.range(..=now_us).map(|(&k, _)| k).collect();
         for k in due {
-            for (cum, is_dup) in acks.remove(&k).unwrap() {
+            for (cum, is_dup) in acks.remove(&k).unwrap_or_default() {
                 if cum > snd_una {
                     // New data acked.
                     let newly = cum - snd_una;
@@ -275,17 +422,18 @@ pub fn simulate_transfer(
                     if let Some(info) = inflight.get(&(cum - 1)) {
                         if !info.retransmitted {
                             let sample = now - info.sent_at_ms;
-                            match srtt {
+                            let smoothed = match srtt {
                                 None => {
-                                    srtt = Some(sample);
                                     rttvar = sample / 2.0;
+                                    sample
                                 }
                                 Some(s) => {
                                     rttvar = 0.75 * rttvar + 0.25 * (s - sample).abs();
-                                    srtt = Some(0.875 * s + 0.125 * sample);
+                                    0.875 * s + 0.125 * sample
                                 }
-                            }
-                            rto = (srtt.unwrap() + (4.0 * rttvar).max(1.0))
+                            };
+                            srtt = Some(smoothed);
+                            rto = (smoothed + (4.0 * rttvar).max(1.0))
                                 .clamp(cfg.rto_min_ms, cfg.rto_max_ms);
                         }
                     }
@@ -413,15 +561,16 @@ pub fn simulate_transfer(
 
         now += tick_ms;
     }
-    trace
+    Ok(trace)
 }
 
 fn link_delivers(link: &LinkModel, t: f64, rng: &mut SimRng) -> bool {
     if link.is_down(t) {
         return false;
     }
-    if link.loss_prob > 0.0 {
-        return rng.gen::<f64>() >= link.loss_prob;
+    let p = link.loss_prob_at(t);
+    if p > 0.0 {
+        return rng.gen::<f64>() >= p;
     }
     true
 }
@@ -551,6 +700,137 @@ mod tests {
         let t = run(&LinkModel::default(), 0.0, 10);
         assert_eq!(t.total_acked_bytes, 0);
         assert_eq!(t.mean_goodput_mbps(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    fn attempt(cfg: &TcpConfig, link: &LinkModel) -> Result<TcpTrace, TcpError> {
+        try_simulate_transfer(cfg, link, 2_000.0, &mut rng_from_seed(1))
+    }
+
+    #[test]
+    fn default_scenario_validates() {
+        assert!(TcpConfig::default().validate().is_ok());
+        assert!(LinkModel::default().validate().is_ok());
+        assert!(attempt(&TcpConfig::default(), &LinkModel::default()).is_ok());
+    }
+
+    #[test]
+    fn bad_config_is_typed_not_a_panic() {
+        let cfg = TcpConfig { rto_min_ms: f64::NAN, ..Default::default() };
+        assert!(matches!(attempt(&cfg, &LinkModel::default()), Err(TcpError::InvalidConfig(_))));
+        let cfg = TcpConfig { mss_bytes: 0, ..Default::default() };
+        assert!(matches!(cfg.validate(), Err(TcpError::InvalidConfig(_))));
+        let cfg = TcpConfig { rto_max_ms: 10.0, rto_min_ms: 20.0, ..Default::default() };
+        assert!(matches!(cfg.validate(), Err(TcpError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn bad_link_is_typed_not_a_panic() {
+        let link = LinkModel { loss_prob: 1.5, ..Default::default() };
+        assert!(matches!(attempt(&TcpConfig::default(), &link), Err(TcpError::InvalidLink(_))));
+        let link = LinkModel { rtt_ms: 0.0, ..Default::default() };
+        assert!(matches!(link.validate(), Err(TcpError::InvalidLink(_))));
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 5.0, end_ms: 1.0 }],
+            ..Default::default()
+        };
+        assert!(matches!(link.validate(), Err(TcpError::InvalidLink(_))));
+        let link = LinkModel {
+            episodes: vec![LossEpisode { start_ms: 0.0, end_ms: 100.0, loss_prob: 2.0 }],
+            ..Default::default()
+        };
+        assert!(matches!(link.validate(), Err(TcpError::InvalidLink(_))));
+    }
+
+    #[test]
+    fn bad_duration_is_rejected() {
+        let r = try_simulate_transfer(
+            &TcpConfig::default(),
+            &LinkModel::default(),
+            f64::NAN,
+            &mut rng_from_seed(1),
+        );
+        assert!(matches!(r, Err(TcpError::InvalidLink(_))));
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = TcpError::InvalidLink("rtt_ms must be finite and positive".into());
+        assert!(e.to_string().contains("rtt_ms"));
+    }
+}
+
+#[cfg(test)]
+mod episode_tests {
+    use super::*;
+    use rem_num::rng::rng_from_seed;
+
+    fn run(link: &LinkModel, ms: f64, seed: u64) -> TcpTrace {
+        simulate_transfer(&TcpConfig::default(), link, ms, &mut rng_from_seed(seed))
+    }
+
+    #[test]
+    fn episode_raises_loss_prob_only_inside_window() {
+        let link = LinkModel {
+            loss_prob: 0.01,
+            episodes: vec![LossEpisode { start_ms: 100.0, end_ms: 200.0, loss_prob: 0.4 }],
+            ..Default::default()
+        };
+        assert_eq!(link.loss_prob_at(50.0), 0.01);
+        assert_eq!(link.loss_prob_at(150.0), 0.4);
+        assert_eq!(link.loss_prob_at(250.0), 0.01);
+        // An episode weaker than the base rate never lowers it.
+        let weak = LinkModel {
+            loss_prob: 0.5,
+            episodes: vec![LossEpisode { start_ms: 0.0, end_ms: 100.0, loss_prob: 0.1 }],
+            ..Default::default()
+        };
+        assert_eq!(weak.loss_prob_at(50.0), 0.5);
+    }
+
+    #[test]
+    fn bursty_loss_reduces_goodput() {
+        let clean = run(&LinkModel::default(), 10_000.0, 11).total_acked_bytes;
+        let bursty = run(
+            &LinkModel {
+                episodes: vec![LossEpisode {
+                    start_ms: 2_000.0,
+                    end_ms: 5_000.0,
+                    loss_prob: 0.35,
+                }],
+                ..Default::default()
+            },
+            10_000.0,
+            11,
+        )
+        .total_acked_bytes;
+        assert!(bursty < clean, "bursty={bursty} clean={clean}");
+        assert!(bursty > 0);
+    }
+
+    #[test]
+    fn episodes_deserialize_as_empty_when_absent() {
+        // Links serialized before the field existed must still load.
+        let json = r#"{"rtt_ms":40.0,"capacity_pkts_per_ms":2.0,"loss_prob":0.0,"outages":[]}"#;
+        let link: LinkModel = serde_json::from_str(json).expect("legacy link JSON");
+        assert!(link.episodes.is_empty());
+    }
+
+    #[test]
+    fn episode_runs_are_deterministic() {
+        let link = LinkModel {
+            episodes: vec![LossEpisode { start_ms: 500.0, end_ms: 2_500.0, loss_prob: 0.3 }],
+            ..Default::default()
+        };
+        let a = run(&link, 5_000.0, 12);
+        let b = run(&link, 5_000.0, 12);
+        assert_eq!(a.total_acked_bytes, b.total_acked_bytes);
+        assert_eq!(a.rto_events, b.rto_events);
     }
 }
 

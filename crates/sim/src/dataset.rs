@@ -9,6 +9,7 @@
 //! same replays (DESIGN.md §1 documents the substitution).
 
 use crate::deployment::{CarrierPlan, DeploymentSpec};
+use crate::error::ParseError;
 use crate::trajectory::{SpeedProfile, Trajectory};
 use rem_mobility::Earfcn;
 use serde::{Deserialize, Serialize};
@@ -182,6 +183,102 @@ impl DatasetSpec {
         }
     }
 
+    /// Parses a spec from a JSON document and validates it. Malformed
+    /// or physically meaningless input yields a typed [`ParseError`]
+    /// instead of surfacing later as a panic deep in the simulator.
+    pub fn from_json(s: &str) -> Result<Self, ParseError> {
+        let spec: DatasetSpec = serde_json::from_str(s)
+            .map_err(|err| ParseError::Json { line: err.line(), reason: err.to_string() })?;
+        spec.validate().map_err(|reason| ParseError::Invalid {
+            context: format!("dataset spec \"{}\"", spec.name),
+            reason,
+        })?;
+        Ok(spec)
+    }
+
+    /// Loads and validates a spec from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<Self, ParseError> {
+        let s = std::fs::read_to_string(path).map_err(|err| ParseError::Io {
+            path: path.display().to_string(),
+            reason: err.to_string(),
+        })?;
+        Self::from_json(&s)
+    }
+
+    /// Checks the spec's structural invariants; returns the first
+    /// violation as a human-readable reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.trim().is_empty() {
+            return Err("name must be non-empty".into());
+        }
+        let d = &self.deployment;
+        for (field, v) in [
+            ("deployment.route_m", d.route_m),
+            ("deployment.site_spacing_m", d.site_spacing_m),
+            ("speed_kmh", self.speed_kmh),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{field} must be finite and > 0, got {v}"));
+            }
+        }
+        if d.carriers.is_empty() {
+            return Err("deployment.carriers must list at least one carrier".into());
+        }
+        for (i, c) in d.carriers.iter().enumerate() {
+            if !c.carrier_hz.is_finite() || c.carrier_hz <= 0.0 {
+                return Err(format!("carriers[{i}].carrier_hz must be > 0, got {}", c.carrier_hz));
+            }
+            if !c.bandwidth_mhz.is_finite() || c.bandwidth_mhz <= 0.0 {
+                return Err(format!(
+                    "carriers[{i}].bandwidth_mhz must be > 0, got {}",
+                    c.bandwidth_mhz
+                ));
+            }
+        }
+        for (field, p) in [
+            ("proactive_prob", self.proactive_prob),
+            ("deployment.second_cell_prob", d.second_cell_prob),
+            ("deployment.third_cell_prob", d.third_cell_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{field} must be in [0, 1], got {p}"));
+            }
+        }
+        for (field, v) in [
+            ("intra_ttt_ms", self.intra_ttt_ms),
+            ("inter_ttt_ms", self.inter_ttt_ms),
+            ("intra_staleness_ms", self.intra_staleness_ms),
+            ("inter_staleness_ms", self.inter_staleness_ms),
+            ("rem_staleness_ms", self.rem_staleness_ms),
+            ("rem_estimation_err_db", self.rem_estimation_err_db),
+            ("shadow_sigma_db", self.shadow_sigma_db),
+            ("deployment.holes_per_100km", d.holes_per_100km),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{field} must be finite and >= 0, got {v}"));
+            }
+        }
+        if !self.shadow_dcorr_m.is_finite() || self.shadow_dcorr_m <= 0.0 {
+            return Err(format!(
+                "shadow_dcorr_m must be finite and > 0, got {}",
+                self.shadow_dcorr_m
+            ));
+        }
+        if d.lateral_range_m.0 > d.lateral_range_m.1 {
+            return Err(format!(
+                "deployment.lateral_range_m must be a non-empty range, got ({}, {})",
+                d.lateral_range_m.0, d.lateral_range_m.1
+            ));
+        }
+        if d.hole_len_m.0 > d.hole_len_m.1 || d.hole_len_m.0 < 0.0 {
+            return Err(format!(
+                "deployment.hole_len_m must be a non-negative range, got ({}, {})",
+                d.hole_len_m.0, d.hole_len_m.1
+            ));
+        }
+        Ok(())
+    }
+
     /// Client cruise speed in m/s.
     pub fn speed_ms(&self) -> f64 {
         self.speed_kmh / 3.6
@@ -289,6 +386,81 @@ mod tests {
         if fwd > 0.0 {
             assert_eq!(fwd, s.normal_offset_db);
         }
+    }
+
+    #[test]
+    fn builtin_specs_validate() {
+        for s in [
+            DatasetSpec::beijing_taiyuan(50.0, 250.0),
+            DatasetSpec::beijing_shanghai(50.0, 325.0),
+            DatasetSpec::la_driving(50.0, 50.0),
+            DatasetSpec::nr_smallcell(20.0, 300.0),
+        ] {
+            s.validate().unwrap_or_else(|r| panic!("{}: {r}", s.name));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_through_loader() {
+        let s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back = DatasetSpec::from_json(&json).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.deployment.route_m, s.deployment.route_m);
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error_not_a_panic() {
+        use crate::error::ParseError;
+        match DatasetSpec::from_json("{\"name\": \"x\",") {
+            Err(ParseError::Json { .. }) => {}
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        // Well-formed JSON, wrong shape.
+        assert!(matches!(
+            DatasetSpec::from_json("{\"name\": \"x\"}"),
+            Err(ParseError::Json { .. })
+        ));
+    }
+
+    #[test]
+    fn semantically_invalid_specs_are_rejected() {
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.speed_kmh = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.proactive_prob = 1.5;
+        let json = serde_json::to_string(&s).unwrap();
+        use crate::error::ParseError;
+        assert!(matches!(DatasetSpec::from_json(&json), Err(ParseError::Invalid { .. })));
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.deployment.carriers.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.deployment.route_m = f64::NAN;
+        assert!(s.validate().is_err());
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.intra_ttt_ms = -1.0;
+        assert!(s.validate().is_err());
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.deployment.lateral_range_m = (500.0, 100.0);
+        assert!(s.validate().is_err());
+
+        let mut s = DatasetSpec::beijing_taiyuan(50.0, 250.0);
+        s.name = "  ".into();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        use crate::error::ParseError;
+        let err = DatasetSpec::load(std::path::Path::new("/nonexistent/spec.json")).unwrap_err();
+        assert!(matches!(err, ParseError::Io { .. }));
     }
 }
 

@@ -127,6 +127,64 @@ mod tests {
         assert_eq!(q.pop_due(5.0).unwrap().1, "third");
     }
 
+    /// A payload that implements no ordering at all: pop order must
+    /// come purely from (time, insertion seq), never the payload.
+    #[derive(Debug, PartialEq)]
+    struct Opaque(&'static str);
+
+    #[test]
+    fn ties_ignore_payload_entirely() {
+        // Payloads deliberately sort differently than push order under
+        // any content-based comparison (string, length, reversed).
+        let mut q = EventQueue::new();
+        q.push(7.0, Opaque("zzz"));
+        q.push(7.0, Opaque("aaa"));
+        q.push(7.0, Opaque(""));
+        q.push(7.0, Opaque("mm"));
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop_due(7.0)).map(|(_, p)| p).collect();
+        assert_eq!(popped, vec![Opaque("zzz"), Opaque("aaa"), Opaque(""), Opaque("mm")]);
+    }
+
+    #[test]
+    fn ties_at_multiple_times_keep_per_time_push_order() {
+        let mut q = EventQueue::new();
+        q.push(20.0, "b1");
+        q.push(10.0, "a1");
+        q.push(20.0, "b2");
+        q.push(10.0, "a2");
+        q.push(20.0, "b3");
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop_due(100.0)).map(|(_, p)| p).collect();
+        assert_eq!(popped, vec!["a1", "a2", "b1", "b2", "b3"]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_tie_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 100);
+        assert_eq!(q.pop_due(5.0), Some((5.0, 100)));
+        // Re-using an already-popped time after the queue drained must
+        // still order later pushes among themselves.
+        q.push(5.0, 1);
+        q.push(5.0, 0);
+        assert_eq!(q.pop_due(5.0), Some((5.0, 1)));
+        q.push(5.0, -7);
+        assert_eq!(q.pop_due(5.0), Some((5.0, 0)));
+        assert_eq!(q.pop_due(5.0), Some((5.0, -7)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn many_ties_pop_in_exact_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..500u32 {
+            // Payload descends while push order ascends.
+            q.push(1.0, 500 - i);
+        }
+        for i in 0..500u32 {
+            assert_eq!(q.pop_due(1.0), Some((1.0, 500 - i)), "tie #{i}");
+        }
+    }
+
     #[test]
     fn len_and_clear() {
         let mut q = EventQueue::new();

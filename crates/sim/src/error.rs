@@ -1,0 +1,86 @@
+//! Typed errors for loading external inputs (trace dumps, dataset
+//! specs).
+//!
+//! Loaders used to `unwrap()`/propagate raw `serde_json` errors;
+//! malformed input must instead surface a structured, recoverable
+//! error so batch tooling (CLI, campaign runners) can report the
+//! offending file/line and move on.
+
+use std::fmt;
+
+/// Why an external input could not be loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The file could not be read at all.
+    Io {
+        /// Path we tried to read.
+        path: String,
+        /// OS-level reason.
+        reason: String,
+    },
+    /// A line (1-based; 0 when the input is a single document) failed
+    /// to deserialise.
+    Json {
+        /// Offending line within the input.
+        line: usize,
+        /// Deserialiser message.
+        reason: String,
+    },
+    /// The input deserialised but violates a structural invariant.
+    Invalid {
+        /// What was being parsed (e.g. a field or file description).
+        context: String,
+        /// Violated invariant.
+        reason: String,
+    },
+    /// A trace event is timestamped earlier than its predecessor.
+    NotChronological {
+        /// Offending line (1-based).
+        line: usize,
+        /// Event timestamp (ms).
+        t_ms: f64,
+        /// Predecessor timestamp (ms).
+        prev_ms: f64,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io { path, reason } => write!(f, "cannot read {path}: {reason}"),
+            ParseError::Json { line, reason } => {
+                if *line == 0 {
+                    write!(f, "malformed JSON: {reason}")
+                } else {
+                    write!(f, "malformed JSON on line {line}: {reason}")
+                }
+            }
+            ParseError::Invalid { context, reason } => write!(f, "invalid {context}: {reason}"),
+            ParseError::NotChronological { line, t_ms, prev_ms } => write!(
+                f,
+                "trace not chronological on line {line}: t={t_ms} ms after t={prev_ms} ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ParseError::Io { path: "x.jsonl".into(), reason: "no such file".into() };
+        assert!(e.to_string().contains("x.jsonl"));
+        let e = ParseError::Json { line: 3, reason: "expected value".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = ParseError::Json { line: 0, reason: "expected value".into() };
+        assert!(!e.to_string().contains("line"));
+        let e = ParseError::Invalid { context: "dataset spec".into(), reason: "speed".into() };
+        assert!(e.to_string().starts_with("invalid dataset spec"));
+        let e = ParseError::NotChronological { line: 2, t_ms: 1.0, prev_ms: 5.0 };
+        assert!(e.to_string().contains("line 2"));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod dataset;
 pub mod deployment;
 pub mod engine;
+pub mod error;
 pub mod linkmodel;
 pub mod metrics;
 pub mod predict;
@@ -33,10 +34,12 @@ pub mod train;
 
 pub use dataset::DatasetSpec;
 pub use deployment::{Deployment, DeploymentSpec};
+pub use error::ParseError;
 pub use metrics::{FailureRecord, HandoverRecord, LoopRecord, RunMetrics, SignalingCounts};
 pub use predict::TrajectoryFilter;
 pub use radio::{RadioEnv, ShadowingCfg};
-pub use run::{simulate_run, Plane, RunConfig};
+pub use rem_faults::{FaultConfig, FaultKind, FaultMode, FaultPlan, InjectedFault, OraclePair};
+pub use run::{simulate_run, Plane, ReestablishCfg, RunConfig};
 pub use trace::{SignalingEvent, SignalingTrace};
 pub use train::{simulate_train, TrainMetrics};
 pub use trajectory::{SpeedProfile, Trajectory};

@@ -2,6 +2,7 @@
 //! off a simulation run.
 
 use crate::trace::SignalingTrace;
+use rem_faults::{InjectedFault, OraclePair};
 use rem_mobility::{CellId, FailureCause};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -63,6 +64,12 @@ pub struct SignalingCounts {
     pub reconfigs: usize,
     /// Total HARQ transmissions across all messages (airtime units).
     pub harq_transmissions: usize,
+    /// X2AP backhaul messages exchanged for handover preparation
+    /// (request/ack, SN status transfer, context release). Backhaul
+    /// traffic, so not part of [`Self::total_messages`] (an air-
+    /// interface overhead figure).
+    #[serde(default)]
+    pub x2_messages: usize,
 }
 
 impl SignalingCounts {
@@ -95,6 +102,21 @@ pub struct RunMetrics {
     pub trace: SignalingTrace,
     /// Signaling traffic counters.
     pub signaling: SignalingCounts,
+    /// Injected faults that actually bit the run (empty without fault
+    /// injection).
+    #[serde(default)]
+    pub injected: Vec<InjectedFault>,
+    /// Oracle checks: ground-truth cause of each fault-attributed
+    /// failure vs what the state machine classified.
+    #[serde(default)]
+    pub fault_oracle: Vec<OraclePair>,
+    /// RRC re-establishment attempts performed during outages.
+    #[serde(default)]
+    pub reestablish_attempts: usize,
+    /// Epochs where the REM plane degraded to legacy single-cell
+    /// logic (estimation confidence low or its inputs faulted).
+    #[serde(default)]
+    pub rem_fallback_epochs: usize,
 }
 
 impl RunMetrics {
@@ -223,6 +245,12 @@ impl RunMetrics {
         out.extend(self.handovers.iter().map(|h| (h.t_ms, h.t_ms + per_ho_ms)));
         out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         out
+    }
+
+    /// Oracle pairs whose classification disagreed with the injected
+    /// ground truth. Empty is the correctness criterion.
+    pub fn oracle_mismatches(&self) -> Vec<&OraclePair> {
+        self.fault_oracle.iter().filter(|p| !p.matches()).collect()
     }
 
     /// Signaling messages per minute of run time.

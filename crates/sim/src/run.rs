@@ -25,8 +25,13 @@ use crate::linkmodel::{deliver_with_harq, effective_sinr_db, SignalingLinkCfg};
 use crate::metrics::{detect_loops, FailureRecord, HandoverRecord, RunMetrics};
 use crate::radio::{CellRadio, RadioEnv, ShadowingCfg};
 use crate::trace::SignalingEvent;
+use rem_faults::{FaultConfig, FaultKind, FaultMode, FaultPlan, InjectedFault, OraclePair};
 use rem_mobility::events::{EventConfig, EventKind, EventMonitor};
-use rem_mobility::{CellId, FailureCause};
+use rem_mobility::x2::target_handle_request;
+use rem_mobility::{
+    AdmissionControl, CellId, FailureCause, HandoverAttempt, HandoverPreparation, RrcMessage,
+    SupervisionTimers, UeId, X2Message,
+};
 use rem_num::rng::{child_rng, normal};
 use rem_num::SimRng;
 use rem_phy::link::bler_estimate;
@@ -85,6 +90,17 @@ pub struct RunConfig {
     pub record_trace: bool,
     /// Link model for signaling messages.
     pub link: SignalingLinkCfg,
+    /// Client index within a multi-client campaign. Decorrelates the
+    /// per-client fault plans (and nothing else): the `(seed,
+    /// client_id)` pair fully determines the injected schedule.
+    pub client_id: u64,
+    /// Fault-injection configuration; `None` disables injection and
+    /// leaves the run on the exact healthy code path.
+    pub faults: Option<FaultConfig>,
+    /// T310/T304-style supervision deadlines for in-flight attempts.
+    pub timers: SupervisionTimers,
+    /// RRC re-establishment retry policy after radio link failure.
+    pub reestablish: ReestablishCfg,
 }
 
 impl RunConfig {
@@ -98,7 +114,35 @@ impl RunConfig {
             ablation: RemAblation::default(),
             record_trace: false,
             link: SignalingLinkCfg::default(),
+            client_id: 0,
+            faults: None,
+            timers: SupervisionTimers::default(),
+            reestablish: ReestablishCfg::default(),
         }
+    }
+}
+
+/// Bounded-retry RRC re-establishment with exponential backoff.
+///
+/// After a radio link failure the client scans (cell search + RACH,
+/// ~2 s), then attempts re-establishment. A failed
+/// attempt (no admissible cell, or an injected blackout) backs off
+/// exponentially; once `max_attempts` retries are exhausted the client
+/// abandons re-establishment and falls back to a full scan + RRC setup
+/// from scratch, resetting the ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReestablishCfg {
+    /// Retries before falling back to RRC setup from scratch.
+    pub max_attempts: u32,
+    /// First retry backoff (ms).
+    pub initial_backoff_ms: f64,
+    /// Multiplier applied per successive retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for ReestablishCfg {
+    fn default() -> Self {
+        Self { max_attempts: 4, initial_backoff_ms: 200.0, backoff_factor: 2.0 }
     }
 }
 
@@ -133,6 +177,17 @@ const POST_HO_GUARD_MS: f64 = 1_500.0;
 const A2_THRESH_DBM: f64 = -112.0;
 const A1_THRESH_DBM: f64 = -100.0;
 const A4_THRESH_DBM: f64 = -110.0;
+/// X2 handover-preparation round trip on the backhaul (ms).
+const X2_PREP_MS: f64 = 5.0;
+/// Serving-cell guard timer on a lost X2 preparation (ms).
+const X2_PREP_TIMEOUT_MS: f64 = 120.0;
+/// How long after a measurement-masking window closes a missed-cell
+/// failure is still attributed to it (the fade + RLF timer lag the
+/// blinding that caused them).
+const MASK_ATTRIB_SLACK_MS: f64 = 1_000.0;
+/// Cross-band estimates outside this envelope (Fig 12's 90% bound) are
+/// low-confidence: REM degrades to directly-measured cells only.
+const CONF_LIMIT_DB: f64 = 2.0;
 
 #[derive(Clone, Copy, Debug)]
 enum UeState {
@@ -146,11 +201,19 @@ enum UeState {
         resolve_at_ms: f64,
         outcome: AttemptOutcome,
         feedback_delay_ms: f64,
+        /// Typed procedure state, supervised by the T310/T304 timers.
+        sm: HandoverAttempt,
+        /// The fault class that bit this attempt's messages, if any
+        /// (ground truth for the classification oracle).
+        injected: Option<FaultKind>,
+        /// X2 preparation context at the target, when admitted.
+        prep: Option<HandoverPreparation>,
     },
     Outage {
         since_ms: f64,
         cause: FailureCause,
-        scan_done_ms: f64,
+        next_try_ms: f64,
+        attempt: u32,
     },
 }
 
@@ -158,6 +221,8 @@ enum UeState {
 enum AttemptOutcome {
     Success,
     ReportLost,
+    /// X2 preparation failed: the command could never be issued.
+    PrepFailed,
     CommandLost,
     TargetFaded,
 }
@@ -208,15 +273,34 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
     // so the estimation error is correlated over hundreds of ms).
     let mut est_err: HashMap<CellId, f64> = HashMap::new();
 
-    // RLF bookkeeping.
+    // RLF bookkeeping. The message-failure latch remembers when the
+    // last signaling exchange broke, with what cause, and — when an
+    // injected fault broke it — the ground-truth fault class for the
+    // classification oracle.
     let mut below_since: Option<f64> = None;
-    let mut last_msg_failure: Option<(f64, FailureCause)> = None;
+    let mut last_msg_failure: Option<(f64, FailureCause, Option<FaultKind>)> = None;
     let mut guard_until_ms = 0.0f64;
 
     // Rolling BLER window for Fig 2b (5 s).
     let mut bler_window: VecDeque<(f64, f64, f64)> = VecDeque::new();
 
     let mut metrics = RunMetrics { duration_s: spec.duration_s(), ..Default::default() };
+
+    // The fault schedule is a pure function of (seed, client_id) drawn
+    // from its own child_rng streams: it never touches the simulation
+    // RNGs above, so campaigns stay bit-identical on any thread count
+    // and an unfaulted run is byte-for-byte the pre-injection run.
+    let plan = match &cfg.faults {
+        Some(fc) => FaultPlan::generate(fc, cfg.seed, cfg.client_id, duration_ms),
+        None => FaultPlan::empty(),
+    };
+    let extra_delay_ms = cfg.faults.as_ref().map_or(0.0, |f| f.extra_delay_ms);
+
+    // X2 endpoint state: one client, so target-side admission control
+    // is modeled as a single shared pool, released as attempts resolve.
+    let ue = UeId(cfg.client_id as u32);
+    let mut admission = AdmissionControl::new(8);
+    let mut rach_preamble: u8 = 0;
 
     // Initial attach.
     let first_obs = env.observe(0.0, RANGE_M, &mut env_rng);
@@ -230,7 +314,8 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
         None => UeState::Outage {
             since_ms: 0.0,
             cause: FailureCause::CoverageHole,
-            scan_done_ms: REESTABLISH_SCAN_MS,
+            next_try_ms: REESTABLISH_SCAN_MS,
+            attempt: 0,
         },
     };
 
@@ -254,6 +339,11 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                 .unwrap_or(&history.front().unwrap().1)
         };
 
+        // An injected blackout: no cell receivable for the window. The
+        // environment was still observed above, so the `environment`
+        // RNG stream is identical with and without the fault.
+        let forced_hole = plan.active(FaultKind::CoverageHole, t).is_some();
+
         match state {
             UeState::Connected { serving } => {
                 let serving_now = obs.get(&serving);
@@ -275,8 +365,13 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                     }
                 }
 
-                // --- RLF detection.
-                let snr_now = serving_now.map(|c| c.snr_db).unwrap_or(-30.0);
+                // --- RLF detection (an injected blackout reads as no
+                // receivable serving signal).
+                let snr_now = if forced_hole {
+                    -30.0
+                } else {
+                    serving_now.map(|c| c.snr_db).unwrap_or(-30.0)
+                };
                 if snr_now < RLF_SNR_DB {
                     if below_since.is_none() {
                         below_since = Some(t);
@@ -285,16 +380,43 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                     below_since = None;
                 }
                 if below_since.is_some_and(|b| t - b >= RLF_TIMER_MS) {
+                    let missed_possible =
+                        missed_cell_possible(&deployment, &obs_vec, serving, stage2, cfg.plane);
                     let cause = classify_rlf(
                         &deployment,
                         pos,
                         &obs_vec,
                         serving,
-                        stage2,
-                        cfg.plane,
+                        forced_hole,
+                        missed_possible,
                         t,
                         last_msg_failure,
                     );
+                    // Oracle bookkeeping: when the failure is
+                    // attributable to an injected fault, pair the
+                    // fault's ground truth with the classification.
+                    if let Some(kind) = attribute_failure(
+                        &plan,
+                        forced_hole,
+                        deployment.in_hole(pos),
+                        last_msg_failure,
+                        missed_possible,
+                        t,
+                    ) {
+                        if matches!(kind, FaultKind::CoverageHole | FaultKind::MaskCell) {
+                            metrics.injected.push(InjectedFault {
+                                t_ms: t,
+                                kind,
+                                mode: FaultMode::Drop,
+                            });
+                        }
+                        metrics.fault_oracle.push(OraclePair {
+                            t_ms: t,
+                            kind,
+                            truth: kind.ground_truth(),
+                            classified: cause,
+                        });
+                    }
                     for (_, ul, dl) in &bler_window {
                         metrics.bler_before_failure_ul.push(*ul);
                         metrics.bler_before_failure_dl.push(*dl);
@@ -309,7 +431,8 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                     state = UeState::Outage {
                         since_ms: t,
                         cause,
-                        scan_done_ms: t + REESTABLISH_SCAN_MS,
+                        next_try_ms: t + REESTABLISH_SCAN_MS,
+                        attempt: 0,
                     };
                     below_since = None;
                     last_msg_failure = None;
@@ -319,9 +442,12 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                 }
 
                 // --- Event evaluation on stale measurements (suppressed
-                // during the post-handover settling guard).
+                // during the post-handover settling guard, during an
+                // injected blackout, and while an injected mask blinds
+                // the measurement pipeline).
+                let masked = plan.active(FaultKind::MaskCell, t).is_some();
                 let stage2_before = stage2;
-                let trigger = if t < guard_until_ms {
+                let trigger = if t < guard_until_ms || forced_hole || masked {
                     None
                 } else {
                     match cfg.plane {
@@ -347,9 +473,15 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                         stale(rem_staleness),
                         rem_staleness,
                         cfg.rem_clamp_offsets,
+                        // Cross-band inputs lost: degrade gracefully to
+                        // directly-measured cells (legacy single-cell
+                        // handover) rather than trusting stale or
+                        // missing estimates.
+                        plan.active(FaultKind::DropFeedback, t).is_some(),
                         &mut a3_monitors,
                         &mut est_err,
                         &mut est_rng,
+                        &mut metrics.rem_fallback_epochs,
                     ),
                     }
                 };
@@ -368,9 +500,39 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                         (Some(sr), Some(sc)) => (sr.snr_db, sc.carrier_hz),
                         _ => (-30.0, 2e9),
                     };
-                    let (report_ok, report_tries, _) = deliver_with_harq(
+                    // Signaling faults scheduled over this instant. The
+                    // channel is always sampled first so the link RNG
+                    // stream is unchanged by injection.
+                    let feedback_fault = plan.active(FaultKind::DropFeedback, t).map(|f| f.mode);
+                    let command_fault = plan.active(FaultKind::DropCommand, t).map(|f| f.mode);
+                    let x2_fault = plan.active(FaultKind::DropX2, t).is_some();
+
+                    let (chan_report_ok, report_tries, _) = deliver_with_harq(
                         &cfg.link, s_snr, speed, carrier, waveform, HARQ_ATTEMPTS, &mut link_rng,
                     );
+                    let delayed = matches!(feedback_fault, Some(FaultMode::Delay));
+                    let report_ok = match feedback_fault {
+                        None => chan_report_ok,
+                        // Arrives, but far too late (handled below).
+                        Some(FaultMode::Delay) => chan_report_ok,
+                        Some(FaultMode::Corrupt) => {
+                            // The report arrives garbled; the RRC codec
+                            // gets the final vote and must reject it.
+                            let msg =
+                                RrcMessage::MeasurementReport { cells: vec![(target, s_snr)] };
+                            let mut raw = msg.encode().to_vec();
+                            rem_faults::corrupt(&mut raw);
+                            chan_report_ok && RrcMessage::decode(bytes::Bytes::from(raw)).is_some()
+                        }
+                        Some(FaultMode::Drop) => false,
+                    };
+                    if let Some(mode) = feedback_fault {
+                        metrics.injected.push(InjectedFault {
+                            t_ms: t,
+                            kind: FaultKind::DropFeedback,
+                            mode,
+                        });
+                    }
                     metrics.signaling.reports += 1;
                     metrics.signaling.harq_transmissions += report_tries;
                     if cfg.record_trace {
@@ -378,32 +540,104 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                             t_ms: t,
                             serving,
                             target,
-                            delivered: report_ok,
+                            delivered: report_ok && !delayed,
                         });
                     }
+                    let mut sm = HandoverAttempt::trigger(t);
                     let mut elapsed = report_tries as f64 * HARQ_MS;
                     let mut outcome = AttemptOutcome::ReportLost;
-                    if report_ok {
+                    let mut injected = feedback_fault.map(|_| FaultKind::DropFeedback);
+                    let mut prep: Option<HandoverPreparation> = None;
+                    if delayed {
+                        // The report is in flight well past the T310
+                        // deadline; supervision will kill the attempt.
+                        elapsed += extra_delay_ms;
+                    } else if report_ok {
+                        sm.report_received(t + elapsed).expect("report follows trigger");
                         elapsed += DECISION_MS;
-                        let (cmd_ok, cmd_tries, _) = deliver_with_harq(
-                            &cfg.link, s_snr, speed, carrier, waveform, HARQ_ATTEMPTS, &mut link_rng,
-                        );
-                        metrics.signaling.commands += 1;
-                        metrics.signaling.harq_transmissions += cmd_tries;
-                        if cfg.record_trace {
-                            metrics.trace.push(SignalingEvent::HandoverCommand {
+                        // X2 preparation with the target eNB gates the
+                        // command (admission + RACH preamble).
+                        let (mut p, req) = HandoverPreparation::start(ue, target);
+                        metrics.signaling.x2_messages += 1;
+                        let prep_ok = if x2_fault {
+                            // Request (or its ack) lost on the
+                            // backhaul: the serving cell waits out its
+                            // preparation guard timer and gives up.
+                            elapsed += X2_PREP_TIMEOUT_MS;
+                            injected = Some(FaultKind::DropX2);
+                            metrics.injected.push(InjectedFault {
                                 t_ms: t,
-                                serving,
-                                target,
-                                delivered: cmd_ok,
+                                kind: FaultKind::DropX2,
+                                mode: FaultMode::Drop,
                             });
-                        }
-                        elapsed += cmd_tries as f64 * HARQ_MS;
-                        if cmd_ok {
-                            elapsed += ATTACH_MS;
-                            outcome = AttemptOutcome::Success; // target checked at resolve
+                            false
                         } else {
-                            outcome = AttemptOutcome::CommandLost;
+                            elapsed += X2_PREP_MS;
+                            rach_preamble = rach_preamble.wrapping_add(1);
+                            let resp = target_handle_request(&mut admission, &req, rach_preamble)
+                                .expect("handover request draws a response");
+                            metrics.signaling.x2_messages += 1;
+                            p.on_response(&resp).expect("response matches the request");
+                            if p.ready_to_command() {
+                                prep = Some(p);
+                                true
+                            } else {
+                                // Admission denied by the target.
+                                false
+                            }
+                        };
+                        if prep_ok {
+                            let (chan_cmd_ok, cmd_tries, _) = deliver_with_harq(
+                                &cfg.link, s_snr, speed, carrier, waveform, HARQ_ATTEMPTS,
+                                &mut link_rng,
+                            );
+                            let cmd_ok = match command_fault {
+                                None => chan_cmd_ok,
+                                Some(FaultMode::Corrupt) => {
+                                    let msg = RrcMessage::HandoverCommand { target };
+                                    let mut raw = msg.encode().to_vec();
+                                    rem_faults::corrupt(&mut raw);
+                                    chan_cmd_ok
+                                        && RrcMessage::decode(bytes::Bytes::from(raw)).is_some()
+                                }
+                                Some(_) => false,
+                            };
+                            if let Some(mode) = command_fault {
+                                injected = Some(FaultKind::DropCommand);
+                                metrics.injected.push(InjectedFault {
+                                    t_ms: t,
+                                    kind: FaultKind::DropCommand,
+                                    mode,
+                                });
+                            }
+                            metrics.signaling.commands += 1;
+                            metrics.signaling.harq_transmissions += cmd_tries;
+                            if cfg.record_trace {
+                                metrics.trace.push(SignalingEvent::HandoverCommand {
+                                    t_ms: t,
+                                    serving,
+                                    target,
+                                    delivered: cmd_ok,
+                                });
+                            }
+                            elapsed += cmd_tries as f64 * HARQ_MS;
+                            if cmd_ok {
+                                sm.command_received(t + elapsed).expect("command follows report");
+                                // The UE obeyed the command: transfer
+                                // PDCP state so the target can resume
+                                // lossless.
+                                if let Some(p) = prep.as_mut() {
+                                    let sn = metrics.signaling.commands as u32;
+                                    p.send_sn_status(sn, sn).expect("prepared before command");
+                                    metrics.signaling.x2_messages += 1;
+                                }
+                                elapsed += ATTACH_MS;
+                                outcome = AttemptOutcome::Success; // target checked at resolve
+                            } else {
+                                outcome = AttemptOutcome::CommandLost;
+                            }
+                        } else {
+                            outcome = AttemptOutcome::PrepFailed;
                         }
                     }
                     let feedback_delay = staleness_ms + ttt_ms + report_tries as f64 * HARQ_MS;
@@ -414,13 +648,29 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                         resolve_at_ms: t + elapsed,
                         outcome,
                         feedback_delay_ms: feedback_delay,
+                        sm,
+                        injected,
+                        prep,
                     };
                 }
             }
 
-            UeState::Attempting { serving, target, resolve_at_ms, outcome, feedback_delay_ms } => {
+            UeState::Attempting {
+                serving,
+                target,
+                resolve_at_ms,
+                outcome,
+                feedback_delay_ms,
+                sm,
+                injected,
+                prep,
+            } => {
                 // RLF can still strike mid-attempt.
-                let snr_now = obs.get(&serving).map(|c| c.snr_db).unwrap_or(-30.0);
+                let snr_now = if forced_hole {
+                    -30.0
+                } else {
+                    obs.get(&serving).map(|c| c.snr_db).unwrap_or(-30.0)
+                };
                 if snr_now < RLF_SNR_DB {
                     if below_since.is_none() {
                         below_since = Some(t);
@@ -430,18 +680,51 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                 }
                 let rlf = below_since.is_some_and(|b| t - b >= RLF_TIMER_MS);
 
-                if t >= resolve_at_ms || rlf {
+                // T310/T304 supervision: a silently in-flight message
+                // (the delay-fault manifestation) must not hang the
+                // procedure past its deadline.
+                let expired =
+                    if t < resolve_at_ms && !rlf { cfg.timers.supervise(&sm, t) } else { None };
+
+                if let Some(expiry) = expired {
+                    let cause = expiry.cause();
+                    let mut sm = sm;
+                    sm.fail(t.max(sm.last_event_ms()), cause)
+                        .expect("supervised attempt is non-terminal");
+                    if prep.is_some() {
+                        admission.release();
+                    }
+                    last_msg_failure = Some((t, cause, injected));
+                    state = UeState::Connected { serving };
+                    a3_monitors.clear();
+                    a4_monitors.clear();
+                } else if t >= resolve_at_ms || rlf {
                     let mut outcome = outcome;
                     if rlf && outcome == AttemptOutcome::Success && t < resolve_at_ms {
                         // Lost the link before the procedure finished.
                         outcome = AttemptOutcome::TargetFaded;
                     }
+                    // The attempt concludes now; transitions clamp to
+                    // the last recorded procedure event because the
+                    // exchange was pre-computed at trigger time.
+                    let mut sm = sm;
+                    let sm_now = t.max(sm.last_event_ms());
                     match outcome {
                         AttemptOutcome::Success => {
-                            let target_ok = obs
-                                .get(&target)
-                                .is_some_and(|c| c.snr_db >= ATTACH_MIN_SNR_DB);
+                            let target_ok = !forced_hole
+                                && obs
+                                    .get(&target)
+                                    .is_some_and(|c| c.snr_db >= ATTACH_MIN_SNR_DB);
                             if target_ok {
+                                sm.complete(sm_now).expect("executing attempt completes");
+                                if let Some(mut p) = prep {
+                                    // UE arrived: the target releases
+                                    // the old serving-side context.
+                                    p.on_response(&X2Message::UeContextRelease { ue })
+                                        .expect("release follows forwarding");
+                                    admission.release();
+                                    metrics.signaling.x2_messages += 1;
+                                }
                                 let from_cell = deployment.cell(serving);
                                 let to_cell = deployment.cell(target);
                                 let intra = match (from_cell, to_cell) {
@@ -468,28 +751,39 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                                 reset_monitors(&mut a3_monitors, &mut a4_monitors, &mut a2_monitor, &mut a1_monitor, &mut stage2);
                             } else {
                                 // Too late: the chosen target already faded.
-                                last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                                sm.fail(sm_now, FailureCause::FeedbackDelayLoss)
+                                    .expect("non-terminal attempt fails");
+                                if prep.is_some() {
+                                    admission.release();
+                                }
+                                last_msg_failure =
+                                    Some((t, FailureCause::FeedbackDelayLoss, injected));
                                 state = UeState::Connected { serving };
                                 a3_monitors.clear();
                                 a4_monitors.clear();
                             }
                         }
-                        AttemptOutcome::ReportLost => {
-                            last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                        AttemptOutcome::ReportLost | AttemptOutcome::TargetFaded => {
+                            sm.fail(sm_now, FailureCause::FeedbackDelayLoss)
+                                .expect("non-terminal attempt fails");
+                            if prep.is_some() {
+                                admission.release();
+                            }
+                            last_msg_failure =
+                                Some((t, FailureCause::FeedbackDelayLoss, injected));
                             state = UeState::Connected { serving };
                             // The UE keeps reporting: clear the latched
                             // monitors so the trigger can re-fire.
                             a3_monitors.clear();
                             a4_monitors.clear();
                         }
-                        AttemptOutcome::CommandLost => {
-                            last_msg_failure = Some((t, FailureCause::CommandLoss));
-                            state = UeState::Connected { serving };
-                            a3_monitors.clear();
-                            a4_monitors.clear();
-                        }
-                        AttemptOutcome::TargetFaded => {
-                            last_msg_failure = Some((t, FailureCause::FeedbackDelayLoss));
+                        AttemptOutcome::PrepFailed | AttemptOutcome::CommandLost => {
+                            sm.fail(sm_now, FailureCause::CommandLoss)
+                                .expect("non-terminal attempt fails");
+                            if prep.is_some() {
+                                admission.release();
+                            }
+                            last_msg_failure = Some((t, FailureCause::CommandLoss, injected));
                             state = UeState::Connected { serving };
                             a3_monitors.clear();
                             a4_monitors.clear();
@@ -498,11 +792,23 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                 }
             }
 
-            UeState::Outage { since_ms, cause, scan_done_ms } => {
-                if t >= scan_done_ms {
-                    let candidate = obs_vec
-                        .iter()
-                        .find(|c| c.snr_db >= ATTACH_MIN_SNR_DB && !deployment.in_hole(pos));
+            UeState::Outage { since_ms, cause, next_try_ms, attempt } => {
+                if t >= next_try_ms {
+                    let blocked = forced_hole || deployment.in_hole(pos);
+                    let candidate = if blocked {
+                        None
+                    } else {
+                        obs_vec.iter().find(|c| c.snr_db >= ATTACH_MIN_SNR_DB)
+                    };
+                    metrics.reestablish_attempts += 1;
+                    let tries = attempt + 1;
+                    if cfg.record_trace {
+                        metrics.trace.push(SignalingEvent::Reestablish {
+                            t_ms: t,
+                            attempt: tries,
+                            success: candidate.is_some(),
+                        });
+                    }
                     if let Some(best) = candidate {
                         metrics.failures.push(FailureRecord {
                             t_ms: since_ms,
@@ -514,6 +820,25 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
                         }
                         state = UeState::Connected { serving: best.cell };
                         bler_window.clear();
+                    } else if tries >= cfg.reestablish.max_attempts {
+                        // Retries exhausted: abandon re-establishment
+                        // and restart from a full scan + RRC setup,
+                        // resetting the backoff ladder.
+                        state = UeState::Outage {
+                            since_ms,
+                            cause,
+                            next_try_ms: t + REESTABLISH_SCAN_MS,
+                            attempt: 0,
+                        };
+                    } else {
+                        let backoff = cfg.reestablish.initial_backoff_ms
+                            * cfg.reestablish.backoff_factor.powi(tries as i32 - 1);
+                        state = UeState::Outage {
+                            since_ms,
+                            cause,
+                            next_try_ms: t + backoff,
+                            attempt: tries,
+                        };
                     }
                 }
             }
@@ -557,6 +882,27 @@ fn reset_monitors(
     *stage2 = false;
 }
 
+/// Whether a viable cell existed on another frequency that legacy
+/// stage-1 monitoring never measured (the §3.2 missed-cell condition).
+/// Shared by the classifier and the oracle attribution so both reason
+/// from the same evidence.
+fn missed_cell_possible(
+    deployment: &Deployment,
+    obs: &[CellRadio],
+    serving: CellId,
+    stage2: bool,
+    plane: Plane,
+) -> bool {
+    if plane != Plane::Legacy || stage2 {
+        return false;
+    }
+    let serving_earfcn = deployment.cell(serving).map(|c| c.earfcn);
+    obs.iter().any(|c| {
+        c.snr_db > 0.0
+            && deployment.cell(c.cell).map(|cc| Some(cc.earfcn) != serving_earfcn).unwrap_or(false)
+    })
+}
+
 /// Classifies a radio-link failure per the Table 2 taxonomy.
 #[allow(clippy::too_many_arguments)]
 fn classify_rlf(
@@ -564,36 +910,59 @@ fn classify_rlf(
     pos_m: f64,
     obs: &[CellRadio],
     serving: CellId,
-    stage2: bool,
-    plane: Plane,
+    forced_hole: bool,
+    missed_possible: bool,
     now_ms: f64,
-    last_msg_failure: Option<(f64, FailureCause)>,
+    last_msg_failure: Option<(f64, FailureCause, Option<FaultKind>)>,
 ) -> FailureCause {
-    if deployment.in_hole(pos_m) {
+    if forced_hole || deployment.in_hole(pos_m) {
         return FailureCause::CoverageHole;
     }
-    if let Some((ft, cause)) = last_msg_failure {
+    if let Some((ft, cause, _)) = last_msg_failure {
         if now_ms - ft <= 5_000.0 {
             return cause;
         }
     }
-    // A viable cell existed on another frequency that legacy stage-1
-    // monitoring never measured: a missed cell.
-    if plane == Plane::Legacy && !stage2 {
-        let serving_earfcn = deployment.cell(serving).map(|c| c.earfcn);
-        let missed = obs.iter().any(|c| {
-            c.snr_db > 0.0
-                && deployment.cell(c.cell).map(|cc| Some(cc.earfcn) != serving_earfcn).unwrap_or(false)
-        });
-        if missed {
-            return FailureCause::MissedCell;
-        }
+    if missed_possible {
+        return FailureCause::MissedCell;
     }
     // No in-coverage candidate at all behaves like a hole.
     if !obs.iter().any(|c| c.cell != serving && c.snr_db > ATTACH_MIN_SNR_DB) {
         return FailureCause::CoverageHole;
     }
     FailureCause::FeedbackDelayLoss
+}
+
+/// Decides which injected fault (if any) a just-classified failure is
+/// attributable to. Mirrors [`classify_rlf`]'s precedence exactly so
+/// the oracle only claims failures the classifier reasons about from
+/// the same evidence: a genuine (deployment) hole pre-empting an
+/// injected message fault is ambiguous and claimed by neither.
+fn attribute_failure(
+    plan: &FaultPlan,
+    forced_hole: bool,
+    genuine_hole: bool,
+    last_msg_failure: Option<(f64, FailureCause, Option<FaultKind>)>,
+    missed_possible: bool,
+    now_ms: f64,
+) -> Option<FaultKind> {
+    if forced_hole {
+        return Some(FaultKind::CoverageHole);
+    }
+    if genuine_hole {
+        return None;
+    }
+    if let Some((ft, _, injected)) = last_msg_failure {
+        if now_ms - ft <= 5_000.0 {
+            return injected;
+        }
+    }
+    if missed_possible
+        && plan.active_within(FaultKind::MaskCell, now_ms, MASK_ATTRIB_SLACK_MS).is_some()
+    {
+        return Some(FaultKind::MaskCell);
+    }
+    None
 }
 
 /// Legacy event evaluation: intra-frequency A3 per neighbour, A2/A1
@@ -698,6 +1067,12 @@ fn evaluate_legacy(
 /// REM event evaluation: single-stage A3 over delay-Doppler SNR for
 /// *every* cell (cross-band estimation covers other frequencies), with
 /// Theorem-2-clamped offsets and a short TTT.
+///
+/// Graceful degradation: when the cross-band inputs were dropped
+/// (`degraded`) or an estimate leaves the Fig 12 confidence envelope,
+/// the estimated cell is ignored for the epoch and REM behaves like a
+/// legacy single-cell handover over directly-measured cells;
+/// `fallback_epochs` counts epochs where that happened.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_rem(
     spec: &DatasetSpec,
@@ -707,9 +1082,11 @@ fn evaluate_rem(
     obs: &HashMap<CellId, CellRadio>,
     staleness_ms: f64,
     clamp_offsets: bool,
+    degraded: bool,
     a3_monitors: &mut HashMap<CellId, EventMonitor>,
     est_err: &mut HashMap<CellId, f64>,
     est_rng: &mut SimRng,
+    fallback_epochs: &mut usize,
 ) -> Option<(CellId, f64, f64)> {
     let serving_snr = obs.get(&serving).map(|c| c.snr_db).unwrap_or(-30.0);
     let serving_site = deployment.site_of(serving).map(|s| s.id);
@@ -718,6 +1095,7 @@ fn evaluate_rem(
     const RHO: f64 = 0.935;
 
     let mut best: Option<(f64, CellId)> = None;
+    let mut fell_back = false;
     for (cell_id, radio) in obs {
         if *cell_id == serving {
             continue;
@@ -734,8 +1112,14 @@ fn evaluate_rem(
         let estimated = representative != *cell_id && site != serving_site;
         let quality = if estimated {
             let sigma = spec.rem_estimation_err_db;
+            // The AR(1) state always evolves — degradation must not
+            // shift the estimation RNG stream.
             let e = est_err.entry(*cell_id).or_insert_with(|| normal(est_rng, 0.0, sigma));
             *e = RHO * *e + (1.0 - RHO * RHO).sqrt() * normal(est_rng, 0.0, sigma);
+            if degraded || e.abs() > CONF_LIMIT_DB {
+                fell_back = true;
+                continue;
+            }
             radio.snr_db + *e
         } else {
             radio.snr_db
@@ -756,6 +1140,9 @@ fn evaluate_rem(
             best = Some((quality, *cell_id));
         }
         let _ = cell;
+    }
+    if fell_back {
+        *fallback_epochs += 1;
     }
     best.map(|(_, cell)| (cell, rem_ttt, staleness_ms))
 }
@@ -832,6 +1219,110 @@ mod tests {
         let ml = rem_num::stats::mean(&legacy.feedback_delays_ms);
         let mr = rem_num::stats::mean(&rem.feedback_delays_ms);
         assert!(mr < ml, "rem={mr} legacy={ml}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn faulted_cfg(plane: Plane, seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::new(DatasetSpec::beijing_taiyuan(20.0, 300.0), plane, seed);
+        cfg.faults = Some(FaultConfig::aggressive());
+        cfg
+    }
+
+    #[test]
+    fn unfaulted_runs_carry_no_fault_artifacts() {
+        let m = simulate_run(&RunConfig::new(DatasetSpec::beijing_taiyuan(15.0, 250.0), Plane::Legacy, 1));
+        assert!(m.injected.is_empty());
+        assert!(m.fault_oracle.is_empty());
+        assert_eq!(m.rem_fallback_epochs, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let cfg = faulted_cfg(Plane::Legacy, 11);
+        let a = simulate_run(&cfg);
+        let b = simulate_run(&cfg);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.handovers, b.handovers);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.fault_oracle, b.fault_oracle);
+        assert_eq!(a.reestablish_attempts, b.reestablish_attempts);
+    }
+
+    #[test]
+    fn client_id_decorrelates_fault_schedules() {
+        let cfg = faulted_cfg(Plane::Legacy, 11);
+        let mut other = cfg.clone();
+        other.client_id = 1;
+        let a = simulate_run(&cfg);
+        let b = simulate_run(&other);
+        assert_ne!(a.injected, b.injected);
+    }
+
+    #[test]
+    fn injection_provokes_failures() {
+        let spec = DatasetSpec::beijing_taiyuan(20.0, 300.0);
+        let clean = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 21));
+        let mut cfg = RunConfig::new(spec, Plane::Legacy, 21);
+        cfg.faults = Some(FaultConfig::aggressive());
+        let faulted = simulate_run(&cfg);
+        assert!(!faulted.injected.is_empty());
+        assert!(
+            faulted.failures.len() > clean.failures.len(),
+            "faulted={} clean={}",
+            faulted.failures.len(),
+            clean.failures.len()
+        );
+    }
+
+    #[test]
+    fn oracle_classification_matches_ground_truth() {
+        let mut kinds: HashSet<FaultKind> = HashSet::new();
+        let mut pairs = 0usize;
+        for seed in 1u64..=5 {
+            for plane in [Plane::Legacy, Plane::Rem] {
+                let m = simulate_run(&faulted_cfg(plane, seed));
+                for pair in &m.fault_oracle {
+                    assert!(pair.matches(), "{plane:?} seed {seed}: {pair:?}");
+                    kinds.insert(pair.kind);
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(pairs > 0, "no fault was ever held responsible for a failure");
+        // Injected blackouts reliably bring the link down.
+        assert!(kinds.contains(&FaultKind::CoverageHole), "kinds={kinds:?}");
+    }
+
+    #[test]
+    fn reestablishment_is_counted_and_traced() {
+        let mut cfg = faulted_cfg(Plane::Legacy, 7);
+        cfg.record_trace = true;
+        let m = simulate_run(&cfg);
+        assert!(!m.failures.is_empty());
+        // Every mid-run recovery took at least one attempt; only a
+        // failure still open at run end may lack one.
+        assert!(m.reestablish_attempts >= m.failures.len().saturating_sub(1));
+        assert_eq!(m.trace.count("REESTABLISH"), m.reestablish_attempts);
+    }
+
+    #[test]
+    fn rem_degrades_gracefully_under_feedback_faults() {
+        let m = simulate_run(&faulted_cfg(Plane::Rem, 9));
+        assert!(m.rem_fallback_epochs > 0, "REM never fell back");
+    }
+
+    #[test]
+    fn x2_preparation_is_exercised() {
+        let m = simulate_run(&RunConfig::new(DatasetSpec::beijing_taiyuan(20.0, 250.0), Plane::Legacy, 1));
+        assert!(!m.handovers.is_empty());
+        // Request + ack + SN status + context release per completed
+        // handover, plus whatever failed attempts spent.
+        assert!(m.signaling.x2_messages >= 4 * m.handovers.len());
     }
 }
 

@@ -7,6 +7,7 @@
 //! against real traces — consumes one format. Serialisable with serde
 //! (JSON via `serde_json`).
 
+use crate::error::ParseError;
 use rem_mobility::{CellId, FailureCause};
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,15 @@ pub enum SignalingEvent {
         /// Classified cause.
         cause: FailureCause,
     },
+    /// An RRC re-establishment attempt after radio link failure.
+    Reestablish {
+        /// Time (ms).
+        t_ms: f64,
+        /// Retry number (1-based).
+        attempt: u32,
+        /// Whether a cell admitted the re-establishment.
+        success: bool,
+    },
 }
 
 impl SignalingEvent {
@@ -70,7 +80,8 @@ impl SignalingEvent {
             | SignalingEvent::MeasurementReport { t_ms, .. }
             | SignalingEvent::HandoverCommand { t_ms, .. }
             | SignalingEvent::HandoverComplete { t_ms, .. }
-            | SignalingEvent::RadioLinkFailure { t_ms, .. } => *t_ms,
+            | SignalingEvent::RadioLinkFailure { t_ms, .. }
+            | SignalingEvent::Reestablish { t_ms, .. } => *t_ms,
         }
     }
 
@@ -82,6 +93,7 @@ impl SignalingEvent {
             SignalingEvent::HandoverCommand { .. } => "HO_COMMAND",
             SignalingEvent::HandoverComplete { .. } => "HO_COMPLETE",
             SignalingEvent::RadioLinkFailure { .. } => "RLF",
+            SignalingEvent::Reestablish { .. } => "REESTABLISH",
         }
     }
 }
@@ -129,13 +141,44 @@ impl SignalingTrace {
             .join("\n")
     }
 
-    /// Parses a JSON-lines dump back into a trace.
-    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+    /// Parses a JSON-lines dump back into a trace, reporting the
+    /// offending line on malformed input and rejecting
+    /// non-chronological dumps (the push-side invariant, enforced on
+    /// the load side too so hand-edited or truncated captures cannot
+    /// smuggle disorder into replay tooling).
+    pub fn from_jsonl(s: &str) -> Result<Self, ParseError> {
         let mut t = SignalingTrace::default();
-        for line in s.lines().filter(|l| !l.trim().is_empty()) {
-            t.events.push(serde_json::from_str(line)?);
+        let mut prev_ms = f64::NEG_INFINITY;
+        for (idx, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let line_no = idx + 1;
+            let e: SignalingEvent = serde_json::from_str(line)
+                .map_err(|err| ParseError::Json { line: line_no, reason: err.to_string() })?;
+            let t_ms = e.t_ms();
+            if !t_ms.is_finite() {
+                return Err(ParseError::Invalid {
+                    context: format!("trace line {line_no}"),
+                    reason: format!("non-finite timestamp {t_ms}"),
+                });
+            }
+            if t_ms < prev_ms {
+                return Err(ParseError::NotChronological { line: line_no, t_ms, prev_ms });
+            }
+            prev_ms = t_ms;
+            t.events.push(e);
         }
         Ok(t)
+    }
+
+    /// Loads a JSON-lines trace dump from disk.
+    pub fn load(path: &std::path::Path) -> Result<Self, ParseError> {
+        let s = std::fs::read_to_string(path).map_err(|err| ParseError::Io {
+            path: path.display().to_string(),
+            reason: err.to_string(),
+        })?;
+        Self::from_jsonl(&s)
     }
 }
 
@@ -196,5 +239,74 @@ mod tests {
     fn malformed_jsonl_rejected() {
         assert!(SignalingTrace::from_jsonl("{not json}").is_err());
         assert!(SignalingTrace::from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_line_number() {
+        let mut dump = sample().to_jsonl();
+        dump.push_str("\n{\"Attach\":{\"t_ms\":9999.0,\"cell\"");
+        match SignalingTrace::from_jsonl(&dump) {
+            Err(ParseError::Json { line, .. }) => assert_eq!(line, 6),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        // Blank lines do not shift the reported number.
+        let dump = "\n\n{broken".to_string();
+        match SignalingTrace::from_jsonl(&dump) {
+            Err(ParseError::Json { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_kind_rejected_not_panicking() {
+        let dump = r#"{"Teleport":{"t_ms":1.0}}"#;
+        assert!(matches!(
+            SignalingTrace::from_jsonl(dump),
+            Err(ParseError::Json { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn non_chronological_dump_rejected() {
+        let dump = [
+            r#"{"Attach":{"t_ms":100.0,"cell":1}}"#,
+            r#"{"Attach":{"t_ms":50.0,"cell":2}}"#,
+        ]
+        .join("\n");
+        match SignalingTrace::from_jsonl(&dump) {
+            Err(ParseError::NotChronological { line, t_ms, prev_ms }) => {
+                assert_eq!(line, 2);
+                assert_eq!(t_ms, 50.0);
+                assert_eq!(prev_ms, 100.0);
+            }
+            other => panic!("expected NotChronological, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_timestamp_rejected() {
+        let dump = r#"{"Attach":{"t_ms":null,"cell":1}}"#;
+        // serde rejects null for f64 already; NaN cannot round-trip
+        // through JSON, so the finite check guards inf written as 1e999.
+        assert!(SignalingTrace::from_jsonl(dump).is_err());
+        let dump = r#"{"Attach":{"t_ms":1e999,"cell":1}}"#;
+        assert!(SignalingTrace::from_jsonl(dump).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = SignalingTrace::load(std::path::Path::new("/nonexistent/trace.jsonl"))
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Io { .. }));
+    }
+
+    #[test]
+    fn reestablish_round_trips() {
+        let mut t = sample();
+        t.push(SignalingEvent::Reestablish { t_ms: 5_100.0, attempt: 1, success: false });
+        t.push(SignalingEvent::Reestablish { t_ms: 5_400.0, attempt: 2, success: true });
+        let back = SignalingTrace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.count("REESTABLISH"), 2);
     }
 }

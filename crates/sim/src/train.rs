@@ -61,8 +61,10 @@ pub fn simulate_train(
     let runs = rem_exec::par_map(threads, n_clients, |i| {
         let mut cfg = base.clone();
         cfg.record_trace = true;
-        // Same environment, different link/measurement randomness.
+        // Same environment, different link/measurement randomness —
+        // and a distinct fault schedule when injection is enabled.
         cfg.seed = base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
+        cfg.client_id = i as u64;
         simulate_run(&cfg)
     });
     for (i, m) in runs.into_iter().enumerate() {
