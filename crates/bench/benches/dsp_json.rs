@@ -1,0 +1,123 @@
+//! DSP kernel throughput, machine-readable: times the planned FFT
+//! path against the pre-PR per-call baseline (kept as
+//! `fft_unplanned`/`ifft_unplanned`) plus the SFFT and Viterbi hot
+//! paths, and writes `BENCH_dsp.json` so CI can archive the perf
+//! trajectory.
+//!
+//! Usage: `cargo bench -p rem-bench --bench dsp_json [-- --test]`
+//! (`--test` shrinks iteration counts to a smoke run; the JSON is
+//! written either way). The output lands in the working directory, or
+//! at `$BENCH_DSP_JSON` when set.
+
+use rem_channel::models::ChannelModel;
+use rem_num::fft::{fft, fft_unplanned};
+use rem_num::rng::{complex_gaussian, rng_from_seed};
+use rem_num::{CMatrix, Complex64};
+use rem_phy::convcode;
+use rem_phy::dsp::DspScratch;
+use rem_phy::link::{simulate_block_with, LinkConfig, Waveform};
+use rem_phy::otfs::sfft_into;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean microseconds per call over `iters` calls, after `warmup` calls.
+fn time_us(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (warmup, iters) = if smoke { (2, 5) } else { (50, 400) };
+
+    let mut rng = rng_from_seed(1);
+    let x1200: Vec<Complex64> = (0..1200).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+    let x1024: Vec<Complex64> = (0..1024).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+
+    // The tentpole number: 1200-point Bluestein, planned (cached
+    // twiddles + pre-transformed chirp kernel) vs the per-call baseline.
+    let mut buf = x1200.clone();
+    let planned_1200 = time_us(warmup, iters, || {
+        buf.copy_from_slice(&x1200);
+        fft(black_box(&mut buf));
+    });
+    let unplanned_1200 = time_us(warmup, iters, || {
+        buf.copy_from_slice(&x1200);
+        fft_unplanned(black_box(&mut buf));
+    });
+
+    let mut buf2 = x1024.clone();
+    let planned_1024 = time_us(warmup, iters, || {
+        buf2.copy_from_slice(&x1024);
+        fft(black_box(&mut buf2));
+    });
+    let unplanned_1024 = time_us(warmup, iters, || {
+        buf2.copy_from_slice(&x1024);
+        fft_unplanned(black_box(&mut buf2));
+    });
+
+    // SFFT of the LTE signaling subframe through the zero-allocation
+    // path with a persistent scratch.
+    let mut ws = DspScratch::new();
+    let g12 = CMatrix::from_fn(12, 14, |_, _| complex_gaussian(&mut rng, 1.0));
+    let mut out12 = CMatrix::zeros(12, 14);
+    let sfft_12x14 = time_us(warmup, iters * 2, || {
+        sfft_into(black_box(&g12), &mut out12, &mut ws);
+        black_box(&out12);
+    });
+
+    // Viterbi: flat bit-packed trellis on a full signaling payload.
+    let payload_len = LinkConfig::signaling(Waveform::Otfs).max_payload_bits();
+    let payload: Vec<bool> = (0..payload_len).map(|i| i % 3 == 0).collect();
+    let coded = convcode::encode(&payload);
+    let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+    let viterbi = time_us(warmup, iters, || {
+        black_box(convcode::decode_soft(black_box(&llrs), payload_len));
+    });
+
+    // End-to-end coded block (the Monte-Carlo trial unit).
+    let cfg = LinkConfig::signaling(Waveform::Otfs);
+    let ch = ChannelModel::Hst.realize(&mut rng, 97.2, 2.6e9);
+    let mut block_rng = rng_from_seed(2);
+    let block = time_us(warmup.min(5), (iters / 4).max(3), || {
+        black_box(simulate_block_with(&cfg, &ch, 10.0, &payload, &mut block_rng, &mut ws));
+    });
+
+    let report = serde_json::json!({
+        "bench": "dsp_json",
+        "mode": if smoke { "smoke" } else { "full" },
+        "iterations": iters,
+        "kernels": {
+            "fft_1200_bluestein": {
+                "planned_us": planned_1200,
+                "unplanned_us": unplanned_1200,
+                "speedup": unplanned_1200 / planned_1200,
+            },
+            "fft_1024_radix2": {
+                "planned_us": planned_1024,
+                "unplanned_us": unplanned_1024,
+                "speedup": unplanned_1024 / planned_1024,
+            },
+            "sfft_12x14_into": { "planned_us": sfft_12x14 },
+            "viterbi_decode_soft": { "flat_trellis_us": viterbi, "payload_bits": payload_len },
+            "otfs_coded_block_12x14": { "us": block },
+        },
+    });
+
+    let path = std::env::var("BENCH_DSP_JSON").unwrap_or_else(|_| "BENCH_dsp.json".into());
+    let pretty = serde_json::to_string_pretty(&report).expect("serialise bench report");
+    std::fs::write(&path, &pretty).expect("write BENCH_dsp.json");
+    println!("{pretty}");
+    println!("wrote {path}");
+    println!(
+        "fft_1200_bluestein: planned {planned_1200:.2} us vs unplanned {unplanned_1200:.2} us \
+         ({:.2}x)",
+        unplanned_1200 / planned_1200
+    );
+}

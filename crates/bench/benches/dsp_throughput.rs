@@ -6,30 +6,59 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rem_channel::models::ChannelModel;
 use rem_channel::DdGrid;
-use rem_num::fft::fft_vec;
+use rem_num::fft::{fft_unplanned, fft_vec};
 use rem_num::rng::{complex_gaussian, rng_from_seed};
 use rem_num::svd::svd;
 use rem_num::{CMatrix, Complex64};
+use rem_phy::convcode;
+use rem_phy::dsp::DspScratch;
 use rem_phy::link::{simulate_block, LinkConfig, Waveform};
 use rem_phy::mp_detect::{apply_dd_channel, mp_detect, DdTap, MpConfig};
-use rem_phy::otfs::sfft;
+use rem_phy::otfs::{sfft, sfft_into};
 use rem_phy::Modulation;
 use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
 
-    // FFT: power-of-two and Bluestein paths.
+    // FFT: power-of-two and Bluestein paths, planned (cached twiddles,
+    // pre-transformed Bluestein kernel) vs the pre-plan per-call
+    // baseline kept as `fft_unplanned`.
     let x1024: Vec<Complex64> = (0..1024).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
     let x1200: Vec<Complex64> = (0..1200).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
     c.bench_function("fft_1024_radix2", |b| b.iter(|| black_box(fft_vec(black_box(&x1024)))));
     c.bench_function("fft_1200_bluestein", |b| b.iter(|| black_box(fft_vec(black_box(&x1200)))));
+    let mut scratch1200 = x1200.clone();
+    c.bench_function("fft_1200_bluestein_unplanned", |b| {
+        b.iter(|| {
+            scratch1200.copy_from_slice(&x1200);
+            fft_unplanned(black_box(&mut scratch1200));
+        })
+    });
 
-    // SFFT of an LTE subframe and a 4-RB grid.
+    // SFFT of an LTE subframe and a 4-RB grid; the `_into` variant
+    // exercises the zero-allocation steady state.
     let g12 = CMatrix::from_fn(12, 14, |_, _| complex_gaussian(&mut rng, 1.0));
     let g48 = CMatrix::from_fn(48, 14, |_, _| complex_gaussian(&mut rng, 1.0));
     c.bench_function("sfft_12x14", |b| b.iter(|| black_box(sfft(black_box(&g12)))));
     c.bench_function("sfft_48x14", |b| b.iter(|| black_box(sfft(black_box(&g48)))));
+    let mut ws = DspScratch::new();
+    let mut out12 = CMatrix::zeros(12, 14);
+    c.bench_function("sfft_12x14_into", |b| {
+        b.iter(|| {
+            sfft_into(black_box(&g12), &mut out12, &mut ws);
+            black_box(&out12);
+        })
+    });
+
+    // Viterbi on a full signaling payload: flat bit-packed trellis.
+    let vit_cfg = LinkConfig::signaling(Waveform::Otfs);
+    let vit_payload: Vec<bool> = (0..vit_cfg.max_payload_bits()).map(|i| i % 3 == 0).collect();
+    let vit_coded = convcode::encode(&vit_payload);
+    let vit_llrs: Vec<f64> = vit_coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+    c.bench_function("viterbi_decode_soft_146", |b| {
+        b.iter(|| black_box(convcode::decode_soft(black_box(&vit_llrs), vit_payload.len())))
+    });
 
     // SVD at the cross-band working size.
     let h = CMatrix::from_fn(24, 16, |_, _| complex_gaussian(&mut rng, 1.0));

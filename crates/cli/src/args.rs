@@ -22,20 +22,32 @@ impl std::fmt::Display for ArgError {
 
 impl Args {
     /// Parses a raw token stream (without the program/subcommand names).
+    /// A `--key` followed by another `--flag` (or nothing) is a boolean
+    /// switch; otherwise the next token is its value.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
-        let mut it = tokens.into_iter();
+        let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let val = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
-                out.flags.insert(key.to_string(), val);
+                match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let val = it.next().expect("peeked");
+                        out.flags.insert(key.to_string(), val);
+                    }
+                    _ => {
+                        out.flags.insert(key.to_string(), String::new());
+                    }
+                }
             } else {
                 out.positional.push(tok);
             }
         }
         Ok(out)
+    }
+
+    /// True when `--key` was present at all (with or without a value).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// String flag with a default.
@@ -109,7 +121,11 @@ mod tests {
     }
 
     #[test]
-    fn dangling_flag_errors() {
-        assert!(Args::parse(toks("--alone")).is_err());
+    fn boolean_switches() {
+        let a = Args::parse(toks("--hash --seeds 4 --verbose")).unwrap();
+        assert!(a.flag("hash"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.int_or("seeds", 1).unwrap(), 4);
     }
 }

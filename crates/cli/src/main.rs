@@ -54,6 +54,8 @@ COMMANDS:
               --route-km <km>      (default 40)
               --seeds <n>          (default 2)
               --threads <n>        (default 0 = all cores)
+              --hash               print an FNV-1a 64 digest of the
+                                   full comparison (determinism checks)
   trace     Export a MobileInsight-style signaling trace (JSON lines)
               --dataset/--speed/--route-km as above
               --plane legacy|rem   (default legacy)
@@ -69,6 +71,8 @@ COMMANDS:
               --blocks <n>             (default 200)
               --seed <n>               (default 1)
               --threads <n>            (default 0 = all cores)
+              --hash                   print an FNV-1a 64 digest of all
+                                       per-trial outcomes (determinism)
   storm     Whole-train signaling burst statistics
               --clients <n>        (default 8)
               --threads <n>        (default 0 = all cores)
@@ -87,6 +91,18 @@ COMMANDS:
 Monte-Carlo trials are scheduled over --threads workers but reduced
 in canonical order: any thread count gives identical results."
     );
+}
+
+/// FNV-1a 64 over a serialized result, for cheap determinism checks:
+/// CI hashes the same run at different thread counts (and with
+/// `REM_DSP_PLAN=off`) and requires the digests to match.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn dataset(a: &Args) -> Result<DatasetSpec, ArgError> {
@@ -149,6 +165,10 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), ArgError> {
         cmp.legacy.signaling.total_messages(),
         cmp.rem.signaling.total_messages()
     );
+    if a.flag("hash") {
+        let json = serde_json::to_string(&cmp).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
     Ok(())
 }
 
@@ -234,11 +254,23 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
         .with_blocks(blocks)
         .with_seed(a.int_or("seed", 1)?)
         .with_threads(a.int_or("threads", 0)? as usize);
-    let ofdm = scenario.run();
-    let otfs = BlerScenario { cfg: rem_phy::link::LinkConfig::signaling(Waveform::Otfs), ..scenario }.run();
+    let otfs_scenario =
+        BlerScenario { cfg: rem_phy::link::LinkConfig::signaling(Waveform::Otfs), ..scenario };
+    let ofdm_outcomes = scenario.outcomes();
+    let otfs_outcomes = otfs_scenario.outcomes();
+    let bler = |outs: &[rem_phy::BlockOutcome]| {
+        outs.iter().filter(|o| !o.crc_ok).count() as f64 / blocks.max(1) as f64
+    };
     println!("{model:?} @ {speed_kmh:.0} km/h, SNR {snr} dB, {blocks} blocks:");
-    println!("  legacy OFDM BLER: {ofdm:.3}");
-    println!("  REM OTFS BLER:    {otfs:.3}");
+    println!("  legacy OFDM BLER: {:.3}", bler(&ofdm_outcomes));
+    println!("  REM OTFS BLER:    {:.3}", bler(&otfs_outcomes));
+    if a.flag("hash") {
+        // Hash the full per-trial outcome record, not just the BLER:
+        // any change in SINR or bit-error counts must move the digest.
+        let json = serde_json::to_string(&(&ofdm_outcomes, &otfs_outcomes))
+            .map_err(|e| ArgError(format!("serialize: {e}")))?;
+        println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
     Ok(())
 }
 

@@ -10,8 +10,9 @@ use crate::r2f2::{fit_paths, predict_band2 as r2f2_predict, R2f2Config};
 use crate::svd_estimator::{estimate_band2, SvdEstimatorConfig};
 use rem_channel::DdGrid;
 use rem_num::CMatrix;
-use rem_phy::chanest::tf_to_dd;
-use rem_phy::otfs::sfft;
+use rem_phy::chanest::tf_to_dd_into;
+use rem_phy::dsp::with_thread_scratch;
+use rem_phy::otfs::sfft_into;
 
 /// A band-1 observation handed to an estimator.
 #[derive(Clone, Debug)]
@@ -47,10 +48,18 @@ impl CrossBandEstimator for RemEstimator {
     }
 
     fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
-        let h1_dd = tf_to_dd(&obs.h1_tf);
-        let est = estimate_band2(&obs.grid, &h1_dd, obs.f1_hz, obs.f2_hz, &self.cfg);
-        // Back to the time-frequency domain (SFFT inverts the ISFFT).
-        sfft(&est.h2_dd)
+        // One scratch for the whole ISFFT -> Algorithm 1 -> SFFT chain:
+        // repeated predictions on a thread reuse the same FFT plans.
+        with_thread_scratch(|ws| {
+            let (m, n) = obs.h1_tf.shape();
+            let mut h1_dd = CMatrix::zeros(m, n);
+            tf_to_dd_into(&obs.h1_tf, &mut h1_dd, ws);
+            let est = estimate_band2(&obs.grid, &h1_dd, obs.f1_hz, obs.f2_hz, &self.cfg);
+            // Back to the time-frequency domain (SFFT inverts the ISFFT).
+            let mut out = CMatrix::zeros(m, n);
+            sfft_into(&est.h2_dd, &mut out, ws);
+            out
+        })
     }
 }
 

@@ -13,7 +13,8 @@
 //! result stays bit-identical — the property the paper's paired
 //! same-seed replay methodology (§7) depends on.
 //!
-//! [`par_map`] is the whole API: worker threads *steal* trial indices
+//! [`par_map`] (and its per-worker-state sibling [`par_map_with`]) is
+//! the whole API: worker threads *steal* trial indices
 //! from a shared atomic counter (a single-ended work-stealing queue —
 //! whichever worker is free takes the next trial, so uneven trial costs
 //! load-balance themselves), and results are reduced back in canonical
@@ -65,9 +66,34 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(threads, n, || (), move |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker mutable state: each worker thread calls
+/// `init()` exactly once and threads the resulting value through every
+/// trial it claims as `f(&mut state, index)`.
+///
+/// This is the hook DSP scratch reuse hangs off: a worker's FFT planner,
+/// trellis and LLR buffers are built once and reused across all of its
+/// trials instead of being reallocated per block. The determinism
+/// contract is unchanged — and sharpened: `f`'s *result* must depend
+/// only on `index`, with the state acting as a cache/scratch whose
+/// contents never influence values (plans are pure functions of length,
+/// buffers are fully overwritten). The state never crosses threads, so
+/// `S` need not be `Send`.
+///
+/// Panics in `init` or `f` are propagated to the caller after the scope
+/// joins.
+pub fn par_map_with<T, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = resolve_threads(threads).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -75,13 +101,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                     local
                 })
@@ -190,6 +217,40 @@ mod tests {
             acc
         });
         assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_state_matches_stateless_and_is_thread_invariant() {
+        // The state is a scratch buffer; results must not depend on it
+        // or on how trials were distributed.
+        let reference: Vec<u64> = (0..97).map(trial).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_with(
+                threads,
+                97,
+                Vec::<u64>::new,
+                |scratch, i| {
+                    scratch.push(i as u64); // state mutates freely...
+                    trial(i) // ...but the result depends only on i.
+                },
+            );
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_serial_path() {
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with(
+            1,
+            10,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+            },
+            |(), i| i,
+        );
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Discrete Fourier transforms of arbitrary length.
+//! Discrete Fourier transforms of arbitrary length, with cached plans.
 //!
 //! The OTFS symplectic transform (SFFT) needs DFTs along both axes of
 //! the delay-Doppler grid, and 4G/5G grid dimensions are rarely powers
@@ -10,28 +10,88 @@
 //! * a naive `O(N^2)` reference DFT used by the test-suite as ground
 //!   truth.
 //!
+//! ## Plans
+//!
+//! Every Monte-Carlo trial bottoms out in these kernels, so the
+//! per-length setup work — the bit-reversal permutation, the per-stage
+//! twiddle factors, and (for Bluestein) the chirp and the forward
+//! transform of the chirp kernel — is computed **once** per length in an
+//! [`FftPlan`] and reused for every subsequent call:
+//!
+//! * [`FftPlan`] holds the precomputed tables and exposes in-place
+//!   [`forward`](FftPlan::forward), [`inverse`](FftPlan::inverse) and
+//!   [`inverse_unnormalized`](FftPlan::inverse_unnormalized) with
+//!   caller-provided [`FftScratch`] (Bluestein needs one work buffer of
+//!   the inner power-of-two length; radix-2 needs none).
+//! * [`FftPlanner`] caches plans keyed by length. The free functions
+//!   [`fft`]/[`ifft`] route through a thread-local planner + scratch,
+//!   so steady-state transforms perform **zero heap allocations**.
+//!
+//! Plans are pure functions of the length: a cached plan produces
+//! bit-identical output to a freshly built one, and any thread count
+//! produces bit-identical results (each worker's planner builds the
+//! same tables). Setting the environment variable `REM_DSP_PLAN=off`
+//! routes the free functions through the original per-call
+//! ([`fft_unplanned`]) implementation, which is the baseline the
+//! `dsp_json` benchmark records and the determinism CI job compares
+//! against.
+//!
 //! Conventions: `fft` computes `X[k] = sum_n x[n] e^{-j 2 pi k n / N}`
 //! (no scaling); `ifft` applies the `+j` kernel and divides by `N`, so
-//! `ifft(fft(x)) == x`.
+//! `ifft(fft(x)) == x`; `ifft_unnormalized` applies the `+j` kernel
+//! without the `1/N` division (the SFFT needs exactly that, saving a
+//! rescale pass).
 
 use crate::complex::Complex64;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// In-place forward FFT. Accepts any length; length 0 is a no-op.
 pub fn fft(data: &mut [Complex64]) {
-    transform(data, Direction::Forward);
+    if data.len() <= 1 {
+        return;
+    }
+    if !plan_cache_enabled() {
+        return fft_unplanned(data);
+    }
+    with_thread_planner(|planner, scratch| {
+        let plan = planner.plan(data.len());
+        plan.forward(data, scratch);
+    });
 }
 
 /// In-place inverse FFT (includes the `1/N` scaling).
 pub fn ifft(data: &mut [Complex64]) {
-    transform(data, Direction::Inverse);
-    let n = data.len();
-    if n > 1 {
-        let s = 1.0 / n as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(s);
-        }
+    if data.len() <= 1 {
+        return;
     }
+    if !plan_cache_enabled() {
+        return ifft_unplanned(data);
+    }
+    with_thread_planner(|planner, scratch| {
+        let plan = planner.plan(data.len());
+        plan.inverse(data, scratch);
+    });
+}
+
+/// In-place inverse FFT **without** the `1/N` scaling: the raw `+j`
+/// kernel sum. `ifft_unnormalized(x) == ifft(x) * N` up to rounding,
+/// with one fewer pass over the data.
+pub fn ifft_unnormalized(data: &mut [Complex64]) {
+    if data.len() <= 1 {
+        return;
+    }
+    if !plan_cache_enabled() {
+        legacy::transform(data, legacy::Direction::Inverse);
+        return;
+    }
+    with_thread_planner(|planner, scratch| {
+        let plan = planner.plan(data.len());
+        plan.inverse_unnormalized(data, scratch);
+    });
 }
 
 /// Out-of-place forward FFT convenience wrapper.
@@ -46,6 +106,28 @@ pub fn ifft_vec(input: &[Complex64]) -> Vec<Complex64> {
     let mut v = input.to_vec();
     ifft(&mut v);
     v
+}
+
+/// In-place forward FFT through the original per-call implementation:
+/// twiddles are recomputed by recurrence and the Bluestein chirp kernel
+/// is rebuilt (and re-transformed) on every call. Kept as the measured
+/// baseline for `BENCH_dsp.json` and as the reference the planned path
+/// must match bit-for-bit.
+pub fn fft_unplanned(data: &mut [Complex64]) {
+    legacy::transform(data, legacy::Direction::Forward);
+}
+
+/// In-place inverse FFT (with `1/N` scaling) through the original
+/// per-call implementation; see [`fft_unplanned`].
+pub fn ifft_unplanned(data: &mut [Complex64]) {
+    legacy::transform(data, legacy::Direction::Inverse);
+    let n = data.len();
+    if n > 1 {
+        let s = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(s);
+        }
+    }
 }
 
 /// Naive `O(N^2)` DFT, used as a reference implementation in tests and
@@ -74,106 +156,442 @@ pub fn dft_naive(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
     out
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Direction {
-    Forward,
-    Inverse,
+/// True unless `REM_DSP_PLAN=off` (or `0`) disables the plan cache,
+/// routing the free functions through the per-call legacy path.
+fn plan_cache_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("REM_DSP_PLAN").map(|v| v != "off" && v != "0").unwrap_or(true)
+    })
 }
 
-impl Direction {
-    fn sign(self) -> f64 {
-        match self {
-            Direction::Forward => -1.0,
-            Direction::Inverse => 1.0,
+thread_local! {
+    static THREAD_PLANNER: RefCell<(FftPlanner, FftScratch)> =
+        RefCell::new((FftPlanner::new(), FftScratch::new()));
+}
+
+fn with_thread_planner<R>(f: impl FnOnce(&mut FftPlanner, &mut FftScratch) -> R) -> R {
+    THREAD_PLANNER.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (planner, scratch) = &mut *guard;
+        f(planner, scratch)
+    })
+}
+
+/// Reusable work memory for plan execution. Radix-2 plans need none;
+/// Bluestein plans borrow one buffer of the inner power-of-two length.
+/// The buffer grows to the largest length seen and is then reused, so
+/// steady-state transforms allocate nothing.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    buf: Vec<Complex64>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A mutable view of at least `len` elements (contents arbitrary).
+    fn ensure(&mut self, len: usize) -> &mut [Complex64] {
+        if self.buf.len() < len {
+            self.buf.resize(len, Complex64::ZERO);
         }
+        &mut self.buf[..len]
     }
 }
 
-fn transform(data: &mut [Complex64], dir: Direction) {
-    let n = data.len();
-    if n <= 1 {
-        return;
-    }
-    if n.is_power_of_two() {
-        radix2(data, dir);
-    } else {
-        bluestein(data, dir);
-    }
+/// A transform plan for one fixed length: every per-length table the
+/// kernels need, computed once at construction.
+///
+/// * power-of-two lengths: the bit-reversal swap list and per-stage
+///   twiddle tables (forward and inverse);
+/// * other lengths (Bluestein): the chirp `c[k] = e^{±j pi k^2 / n}`,
+///   the **pre-transformed** convolution kernel `FFT(b)`, and the inner
+///   power-of-two radix-2 sub-plan of length `m = next_pow2(2n-1)`.
+///
+/// Execution is in place over caller memory with caller-provided
+/// [`FftScratch`] — no per-call heap allocation.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
 }
 
-/// Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
-fn radix2(data: &mut [Complex64], dir: Direction) {
-    let n = data.len();
-    debug_assert!(n.is_power_of_two());
-    let levels = n.trailing_zeros();
+#[derive(Debug)]
+enum PlanKind {
+    /// Lengths 0 and 1: the transform is the identity.
+    Trivial,
+    Radix2(Radix2Plan),
+    Bluestein(BluesteinPlan),
+}
 
-    // Bit-reversal permutation.
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
+/// Cached tables for an iterative radix-2 Cooley-Tukey transform.
+#[derive(Debug)]
+struct Radix2Plan {
+    n: usize,
+    /// Bit-reversal permutation as an explicit swap list `(i, j)`,
+    /// `j > i`, in ascending `i` order.
+    swaps: Vec<(u32, u32)>,
+    /// Per-stage twiddles, stages concatenated in ascending span order:
+    /// the stage with butterfly span `len` contributes `len/2` entries
+    /// `w^k = e^{-j 2 pi k / len}`. Total `n - 1` entries.
+    ///
+    /// Built with the same `w *= wlen` recurrence the per-call kernel
+    /// used, so planned output is bit-identical to the legacy path —
+    /// the recurrence now runs once per plan instead of once per call.
+    tw_fwd: Vec<Complex64>,
+    /// Inverse-kernel twiddles (`+j`), same layout.
+    tw_inv: Vec<Complex64>,
+}
 
-    let sign = dir.sign();
-    let mut len = 2usize;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        let half = len / 2;
-        let mut start = 0;
-        while start < n {
-            let mut w = Complex64::ONE;
-            for k in 0..half {
-                let u = data[start + k];
-                let v = data[start + k + half] * w;
-                data[start + k] = u + v;
-                data[start + k + half] = u - v;
-                w *= wlen;
+impl Radix2Plan {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let levels = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+            if j > i {
+                swaps.push((i as u32, j as u32));
             }
-            start += len;
         }
-        len <<= 1;
+        let build = |sign: f64| -> Vec<Complex64> {
+            let mut tw = Vec::with_capacity(n - 1);
+            let mut len = 2usize;
+            while len <= n {
+                let ang = sign * 2.0 * PI / len as f64;
+                let wlen = Complex64::cis(ang);
+                let mut w = Complex64::ONE;
+                for _ in 0..len / 2 {
+                    tw.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+            tw
+        };
+        Self { n, swaps, tw_fwd: build(-1.0), tw_inv: build(1.0) }
+    }
+
+    /// In-place transform with the cached tables; no scaling either way.
+    fn execute(&self, data: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(data.len(), n);
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let tw = if inverse { &self.tw_inv } else { &self.tw_fwd };
+        let mut off = 0usize;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stage = &tw[off..off + half];
+            let mut start = 0;
+            while start < n {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+                start += len;
+            }
+            off += half;
+            len <<= 1;
+        }
     }
 }
 
-/// Bluestein's algorithm: express the DFT as a circular convolution of
-/// chirp-premultiplied input with a chirp kernel, evaluated with a
-/// power-of-two FFT of length `>= 2N-1`.
-fn bluestein(data: &mut [Complex64], dir: Direction) {
-    let n = data.len();
-    let sign = dir.sign();
-    let m = (2 * n - 1).next_power_of_two();
+/// Cached state for Bluestein's chirp-z algorithm: the DFT as a
+/// circular convolution of chirp-premultiplied input with a chirp
+/// kernel, evaluated with the inner power-of-two sub-plan.
+#[derive(Debug)]
+struct BluesteinPlan {
+    /// Inner convolution length `(2n - 1).next_power_of_two()`.
+    m: usize,
+    /// The power-of-two sub-plan the convolution runs on.
+    inner: Radix2Plan,
+    /// Forward chirp `c[k] = e^{-j pi k^2 / n}` (argument reduced mod 2n).
+    chirp_fwd: Vec<Complex64>,
+    /// Inverse chirp (`+j` kernel).
+    chirp_inv: Vec<Complex64>,
+    /// `FFT(b)` for the forward chirp kernel `b[k] = conj(c[k])`,
+    /// wrapped circularly — transformed once here instead of per call.
+    bfft_fwd: Vec<Complex64>,
+    /// `FFT(b)` for the inverse chirp kernel.
+    bfft_inv: Vec<Complex64>,
+}
 
-    // Chirp c[k] = e^{sign * j pi k^2 / n}. Use k^2 mod 2n to keep the
-    // argument small and numerically accurate for large k.
-    let mut chirp = Vec::with_capacity(n);
-    for k in 0..n as u64 {
-        let kk = (k * k) % (2 * n as u64);
-        chirp.push(Complex64::cis(sign * PI * kk as f64 / n as f64));
+impl BluesteinPlan {
+    fn new(n: usize) -> Self {
+        debug_assert!(n >= 2 && !n.is_power_of_two());
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+        let chirp = |sign: f64| -> Vec<Complex64> {
+            let mut c = Vec::with_capacity(n);
+            for k in 0..n as u64 {
+                let kk = (k * k) % (2 * n as u64);
+                c.push(Complex64::cis(sign * PI * kk as f64 / n as f64));
+            }
+            c
+        };
+        let chirp_fwd = chirp(-1.0);
+        let chirp_inv = chirp(1.0);
+        let kernel = |c: &[Complex64]| -> Vec<Complex64> {
+            let mut b = vec![Complex64::ZERO; m];
+            b[0] = c[0].conj();
+            for k in 1..n {
+                let v = c[k].conj();
+                b[k] = v;
+                b[m - k] = v;
+            }
+            inner.execute(&mut b, false);
+            b
+        };
+        let bfft_fwd = kernel(&chirp_fwd);
+        let bfft_inv = kernel(&chirp_inv);
+        Self { m, inner, chirp_fwd, chirp_inv, bfft_fwd, bfft_inv }
     }
 
-    let mut a = vec![Complex64::ZERO; m];
-    for k in 0..n {
-        a[k] = data[k] * chirp[k];
+    fn execute(&self, data: &mut [Complex64], inverse: bool, scratch: &mut FftScratch) {
+        let n = data.len();
+        let m = self.m;
+        let (chirp, bfft) = if inverse {
+            (&self.chirp_inv, &self.bfft_inv)
+        } else {
+            (&self.chirp_fwd, &self.bfft_fwd)
+        };
+        let a = scratch.ensure(m);
+        for k in 0..n {
+            a[k] = data[k] * chirp[k];
+        }
+        for z in &mut a[n..] {
+            *z = Complex64::ZERO;
+        }
+        self.inner.execute(a, false);
+        for (x, y) in a.iter_mut().zip(bfft.iter()) {
+            *x *= *y;
+        }
+        self.inner.execute(a, true);
+        let scale = 1.0 / m as f64;
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k].scale(scale) * chirp[k];
+        }
     }
-    let mut b = vec![Complex64::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let v = chirp[k].conj();
-        b[k] = v;
-        b[m - k] = v;
+}
+
+impl FftPlan {
+    /// Builds the plan for transforms of length `n` (any length).
+    pub fn new(n: usize) -> Self {
+        let kind = if n <= 1 {
+            PlanKind::Trivial
+        } else if n.is_power_of_two() {
+            PlanKind::Radix2(Radix2Plan::new(n))
+        } else {
+            PlanKind::Bluestein(BluesteinPlan::new(n))
+        };
+        Self { n, kind }
     }
 
-    radix2(&mut a, Direction::Forward);
-    radix2(&mut b, Direction::Forward);
-    for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x *= *y;
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
     }
-    radix2(&mut a, Direction::Inverse);
-    let scale = 1.0 / m as f64;
-    for (k, out) in data.iter_mut().enumerate() {
-        *out = a[k].scale(scale) * chirp[k];
+
+    /// True for the length-0 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scratch elements [`forward`](Self::forward)/[`inverse`](Self::inverse)
+    /// will borrow: 0 for power-of-two lengths, the inner convolution
+    /// length for Bluestein.
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            PlanKind::Bluestein(b) => b.m,
+            _ => 0,
+        }
+    }
+
+    /// In-place forward transform (no scaling).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
+        self.execute(data, false, scratch);
+    }
+
+    /// In-place inverse transform with the `1/N` scaling, the inverse of
+    /// [`forward`](Self::forward).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
+        self.execute(data, true, scratch);
+        if self.n > 1 {
+            let s = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(s);
+            }
+        }
+    }
+
+    /// In-place inverse transform **without** the `1/N` scaling: the raw
+    /// `+j`-kernel DFT sum.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse_unnormalized(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
+        self.execute(data, true, scratch);
+    }
+
+    fn execute(&self, data: &mut [Complex64], inverse: bool, scratch: &mut FftScratch) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Radix2(p) => p.execute(data, inverse),
+            PlanKind::Bluestein(p) => p.execute(data, inverse, scratch),
+        }
+    }
+}
+
+/// A cache of [`FftPlan`]s keyed by length.
+///
+/// Not thread-safe by design: give each worker its own planner (plans
+/// are pure functions of the length, so every worker builds identical
+/// tables and results stay bit-identical at any thread count — the
+/// `rem-exec` determinism contract). The free functions [`fft`]/[`ifft`]
+/// use a thread-local planner automatically.
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    plans: HashMap<usize, Rc<FftPlan>>,
+}
+
+impl FftPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan for length `n`, building it on first request.
+    pub fn plan(&mut self, n: usize) -> Rc<FftPlan> {
+        self.plans.entry(n).or_insert_with(|| Rc::new(FftPlan::new(n))).clone()
+    }
+
+    /// Number of distinct lengths planned so far.
+    pub fn cached_lengths(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// The original per-call transform implementation, kept verbatim as the
+/// measured baseline and the bit-identity reference for plans.
+mod legacy {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub(super) enum Direction {
+        Forward,
+        Inverse,
+    }
+
+    impl Direction {
+        fn sign(self) -> f64 {
+            match self {
+                Direction::Forward => -1.0,
+                Direction::Inverse => 1.0,
+            }
+        }
+    }
+
+    pub(super) fn transform(data: &mut [Complex64], dir: Direction) {
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        if n.is_power_of_two() {
+            radix2(data, dir);
+        } else {
+            bluestein(data, dir);
+        }
+    }
+
+    /// Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
+    fn radix2(data: &mut [Complex64], dir: Direction) {
+        let n = data.len();
+        debug_assert!(n.is_power_of_two());
+        let levels = n.trailing_zeros();
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+
+        let sign = dir.sign();
+        let mut len = 2usize;
+        while len <= n {
+            let ang = sign * 2.0 * PI / len as f64;
+            let wlen = Complex64::cis(ang);
+            let half = len / 2;
+            let mut start = 0;
+            while start < n {
+                let mut w = Complex64::ONE;
+                for k in 0..half {
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                    w *= wlen;
+                }
+                start += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Bluestein's algorithm: express the DFT as a circular convolution
+    /// of chirp-premultiplied input with a chirp kernel, evaluated with
+    /// a power-of-two FFT of length `>= 2N-1`.
+    fn bluestein(data: &mut [Complex64], dir: Direction) {
+        let n = data.len();
+        let sign = dir.sign();
+        let m = (2 * n - 1).next_power_of_two();
+
+        // Chirp c[k] = e^{sign * j pi k^2 / n}. Use k^2 mod 2n to keep
+        // the argument small and numerically accurate for large k.
+        let mut chirp = Vec::with_capacity(n);
+        for k in 0..n as u64 {
+            let kk = (k * k) % (2 * n as u64);
+            chirp.push(Complex64::cis(sign * PI * kk as f64 / n as f64));
+        }
+
+        let mut a = vec![Complex64::ZERO; m];
+        for k in 0..n {
+            a[k] = data[k] * chirp[k];
+        }
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            let v = chirp[k].conj();
+            b[k] = v;
+            b[m - k] = v;
+        }
+
+        radix2(&mut a, Direction::Forward);
+        radix2(&mut b, Direction::Forward);
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            *x *= *y;
+        }
+        radix2(&mut a, Direction::Inverse);
+        let scale = 1.0 / m as f64;
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k].scale(scale) * chirp[k];
+        }
     }
 }
 
@@ -277,5 +695,71 @@ mod tests {
         assert_eq!(s[0], c64(2.0, 3.0));
         ifft(&mut s);
         assert_eq!(s[0], c64(2.0, 3.0));
+    }
+
+    #[test]
+    fn planned_is_bit_identical_to_legacy() {
+        // The plan caches exactly what the per-call kernel recomputed,
+        // so outputs must match to the last bit, both directions, for
+        // radix-2 and Bluestein lengths alike.
+        let mut scratch = FftScratch::new();
+        for n in (1..=64).chain([72usize, 128, 600, 1024, 1200]) {
+            let x = ramp(n);
+            let plan = FftPlan::new(n);
+
+            let mut planned = x.clone();
+            plan.forward(&mut planned, &mut scratch);
+            let mut leg = x.clone();
+            fft_unplanned(&mut leg);
+            assert_eq!(planned, leg, "forward n={n}");
+
+            let mut planned = x.clone();
+            plan.inverse(&mut planned, &mut scratch);
+            let mut leg = x.clone();
+            ifft_unplanned(&mut leg);
+            assert_eq!(planned, leg, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_bit_identical_to_fresh_plans() {
+        let mut scratch = FftScratch::new();
+        let mut planner = FftPlanner::new();
+        for n in [7usize, 12, 14, 64, 72, 600] {
+            let x = ramp(n);
+            for rep in 0..3 {
+                let cached = planner.plan(n);
+                let fresh = FftPlan::new(n);
+                let mut a = x.clone();
+                cached.forward(&mut a, &mut scratch);
+                let mut b = x.clone();
+                fresh.forward(&mut b, &mut FftScratch::new());
+                assert_eq!(a, b, "n={n} rep={rep}");
+            }
+        }
+        assert_eq!(planner.cached_lengths(), 6);
+    }
+
+    #[test]
+    fn unnormalized_inverse_is_scaled_inverse() {
+        for n in [4usize, 12, 14, 30] {
+            let x = ramp(n);
+            let mut raw = x.clone();
+            ifft_unnormalized(&mut raw);
+            let mut scaled = x.clone();
+            ifft(&mut scaled);
+            for (r, s) in raw.iter().zip(&scaled) {
+                assert!(r.dist(s.scale(n as f64)) < 1e-9 * (1.0 + r.abs()), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_len_reports_bluestein_inner_length() {
+        assert_eq!(FftPlan::new(8).scratch_len(), 0);
+        assert_eq!(FftPlan::new(12).scratch_len(), 32);
+        assert_eq!(FftPlan::new(1200).scratch_len(), 4096);
+        assert_eq!(FftPlan::new(1).scratch_len(), 0);
+        assert!(FftPlan::new(0).is_empty());
     }
 }

@@ -37,6 +37,7 @@ pub mod stats;
 pub mod svd;
 
 pub use complex::{c64, Complex64};
+pub use fft::{FftPlan, FftPlanner, FftScratch};
 pub use matrix::CMatrix;
 pub use rng::SimRng;
 pub use svd::{svd, Svd};

@@ -101,9 +101,60 @@ impl CMatrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Complex64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Copies out one column.
     pub fn col(&self, c: usize) -> Vec<Complex64> {
         (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Copies column `c` into `out` without allocating (the hot-path
+    /// sibling of [`col`](Self::col), used by the column-wise FFT
+    /// passes of the symplectic transforms).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.rows()` or `c` is out of range.
+    pub fn copy_col_into(&self, c: usize, out: &mut [Complex64]) {
+        assert_eq!(out.len(), self.rows, "column buffer size mismatch");
+        assert!(c < self.cols, "column index out of range");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + c];
+        }
+    }
+
+    /// Writes `src` into column `c`, the inverse of
+    /// [`copy_col_into`](Self::copy_col_into).
+    ///
+    /// # Panics
+    /// Panics if `src.len() != self.rows()` or `c` is out of range.
+    pub fn set_col(&mut self, c: usize, src: &[Complex64]) {
+        assert_eq!(src.len(), self.rows, "column buffer size mismatch");
+        assert!(c < self.cols, "column index out of range");
+        for (r, &v) in src.iter().enumerate() {
+            self.data[r * self.cols + c] = v;
+        }
+    }
+
+    /// Copies row `r` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.cols()` or `r` is out of range.
+    pub fn copy_row_into(&self, r: usize, out: &mut [Complex64]) {
+        assert_eq!(out.len(), self.cols, "row buffer size mismatch");
+        out.copy_from_slice(self.row(r));
+    }
+
+    /// Writes `src` into row `r`.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != self.cols()` or `r` is out of range.
+    pub fn set_row(&mut self, r: usize, src: &[Complex64]) {
+        assert_eq!(src.len(), self.cols, "row buffer size mismatch");
+        self.row_mut(r).copy_from_slice(src);
     }
 
     /// Conjugate transpose `A^H`.

@@ -3,7 +3,83 @@
 use proptest::prelude::*;
 use rem_num::fft::{dft_naive, fft_vec, ifft_vec};
 use rem_num::svd::svd;
-use rem_num::{c64, CMatrix, Complex64};
+use rem_num::{c64, CMatrix, Complex64, FftPlan, FftPlanner, FftScratch};
+
+/// Deterministic non-trivial input for length-parameterised FFT tests.
+fn test_signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            c64((0.3 * x).sin() + 0.1 * x.cos(), (0.7 * x).cos() - 0.2)
+        })
+        .collect()
+}
+
+/// Every length exercised by the LTE/OTFS grids plus all short lengths:
+/// 1..=64 covers the radix-2 and Bluestein branch points, 12/14 the
+/// delay-Doppler grid, 72/600/1200 the occupied-subcarrier widths.
+fn plan_lengths() -> impl Iterator<Item = usize> {
+    (1..=64).chain([72, 600, 1200])
+}
+
+#[test]
+fn planned_fft_matches_naive_dft_for_all_plan_lengths() {
+    let mut scratch = FftScratch::new();
+    for n in plan_lengths() {
+        let plan = FftPlan::new(n);
+        assert_eq!(plan.len(), n);
+        let x = test_signal(n);
+
+        let mut fwd = x.clone();
+        plan.forward(&mut fwd, &mut scratch);
+        let want = dft_naive(&x, false);
+        for (a, b) in fwd.iter().zip(&want) {
+            assert!(a.dist(*b) < 1e-8 * (n as f64) * (1.0 + b.abs()), "n={n}");
+        }
+
+        // dft_naive(_, true) already applies the 1/N normalisation.
+        let mut inv = x.clone();
+        plan.inverse(&mut inv, &mut scratch);
+        let want_inv = dft_naive(&x, true);
+        for (a, b) in inv.iter().zip(&want_inv) {
+            assert!(a.dist(*b) < 1e-8 * (n as f64) * (1.0 + b.abs()), "n={n}");
+        }
+
+        // Unnormalised inverse is the inverse DFT sum with no 1/N.
+        let mut raw = x.clone();
+        plan.inverse_unnormalized(&mut raw, &mut scratch);
+        let want_raw: Vec<Complex64> =
+            dft_naive(&x, true).into_iter().map(|z| z.scale(n as f64)).collect();
+        for (a, b) in raw.iter().zip(&want_raw) {
+            assert!(a.dist(*b) < 1e-8 * (n as f64) * (1.0 + b.abs()), "n={n}");
+        }
+    }
+}
+
+#[test]
+fn plan_reuse_is_bit_identical_to_fresh_plans() {
+    let mut planner = FftPlanner::new();
+    let mut scratch = FftScratch::new();
+    for n in plan_lengths() {
+        let x = test_signal(n);
+        // Two passes through the cached plan (planner.plan hits the
+        // cache on the second call) vs a fresh plan each time.
+        for _ in 0..2 {
+            let cached = planner.plan(n);
+            let mut a = x.clone();
+            cached.forward(&mut a, &mut scratch);
+            let mut b = x.clone();
+            FftPlan::new(n).forward(&mut b, &mut FftScratch::new());
+            assert_eq!(a, b, "forward n={n}");
+
+            let mut ai = x.clone();
+            cached.inverse(&mut ai, &mut scratch);
+            let mut bi = x.clone();
+            FftPlan::new(n).inverse(&mut bi, &mut FftScratch::new());
+            assert_eq!(ai, bi, "inverse n={n}");
+        }
+    }
+}
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
     proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
@@ -38,6 +114,17 @@ proptest! {
         for (a, b) in got.iter().zip(&want) {
             prop_assert!(a.dist(*b) < 1e-6 * (1.0 + b.abs()));
         }
+    }
+
+    #[test]
+    fn free_fft_is_bit_identical_to_explicit_plan(v in complex_vec(64)) {
+        // The thread-local planner behind `fft_vec` must give exactly
+        // the result of a plan built from scratch — plan caching can
+        // never change bits.
+        let via_free = fft_vec(&v);
+        let mut via_plan = v.clone();
+        FftPlan::new(v.len()).forward(&mut via_plan, &mut FftScratch::new());
+        prop_assert_eq!(via_free, via_plan);
     }
 
     #[test]

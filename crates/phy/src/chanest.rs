@@ -12,7 +12,8 @@
 //! sampled `H_tf` equals the normalised delay-Doppler matrix
 //! `(Γ/M) P (Φ/N)` of [`rem_channel::delaydoppler`].
 
-use crate::otfs::isfft;
+use crate::dsp::{with_thread_scratch, DspScratch};
+use crate::otfs::{isfft, isfft_into};
 use rem_channel::{DdGrid, MultipathChannel};
 use rem_num::rng::complex_gaussian;
 use rem_num::stats::db_to_lin;
@@ -38,6 +39,12 @@ pub fn tf_to_dd(tf: &CMatrix) -> CMatrix {
     isfft(tf)
 }
 
+/// [`tf_to_dd`] into a caller-provided output matrix with reused plans
+/// and buffers, for per-subframe estimation loops.
+pub fn tf_to_dd_into(tf: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
+    isfft_into(tf, out, ws);
+}
+
 /// End-to-end delay-Doppler channel estimation: pilots -> TF estimate
 /// -> ISFFT. With `pilot_snr_db = f64::INFINITY` this returns the exact
 /// sampled DD channel.
@@ -47,11 +54,25 @@ pub fn estimate_dd(
     pilot_snr_db: f64,
     rng: &mut SimRng,
 ) -> CMatrix {
+    with_thread_scratch(|ws| estimate_dd_with(grid, ch, pilot_snr_db, rng, ws))
+}
+
+/// [`estimate_dd`] with caller-provided DSP scratch.
+pub fn estimate_dd_with(
+    grid: &DdGrid,
+    ch: &MultipathChannel,
+    pilot_snr_db: f64,
+    rng: &mut SimRng,
+    ws: &mut DspScratch,
+) -> CMatrix {
+    let mut out = CMatrix::zeros(grid.m, grid.n);
     if pilot_snr_db.is_infinite() {
         let truth = ch.tf_grid(grid.m, grid.n, grid.delta_f, grid.t_sym);
-        return tf_to_dd(&truth);
+        tf_to_dd_into(&truth, &mut out, ws);
+    } else {
+        tf_to_dd_into(&estimate_tf(grid, ch, pilot_snr_db, rng), &mut out, ws);
     }
-    tf_to_dd(&estimate_tf(grid, ch, pilot_snr_db, rng))
+    out
 }
 
 #[cfg(test)]

@@ -49,58 +49,144 @@ pub fn encode(payload: &[bool]) -> Vec<bool> {
     out
 }
 
+/// Per-state output pairs, packed at compile time.
+///
+/// Bits `0..2` hold `(o0, o1)` for input bit 0 and bits `2..4` for
+/// input bit 1, with `o1` in the higher bit of each pair, so
+/// `(packed >> (2 * bit)) & 3` indexes a per-step branch-cost table
+/// laid out as `o0 + 2 * o1`.
+const OUT_TABLE: [u8; STATES] = build_out_table();
+
+const fn build_out_table() -> [u8; STATES] {
+    let mut table = [0u8; STATES];
+    let mut s = 0;
+    while s < STATES {
+        let mut packed = 0u8;
+        let mut bit = 0;
+        while bit < 2 {
+            let reg = ((bit as u32) << (K - 1)) | s as u32;
+            let o0 = (reg & GENERATORS[0]).count_ones() & 1;
+            let o1 = (reg & GENERATORS[1]).count_ones() & 1;
+            packed |= ((o0 | (o1 << 1)) as u8) << (2 * bit);
+            bit += 1;
+        }
+        table[s] = packed;
+        s += 1;
+    }
+    table
+}
+
+/// Reusable traceback storage for the Viterbi decoder.
+///
+/// The survivor structure is a flat bit-packed trellis: one `u64` per
+/// trellis step, where bit `s` records the LSB of the predecessor that
+/// won state `s` (each state has exactly two predecessors differing
+/// only in their LSB, and the input bit is the state's top bit, so one
+/// bit per state per step fully determines the traceback). Hoisting
+/// this buffer out of the decoder removes the per-call
+/// `Vec<Vec<(u16, bool)>>` survivor allocation.
+#[derive(Debug, Default, Clone)]
+pub struct TrellisScratch {
+    traceback: Vec<u64>,
+}
+
+impl TrellisScratch {
+    /// Creates an empty scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// The bit-packed traceback stores one bit per state in a u64.
+const _: () = assert!(STATES <= 64, "traceback word too narrow");
+
+/// Shared add-compare-select + traceback core for hard and soft
+/// decoding. `llr_at(i)` yields the LLR of coded bit `i` (positive
+/// favours 0); the closure lets `decode_hard` feed ±1 pseudo-LLRs
+/// without materialising a `Vec<f64>`.
+fn viterbi_flat(
+    llr_at: impl Fn(usize) -> f64,
+    payload_len: usize,
+    ws: &mut TrellisScratch,
+) -> Vec<bool> {
+    let total = payload_len + TAIL_BITS;
+    const INF: f64 = f64::INFINITY;
+    let mut metric = [INF; STATES];
+    let mut next = [INF; STATES];
+    metric[0] = 0.0;
+    ws.traceback.clear();
+    ws.traceback.resize(total, 0);
+
+    for (t, tb_out) in ws.traceback.iter_mut().enumerate() {
+        let l0 = llr_at(2 * t);
+        let l1 = llr_at(2 * t + 1);
+        // Branch costs for the four possible output pairs, indexed
+        // o0 + 2*o1 (summation order matches the per-branch original,
+        // keeping decisions bit-identical).
+        let costs = [
+            branch_cost(false, l0) + branch_cost(false, l1),
+            branch_cost(true, l0) + branch_cost(false, l1),
+            branch_cost(false, l0) + branch_cost(true, l1),
+            branch_cost(true, l0) + branch_cost(true, l1),
+        ];
+        next.fill(INF);
+        let mut tb = 0u64;
+        for s in 0..STATES {
+            let m = metric[s];
+            if m == INF {
+                continue;
+            }
+            let packed = OUT_TABLE[s];
+            for bit in 0..2usize {
+                let c = costs[((packed >> (2 * bit)) & 3) as usize];
+                let ns = (s >> 1) | (bit << (K - 2));
+                let cand = m + c;
+                if cand < next[ns] {
+                    next[ns] = cand;
+                    tb = (tb & !(1u64 << ns)) | (((s & 1) as u64) << ns);
+                }
+            }
+        }
+        *tb_out = tb;
+        std::mem::swap(&mut metric, &mut next);
+    }
+
+    // Zero-terminated: trace back from state 0. The input bit at step
+    // t is the top bit of the state the step landed in; the surviving
+    // predecessor is recovered from its recorded LSB.
+    let mut state = 0usize;
+    let mut bits = vec![false; total];
+    for t in (0..total).rev() {
+        bits[t] = (state >> (K - 2)) & 1 == 1;
+        let lsb = ((ws.traceback[t] >> state) & 1) as usize;
+        state = ((state & (STATES / 2 - 1)) << 1) | lsb;
+    }
+    bits.truncate(payload_len);
+    bits
+}
+
 /// Viterbi decode from soft inputs.
 ///
 /// `llrs[i] > 0` means coded bit `i` is more likely 0 (same convention
 /// as the QAM demapper). `payload_len` is the original message length
 /// (tail bits are stripped). Returns `None` if `llrs` is too short.
 pub fn decode_soft(llrs: &[f64], payload_len: usize) -> Option<Vec<bool>> {
+    crate::dsp::with_thread_scratch(|ws| decode_soft_with(llrs, payload_len, &mut ws.trellis))
+}
+
+/// [`decode_soft`] with caller-provided trellis scratch (no per-call
+/// survivor allocation; used by the link-level hot loop).
+pub fn decode_soft_with(
+    llrs: &[f64],
+    payload_len: usize,
+    ws: &mut TrellisScratch,
+) -> Option<Vec<bool>> {
     let total = payload_len + TAIL_BITS;
     if llrs.len() < RATE_INV * total {
         return None;
     }
-    const INF: f64 = f64::INFINITY;
-    let mut metric = vec![INF; STATES];
-    metric[0] = 0.0;
-    // survivors[t][s] = (previous state, input bit)
-    let mut survivors: Vec<Vec<(u16, bool)>> = Vec::with_capacity(total);
-
-    for t in 0..total {
-        let l0 = llrs[2 * t];
-        let l1 = llrs[2 * t + 1];
-        let mut next = vec![INF; STATES];
-        let mut surv = vec![(0u16, false); STATES];
-        #[allow(clippy::needless_range_loop)] // trellis index math reads clearer
-        for s in 0..STATES {
-            let m = metric[s];
-            if m == INF {
-                continue;
-            }
-            for bit in [false, true] {
-                let o = outputs(s, bit);
-                let c = branch_cost(o[0], l0) + branch_cost(o[1], l1);
-                let ns = next_state(s, bit);
-                let cand = m + c;
-                if cand < next[ns] {
-                    next[ns] = cand;
-                    surv[ns] = (s as u16, bit);
-                }
-            }
-        }
-        metric = next;
-        survivors.push(surv);
-    }
-
-    // Zero-terminated: trace back from state 0.
-    let mut state = 0usize;
-    let mut bits = vec![false; total];
-    for t in (0..total).rev() {
-        let (prev, bit) = survivors[t][state];
-        bits[t] = bit;
-        state = prev as usize;
-    }
-    bits.truncate(payload_len);
-    Some(bits)
+    Some(viterbi_flat(|i| llrs[i], payload_len, ws))
 }
 
 /// Cost of hypothesising coded bit value `bit` when the channel says
@@ -115,10 +201,29 @@ fn branch_cost(bit: bool, llr: f64) -> f64 {
     }
 }
 
-/// Hard-decision convenience wrapper: converts bits to ±1 pseudo-LLRs.
+/// Hard-decision convenience wrapper: equivalent to feeding ±1
+/// pseudo-LLRs to [`decode_soft`].
 pub fn decode_hard(coded: &[bool], payload_len: usize) -> Option<Vec<bool>> {
-    let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
-    decode_soft(&llrs, payload_len)
+    crate::dsp::with_thread_scratch(|ws| decode_hard_with(coded, payload_len, &mut ws.trellis))
+}
+
+/// [`decode_hard`] with caller-provided trellis scratch. Routes
+/// through the same flat-trellis core as soft decoding, deriving the
+/// ±1 pseudo-LLRs on the fly instead of allocating a `Vec<f64>`.
+pub fn decode_hard_with(
+    coded: &[bool],
+    payload_len: usize,
+    ws: &mut TrellisScratch,
+) -> Option<Vec<bool>> {
+    let total = payload_len + TAIL_BITS;
+    if coded.len() < RATE_INV * total {
+        return None;
+    }
+    Some(viterbi_flat(
+        |i| if coded[i] { -1.0 } else { 1.0 },
+        payload_len,
+        ws,
+    ))
 }
 
 #[cfg(test)]
@@ -223,5 +328,126 @@ mod tests {
         let coded = encode(&[true]);
         let weight = coded.iter().filter(|&&b| b).count();
         assert_eq!(weight, 10);
+    }
+
+    #[test]
+    fn hard_and_soft_agree_on_noiseless_input_for_all_payload_lengths() {
+        // Both decoders share the flat-trellis core; on noiseless
+        // input they must produce identical (and correct) payloads for
+        // every length 0..=64.
+        for len in 0..=64usize {
+            let payload = random_bits(len, 1000 + len as u64);
+            let coded = encode(&payload);
+            let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+            let hard = decode_hard(&coded, len);
+            let soft = decode_soft(&llrs, len);
+            assert_eq!(hard, soft, "len={len}");
+            assert_eq!(hard, Some(payload), "len={len}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        let mut shared = TrellisScratch::new();
+        let mut rng = rng_from_seed(42);
+        for trial in 0..20u64 {
+            let payload = random_bits(80, 2000 + trial);
+            let coded = encode(&payload);
+            // Noisy LLRs so ties and near-ties exercise the survivor
+            // bookkeeping, not just the noiseless fast path.
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    (if b { -1.0 } else { 1.0 })
+                        + 1.2 * rem_num::rng::standard_normal(&mut rng)
+                })
+                .collect();
+            let reused = decode_soft_with(&llrs, 80, &mut shared);
+            let fresh = decode_soft_with(&llrs, 80, &mut TrellisScratch::new());
+            assert_eq!(reused, fresh, "trial={trial}");
+        }
+    }
+
+    /// The pre-flat-trellis decoder, kept verbatim as a reference to
+    /// pin down bit-identical behaviour of the packed survivor path.
+    fn reference_decode_soft(llrs: &[f64], payload_len: usize) -> Option<Vec<bool>> {
+        let total = payload_len + TAIL_BITS;
+        if llrs.len() < RATE_INV * total {
+            return None;
+        }
+        const INF: f64 = f64::INFINITY;
+        let mut metric = vec![INF; STATES];
+        metric[0] = 0.0;
+        let mut survivors: Vec<Vec<(u16, bool)>> = Vec::with_capacity(total);
+        for t in 0..total {
+            let l0 = llrs[2 * t];
+            let l1 = llrs[2 * t + 1];
+            let mut next = vec![INF; STATES];
+            let mut surv = vec![(0u16, false); STATES];
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..STATES {
+                let m = metric[s];
+                if m == INF {
+                    continue;
+                }
+                for bit in [false, true] {
+                    let o = outputs(s, bit);
+                    let c = branch_cost(o[0], l0) + branch_cost(o[1], l1);
+                    let ns = next_state(s, bit);
+                    let cand = m + c;
+                    if cand < next[ns] {
+                        next[ns] = cand;
+                        surv[ns] = (s as u16, bit);
+                    }
+                }
+            }
+            metric = next;
+            survivors.push(surv);
+        }
+        let mut state = 0usize;
+        let mut bits = vec![false; total];
+        for t in (0..total).rev() {
+            let (prev, bit) = survivors[t][state];
+            bits[t] = bit;
+            state = prev as usize;
+        }
+        bits.truncate(payload_len);
+        Some(bits)
+    }
+
+    #[test]
+    fn flat_trellis_is_bit_identical_to_reference_decoder() {
+        let mut rng = rng_from_seed(9);
+        for trial in 0..40u64 {
+            let len = 1 + (trial as usize * 7) % 120;
+            let payload = random_bits(len, 3000 + trial);
+            let coded = encode(&payload);
+            for sigma in [0.4, 0.9, 1.5] {
+                let llrs: Vec<f64> = coded
+                    .iter()
+                    .map(|&b| {
+                        let y = (if b { -1.0 } else { 1.0 })
+                            + sigma * rem_num::rng::standard_normal(&mut rng);
+                        2.0 * y / (sigma * sigma)
+                    })
+                    .collect();
+                assert_eq!(
+                    decode_soft(&llrs, len),
+                    reference_decode_soft(&llrs, len),
+                    "trial={trial} sigma={sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_table_matches_outputs_fn() {
+        for s in 0..STATES {
+            for (bit, want) in [(false, outputs(s, false)), (true, outputs(s, true))] {
+                let pair = (OUT_TABLE[s] >> (2 * bit as usize)) & 3;
+                assert_eq!(pair & 1 == 1, want[0], "s={s} bit={bit}");
+                assert_eq!(pair >> 1 == 1, want[1], "s={s} bit={bit}");
+            }
+        }
     }
 }

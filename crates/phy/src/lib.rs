@@ -29,6 +29,7 @@
 pub mod chanest;
 pub mod convcode;
 pub mod crc;
+pub mod dsp;
 pub mod interleaver;
 pub mod link;
 pub mod mp_detect;
@@ -39,7 +40,8 @@ pub mod qam;
 pub mod scfdma;
 pub mod scheduler;
 
-pub use link::{simulate_block, BlerScenario, BlockOutcome, LinkConfig, Waveform};
+pub use dsp::DspScratch;
+pub use link::{simulate_block, simulate_block_with, BlerScenario, BlockOutcome, LinkConfig, Waveform};
 #[allow(deprecated)]
 pub use link::measure_bler;
 pub use qam::Modulation;

@@ -16,10 +16,11 @@
 
 use crate::convcode;
 use crate::crc::{attach_crc, check_crc};
+use crate::dsp::{with_thread_scratch, DspScratch};
 use crate::interleaver::BlockInterleaver;
 use crate::ofdm::{mmse_equalize, otfs_effective_sinr, slot_sinrs, tf_channel, transmit, zf_equalize};
-use crate::otfs::{otfs_demodulate, otfs_modulate};
-use crate::qam::{demodulate_soft, modulate, Modulation};
+use crate::otfs::{otfs_demodulate_into, otfs_modulate_into};
+use crate::qam::{demodulate_soft_into, modulate, Modulation};
 use rand::Rng;
 use rem_channel::models::ChannelModel;
 use rem_channel::noise::ici_relative_power;
@@ -147,6 +148,21 @@ pub fn simulate_block(
     payload: &[bool],
     rng: &mut SimRng,
 ) -> BlockOutcome {
+    with_thread_scratch(|ws| simulate_block_with(cfg, ch, snr_db, payload, rng, ws))
+}
+
+/// [`simulate_block`] with caller-provided DSP scratch: FFT plans, the
+/// Viterbi trellis and the demapper buffers are reused across blocks
+/// instead of being rebuilt per call (the Monte-Carlo workers thread
+/// one scratch per worker through their whole trial stream).
+pub fn simulate_block_with(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    payload: &[bool],
+    rng: &mut SimRng,
+    ws: &mut DspScratch,
+) -> BlockOutcome {
     assert!(payload.len() <= cfg.max_payload_bits(), "payload exceeds block capacity");
     let cap_bits = cfg.capacity_bits();
 
@@ -158,10 +174,11 @@ pub fn simulate_block(
     padded.resize(cap_bits, false);
     let il = BlockInterleaver::for_len(cap_bits);
 
-    let (dellrs, eff_sinr) = transmit_and_demap(cfg, ch, snr_db, &padded, &il, rng);
+    let (dellrs, eff_sinr) = transmit_and_demap(cfg, ch, snr_db, &padded, &il, rng, ws);
     // Decode the full payload+CRC block, then verify integrity.
     let decoded_with_crc =
-        convcode::decode_soft(&dellrs[..coded_len], block.len()).expect("length checked");
+        convcode::decode_soft_with(&dellrs[..coded_len], block.len(), &mut ws.trellis)
+            .expect("length checked");
     let crc_ok = check_crc(&decoded_with_crc).is_some();
     let bit_errors = payload
         .iter()
@@ -191,6 +208,23 @@ pub fn simulate_block_harq(
     retx_interval_s: f64,
     rng: &mut SimRng,
 ) -> (bool, usize, f64) {
+    with_thread_scratch(|ws| {
+        simulate_block_harq_with(cfg, ch, snr_db, payload, max_tx, retx_interval_s, rng, ws)
+    })
+}
+
+/// [`simulate_block_harq`] with caller-provided DSP scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_block_harq_with(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    payload: &[bool],
+    max_tx: usize,
+    retx_interval_s: f64,
+    rng: &mut SimRng,
+    ws: &mut DspScratch,
+) -> (bool, usize, f64) {
     assert!(payload.len() <= cfg.max_payload_bits(), "payload exceeds block capacity");
     let cap_bits = cfg.capacity_bits();
     let block = attach_crc(payload);
@@ -204,13 +238,14 @@ pub fn simulate_block_harq(
     let mut last_sinr = f64::NEG_INFINITY;
     for tx in 1..=max_tx.max(1) {
         let ch_t = ch.advanced_by((tx - 1) as f64 * retx_interval_s);
-        let (dellrs, eff) = transmit_and_demap(cfg, &ch_t, snr_db, &padded, &il, rng);
+        let (dellrs, eff) = transmit_and_demap(cfg, &ch_t, snr_db, &padded, &il, rng, ws);
         last_sinr = rem_num::stats::lin_to_db(eff.max(1e-12));
         for (c, l) in combined.iter_mut().zip(&dellrs) {
             *c += *l;
         }
         let decoded =
-            convcode::decode_soft(&combined[..coded_len], block.len()).expect("length checked");
+            convcode::decode_soft_with(&combined[..coded_len], block.len(), &mut ws.trellis)
+                .expect("length checked");
         if check_crc(&decoded).is_some() {
             return (true, tx, last_sinr);
         }
@@ -228,6 +263,7 @@ fn transmit_and_demap(
     padded_coded_bits: &[bool],
     il: &BlockInterleaver,
     rng: &mut SimRng,
+    ws: &mut DspScratch,
 ) -> (Vec<f64>, f64) {
     let noise_var = db_to_lin(-snr_db);
     let grid = &cfg.grid;
@@ -274,13 +310,16 @@ fn transmit_and_demap(
             // the soft MP detector and hand its bitwise LLRs straight
             // to the decoder.
             use crate::mp_detect::{beliefs_to_llrs, extract_taps, mp_detect_beliefs, MpConfig};
-            use crate::otfs::isfft;
+            use crate::otfs::isfft_into;
 
-            let tx_tf = otfs_modulate(&tx_syms);
+            let mut tx_tf = CMatrix::zeros(grid.m, grid.n);
+            otfs_modulate_into(&tx_syms, &mut tx_tf, ws);
             let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
             // Received DD grid (unitary demod) and the channel's DD taps.
-            let y_dd = otfs_demodulate(&rx);
-            let h_dd = isfft(&est);
+            let mut y_dd = CMatrix::zeros(grid.m, grid.n);
+            otfs_demodulate_into(&rx, &mut y_dd, ws);
+            let mut h_dd = CMatrix::zeros(grid.m, grid.n);
+            isfft_into(&est, &mut h_dd, ws);
             let taps = extract_taps(&h_dd, 0.08);
             let beliefs =
                 mp_detect_beliefs(&y_dd, &taps, cfg.modulation, noise_var, &MpConfig::default());
@@ -290,7 +329,8 @@ fn transmit_and_demap(
             return (il.deinterleave(&llrs), eff);
         }
         Waveform::Otfs => {
-            let tx_tf = otfs_modulate(&tx_syms);
+            let mut tx_tf = CMatrix::zeros(grid.m, grid.n);
+            otfs_modulate_into(&tx_syms, &mut tx_tf, ws);
             let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
             let eq_tf = mmse_equalize(&rx, &est, noise_var);
             // MMSE bias: each slot is scaled by beta = |h|^2/(|h|^2+nv);
@@ -301,7 +341,8 @@ fn transmit_and_demap(
                 .map(|h| h.norm_sqr() / (h.norm_sqr() + noise_var))
                 .sum::<f64>()
                 / est.as_slice().len() as f64;
-            let mut dd = otfs_demodulate(&eq_tf);
+            let mut dd = CMatrix::zeros(grid.m, grid.n);
+            otfs_demodulate_into(&eq_tf, &mut dd, ws);
             if mean_beta > 1e-12 {
                 dd.scale_mut(1.0 / mean_beta);
             }
@@ -312,15 +353,16 @@ fn transmit_and_demap(
         }
     };
 
-    // Demap with per-symbol noise variances.
-    let mut llrs = Vec::with_capacity(cap_bits);
+    // Demap with per-symbol noise variances, appending into the reused
+    // LLR buffer (no per-symbol Vec).
+    ws.llrs.clear();
     for (i, sym) in eq_syms.as_slice().iter().enumerate() {
         let nv = llr_noise_vars[i].max(1e-12);
-        llrs.extend(demodulate_soft(&[*sym], cfg.modulation, nv));
+        demodulate_soft_into(std::slice::from_ref(sym), cfg.modulation, nv, &mut ws.llrs);
     }
-    debug_assert_eq!(llrs.len(), cap_bits);
+    debug_assert_eq!(ws.llrs.len(), cap_bits);
 
-    (il.deinterleave(&llrs), eff_sinr)
+    (il.deinterleave(&ws.llrs), eff_sinr)
 }
 
 /// Applies the CSI model to the true gains: what the receiver's
@@ -442,16 +484,27 @@ impl BlerScenario {
     /// coded pipeline. Depends only on `(self, index)` — never on which
     /// thread runs it or what ran before.
     pub fn trial(&self, index: usize) -> BlockOutcome {
+        with_thread_scratch(|ws| self.trial_with(index, ws))
+    }
+
+    /// [`trial`](Self::trial) with caller-provided DSP scratch (the
+    /// per-worker state of [`outcomes`](Self::outcomes)). The scratch
+    /// is a pure cache: the outcome depends only on `(self, index)`.
+    pub fn trial_with(&self, index: usize, ws: &mut DspScratch) -> BlockOutcome {
         let mut rng = rem_num::rng::child_rng(self.seed, &format!("bler-trial-{index}"));
         let ch = self.model.realize(&mut rng, self.speed_ms, self.carrier_hz);
         let payload: Vec<bool> = (0..self.cfg.max_payload_bits()).map(|_| rng.gen()).collect();
-        simulate_block(&self.cfg, &ch, self.snr_db, &payload, &mut rng)
+        simulate_block_with(&self.cfg, &ch, self.snr_db, &payload, &mut rng, ws)
     }
 
     /// All per-block outcomes in canonical trial order, computed on
-    /// `self.threads` workers. Bit-identical for every thread count.
+    /// `self.threads` workers. Bit-identical for every thread count:
+    /// each worker builds one [`DspScratch`] (plans, trellis, buffers)
+    /// and reuses it across every trial it steals.
     pub fn outcomes(&self) -> Vec<BlockOutcome> {
-        rem_exec::par_map(self.threads, self.blocks, |i| self.trial(i))
+        rem_exec::par_map_with(self.threads, self.blocks, DspScratch::new, |ws, i| {
+            self.trial_with(i, ws)
+        })
     }
 
     /// Monte-Carlo BLER: the fraction of trials whose CRC failed.

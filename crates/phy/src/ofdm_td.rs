@@ -17,8 +17,8 @@
 //! `0..M` (baseband-adjacent mapping); sample rate `fs = fft_size *
 //! delta_f`; tap delays are rounded to whole samples.
 
+use crate::dsp::{with_thread_scratch, DspScratch};
 use rem_channel::{DdGrid, MultipathChannel};
-use rem_num::fft::{fft, ifft};
 use rem_num::{CMatrix, Complex64};
 use std::f64::consts::PI;
 
@@ -55,11 +55,18 @@ impl TdParams {
 /// # Panics
 /// Panics if `fft_size < grid rows` or `fft_size` is not a power of two.
 pub fn td_modulate(grid_data: &CMatrix, p: &TdParams) -> Vec<Complex64> {
+    with_thread_scratch(|ws| td_modulate_with(grid_data, p, ws))
+}
+
+/// [`td_modulate`] with caller-provided DSP scratch: the per-symbol
+/// IFFT buffer and the FFT plan are reused across calls.
+pub fn td_modulate_with(grid_data: &CMatrix, p: &TdParams, ws: &mut DspScratch) -> Vec<Complex64> {
     let (m, n) = grid_data.shape();
     assert!(p.fft_size >= m, "fft_size must cover the occupied subcarriers");
     assert!(p.fft_size.is_power_of_two(), "fft_size must be a power of two");
     let mut out = Vec::with_capacity(n * p.symbol_len());
-    let mut buf = vec![Complex64::ZERO; p.fft_size];
+    let plan = ws.planner.plan(p.fft_size);
+    let buf = DspScratch::buf(&mut ws.row, p.fft_size);
     for sym in 0..n {
         for b in buf.iter_mut() {
             *b = Complex64::ZERO;
@@ -67,7 +74,7 @@ pub fn td_modulate(grid_data: &CMatrix, p: &TdParams) -> Vec<Complex64> {
         for sc in 0..m {
             buf[sc] = grid_data[(sc, sym)];
         }
-        ifft(&mut buf);
+        plan.inverse(buf, &mut ws.fft);
         // ifft yields per-sample power M/N^2 for unit-power symbols on
         // M of N bins; scaling by N/sqrt(M) restores unit average
         // sample power on air.
@@ -105,15 +112,27 @@ pub fn td_channel(
 /// Demodulates time samples back to the frequency-domain grid
 /// (inverse of [`td_modulate`], assuming symbol alignment).
 pub fn td_demodulate(samples: &[Complex64], m: usize, n: usize, p: &TdParams) -> CMatrix {
+    with_thread_scratch(|ws| td_demodulate_with(samples, m, n, p, ws))
+}
+
+/// [`td_demodulate`] with caller-provided DSP scratch.
+pub fn td_demodulate_with(
+    samples: &[Complex64],
+    m: usize,
+    n: usize,
+    p: &TdParams,
+    ws: &mut DspScratch,
+) -> CMatrix {
     assert!(samples.len() >= n * p.symbol_len(), "not enough samples");
     let mut out = CMatrix::zeros(m, n);
-    let mut buf = vec![Complex64::ZERO; p.fft_size];
+    let plan = ws.planner.plan(p.fft_size);
+    let buf = DspScratch::buf(&mut ws.row, p.fft_size);
     // Inverse of the modulator's N/sqrt(M) amplitude scaling.
     let amp = p.fft_size as f64 / (m as f64).sqrt();
     for sym in 0..n {
         let start = sym * p.symbol_len() + p.cp_len;
         buf.copy_from_slice(&samples[start..start + p.fft_size]);
-        fft(&mut buf);
+        plan.forward(buf, &mut ws.fft);
         for sc in 0..m {
             out[(sc, sym)] = buf[sc].scale(1.0 / amp);
         }

@@ -13,89 +13,122 @@
 //! `n`). So a `CMatrix` in the TF domain has entry `(m, n) = X[n, m]`
 //! of the paper.
 
-use rem_num::fft::{fft, ifft};
-use rem_num::{CMatrix, Complex64};
+use crate::dsp::{with_thread_scratch, DspScratch};
+use rem_num::CMatrix;
 
 /// SFFT, paper convention (no normalisation):
 /// `X[n, m] = sum_{k, l} x[k, l] e^{-j 2 pi (m k / M - n l / N)}`.
 pub fn sfft(x: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(x.rows(), x.cols());
+        sfft_into(x, &mut out, ws);
+        out
+    })
+}
+
+/// [`sfft`] into a caller-provided output matrix with reused plans and
+/// buffers: zero heap allocations in steady state.
+///
+/// # Panics
+/// Panics if `out` is not the same shape as `x`.
+pub fn sfft_into(x: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = x.shape();
-    // Step 1: unnormalised inverse DFT along the Doppler axis (l -> n).
-    let mut w = CMatrix::zeros(m, n);
-    let mut row = vec![Complex64::ZERO; n];
+    assert_eq!(out.shape(), (m, n), "output shape mismatch");
+    // Step 1: unnormalised inverse DFT along the Doppler axis (l -> n),
+    // written straight into `out`'s rows. The plan's unnormalised
+    // inverse replaces the old `ifft` + multiply-back-by-`n` pair.
+    let row_plan = ws.planner.plan(n);
     for k in 0..m {
+        let row = out.row_mut(k);
         row.copy_from_slice(x.row(k));
-        ifft(&mut row);
-        for (nn, &v) in row.iter().enumerate() {
-            w[(k, nn)] = v.scale(n as f64); // undo ifft's 1/N
-        }
+        row_plan.inverse_unnormalized(row, &mut ws.fft);
     }
-    // Step 2: forward DFT along the delay axis (k -> m).
-    let mut out = CMatrix::zeros(m, n);
-    let mut col = vec![Complex64::ZERO; m];
+    // Step 2: forward DFT along the delay axis (k -> m), in place on
+    // `out`'s columns.
+    let col_plan = ws.planner.plan(m);
+    let col = DspScratch::buf(&mut ws.col, m);
     for nn in 0..n {
-        for k in 0..m {
-            col[k] = w[(k, nn)];
-        }
-        fft(&mut col);
-        for (mm, &v) in col.iter().enumerate() {
-            out[(mm, nn)] = v;
-        }
+        out.copy_col_into(nn, col);
+        col_plan.forward(col, &mut ws.fft);
+        out.set_col(nn, col);
     }
-    out
 }
 
 /// ISFFT, paper convention (includes the `1/(N M)` factor):
 /// `x[k, l] = (1/NM) sum_{n, m} X[n, m] e^{+j 2 pi (m k / M - n l / N)}`.
 pub fn isfft(big_x: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(big_x.rows(), big_x.cols());
+        isfft_into(big_x, &mut out, ws);
+        out
+    })
+}
+
+/// [`isfft`] into a caller-provided output matrix with reused plans and
+/// buffers: zero heap allocations in steady state.
+///
+/// # Panics
+/// Panics if `out` is not the same shape as `big_x`.
+pub fn isfft_into(big_x: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = big_x.shape();
+    assert_eq!(out.shape(), (m, n), "output shape mismatch");
     // Step 1: unnormalised inverse DFT along the delay axis (m -> k).
-    let mut w = CMatrix::zeros(m, n);
-    let mut col = vec![Complex64::ZERO; m];
+    let col_plan = ws.planner.plan(m);
+    let col = DspScratch::buf(&mut ws.col, m);
     for nn in 0..n {
-        for mm in 0..m {
-            col[mm] = big_x[(mm, nn)];
-        }
-        ifft(&mut col);
-        for (k, &v) in col.iter().enumerate() {
-            w[(k, nn)] = v; // ifft's 1/M provides part of 1/(NM)
-        }
+        big_x.copy_col_into(nn, col);
+        col_plan.inverse_unnormalized(col, &mut ws.fft);
+        out.set_col(nn, col);
     }
-    // Step 2: forward DFT along the time axis (n -> l), then 1/N.
-    let mut out = CMatrix::zeros(m, n);
-    let mut row = vec![Complex64::ZERO; n];
+    // Step 2: forward DFT along the time axis (n -> l), then one fused
+    // `1/(NM)` pass (was: 1/M inside ifft + 1/N per element).
+    let row_plan = ws.planner.plan(n);
     for k in 0..m {
-        row.copy_from_slice(w.row(k));
-        fft(&mut row);
-        for (l, &v) in row.iter().enumerate() {
-            out[(k, l)] = v.scale(1.0 / n as f64);
-        }
+        row_plan.forward(out.row_mut(k), &mut ws.fft);
     }
-    out
+    out.scale_mut(1.0 / (m * n) as f64);
 }
 
 /// Unitary (power-preserving) OTFS modulator: `sfft(x) / sqrt(MN)`.
 /// Use this for symbol transmission so average TX power equals average
 /// constellation power.
 pub fn otfs_modulate(x_dd: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(x_dd.rows(), x_dd.cols());
+        otfs_modulate_into(x_dd, &mut out, ws);
+        out
+    })
+}
+
+/// [`otfs_modulate`] into a caller-provided output matrix with reused
+/// plans and buffers.
+pub fn otfs_modulate_into(x_dd: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = x_dd.shape();
-    let mut out = sfft(x_dd);
+    sfft_into(x_dd, out, ws);
     out.scale_mut(1.0 / ((m * n) as f64).sqrt());
-    out
 }
 
 /// Unitary OTFS demodulator, inverse of [`otfs_modulate`].
 pub fn otfs_demodulate(x_tf: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(x_tf.rows(), x_tf.cols());
+        otfs_demodulate_into(x_tf, &mut out, ws);
+        out
+    })
+}
+
+/// [`otfs_demodulate`] into a caller-provided output matrix with reused
+/// plans and buffers.
+pub fn otfs_demodulate_into(x_tf: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = x_tf.shape();
-    let mut out = isfft(x_tf);
+    isfft_into(x_tf, out, ws);
     out.scale_mut(((m * n) as f64).sqrt());
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rem_num::c64;
+    use rem_num::{c64, Complex64};
     use std::f64::consts::PI;
 
     fn test_grid(m: usize, n: usize) -> CMatrix {
@@ -175,6 +208,30 @@ mod tests {
             .sum::<f64>()
             - tx[(0, 0)].abs();
         assert!(off < 1e-8);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_exactly() {
+        // Satellite contract: the `_into` paths are the implementation
+        // of the allocating wrappers, so outputs must be bit-identical,
+        // including across scratch reuse.
+        let mut ws = DspScratch::new();
+        for (m, n) in [(4usize, 4usize), (12, 14), (8, 5), (3, 7), (16, 12)] {
+            let x = test_grid(m, n);
+            let mut out = CMatrix::zeros(m, n);
+
+            sfft_into(&x, &mut out, &mut ws);
+            assert_eq!(sfft(&x).as_slice(), out.as_slice(), "sfft ({m},{n})");
+
+            isfft_into(&x, &mut out, &mut ws);
+            assert_eq!(isfft(&x).as_slice(), out.as_slice(), "isfft ({m},{n})");
+
+            otfs_modulate_into(&x, &mut out, &mut ws);
+            assert_eq!(otfs_modulate(&x).as_slice(), out.as_slice(), "mod ({m},{n})");
+
+            otfs_demodulate_into(&x, &mut out, &mut ws);
+            assert_eq!(otfs_demodulate(&x).as_slice(), out.as_slice(), "demod ({m},{n})");
+        }
     }
 
     #[test]

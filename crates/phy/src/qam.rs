@@ -115,17 +115,30 @@ pub fn demodulate_hard(symbols: &[Complex64], m: Modulation) -> Vec<bool> {
 /// convention `llr = log P(b=0) - log P(b=1)`), max-log approximation.
 /// `noise_var` is the total complex noise variance per symbol.
 pub fn demodulate_soft(symbols: &[Complex64], m: Modulation, noise_var: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(symbols.len() * m.bits_per_symbol());
+    demodulate_soft_into(symbols, m, noise_var, &mut out);
+    out
+}
+
+/// [`demodulate_soft`] appending into a caller-provided buffer, for hot
+/// loops that demap per-symbol with varying noise variances without a
+/// fresh `Vec` per call.
+pub fn demodulate_soft_into(
+    symbols: &[Complex64],
+    m: Modulation,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
     let bps = m.bits_per_symbol();
     let half = bps / 2;
     let levels = m.levels();
     let s = m.scale();
     let nv = noise_var.max(1e-12);
-    let mut out = Vec::with_capacity(symbols.len() * bps);
+    out.reserve(symbols.len() * bps);
     for &sym in symbols {
-        axis_llrs(sym.re / s, levels, half, s, nv, &mut out);
-        axis_llrs(sym.im / s, levels, half, s, nv, &mut out);
+        axis_llrs(sym.re / s, levels, half, s, nv, out);
+        axis_llrs(sym.im / s, levels, half, s, nv, out);
     }
-    out
 }
 
 fn axis_llrs(y: f64, levels: &[f64], nbits: usize, s: f64, nv: f64, out: &mut Vec<f64>) {

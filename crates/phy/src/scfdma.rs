@@ -8,45 +8,70 @@
 //! side-effect that the time-domain envelope is much closer to
 //! single-carrier (lower PAPR).
 
-use rem_num::fft::{fft, ifft};
+use crate::dsp::{with_thread_scratch, DspScratch};
 use rem_num::{CMatrix, Complex64};
 
 /// DFT-spreads each OFDM symbol (column): the `M` constellation
 /// symbols of a column are replaced by their unitary DFT before
 /// subcarrier mapping.
 pub fn scfdma_precode(grid_data: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(grid_data.rows(), grid_data.cols());
+        scfdma_precode_into(grid_data, &mut out, ws);
+        out
+    })
+}
+
+/// [`scfdma_precode`] into a caller-provided output matrix with reused
+/// plans and buffers.
+///
+/// # Panics
+/// Panics if `out` is not the same shape as `grid_data`.
+pub fn scfdma_precode_into(grid_data: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = grid_data.shape();
+    assert_eq!(out.shape(), (m, n), "output shape mismatch");
     let scale = 1.0 / (m as f64).sqrt();
-    let mut out = CMatrix::zeros(m, n);
-    let mut col = vec![Complex64::ZERO; m];
+    let plan = ws.planner.plan(m);
+    let col = DspScratch::buf(&mut ws.col, m);
     for sym in 0..n {
-        for sc in 0..m {
-            col[sc] = grid_data[(sc, sym)];
+        grid_data.copy_col_into(sym, col);
+        plan.forward(col, &mut ws.fft);
+        for v in col.iter_mut() {
+            *v = v.scale(scale);
         }
-        fft(&mut col);
-        for sc in 0..m {
-            out[(sc, sym)] = col[sc].scale(scale);
-        }
+        out.set_col(sym, col);
     }
-    out
 }
 
 /// Inverse of [`scfdma_precode`].
 pub fn scfdma_deprecode(grid_data: &CMatrix) -> CMatrix {
+    with_thread_scratch(|ws| {
+        let mut out = CMatrix::zeros(grid_data.rows(), grid_data.cols());
+        scfdma_deprecode_into(grid_data, &mut out, ws);
+        out
+    })
+}
+
+/// [`scfdma_deprecode`] into a caller-provided output matrix with
+/// reused plans and buffers. The inverse transform's `1/M` and the
+/// unitary `sqrt(M)` are fused into a single `1/sqrt(M)` pass.
+///
+/// # Panics
+/// Panics if `out` is not the same shape as `grid_data`.
+pub fn scfdma_deprecode_into(grid_data: &CMatrix, out: &mut CMatrix, ws: &mut DspScratch) {
     let (m, n) = grid_data.shape();
-    let scale = (m as f64).sqrt();
-    let mut out = CMatrix::zeros(m, n);
-    let mut col = vec![Complex64::ZERO; m];
+    assert_eq!(out.shape(), (m, n), "output shape mismatch");
+    let scale = 1.0 / (m as f64).sqrt();
+    let plan = ws.planner.plan(m);
+    let col = DspScratch::buf(&mut ws.col, m);
     for sym in 0..n {
-        for sc in 0..m {
-            col[sc] = grid_data[(sc, sym)];
+        grid_data.copy_col_into(sym, col);
+        plan.inverse_unnormalized(col, &mut ws.fft);
+        for v in col.iter_mut() {
+            *v = v.scale(scale);
         }
-        ifft(&mut col);
-        for sc in 0..m {
-            out[(sc, sym)] = col[sc].scale(scale);
-        }
+        out.set_col(sym, col);
     }
-    out
 }
 
 /// Peak-to-average power ratio of a sample stream, in dB.
@@ -78,6 +103,19 @@ mod tests {
         let x = random_qpsk_grid(12, 14, 1);
         let back = scfdma_deprecode(&scfdma_precode(&x));
         assert!(back.frobenius_dist(&x) < 1e-9);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_exactly() {
+        let mut ws = DspScratch::new();
+        for (m, n) in [(12usize, 14usize), (8, 4), (5, 3)] {
+            let x = random_qpsk_grid(m, n, 77);
+            let mut out = CMatrix::zeros(m, n);
+            scfdma_precode_into(&x, &mut out, &mut ws);
+            assert_eq!(scfdma_precode(&x).as_slice(), out.as_slice(), "precode ({m},{n})");
+            scfdma_deprecode_into(&x, &mut out, &mut ws);
+            assert_eq!(scfdma_deprecode(&x).as_slice(), out.as_slice(), "deprecode ({m},{n})");
+        }
     }
 
     #[test]

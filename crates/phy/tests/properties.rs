@@ -4,9 +4,19 @@ use proptest::prelude::*;
 use rem_num::{c64, CMatrix};
 use rem_phy::convcode;
 use rem_phy::crc::{attach_crc, check_crc};
+use rem_phy::dsp::DspScratch;
 use rem_phy::interleaver::BlockInterleaver;
-use rem_phy::otfs::{isfft, otfs_demodulate, otfs_modulate, sfft};
+use rem_phy::otfs::{isfft, isfft_into, otfs_demodulate, otfs_modulate, sfft, sfft_into};
 use rem_phy::qam::{demodulate_hard, modulate, Modulation};
+
+/// Strategy: a complex matrix with 1..=8 rows and at least one column.
+fn small_matrix() -> impl Strategy<Value = CMatrix> {
+    (1usize..9, 1usize..9).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), r * c).prop_map(move |v| {
+            CMatrix::from_vec(r, c, v.into_iter().map(|(a, b)| c64(a, b)).collect())
+        })
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -83,6 +93,50 @@ proptest! {
         let m = CMatrix::from_vec(r, c, entries[..r * c].iter().map(|&(a, b)| c64(a, b)).collect());
         let back = isfft(&sfft(&m));
         prop_assert!(back.frobenius_dist(&m) < 1e-7 * m.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn sfft_into_is_bit_identical_to_allocating_sfft(m in small_matrix()) {
+        // The zero-allocation path must match the allocating wrapper
+        // exactly — same plans, same operation order, same bits.
+        let mut ws = DspScratch::new();
+        let mut out = CMatrix::zeros(m.rows(), m.cols());
+        sfft_into(&m, &mut out, &mut ws);
+        prop_assert_eq!(out, sfft(&m));
+    }
+
+    #[test]
+    fn isfft_into_is_bit_identical_to_allocating_isfft(m in small_matrix()) {
+        let mut ws = DspScratch::new();
+        let mut out = CMatrix::zeros(m.rows(), m.cols());
+        isfft_into(&m, &mut out, &mut ws);
+        prop_assert_eq!(out, isfft(&m));
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_harmless(a in small_matrix(), b in small_matrix()) {
+        // One scratch serving interleaved shapes (the Monte-Carlo
+        // worker pattern) must give the same answers as fresh scratch.
+        let mut ws = DspScratch::new();
+        for m in [&a, &b, &a] {
+            let mut out = CMatrix::zeros(m.rows(), m.cols());
+            sfft_into(m, &mut out, &mut ws);
+            prop_assert_eq!(out, sfft(m));
+        }
+    }
+
+    #[test]
+    fn decode_hard_matches_soft_on_equivalent_llrs(
+        payload in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        // decode_hard is defined as decode_soft on +/-1 LLRs; both ride
+        // the shared flat trellis and must agree bit-for-bit.
+        let coded = convcode::encode(&payload);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+        prop_assert_eq!(
+            convcode::decode_hard(&coded, payload.len()),
+            convcode::decode_soft(&llrs, payload.len())
+        );
     }
 
     #[test]
