@@ -1,0 +1,64 @@
+//! Crash-safety overhead benchmarks: what panic isolation and
+//! checkpointing cost when nothing goes wrong. The checked engine
+//! wraps every trial in `catch_unwind` plus watchdog bookkeeping, and
+//! the checkpoint writer serializes + fsyncs per wave — both must stay
+//! cheap relative to a real Monte-Carlo trial (~ms of DSP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rem_core::rem_exec::{par_map, par_map_checked, CheckedPolicy};
+use rem_core::{fnv1a64, Checkpoint};
+use std::hint::black_box;
+
+/// A trial-shaped unit of work: enough arithmetic that scheduling
+/// noise doesn't dominate, cheap enough that supervision overhead is
+/// visible if it regresses.
+fn synthetic_trial(i: usize) -> f64 {
+    let mut acc = i as f64 + 1.0;
+    for k in 1..200 {
+        acc = (acc * 1.000_1 + k as f64).sqrt();
+    }
+    acc
+}
+
+fn bench_checked_overhead(c: &mut Criterion) {
+    const N: usize = 256;
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("par_map_{N}_t{threads}"), |b| {
+            b.iter(|| black_box(par_map(threads, N, synthetic_trial)))
+        });
+        c.bench_function(&format!("par_map_checked_{N}_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(par_map_checked(
+                    threads,
+                    N,
+                    CheckedPolicy::with_retries(1),
+                    |i, _attempt| synthetic_trial(i),
+                ))
+            })
+        });
+    }
+}
+
+fn bench_checkpoint_io(c: &mut Criterion) {
+    const N: usize = 512;
+    let mut ckpt = Checkpoint::new("bench", "{\"spec\":1}".to_string(), N);
+    for i in 0..N {
+        ckpt.record(i, format!("[{:.6},{{}}]", synthetic_trial(i)));
+    }
+    let path = std::env::temp_dir().join("rem-bench-crash-safety.ckpt");
+
+    c.bench_function("checkpoint_save_512", |b| {
+        b.iter(|| ckpt.save(black_box(&path)).expect("save"))
+    });
+    ckpt.save(&path).expect("save");
+    c.bench_function("checkpoint_load_512", |b| {
+        b.iter(|| black_box(Checkpoint::load(black_box(&path)).expect("load")))
+    });
+    let _ = std::fs::remove_file(&path);
+
+    let blob: Vec<u8> = (0..1 << 20).map(|i| (i * 31 % 251) as u8).collect();
+    c.bench_function("fnv1a64_1mib", |b| b.iter(|| black_box(fnv1a64(black_box(&blob)))));
+}
+
+criterion_group!(benches, bench_checked_overhead, bench_checkpoint_io);
+criterion_main!(benches);

@@ -16,6 +16,12 @@ pub fn kmh_to_ms(kmh: f64) -> f64 {
     kmh / 3.6
 }
 
+/// Converts m/s to km/h.
+#[inline]
+pub fn ms_to_kmh(ms: f64) -> f64 {
+    ms * 3.6
+}
+
 /// Maximum Doppler shift `nu_max = v f / c` in Hz for speed in m/s and
 /// carrier in Hz.
 #[inline]

@@ -50,6 +50,11 @@ impl Args {
         self.flags.contains_key(key)
     }
 
+    /// String flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
     /// String flag with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.flags.get(key).map(String::as_str).unwrap_or(default)

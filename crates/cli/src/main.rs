@@ -12,11 +12,47 @@
 mod args;
 
 use args::{ArgError, Args};
-use rem_core::{CampaignSpec, Comparison, DatasetSpec, FaultConfig, FaultKind, Plane, RunConfig};
+use rem_core::rem_faults::ChaosConfig;
+use rem_core::{
+    fnv1a64, CampaignSpec, Comparison, DatasetSpec, ExperimentError, FaultConfig, FaultKind,
+    Plane, RunConfig, RunPolicy,
+};
 use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
 use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
 use rem_mobility::CellPolicy;
 use rem_sim::{simulate_run, simulate_train};
+use std::path::{Path, PathBuf};
+
+/// Everything a command can fail with, mapped to distinct exit codes:
+/// usage errors exit 2, experiment/runtime errors (I/O, corrupt
+/// checkpoints, quarantined trials...) exit 1.
+enum CliError {
+    /// Bad flags or arguments.
+    Arg(ArgError),
+    /// The campaign itself failed.
+    Experiment(ExperimentError),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl From<ExperimentError> for CliError {
+    fn from(e: ExperimentError) -> Self {
+        CliError::Experiment(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Experiment(e) => write!(f, "{e}"),
+        }
+    }
+}
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -33,11 +69,76 @@ fn main() {
             print_help();
             Ok(())
         }
-        other => Err(ArgError(format!("unknown command '{other}' (try `rem help`)"))),
+        other => Err(ArgError(format!("unknown command '{other}' (try `rem help`)")).into()),
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(2);
+    match result {
+        Ok(()) => {}
+        Err(CliError::Arg(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        Err(CliError::Experiment(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses the shared crash-safety flags (`--threads`, `--max-retries`,
+/// `--trial-timeout-ms`, `--checkpoint-every`).
+fn run_policy(a: &Args) -> Result<RunPolicy, ArgError> {
+    let timeout = a.int_or("trial-timeout-ms", 0)?;
+    Ok(RunPolicy {
+        threads: a.int_or("threads", 0)? as usize,
+        max_retries: a.int_or("max-retries", 1)? as u32,
+        trial_timeout_ms: (timeout > 0).then_some(timeout),
+        checkpoint_every: a.int_or("checkpoint-every", 16)? as usize,
+    })
+}
+
+/// Parses the chaos flags (`--chaos-panic <rate>`, `--chaos-fatal`,
+/// `--chaos-seed`); `None` when chaos is off.
+fn chaos_config(a: &Args) -> Result<Option<ChaosConfig>, ArgError> {
+    let rate = a.num_or("chaos-panic", 0.0)?;
+    if rate <= 0.0 {
+        return Ok(None);
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError(format!("--chaos-panic expects a rate in [0,1], got {rate}")));
+    }
+    Ok(Some(ChaosConfig {
+        seed: a.int_or("chaos-seed", 7)?,
+        panic_rate: rate,
+        fatal: a.flag("chaos-fatal"),
+    }))
+}
+
+/// Prints the supervision summary of a checked run when anything
+/// noteworthy happened.
+fn print_supervision(
+    retries: u64,
+    resumed: usize,
+    quarantined: &[rem_core::rem_exec::QuarantinedTrial],
+    overruns: &[rem_core::rem_exec::DeadlineOverrun],
+    health: &rem_core::rem_num::DegradedStats,
+) {
+    if resumed > 0 {
+        println!("resumed {resumed} trial(s) from checkpoint");
+    }
+    if retries > 0 {
+        println!("retried {retries} panicking attempt(s)");
+    }
+    for o in overruns {
+        println!(
+            "deadline overrun: trial {} took {} ms (deadline {} ms)",
+            o.index, o.elapsed_ms, o.deadline_ms
+        );
+    }
+    for q in quarantined {
+        println!("quarantined: {q}");
+    }
+    if !health.is_clean() {
+        println!("numerical health: {health}");
     }
 }
 
@@ -56,6 +157,20 @@ COMMANDS:
               --threads <n>        (default 0 = all cores)
               --hash               print an FNV-1a 64 digest of the
                                    full comparison (determinism checks)
+              --checkpoint <file>  save campaign state atomically as
+                                   trials finish (crash-safe)
+              --resume <file>      resume a killed campaign: only the
+                                   missing trials run; the result is
+                                   bit-identical to an uninterrupted run
+              --checkpoint-every <n>  trials per checkpoint wave (16)
+              --max-retries <n>    panicking-trial retries before
+                                   quarantine (default 1)
+              --trial-timeout-ms <ms>  report trials exceeding this
+                                   deadline (detection only)
+              --chaos-panic <rate> inject deterministic trial panics
+                                   (CI crash-safety gate); --chaos-fatal
+                                   makes them persist past retries,
+                                   --chaos-seed <n> picks the victims
   trace     Export a MobileInsight-style signaling trace (JSON lines)
               --dataset/--speed/--route-km as above
               --plane legacy|rem   (default legacy)
@@ -73,6 +188,9 @@ COMMANDS:
               --threads <n>            (default 0 = all cores)
               --hash                   print an FNV-1a 64 digest of all
                                        per-trial outcomes (determinism)
+              --checkpoint/--resume/--checkpoint-every,
+              --max-retries/--trial-timeout-ms,
+              --chaos-panic/--chaos-fatal/--chaos-seed as in compare
   storm     Whole-train signaling burst statistics
               --clients <n>        (default 8)
               --threads <n>        (default 0 = all cores)
@@ -87,22 +205,13 @@ COMMANDS:
               --rate-scale <x>     (default 1.0; scales all fault rates)
               --verify <n>         also re-run on 1 vs <n> threads and
                                    require bit-identical metrics
+              --checkpoint/--resume/--checkpoint-every,
+              --max-retries/--trial-timeout-ms,
+              --chaos-panic/--chaos-fatal/--chaos-seed as in compare
 
 Monte-Carlo trials are scheduled over --threads workers but reduced
 in canonical order: any thread count gives identical results."
     );
-}
-
-/// FNV-1a 64 over a serialized result, for cheap determinism checks:
-/// CI hashes the same run at different thread counts (and with
-/// `REM_DSP_PLAN=off`) and requires the digests to match.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn dataset(a: &Args) -> Result<DatasetSpec, ArgError> {
@@ -125,14 +234,46 @@ fn plane(a: &Args) -> Result<Plane, ArgError> {
     }
 }
 
-fn cmd_compare(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
-    let spec = dataset(&a)?;
-    let n_seeds = a.int_or("seeds", 2)? as usize;
-    let threads = a.int_or("threads", 0)? as usize;
-    println!("{} @ {} km/h, {:.0} km x {} seeds", spec.name, spec.speed_kmh, spec.deployment.route_m / 1e3, n_seeds);
-    let campaign = CampaignSpec::new(spec).with_seed_count(n_seeds).with_threads(threads);
-    let cmp = Comparison::run(&campaign);
+    let policy = run_policy(&a)?;
+    let chaos = chaos_config(&a)?;
+
+    let (_campaign, checked) = if let Some(resume) = a.get("resume") {
+        // The checkpoint carries the campaign fingerprint: dataset
+        // flags are ignored, only the execution policy applies.
+        let (campaign, checked) = CampaignSpec::resume(Path::new(resume), &policy)?;
+        println!(
+            "{} @ {} km/h, resumed from {resume} ({} of {} trials replayed)",
+            campaign.spec.name, campaign.spec.speed_kmh, checked.resumed_trials,
+            checked.total_trials
+        );
+        (campaign, checked)
+    } else {
+        let spec = dataset(&a)?;
+        let n_seeds = a.int_or("seeds", 2)? as usize;
+        println!(
+            "{} @ {} km/h, {:.0} km x {} seeds",
+            spec.name,
+            spec.speed_kmh,
+            spec.deployment.route_m / 1e3,
+            n_seeds
+        );
+        let campaign =
+            CampaignSpec::new(spec).with_seed_count(n_seeds).with_threads(policy.threads);
+        let ckpt = a.get("checkpoint").map(PathBuf::from);
+        let checked = match &chaos {
+            Some(c) => Comparison::run_checkpointed_with(
+                &campaign,
+                &policy,
+                ckpt.as_deref(),
+                |i, attempt| c.maybe_panic(i, attempt),
+            )?,
+            None => Comparison::run_checkpointed(&campaign, &policy, ckpt.as_deref())?,
+        };
+        (campaign, checked)
+    };
+    let cmp = &checked.comparison;
     println!("\n{:<26} {:>10} {:>10}", "", "legacy", "REM");
     println!("{:<26} {:>10} {:>10}", "handovers", cmp.legacy.handovers.len(), cmp.rem.handovers.len());
     println!(
@@ -166,13 +307,23 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), ArgError> {
         cmp.rem.signaling.total_messages()
     );
     if a.flag("hash") {
-        let json = serde_json::to_string(&cmp).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let json = serde_json::to_string(cmp).map_err(|e| ArgError(format!("serialize: {e}")))?;
         println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
+    print_supervision(
+        checked.retries,
+        checked.resumed_trials,
+        &checked.quarantined,
+        &checked.overruns,
+        &checked.health,
+    );
+    if !checked.is_clean() {
+        return Err(ExperimentError::Quarantined { trials: checked.quarantined }.into());
     }
     Ok(())
 }
 
-fn cmd_trace(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_trace(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let spec = dataset(&a)?;
     let mut cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 42)?);
@@ -191,7 +342,7 @@ fn cmd_trace(rest: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_audit(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_audit(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let file = a
         .positional()
@@ -231,57 +382,121 @@ fn cmd_audit(rest: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_bler(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
     use rem_channel::models::ChannelModel;
     use rem_phy::link::{BlerScenario, Waveform};
 
     let a = Args::parse(rest)?;
-    let model = match a.get_or("model", "hst") {
-        "hst" => ChannelModel::Hst,
-        "eva" => ChannelModel::Eva,
-        "etu" => ChannelModel::Etu,
-        "epa" => ChannelModel::Epa,
-        other => return Err(ArgError(format!("unknown model '{other}'"))),
-    };
-    let speed_kmh = a.num_or("speed", 350.0)?;
-    let snr = a.num_or("snr", 6.0)?;
-    let blocks = a.int_or("blocks", 200)? as usize;
+    let policy = run_policy(&a)?;
+    let chaos = chaos_config(&a)?;
+
     // Same seed for both waveforms: trial i sees the identical channel
     // and payload under each, so the comparison is paired.
-    let scenario = BlerScenario::signaling(Waveform::Ofdm, model)
-        .with_speed_kmh(speed_kmh)
-        .with_snr_db(snr)
-        .with_blocks(blocks)
-        .with_seed(a.int_or("seed", 1)?)
-        .with_threads(a.int_or("threads", 0)? as usize);
-    let otfs_scenario =
-        BlerScenario { cfg: rem_phy::link::LinkConfig::signaling(Waveform::Otfs), ..scenario };
-    let ofdm_outcomes = scenario.outcomes();
-    let otfs_outcomes = otfs_scenario.outcomes();
-    let bler = |outs: &[rem_phy::BlockOutcome]| {
-        outs.iter().filter(|o| !o.crc_ok).count() as f64 / blocks.max(1) as f64
+    let (scenario, otfs_scenario) = if let Some(resume) = a.get("resume") {
+        // The checkpoint carries both scenarios; link flags are
+        // ignored, only the execution policy applies.
+        let ckpt = rem_core::Checkpoint::load(Path::new(resume))?;
+        if ckpt.kind != "bler" {
+            return Err(ExperimentError::SpecMismatch {
+                path: PathBuf::from(resume),
+                detail: format!("kind '{}' is not a bler campaign", ckpt.kind),
+            }
+            .into());
+        }
+        let (s, o): (BlerScenario, BlerScenario) = serde_json::from_str(&ckpt.spec_json)
+            .map_err(|e| ExperimentError::serde("bler scenarios in checkpoint", e))?;
+        (s.with_threads(policy.threads), o.with_threads(policy.threads))
+    } else {
+        let model = match a.get_or("model", "hst") {
+            "hst" => ChannelModel::Hst,
+            "eva" => ChannelModel::Eva,
+            "etu" => ChannelModel::Etu,
+            "epa" => ChannelModel::Epa,
+            other => return Err(ArgError(format!("unknown model '{other}'")).into()),
+        };
+        let s = BlerScenario::signaling(Waveform::Ofdm, model)
+            .with_speed_kmh(a.num_or("speed", 350.0)?)
+            .with_snr_db(a.num_or("snr", 6.0)?)
+            .with_blocks(a.int_or("blocks", 200)? as usize)
+            .with_seed(a.int_or("seed", 1)?)
+            .with_threads(policy.threads);
+        let o = BlerScenario { cfg: rem_phy::link::LinkConfig::signaling(Waveform::Otfs), ..s };
+        (s, o)
     };
-    println!("{model:?} @ {speed_kmh:.0} km/h, SNR {snr} dB, {blocks} blocks:");
-    println!("  legacy OFDM BLER: {:.3}", bler(&ofdm_outcomes));
-    println!("  REM OTFS BLER:    {:.3}", bler(&otfs_outcomes));
+    let blocks = scenario.blocks;
+
+    // Trial space: [0, blocks) runs OFDM block i, [blocks, 2*blocks)
+    // runs OTFS block i - blocks. The fingerprint pins both scenarios
+    // at threads = 0 so a resume may change the worker count.
+    let fingerprint =
+        serde_json::to_string(&(scenario.with_threads(0), otfs_scenario.with_threads(0)))
+            .map_err(|e| ExperimentError::serde("bler fingerprint", e))?;
+    let ckpt_path: Option<PathBuf> =
+        a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
+    let run = rem_core::run_trials_checkpointed(
+        "bler",
+        &fingerprint,
+        2 * blocks,
+        &policy,
+        ckpt_path.as_deref(),
+        |i, attempt| {
+            if let Some(c) = &chaos {
+                c.maybe_panic(i, attempt);
+            }
+            if i < blocks {
+                scenario.trial(i)
+            } else {
+                otfs_scenario.trial(i - blocks)
+            }
+        },
+    )?;
+
+    let (ofdm_outcomes, otfs_outcomes) = run.values.split_at(blocks);
+    let bler = |outs: &[Option<rem_phy::BlockOutcome>]| {
+        let done = outs.iter().flatten().count();
+        outs.iter().flatten().filter(|o| !o.crc_ok).count() as f64 / done.max(1) as f64
+    };
+    println!(
+        "{:?} @ {:.0} km/h, SNR {} dB, {} blocks:",
+        scenario.model,
+        rem_channel::doppler::ms_to_kmh(scenario.speed_ms),
+        scenario.snr_db,
+        blocks
+    );
+    println!("  legacy OFDM BLER: {:.3}", bler(ofdm_outcomes));
+    println!("  REM OTFS BLER:    {:.3}", bler(otfs_outcomes));
     if a.flag("hash") {
         // Hash the full per-trial outcome record, not just the BLER:
         // any change in SINR or bit-error counts must move the digest.
-        let json = serde_json::to_string(&(&ofdm_outcomes, &otfs_outcomes))
+        // `Vec<Option<T>>` with every slot `Some` serializes exactly
+        // like `Vec<T>`, so clean-run digests match pre-checkpoint
+        // releases.
+        let json = serde_json::to_string(&(ofdm_outcomes, otfs_outcomes))
             .map_err(|e| ArgError(format!("serialize: {e}")))?;
         println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
+    print_supervision(
+        run.retries,
+        run.resumed_trials,
+        &run.quarantined,
+        &run.overruns,
+        &run.health,
+    );
+    if !run.is_clean() {
+        return Err(ExperimentError::Quarantined { trials: run.quarantined }.into());
     }
     Ok(())
 }
 
-fn cmd_faults(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     use rem_mobility::FailureCause;
 
     let a = Args::parse(rest)?;
     let spec = dataset(&a)?;
     let pl = plane(&a)?;
     let n_seeds = a.int_or("seeds", 3)? as usize;
-    let threads = a.int_or("threads", 0)? as usize;
+    let policy = run_policy(&a)?;
+    let chaos = chaos_config(&a)?;
     let scale = a.num_or("rate-scale", 1.0)?;
     let faults = FaultConfig::default().scaled(scale);
     faults.validate().map_err(ArgError)?;
@@ -292,9 +507,18 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), ArgError> {
     );
     let campaign = CampaignSpec::new(spec)
         .with_seed_count(n_seeds)
-        .with_threads(threads)
+        .with_threads(policy.threads)
         .with_faults(faults);
-    let m = campaign.aggregate(pl);
+    // `--checkpoint` doubles as resume: rerunning the same command with
+    // an existing checkpoint computes only the missing trials.
+    let ckpt: Option<PathBuf> = a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
+    let checked = match &chaos {
+        Some(c) => campaign.aggregate_checkpointed_with(pl, &policy, ckpt.as_deref(), |i, at| {
+            c.maybe_panic(i, at)
+        })?,
+        None => campaign.aggregate_checkpointed(pl, &policy, ckpt.as_deref())?,
+    };
+    let m = &checked.metrics;
 
     println!("\ninjected faults:");
     for kind in FaultKind::all() {
@@ -347,6 +571,16 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), ArgError> {
         println!("\nverified: 1-thread and {verify}-thread campaigns are bit-identical");
     }
 
+    print_supervision(
+        checked.retries,
+        checked.resumed_trials,
+        &checked.quarantined,
+        &checked.overruns,
+        &checked.health,
+    );
+    if !checked.is_clean() {
+        return Err(ExperimentError::Quarantined { trials: checked.quarantined.clone() }.into());
+    }
     if !mismatches.is_empty() {
         eprintln!("error: fault oracle found misclassified failures");
         std::process::exit(1);
@@ -354,7 +588,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_storm(rest: Vec<String>) -> Result<(), ArgError> {
+fn cmd_storm(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let spec = dataset(&a)?;
     let cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 7)?);

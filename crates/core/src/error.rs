@@ -1,0 +1,159 @@
+//! Typed experiment errors.
+//!
+//! Campaign code used to `unwrap()` its way through serialization and
+//! I/O; a crashed multi-hour run then reported a panic backtrace
+//! instead of what went wrong and with which file. Every fallible
+//! campaign path now returns [`ExperimentError`], and the CLI maps it
+//! to a structured message plus a non-zero exit code.
+
+use std::path::PathBuf;
+
+/// Everything that can go wrong running, checkpointing or resuming a
+/// campaign.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Reading or writing a campaign artifact failed.
+    Io {
+        /// File involved.
+        path: PathBuf,
+        /// Underlying OS error.
+        source: std::io::Error,
+    },
+    /// (De)serialization of campaign state failed.
+    Serde {
+        /// What was being (de)serialized.
+        context: String,
+        /// Serde's message.
+        message: String,
+    },
+    /// A checkpoint's body does not match its recorded checksum: the
+    /// file was truncated or altered after it was written.
+    ChecksumMismatch {
+        /// Checkpoint file.
+        path: PathBuf,
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the body actually on disk.
+        actual: u64,
+    },
+    /// A checkpoint was produced by a different campaign (different
+    /// kind, spec fingerprint or trial count) and cannot be resumed
+    /// into this one.
+    SpecMismatch {
+        /// Checkpoint file.
+        path: PathBuf,
+        /// What differed.
+        detail: String,
+    },
+    /// The checkpoint file is structurally invalid (bad magic/header
+    /// or unparseable body).
+    Corrupt {
+        /// Checkpoint file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// One or more trials panicked on every allowed attempt. The rest
+    /// of the campaign completed; the quarantine list identifies what
+    /// to investigate (and a later resume will retry exactly these).
+    Quarantined {
+        /// The quarantined trials, in canonical index order.
+        trials: Vec<rem_exec::QuarantinedTrial>,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            ExperimentError::Serde { context, message } => {
+                write!(f, "serialization error ({context}): {message}")
+            }
+            ExperimentError::ChecksumMismatch { path, expected, actual } => write!(
+                f,
+                "checkpoint {} is corrupt: checksum fnv1a64:{expected:016x} recorded, \
+                 fnv1a64:{actual:016x} on disk",
+                path.display()
+            ),
+            ExperimentError::SpecMismatch { path, detail } => write!(
+                f,
+                "checkpoint {} belongs to a different campaign: {detail}",
+                path.display()
+            ),
+            ExperimentError::Corrupt { path, detail } => {
+                write!(f, "checkpoint {} is not a valid REMCKPT1 file: {detail}", path.display())
+            }
+            ExperimentError::Quarantined { trials } => {
+                write!(f, "{} trial(s) quarantined:", trials.len())?;
+                for q in trials {
+                    write!(f, "\n  {q}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ExperimentError {
+    /// Shorthand for an I/O error on `path`.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        ExperimentError::Io { path: path.into(), source }
+    }
+
+    /// Shorthand for a serde error in `context`.
+    pub fn serde(context: impl Into<String>, err: impl std::fmt::Display) -> Self {
+        ExperimentError::Serde { context: context.into(), message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_structured_and_specific() {
+        let e = ExperimentError::ChecksumMismatch {
+            path: PathBuf::from("/tmp/c.ckpt"),
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/c.ckpt"));
+        assert!(s.contains("000000000000dead"));
+        assert!(s.contains("000000000000beef"));
+
+        let q = ExperimentError::Quarantined {
+            trials: vec![rem_exec::QuarantinedTrial {
+                index: 3,
+                attempts: 2,
+                payload: "boom".into(),
+            }],
+        };
+        let s = q.to_string();
+        assert!(s.contains("1 trial(s) quarantined"));
+        assert!(s.contains("trial 3"));
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn io_variant_exposes_source() {
+        use std::error::Error;
+        let e = ExperimentError::io(
+            "/nope",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/nope"));
+    }
+}

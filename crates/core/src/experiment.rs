@@ -5,10 +5,15 @@
 //! derives the reduction factors `ε = (K_legacy − K_rem) / K_rem`
 //! reported in Table 5.
 
+use crate::checkpoint::{run_trials_checkpointed, Checkpoint, CheckpointedRun, RunPolicy};
+use crate::error::ExperimentError;
+use rem_exec::{DeadlineOverrun, QuarantinedTrial};
 use rem_faults::FaultConfig;
 use rem_mobility::FailureCause;
+use rem_num::health::DegradedStats;
 use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Route length (km) used by the headline Table 5 campaign.
 pub const DEFAULT_ROUTE_KM: f64 = 60.0;
@@ -97,6 +102,183 @@ impl CampaignSpec {
     pub fn aggregate(&self, plane: Plane) -> RunMetrics {
         self.aggregate_with(plane, |_| {})
     }
+
+    /// [`CampaignSpec::aggregate`] under crash isolation with optional
+    /// checkpointing — the single-plane campaign path (what the fault
+    /// harness runs). If `path` points at an existing checkpoint for
+    /// the same campaign and plane, only the missing trials run; a
+    /// clean run merges exactly the values [`CampaignSpec::aggregate`]
+    /// produces, at any thread count.
+    pub fn aggregate_checkpointed(
+        &self,
+        plane: Plane,
+        policy: &RunPolicy,
+        path: Option<&Path>,
+    ) -> Result<CheckedAggregate, ExperimentError> {
+        self.aggregate_checkpointed_with(plane, policy, path, |_, _| {})
+    }
+
+    /// [`CampaignSpec::aggregate_checkpointed`] with a per-attempt
+    /// hook called at the top of every trial (the chaos-injection seam
+    /// — see [`Comparison::run_checkpointed_with`]).
+    pub fn aggregate_checkpointed_with(
+        &self,
+        plane: Plane,
+        policy: &RunPolicy,
+        path: Option<&Path>,
+        hook: impl Fn(usize, u32) + Sync,
+    ) -> Result<CheckedAggregate, ExperimentError> {
+        // The plane joins the fingerprint: a legacy checkpoint must not
+        // resume into a REM aggregate.
+        let spec_json = serde_json::to_string(&(&self.spec, &self.seeds, &self.faults, plane))
+            .map_err(|e| ExperimentError::serde("aggregate fingerprint", e))?;
+        let run = run_trials_checkpointed(
+            "aggregate",
+            &spec_json,
+            self.seeds.len(),
+            policy,
+            path,
+            |i, attempt| {
+                hook(i, attempt);
+                let mut cfg = RunConfig::new(self.spec.clone(), plane, self.seeds[i]);
+                cfg.faults = self.faults.clone();
+                simulate_run(&cfg)
+            },
+        )?;
+        let CheckpointedRun { values, quarantined, overruns, retries, resumed_trials, health } =
+            run;
+        let completed_trials = values.iter().filter(|v| v.is_some()).count();
+        let mut metrics = RunMetrics::default();
+        for v in values.into_iter().flatten() {
+            merge(&mut metrics, v);
+        }
+        Ok(CheckedAggregate {
+            metrics,
+            quarantined,
+            overruns,
+            retries,
+            resumed_trials,
+            completed_trials,
+            total_trials: self.seeds.len(),
+            health,
+        })
+    }
+
+    /// Canonical fingerprint of what this campaign *computes*: the
+    /// dataset, the seeds and the fault configuration. Deliberately
+    /// excludes `threads` — a checkpoint written at one worker count
+    /// resumes at any other.
+    pub fn fingerprint(&self) -> Result<String, ExperimentError> {
+        serde_json::to_string(&(&self.spec, &self.seeds, &self.faults))
+            .map_err(|e| ExperimentError::serde("campaign fingerprint", e))
+    }
+
+    /// Resumes the paired comparison whose checkpoint lives at `path`:
+    /// rebuilds the campaign from the checkpoint's own fingerprint,
+    /// runs only the missing trials and returns the completed result
+    /// (bit-identical to an uninterrupted run). The worker count comes
+    /// from `policy`, not from the original run.
+    pub fn resume(
+        path: &Path,
+        policy: &RunPolicy,
+    ) -> Result<(CampaignSpec, CheckedComparison), ExperimentError> {
+        let ckpt = Checkpoint::load(path)?;
+        if ckpt.kind != "compare" {
+            return Err(ExperimentError::SpecMismatch {
+                path: path.to_path_buf(),
+                detail: format!("kind '{}' is not a compare campaign", ckpt.kind),
+            });
+        }
+        let (spec, seeds, faults): (DatasetSpec, Vec<u64>, Option<FaultConfig>) =
+            serde_json::from_str(&ckpt.spec_json)
+                .map_err(|e| ExperimentError::serde("campaign fingerprint in checkpoint", e))?;
+        let campaign = CampaignSpec { spec, seeds, threads: policy.threads, faults };
+        let result = Comparison::run_checkpointed(&campaign, policy, Some(path))?;
+        Ok((campaign, result))
+    }
+}
+
+/// A [`Comparison`] produced under crash isolation: the aggregate plus
+/// everything the supervision layer observed (quarantines, retries,
+/// deadline overruns, the numerical-health ledger, and how much came
+/// from a checkpoint).
+#[derive(Clone, Debug)]
+pub struct CheckedComparison {
+    /// The paired aggregate over every *completed* trial.
+    pub comparison: Comparison,
+    /// Trials that panicked on every attempt (excluded from the
+    /// aggregate; a later resume retries exactly these).
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// Trials that exceeded the per-trial deadline (reported, never
+    /// altered).
+    pub overruns: Vec<DeadlineOverrun>,
+    /// Panicking attempts that were retried successfully.
+    pub retries: u64,
+    /// Trials replayed from the checkpoint instead of recomputed.
+    pub resumed_trials: usize,
+    /// Completed trials (resumed + newly run).
+    pub completed_trials: usize,
+    /// Total trials in the campaign (`2 * seeds`).
+    pub total_trials: usize,
+    /// Merged numerical-health counters over all completed trials.
+    pub health: DegradedStats,
+}
+
+impl CheckedComparison {
+    /// True when every trial completed.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The comparison, or the quarantine list as a typed error.
+    pub fn into_result(self) -> Result<Comparison, ExperimentError> {
+        if self.is_clean() {
+            Ok(self.comparison)
+        } else {
+            Err(ExperimentError::Quarantined { trials: self.quarantined })
+        }
+    }
+}
+
+/// A single-plane campaign aggregate produced under crash isolation:
+/// the merged metrics plus the supervision report (the single-plane
+/// sibling of [`CheckedComparison`]).
+#[derive(Clone, Debug)]
+pub struct CheckedAggregate {
+    /// Merged metrics over every *completed* trial.
+    pub metrics: RunMetrics,
+    /// Trials that panicked on every attempt (excluded from the
+    /// aggregate; a later resume retries exactly these).
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// Trials that exceeded the per-trial deadline (reported, never
+    /// altered).
+    pub overruns: Vec<DeadlineOverrun>,
+    /// Panicking attempts that were retried successfully.
+    pub retries: u64,
+    /// Trials replayed from the checkpoint instead of recomputed.
+    pub resumed_trials: usize,
+    /// Completed trials (resumed + newly run).
+    pub completed_trials: usize,
+    /// Total trials in the campaign (one per seed).
+    pub total_trials: usize,
+    /// Merged numerical-health counters over all completed trials.
+    pub health: DegradedStats,
+}
+
+impl CheckedAggregate {
+    /// True when every trial completed.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The metrics, or the quarantine list as a typed error.
+    pub fn into_result(self) -> Result<RunMetrics, ExperimentError> {
+        if self.is_clean() {
+            Ok(self.metrics)
+        } else {
+            Err(ExperimentError::Quarantined { trials: self.quarantined })
+        }
+    }
 }
 
 /// Results of one paired replay.
@@ -146,6 +328,84 @@ impl Comparison {
             legacy,
             rem,
         }
+    }
+
+    /// [`Comparison::run`] under crash isolation with optional
+    /// checkpointing: each of the `2 * seeds` replays runs inside
+    /// `catch_unwind` with retry/quarantine semantics, and with a
+    /// `path` the campaign state is atomically saved as trials finish,
+    /// so a killed process resumes with only the missing trials.
+    ///
+    /// A clean (no-quarantine) run merges exactly the values
+    /// [`Comparison::run`] would have produced — same JSON, same hash.
+    pub fn run_checkpointed(
+        campaign: &CampaignSpec,
+        policy: &RunPolicy,
+        path: Option<&Path>,
+    ) -> Result<CheckedComparison, ExperimentError> {
+        Self::run_checkpointed_with(campaign, policy, path, |_, _| {})
+    }
+
+    /// [`Comparison::run_checkpointed`] with a per-attempt hook called
+    /// at the top of every trial — the seam chaos testing uses to
+    /// inject deterministic panics (e.g.
+    /// `rem_faults::ChaosConfig::maybe_panic`). The hook must not
+    /// affect the trial's *value*, only whether it panics.
+    pub fn run_checkpointed_with(
+        campaign: &CampaignSpec,
+        policy: &RunPolicy,
+        path: Option<&Path>,
+        hook: impl Fn(usize, u32) + Sync,
+    ) -> Result<CheckedComparison, ExperimentError> {
+        let n = campaign.seeds.len();
+        let spec_json = campaign.fingerprint()?;
+        let run = run_trials_checkpointed(
+            "compare",
+            &spec_json,
+            2 * n,
+            policy,
+            path,
+            |i, attempt| {
+                hook(i, attempt);
+                let (plane, seed) = if i < n {
+                    (Plane::Legacy, campaign.seeds[i])
+                } else {
+                    (Plane::Rem, campaign.seeds[i - n])
+                };
+                let mut cfg = RunConfig::new(campaign.spec.clone(), plane, seed);
+                cfg.faults = campaign.faults.clone();
+                simulate_run(&cfg)
+            },
+        )?;
+        let CheckpointedRun { values, quarantined, overruns, retries, resumed_trials, health } =
+            run;
+        let completed_trials = values.iter().filter(|v| v.is_some()).count();
+        let mut legacy = RunMetrics::default();
+        let mut rem = RunMetrics::default();
+        for (i, v) in values.into_iter().enumerate() {
+            if let Some(m) = v {
+                if i < n {
+                    merge(&mut legacy, m);
+                } else {
+                    merge(&mut rem, m);
+                }
+            }
+        }
+        Ok(CheckedComparison {
+            comparison: Comparison {
+                dataset: campaign.spec.name.clone(),
+                speed_kmh: campaign.spec.speed_kmh,
+                legacy,
+                rem,
+            },
+            quarantined,
+            overruns,
+            retries,
+            resumed_trials,
+            completed_trials,
+            total_trials: 2 * n,
+            health,
+        })
     }
 
     /// Runs both planes over explicit `seeds`, serially.
@@ -267,20 +527,21 @@ mod tests {
     }
 
     #[test]
-    fn campaign_is_thread_count_invariant() {
+    fn campaign_is_thread_count_invariant() -> Result<(), Box<dyn std::error::Error>> {
         let campaign =
             CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0)).with_seeds(&[7, 8]);
         let serial = Comparison::run(&campaign.clone().with_threads(1));
         let parallel = Comparison::run(&campaign.with_threads(4));
         assert_eq!(
-            serde_json::to_string(&serial).unwrap(),
-            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&serial)?,
+            serde_json::to_string(&parallel)?,
             "1-thread and 4-thread campaigns must be bit-identical"
         );
+        Ok(())
     }
 
     #[test]
-    fn aggregate_matches_manual_serial_merge() {
+    fn aggregate_matches_manual_serial_merge() -> Result<(), Box<dyn std::error::Error>> {
         let campaign =
             CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0)).with_seeds(&[1, 2]);
         let mut manual = RunMetrics::default();
@@ -289,39 +550,151 @@ mod tests {
             merge(&mut manual, simulate_run(&RunConfig::new(spec, Plane::Legacy, seed)));
         }
         let agg = campaign.with_threads(4).aggregate(Plane::Legacy);
-        assert_eq!(
-            serde_json::to_string(&manual).unwrap(),
-            serde_json::to_string(&agg).unwrap()
-        );
+        assert_eq!(serde_json::to_string(&manual)?, serde_json::to_string(&agg)?);
+        Ok(())
     }
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_run_seeds_shim_matches_campaign() {
+    fn deprecated_run_seeds_shim_matches_campaign() -> Result<(), Box<dyn std::error::Error>> {
         let spec = DatasetSpec::beijing_taiyuan(10.0, 250.0);
         let shim = Comparison::run_seeds(&spec, &[5]);
         let new = Comparison::run(&CampaignSpec::new(spec).with_seeds(&[5]));
-        assert_eq!(
-            serde_json::to_string(&shim).unwrap(),
-            serde_json::to_string(&new).unwrap()
-        );
+        assert_eq!(serde_json::to_string(&shim)?, serde_json::to_string(&new)?);
+        Ok(())
     }
 
     #[test]
-    fn faulted_campaign_is_thread_count_invariant() {
+    fn faulted_campaign_is_thread_count_invariant() -> Result<(), Box<dyn std::error::Error>> {
         let campaign = CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0))
             .with_seeds(&[3, 4])
             .with_faults(FaultConfig::aggressive());
         let serial = Comparison::run(&campaign.clone().with_threads(1));
         let parallel = Comparison::run(&campaign.with_threads(4));
         assert_eq!(
-            serde_json::to_string(&serial).unwrap(),
-            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&serial)?,
+            serde_json::to_string(&parallel)?,
             "faulted campaigns must stay bit-identical across thread counts"
         );
         assert!(!serial.legacy.injected.is_empty(), "aggressive plan injected nothing");
         assert!(serial.legacy.oracle_mismatches().is_empty());
         assert!(serial.rem.oracle_mismatches().is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn checkpointed_clean_run_matches_plain_run() -> Result<(), Box<dyn std::error::Error>> {
+        let campaign = CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0))
+            .with_seeds(&[5, 6])
+            .with_threads(2);
+        let plain = Comparison::run(&campaign);
+        let checked = Comparison::run_checkpointed(
+            &campaign,
+            &RunPolicy { threads: 2, ..Default::default() },
+            None,
+        )?;
+        assert!(checked.is_clean());
+        assert_eq!(checked.completed_trials, 4);
+        assert_eq!(checked.resumed_trials, 0);
+        assert_eq!(
+            serde_json::to_string(&plain)?,
+            serde_json::to_string(&checked.into_result()?)?,
+            "crash isolation must not perturb a clean campaign"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn checkpointed_aggregate_matches_plain_aggregate() -> Result<(), Box<dyn std::error::Error>>
+    {
+        let dir = std::env::temp_dir().join("rem-core-exp-tests");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("aggregate-resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let campaign = CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0))
+            .with_seeds(&[2, 3])
+            .with_faults(FaultConfig::aggressive());
+        let plain = campaign.aggregate(Plane::Legacy);
+        let policy = RunPolicy { threads: 2, checkpoint_every: 1, ..Default::default() };
+        let full = campaign.aggregate_checkpointed(Plane::Legacy, &policy, Some(&path))?;
+        assert!(full.is_clean());
+        assert_eq!(
+            serde_json::to_string(&plain)?,
+            serde_json::to_string(&full.into_result()?)?,
+            "checked single-plane aggregate must match the plain one"
+        );
+
+        // Forget one trial and rerun with the same checkpoint: only the
+        // hole recomputes and the merge is unchanged.
+        let mut ckpt = Checkpoint::load(&path)?;
+        ckpt.unrecord(0);
+        ckpt.save(&path)?;
+        let resumed = campaign.aggregate_checkpointed(Plane::Legacy, &policy, Some(&path))?;
+        assert_eq!(resumed.resumed_trials, 1);
+        assert_eq!(serde_json::to_string(&plain)?, serde_json::to_string(&resumed.metrics)?);
+
+        // A different plane refuses the checkpoint outright.
+        assert!(matches!(
+            campaign.aggregate_checkpointed(Plane::Rem, &policy, Some(&path)),
+            Err(ExperimentError::SpecMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() -> Result<(), Box<dyn std::error::Error>> {
+        let dir = std::env::temp_dir().join("rem-core-exp-tests");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("compare-resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let campaign =
+            CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0)).with_seeds(&[9, 10]);
+        let policy = RunPolicy { threads: 2, checkpoint_every: 1, ..Default::default() };
+        let uninterrupted = Comparison::run(&campaign.clone().with_threads(1));
+        let full = Comparison::run_checkpointed(&campaign, &policy, Some(&path))?;
+        assert!(full.is_clean());
+
+        // Simulate a kill mid-campaign, then resume from the file alone.
+        let mut ckpt = Checkpoint::load(&path)?;
+        ckpt.unrecord(1);
+        ckpt.unrecord(3);
+        ckpt.save(&path)?;
+        let (rebuilt, resumed) = CampaignSpec::resume(&path, &policy)?;
+        assert_eq!(rebuilt.seeds, campaign.seeds);
+        assert_eq!(resumed.resumed_trials, 2);
+        assert_eq!(
+            serde_json::to_string(&resumed.into_result()?)?,
+            serde_json::to_string(&uninterrupted)?,
+            "resumed campaign must equal an uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn chaos_hook_panics_are_retried_without_changing_the_result(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let campaign =
+            CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 250.0)).with_seeds(&[11]);
+        let clean = Comparison::run(&campaign.clone().with_threads(1));
+        let chaos = rem_faults::ChaosConfig::transient(5, 1.0);
+        let checked = Comparison::run_checkpointed_with(
+            &campaign,
+            &RunPolicy { threads: 2, max_retries: 2, ..Default::default() },
+            None,
+            |i, a| chaos.maybe_panic(i, a),
+        )?;
+        assert!(checked.is_clean());
+        assert_eq!(checked.retries, 2, "both trials panicked once and were retried");
+        assert_eq!(
+            serde_json::to_string(&checked.into_result()?)?,
+            serde_json::to_string(&clean)?,
+            "retried trials must reproduce the unfaulted values exactly"
+        );
+        Ok(())
     }
 
     #[test]
@@ -353,14 +726,16 @@ mod tests {
     }
 
     #[test]
-    fn campaign_spec_deserializes_without_faults_field() {
+    fn campaign_spec_deserializes_without_faults_field() -> Result<(), Box<dyn std::error::Error>>
+    {
         // Campaign JSON from before fault injection existed has no
         // `faults` key; it must load as a clean campaign.
         let spec = CampaignSpec::new(DatasetSpec::beijing_taiyuan(10.0, 300.0));
-        let mut v: serde_json::Value = serde_json::to_value(&spec).unwrap();
-        v.as_object_mut().unwrap().remove("faults");
-        let back: CampaignSpec = serde_json::from_value(v).unwrap();
+        let mut v: serde_json::Value = serde_json::to_value(&spec)?;
+        v.as_object_mut().ok_or("campaign must serialize to an object")?.remove("faults");
+        let back: CampaignSpec = serde_json::from_value(v)?;
         assert!(back.faults.is_none());
+        Ok(())
     }
 
     #[test]

@@ -37,11 +37,20 @@
 //! );
 //! ```
 
+pub mod checkpoint;
+pub mod error;
 pub mod experiment;
 pub mod report;
 pub mod tcp_coupling;
 
-pub use experiment::{merge, CampaignSpec, Comparison, DEFAULT_ROUTE_KM, DEFAULT_SEEDS};
+pub use checkpoint::{
+    fnv1a64, run_trials_checkpointed, Checkpoint, CheckpointedRun, RunPolicy, CHECKPOINT_MAGIC,
+};
+pub use error::ExperimentError;
+pub use experiment::{
+    merge, CampaignSpec, CheckedAggregate, CheckedComparison, Comparison, DEFAULT_ROUTE_KM,
+    DEFAULT_SEEDS,
+};
 pub use report::{ExperimentReport, ReportRow};
 pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, replay_tcp_faulted, STALL_GAP_MS};
 

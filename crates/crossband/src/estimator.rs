@@ -9,10 +9,12 @@ use crate::optml::OptMl;
 use crate::r2f2::{fit_paths, predict_band2 as r2f2_predict, R2f2Config};
 use crate::svd_estimator::{estimate_band2, SvdEstimatorConfig};
 use rem_channel::DdGrid;
+use rem_num::health;
 use rem_num::CMatrix;
 use rem_phy::chanest::tf_to_dd_into;
 use rem_phy::dsp::with_thread_scratch;
 use rem_phy::otfs::sfft_into;
+use std::cell::RefCell;
 
 /// A band-1 observation handed to an estimator.
 #[derive(Clone, Debug)]
@@ -98,6 +100,59 @@ impl CrossBandEstimator for OptMlEstimator {
     }
 }
 
+/// Degrades gracefully instead of emitting garbage: wraps any
+/// estimator and, when the inner prediction contains a NaN/Inf,
+/// substitutes the *last good* prediction this wrapper produced (or an
+/// all-zero grid before any good one exists — "no channel knowledge"
+/// is a safer claim to hand the handover logic than NaN SNRs). Every
+/// substitution is counted in the thread's
+/// [`rem_num::health::DegradedStats::estimator_fallbacks`] ledger, so
+/// campaigns report how often the guard fired instead of hiding it.
+///
+/// The cached estimate lives in a `RefCell`, keeping the
+/// [`CrossBandEstimator`] trait's `&self` signature; the wrapper is
+/// therefore `!Sync` — give each worker thread its own instance, which
+/// is how the campaign engine threads per-worker state anyway.
+#[derive(Clone, Debug, Default)]
+pub struct GuardedEstimator<E> {
+    inner: E,
+    last_good: RefCell<Option<CMatrix>>,
+}
+
+impl<E> GuardedEstimator<E> {
+    /// Wraps `inner` with no fallback history yet.
+    pub fn new(inner: E) -> Self {
+        Self { inner, last_good: RefCell::new(None) }
+    }
+
+    /// Consumes the wrapper, returning the inner estimator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// The most recent finite prediction, if any (diagnostics).
+    pub fn last_good(&self) -> Option<CMatrix> {
+        self.last_good.borrow().clone()
+    }
+}
+
+impl<E: CrossBandEstimator> CrossBandEstimator for GuardedEstimator<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+        let pred = self.inner.predict_band2_tf(obs);
+        if health::first_non_finite_c(pred.as_slice()).is_none() {
+            *self.last_good.borrow_mut() = Some(pred.clone());
+            return pred;
+        }
+        health::record(|d| d.estimator_fallbacks += 1);
+        let (m, n) = pred.shape();
+        self.last_good.borrow().clone().unwrap_or_else(|| CMatrix::zeros(m, n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +177,82 @@ mod tests {
     fn names_are_distinct() {
         assert_eq!(RemEstimator::default().name(), "REM");
         assert_eq!(R2f2Estimator::default().name(), "R2F2");
+    }
+
+    /// Test double whose prediction is garbage on selected calls.
+    struct Flaky {
+        calls: std::cell::Cell<usize>,
+        bad_on: usize,
+    }
+
+    impl CrossBandEstimator for Flaky {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+
+        fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+            let call = self.calls.get();
+            self.calls.set(call + 1);
+            let (m, n) = obs.h1_tf.shape();
+            if call == self.bad_on {
+                CMatrix::from_fn(m, n, |_, _| c64(f64::NAN, 0.0))
+            } else {
+                CMatrix::from_fn(m, n, |r, c| c64((r + call) as f64, c as f64))
+            }
+        }
+    }
+
+    fn obs() -> Observation {
+        let grid = DdGrid::lte(4, 3);
+        Observation {
+            grid,
+            h1_tf: CMatrix::zeros(grid.m, grid.n),
+            f1_hz: 2e9,
+            f2_hz: 2.2e9,
+        }
+    }
+
+    #[test]
+    fn guarded_estimator_falls_back_to_last_good() {
+        let _ = rem_num::health::take_thread_stats();
+        let g = GuardedEstimator::new(Flaky { calls: std::cell::Cell::new(0), bad_on: 1 });
+        let o = obs();
+        let first = g.predict_band2_tf(&o); // call 0: good, cached
+        let second = g.predict_band2_tf(&o); // call 1: NaN -> last good
+        assert_eq!(second, first, "fallback must replay the cached grid");
+        let third = g.predict_band2_tf(&o); // call 2: good again
+        assert_ne!(third, first);
+        assert_eq!(g.last_good().unwrap(), third);
+        let stats = rem_num::health::take_thread_stats();
+        assert_eq!(stats.estimator_fallbacks, 1);
+    }
+
+    #[test]
+    fn guarded_estimator_zeros_before_any_good_estimate() {
+        let _ = rem_num::health::take_thread_stats();
+        let g = GuardedEstimator::new(Flaky { calls: std::cell::Cell::new(0), bad_on: 0 });
+        let o = obs();
+        let pred = g.predict_band2_tf(&o);
+        assert_eq!(pred, CMatrix::zeros(o.grid.m, o.grid.n));
+        assert_eq!(rem_num::health::take_thread_stats().estimator_fallbacks, 1);
+    }
+
+    #[test]
+    fn guarded_estimator_is_transparent_when_healthy() {
+        let _ = rem_num::health::take_thread_stats();
+        let g_inner = RemEstimator::default();
+        let guarded = GuardedEstimator::new(g_inner);
+        assert_eq!(guarded.name(), "REM");
+        let grid = DdGrid::lte(16, 12);
+        let ch = MultipathChannel::new(vec![
+            Path::new(c64(1.0, 0.0), 0.0, 0.0),
+            Path::new(c64(0.0, 0.5), 3.0 * grid.delta_tau(), 0.0),
+        ]);
+        let h1 = ch.tf_grid(grid.m, grid.n, grid.delta_f, grid.t_sym);
+        let o = Observation { grid, h1_tf: h1.clone(), f1_hz: 2e9, f2_hz: 2e9 };
+        let direct = RemEstimator::default().predict_band2_tf(&o);
+        let via_guard = guarded.predict_band2_tf(&o);
+        assert_eq!(via_guard, direct, "guard must not perturb healthy output");
+        assert!(rem_num::health::take_thread_stats().is_clean());
     }
 }

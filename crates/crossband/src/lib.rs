@@ -26,5 +26,7 @@ pub mod optml;
 pub mod r2f2;
 pub mod svd_estimator;
 
-pub use estimator::{CrossBandEstimator, Observation, OptMlEstimator, R2f2Estimator, RemEstimator};
+pub use estimator::{
+    CrossBandEstimator, GuardedEstimator, Observation, OptMlEstimator, R2f2Estimator, RemEstimator,
+};
 pub use svd_estimator::{estimate_band2, CrossbandEstimate, SvdEstimatorConfig};

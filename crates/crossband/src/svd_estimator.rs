@@ -25,7 +25,8 @@
 //! for HSR geometries.
 
 use rem_channel::delaydoppler::{phi_entry, DdGrid};
-use rem_num::svd::svd;
+use rem_num::health;
+use rem_num::svd::svd_monitored;
 use rem_num::{CMatrix, Complex64};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
@@ -85,7 +86,13 @@ pub fn estimate_band2(
     debug_assert_eq!((m, n), (grid.m, grid.n));
 
     // Line 1: H1 = Γ P Φ1 via SVD, truncated to the sparse path count.
-    let full = svd(h1_dd);
+    // A sweep-capped Jacobi is recorded in the health ledger and its
+    // best-effort factors used; rank truncation below bounds the damage
+    // and the caller (e.g. `GuardedEstimator`) can fall back entirely.
+    let (full, svd_err) = svd_monitored(h1_dd);
+    if svd_err.is_some() {
+        health::record(|d| d.svd_non_converged += 1);
+    }
     let rank = full.rank(cfg.rank_rel_tol).clamp(1, cfg.max_paths.min(m).min(n));
     let d = full.truncate(rank);
 

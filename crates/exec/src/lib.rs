@@ -32,7 +32,11 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_parallelism() -> usize {
@@ -149,6 +153,404 @@ where
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Crash-safe ("checked") execution: panic isolation, bounded seeded
+// retry, deadline watchdog, quarantine.
+// ---------------------------------------------------------------------------
+
+/// Retry/timeout policy for [`par_map_checked`] and
+/// [`par_map_with_checked`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckedPolicy {
+    /// How many times a panicking trial is re-attempted before it is
+    /// quarantined. `0` means a single attempt (no retry). The closure
+    /// receives the attempt number, so a chaos/fault hook can behave
+    /// differently per attempt while the *real* trial computation stays
+    /// a pure function of the index — the property that keeps a retried
+    /// trial bit-identical to an unfaulted run.
+    pub max_retries: u32,
+    /// Per-trial deadline. The watchdog cannot preempt a running
+    /// closure (there is no safe way to kill a thread mid-trial); it
+    /// *detects*: trials still running past the deadline are reported
+    /// on stderr while the campaign runs, and every trial whose total
+    /// elapsed time exceeded the deadline appears in
+    /// [`CheckedRun::overruns`]. Trial *values* are never affected, so
+    /// results stay bit-identical whether or not a deadline is set.
+    pub trial_timeout: Option<Duration>,
+}
+
+impl CheckedPolicy {
+    /// Policy with `max_retries` retries and no deadline.
+    pub fn with_retries(max_retries: u32) -> Self {
+        Self { max_retries, trial_timeout: None }
+    }
+
+    /// Sets the per-trial deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.trial_timeout = Some(timeout);
+        self
+    }
+}
+
+/// A trial that panicked on every allowed attempt and was removed from
+/// the campaign instead of aborting it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedTrial {
+    /// Canonical trial index.
+    pub index: usize,
+    /// Attempts made (`max_retries + 1`).
+    pub attempts: u32,
+    /// Stringified payload of the *last* panic (`&str`/`String`
+    /// payloads verbatim, otherwise a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for QuarantinedTrial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trial {} quarantined after {} attempt(s): {}",
+            self.index, self.attempts, self.payload
+        )
+    }
+}
+
+/// A trial whose wall-clock time exceeded the policy deadline
+/// (reported, never enforced — see [`CheckedPolicy::trial_timeout`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineOverrun {
+    /// Canonical trial index.
+    pub index: usize,
+    /// Observed elapsed time (ms). For a trial flagged while still
+    /// running this is the elapsed time at detection, refreshed to the
+    /// final elapsed time once the trial completes.
+    pub elapsed_ms: u64,
+    /// The configured deadline (ms).
+    pub deadline_ms: u64,
+}
+
+/// Result of one checked trial, in canonical index order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrialOutcome<T> {
+    /// The trial produced a value (possibly after retries).
+    Ok(T),
+    /// The trial panicked on every attempt and was quarantined.
+    Quarantined(QuarantinedTrial),
+}
+
+impl<T> TrialOutcome<T> {
+    /// The value, if the trial succeeded.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            TrialOutcome::Ok(v) => Some(v),
+            TrialOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// Consumes the outcome into its value, if any.
+    pub fn into_ok(self) -> Option<T> {
+        match self {
+            TrialOutcome::Ok(v) => Some(v),
+            TrialOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// True for [`TrialOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TrialOutcome::Ok(_))
+    }
+}
+
+/// Everything a checked campaign produced: per-trial outcomes in
+/// canonical order plus the supervision report.
+#[derive(Clone, Debug)]
+pub struct CheckedRun<T> {
+    /// `outcomes[i]` is trial `i`'s result, independent of scheduling.
+    pub outcomes: Vec<TrialOutcome<T>>,
+    /// Trials whose elapsed time exceeded the policy deadline, sorted
+    /// by index.
+    pub overruns: Vec<DeadlineOverrun>,
+    /// Total panicking attempts that were retried (quarantined trials'
+    /// final attempts are not counted here; see
+    /// [`CheckedRun::quarantined`]).
+    pub retries: u64,
+}
+
+impl<T> CheckedRun<T> {
+    /// The quarantined trials, in canonical index order.
+    pub fn quarantined(&self) -> Vec<&QuarantinedTrial> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                TrialOutcome::Quarantined(q) => Some(q),
+                TrialOutcome::Ok(_) => None,
+            })
+            .collect()
+    }
+
+    /// True when every trial produced a value.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(TrialOutcome::is_ok)
+    }
+
+    /// Consumes the run into plain values; `Err` carries the
+    /// quarantine list if any trial failed.
+    pub fn into_values(self) -> Result<Vec<T>, Vec<QuarantinedTrial>> {
+        if self.is_clean() {
+            Ok(self.outcomes.into_iter().filter_map(TrialOutcome::into_ok).collect())
+        } else {
+            Err(self
+                .outcomes
+                .into_iter()
+                .filter_map(|o| match o {
+                    TrialOutcome::Quarantined(q) => Some(q),
+                    TrialOutcome::Ok(_) => None,
+                })
+                .collect())
+        }
+    }
+}
+
+thread_local! {
+    /// Set while a checked trial attempt runs: the wrapped panic hook
+    /// stays silent for panics we are going to catch and report
+    /// ourselves.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that delegates to the
+/// previous hook unless the current thread is inside a checked trial.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Stringifies a panic payload (`&str` and `String` verbatim).
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`par_map`] hardened for long campaigns: each trial runs under
+/// `catch_unwind` with up to `policy.max_retries` re-attempts, and a
+/// trial that panics on every attempt is **quarantined** (reported with
+/// its index and panic payload) instead of aborting the whole run.
+///
+/// `f(index, attempt)` must make its *result* a pure function of
+/// `index` — the attempt number exists so fault-injection hooks can
+/// panic on early attempts only. Under that contract a run with zero
+/// failures is bit-identical to `par_map(threads, n, |i| f(i, 0))`,
+/// and a retried trial reproduces exactly the value an unfaulted run
+/// would have produced, so unaffected trials' aggregates (and hashes)
+/// never move.
+pub fn par_map_checked<T, F>(
+    threads: usize,
+    n: usize,
+    policy: CheckedPolicy,
+    f: F,
+) -> CheckedRun<T>
+where
+    T: Send,
+    F: Fn(usize, u32) -> T + Sync,
+{
+    par_map_with_checked(threads, n, policy, || (), move |(), i, a| f(i, a))
+}
+
+/// [`par_map_checked`] with per-worker state (the checked sibling of
+/// [`par_map_with`]). After a panic the worker's state is considered
+/// poisoned and is rebuilt with `init()` before the next attempt —
+/// scratch buffers mid-mutation must never leak into a retry.
+pub fn par_map_with_checked<T, S, I, F>(
+    threads: usize,
+    n: usize,
+    policy: CheckedPolicy,
+    init: I,
+    f: F,
+) -> CheckedRun<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, u32) -> T + Sync,
+{
+    install_quiet_panic_hook();
+    let workers = resolve_threads(threads).min(n.max(1));
+    let deadline_ms = policy.trial_timeout.map(|d| d.as_millis().max(1) as u64);
+    let epoch = Instant::now();
+
+    // Per-worker "what am I running and since when" slots for the
+    // watchdog: `busy_index` holds index+1 (0 = idle), `busy_since_ms`
+    // the start offset from `epoch`.
+    struct WorkerSlot {
+        busy_index: AtomicUsize,
+        busy_since_ms: AtomicU64,
+    }
+    let slots: Vec<WorkerSlot> = (0..workers.max(1))
+        .map(|_| WorkerSlot { busy_index: AtomicUsize::new(0), busy_since_ms: AtomicU64::new(0) })
+        .collect();
+    let live_overruns: Mutex<Vec<DeadlineOverrun>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+
+    // One worker's trial loop over a shared cursor; returns
+    // (index, outcome, elapsed_ms) triples plus its retry count.
+    struct WorkerPart<T> {
+        results: Vec<(usize, TrialOutcome<T>, u64)>,
+        retries: u64,
+    }
+    let run_worker = |slot: &WorkerSlot, cursor: &AtomicUsize| -> WorkerPart<T> {
+        let mut state = init();
+        let mut results = Vec::new();
+        let mut retries = 0u64;
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let started = Instant::now();
+            slot.busy_since_ms
+                .store(started.duration_since(epoch).as_millis() as u64, Ordering::Relaxed);
+            slot.busy_index.store(i + 1, Ordering::Relaxed);
+            let mut outcome = None;
+            let mut last_payload = String::new();
+            let attempts = policy.max_retries + 1;
+            for attempt in 0..attempts {
+                SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+                let caught =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut state, i, attempt)));
+                SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+                match caught {
+                    Ok(v) => {
+                        outcome = Some(TrialOutcome::Ok(v));
+                        break;
+                    }
+                    Err(payload) => {
+                        last_payload = payload_to_string(payload);
+                        // The state may be mid-mutation; rebuild it.
+                        state = init();
+                        if attempt + 1 < attempts {
+                            retries += 1;
+                        }
+                    }
+                }
+            }
+            let outcome = outcome.unwrap_or_else(|| {
+                TrialOutcome::Quarantined(QuarantinedTrial {
+                    index: i,
+                    attempts,
+                    payload: last_payload,
+                })
+            });
+            slot.busy_index.store(0, Ordering::Relaxed);
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            results.push((i, outcome, elapsed_ms));
+        }
+        WorkerPart { results, retries }
+    };
+
+    let parts: Vec<WorkerPart<T>> = if workers <= 1 || n <= 1 {
+        let cursor = AtomicUsize::new(0);
+        vec![run_worker(&slots[0], &cursor)]
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let run_worker = &run_worker;
+        std::thread::scope(|scope| {
+            // Watchdog: flags trials still running past the deadline.
+            if let Some(dl) = deadline_ms {
+                let slots = &slots;
+                let done = &done;
+                let live = &live_overruns;
+                scope.spawn(move || {
+                    let tick = Duration::from_millis((dl / 2).clamp(10, 200));
+                    let mut flagged: Vec<usize> = Vec::new();
+                    while !done.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        let now_ms = epoch.elapsed().as_millis() as u64;
+                        for slot in slots {
+                            let idx1 = slot.busy_index.load(Ordering::Relaxed);
+                            if idx1 == 0 {
+                                continue;
+                            }
+                            let since = slot.busy_since_ms.load(Ordering::Relaxed);
+                            let elapsed = now_ms.saturating_sub(since);
+                            let index = idx1 - 1;
+                            if elapsed > dl && !flagged.contains(&index) {
+                                flagged.push(index);
+                                eprintln!(
+                                    "rem-exec: trial {index} running for {elapsed} ms \
+                                     (deadline {dl} ms)"
+                                );
+                                live.lock().unwrap().push(DeadlineOverrun {
+                                    index,
+                                    elapsed_ms: elapsed,
+                                    deadline_ms: dl,
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let slot = &slots[w];
+                    let cursor = &cursor;
+                    scope.spawn(move || run_worker(slot, cursor))
+                })
+                .collect();
+            let parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("rem-exec checked worker panicked"))
+                .collect();
+            done.store(true, Ordering::Relaxed);
+            parts
+        })
+    };
+
+    // Canonical-order reduction, as in `par_map_with`.
+    let mut slots_out: Vec<Option<TrialOutcome<T>>> = (0..n).map(|_| None).collect();
+    let mut overruns = live_overruns.into_inner().unwrap();
+    let mut retries = 0u64;
+    for part in parts {
+        retries += part.retries;
+        for (i, outcome, elapsed_ms) in part.results {
+            if let Some(dl) = deadline_ms {
+                if elapsed_ms > dl {
+                    // Refresh a live flag with the final elapsed time,
+                    // or record the overrun post-hoc.
+                    if let Some(o) = overruns.iter_mut().find(|o| o.index == i) {
+                        o.elapsed_ms = elapsed_ms;
+                    } else {
+                        overruns.push(DeadlineOverrun {
+                            index: i,
+                            elapsed_ms,
+                            deadline_ms: dl,
+                        });
+                    }
+                }
+            }
+            debug_assert!(slots_out[i].is_none(), "trial {i} computed twice");
+            slots_out[i] = Some(outcome);
+        }
+    }
+    overruns.sort_by_key(|o| o.index);
+    let outcomes = slots_out
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("trial {i} never ran")))
+        .collect();
+    CheckedRun { outcomes, overruns, retries }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +664,141 @@ mod tests {
             }
             i
         });
+    }
+
+    // ---- checked execution ----
+
+    #[test]
+    fn checked_with_zero_failures_matches_par_map() {
+        let reference: Vec<u64> = (0..61).map(trial).collect();
+        for threads in [1, 2, 4, 8] {
+            let run = par_map_checked(threads, 61, CheckedPolicy::default(), |i, _a| trial(i));
+            assert!(run.is_clean());
+            assert_eq!(run.retries, 0);
+            assert_eq!(run.into_values().unwrap(), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_trials_are_retried_to_the_unfaulted_value() {
+        // Panic on attempt 0 for every third trial; the retry must
+        // reproduce exactly what an unfaulted run computes.
+        let reference: Vec<u64> = (0..40).map(trial).collect();
+        for threads in [1, 4] {
+            let run = par_map_checked(threads, 40, CheckedPolicy::with_retries(2), |i, a| {
+                if i % 3 == 0 && a == 0 {
+                    panic!("chaos {i}");
+                }
+                trial(i)
+            });
+            assert!(run.is_clean(), "threads={threads}");
+            assert_eq!(run.retries, 14, "threads={threads}"); // ceil(40/3)
+            assert_eq!(run.into_values().unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn poisoned_trial_is_quarantined_without_aborting() {
+        for threads in [1, 3] {
+            let run = par_map_checked(threads, 20, CheckedPolicy::with_retries(1), |i, _a| {
+                if i == 7 {
+                    panic!("always broken");
+                }
+                trial(i)
+            });
+            assert!(!run.is_clean());
+            let qs = run.quarantined();
+            assert_eq!(qs.len(), 1);
+            assert_eq!(qs[0].index, 7);
+            assert_eq!(qs[0].attempts, 2);
+            assert_eq!(qs[0].payload, "always broken");
+            // Every other trial's value is untouched.
+            for (i, o) in run.outcomes.iter().enumerate() {
+                if i != 7 {
+                    assert_eq!(o.ok(), Some(&trial(i)), "index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_reports_non_string_payloads() {
+        let run = par_map_checked(1, 2, CheckedPolicy::default(), |i, _a| {
+            if i == 1 {
+                std::panic::panic_any(42usize);
+            }
+            i
+        });
+        let qs = run.quarantined();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].payload, "<non-string panic payload>");
+    }
+
+    #[test]
+    fn worker_state_is_rebuilt_after_a_panic() {
+        // A panicking attempt leaves a marker in the scratch; the retry
+        // must see a freshly initialised state.
+        let run = par_map_with_checked(
+            1,
+            4,
+            CheckedPolicy::with_retries(1),
+            Vec::<usize>::new,
+            |scratch, i, a| {
+                assert!(
+                    !scratch.contains(&usize::MAX),
+                    "poisoned scratch leaked into trial {i} attempt {a}"
+                );
+                if i == 2 && a == 0 {
+                    scratch.push(usize::MAX);
+                    panic!("poison");
+                }
+                scratch.push(i);
+                i
+            },
+        );
+        assert!(run.is_clean());
+        assert_eq!(run.retries, 1);
+    }
+
+    #[test]
+    fn deadline_overruns_are_reported_not_enforced() {
+        let policy = CheckedPolicy::default().with_timeout(Duration::from_millis(5));
+        let run = par_map_checked(2, 6, policy, |i, _a| {
+            if i == 3 {
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            i
+        });
+        // The slow trial still completes with its value...
+        assert!(run.is_clean());
+        assert_eq!(run.outcomes[3].ok(), Some(&3));
+        // ...and is flagged in the overrun report.
+        assert!(run.overruns.iter().any(|o| o.index == 3), "overruns={:?}", run.overruns);
+        for o in &run.overruns {
+            assert_eq!(o.deadline_ms, 5);
+            assert!(o.elapsed_ms > 5);
+        }
+    }
+
+    #[test]
+    fn checked_degenerate_sizes() {
+        let empty = par_map_checked(4, 0, CheckedPolicy::default(), |i, _a| i);
+        assert!(empty.outcomes.is_empty());
+        assert!(empty.is_clean());
+        let one = par_map_checked(4, 1, CheckedPolicy::default(), |i, _a| i * 10);
+        assert_eq!(one.outcomes[0].ok(), Some(&0));
+    }
+
+    #[test]
+    fn checked_preserves_canonical_order_under_contention() {
+        let run = par_map_checked(8, 120, CheckedPolicy::with_retries(1), |i, a| {
+            if i % 11 == 0 && a == 0 {
+                panic!("flaky");
+            }
+            trial(i)
+        });
+        assert!(run.is_clean());
+        let vals = run.into_values().unwrap();
+        assert_eq!(vals, (0..120).map(trial).collect::<Vec<_>>());
     }
 }

@@ -35,6 +35,10 @@ use rem_mobility::FailureCause;
 use rem_num::rng::{child_rng, exponential};
 use serde::{Deserialize, Serialize};
 
+pub mod chaos;
+
+pub use chaos::ChaosConfig;
+
 /// One injectable fault class (the Table 2 taxonomy, plus X2 loss
 /// which manifests as command loss).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -31,6 +31,7 @@
 
 pub mod complex;
 pub mod fft;
+pub mod health;
 pub mod matrix;
 pub mod rng;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod svd;
 
 pub use complex::{c64, Complex64};
 pub use fft::{FftPlan, FftPlanner, FftScratch};
+pub use health::DegradedStats;
 pub use matrix::CMatrix;
 pub use rng::SimRng;
-pub use svd::{svd, Svd};
+pub use svd::{svd, svd_checked, svd_monitored, Svd, SvdError, SvdOptions, SvdReport};

@@ -70,22 +70,116 @@ impl Svd {
     }
 }
 
-/// Computes the thin SVD of `a` using one-sided Jacobi rotations.
-///
-/// Converges to working precision in a handful of sweeps for
-/// well-conditioned inputs; capped at 64 sweeps as a safety net.
-pub fn svd(a: &CMatrix) -> Svd {
-    if a.rows() >= a.cols() {
-        svd_tall(a)
-    } else {
-        // A = U Σ V^H  <=>  A^H = V Σ U^H: decompose the (tall)
-        // conjugate transpose and swap the factors.
-        let t = svd_tall(&a.hermitian());
-        Svd { u: t.v, s: t.s, v: t.u }
+/// Options for the Jacobi iteration (see [`svd_with_opts`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvdOptions {
+    /// Safety cap on Jacobi sweeps. The historical silent cap was 64;
+    /// [`svd_with_opts`] surfaces hitting it as
+    /// [`SvdError::NotConverged`] instead of returning garbage-adjacent
+    /// factors without a trace.
+    pub max_sweeps: usize,
+    /// Relative orthogonality threshold: a column pair is "converged"
+    /// once `|a_p^H a_q|` is negligible against `||a_p|| * ||a_q||`.
+    pub tol_rel: f64,
+}
+
+impl Default for SvdOptions {
+    fn default() -> Self {
+        Self { max_sweeps: 64, tol_rel: 1e-14 }
     }
 }
 
-fn svd_tall(a: &CMatrix) -> Svd {
+/// Typed SVD failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SvdError {
+    /// The Jacobi iteration hit the sweep cap while column pairs were
+    /// still being rotated. `off_diag` is the worst remaining relative
+    /// off-diagonal coupling `|a_p^H a_q| / (||a_p|| ||a_q||)` — how
+    /// far from orthogonal the factors still are (0 = converged,
+    /// against a tolerance of [`SvdOptions::tol_rel`]).
+    NotConverged {
+        /// Sweeps performed (equals the configured cap).
+        sweeps: usize,
+        /// Worst remaining relative column coupling.
+        off_diag: f64,
+    },
+}
+
+impl std::fmt::Display for SvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvdError::NotConverged { sweeps, off_diag } => write!(
+                f,
+                "jacobi SVD did not converge after {sweeps} sweeps \
+                 (worst relative off-diagonal {off_diag:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SvdError {}
+
+/// Convergence report attached to a successful checked decomposition.
+#[derive(Clone, Debug)]
+pub struct SvdReport {
+    /// The decomposition.
+    pub svd: Svd,
+    /// Jacobi sweeps actually performed.
+    pub sweeps: usize,
+}
+
+/// Computes the thin SVD of `a` using one-sided Jacobi rotations.
+///
+/// Converges to working precision in a handful of sweeps for
+/// well-conditioned inputs; capped at 64 sweeps as a safety net. This
+/// entry point keeps the historical behaviour — non-convergence is
+/// silent and the best-effort factors are returned. Campaign code that
+/// must *account* for numerical degradation should use
+/// [`svd_checked`] (typed error) or [`svd_monitored`] (best-effort
+/// factors plus the error, for degrade-don't-garbage paths).
+pub fn svd(a: &CMatrix) -> Svd {
+    svd_monitored(a).0
+}
+
+/// [`svd`] with a typed convergence result: `Err(SvdError::NotConverged)`
+/// when the sweep cap was hit, `Ok` with the sweep count otherwise.
+pub fn svd_checked(a: &CMatrix) -> Result<SvdReport, SvdError> {
+    svd_with_opts(a, &SvdOptions::default())
+}
+
+/// [`svd_checked`] with explicit iteration options.
+pub fn svd_with_opts(a: &CMatrix, opts: &SvdOptions) -> Result<SvdReport, SvdError> {
+    let (svd, sweeps, err) = svd_any(a, opts);
+    match err {
+        Some(e) => Err(e),
+        None => Ok(SvdReport { svd, sweeps }),
+    }
+}
+
+/// Best-effort decomposition **plus** the convergence error, if any:
+/// the factors are always returned (they are the same best-effort
+/// result [`svd`] silently hands back), and callers on a degraded path
+/// can count/report the error instead of either panicking or silently
+/// poisoning downstream aggregates.
+pub fn svd_monitored(a: &CMatrix) -> (Svd, Option<SvdError>) {
+    let (svd, _sweeps, err) = svd_any(a, &SvdOptions::default());
+    (svd, err)
+}
+
+/// Dispatches tall/wide and threads the convergence report through the
+/// transpose trick.
+fn svd_any(a: &CMatrix, opts: &SvdOptions) -> (Svd, usize, Option<SvdError>) {
+    if a.rows() >= a.cols() {
+        svd_tall(a, opts)
+    } else {
+        // A = U Σ V^H  <=>  A^H = V Σ U^H: decompose the (tall)
+        // conjugate transpose and swap the factors.
+        let (t, sweeps, err) = svd_tall(&a.hermitian(), opts);
+        (Svd { u: t.v, s: t.s, v: t.u }, sweeps, err)
+    }
+}
+
+fn svd_tall(a: &CMatrix, opts: &SvdOptions) -> (Svd, usize, Option<SvdError>) {
     let m = a.rows();
     let n = a.cols();
     debug_assert!(m >= n);
@@ -93,12 +187,13 @@ fn svd_tall(a: &CMatrix) -> Svd {
     let mut work = a.clone();
     let mut v = CMatrix::identity(n);
 
-    // Relative orthogonality threshold: a column pair is "converged"
-    // once |a_p^H a_q| is negligible against ||a_p|| * ||a_q||.
-    let tol_rel = 1e-14;
-    const MAX_SWEEPS: usize = 64;
+    let tol_rel = opts.tol_rel;
+    let max_sweeps = opts.max_sweeps;
+    let mut sweeps = 0usize;
+    let mut converged = n <= 1;
 
-    for _ in 0..MAX_SWEEPS {
+    for _ in 0..max_sweeps {
+        sweeps += 1;
         let mut rotated = false;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -148,9 +243,37 @@ fn svd_tall(a: &CMatrix) -> Svd {
             }
         }
         if !rotated {
+            converged = true;
             break;
         }
     }
+
+    // Non-convergence diagnostic: the worst remaining relative column
+    // coupling (only computed on the failure path).
+    let err = if converged {
+        None
+    } else {
+        let mut off_diag = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = Complex64::ZERO;
+                for r in 0..m {
+                    let ap = work[(r, p)];
+                    let aq = work[(r, q)];
+                    alpha += ap.norm_sqr();
+                    beta += aq.norm_sqr();
+                    gamma += ap.conj() * aq;
+                }
+                let denom = (alpha * beta).sqrt();
+                if denom > f64::MIN_POSITIVE {
+                    off_diag = off_diag.max(gamma.abs() / denom);
+                }
+            }
+        }
+        Some(SvdError::NotConverged { sweeps, off_diag })
+    };
 
     // Column norms are the singular values; normalised columns are U.
     let mut order: Vec<usize> = (0..n).collect();
@@ -175,7 +298,7 @@ fn svd_tall(a: &CMatrix) -> Svd {
             vs[(r, dst)] = v[(r, src)];
         }
     }
-    Svd { u, s, v: vs }
+    (Svd { u, s, v: vs }, sweeps, err)
 }
 
 #[cfg(test)]
@@ -277,6 +400,81 @@ mod tests {
         let d = svd(&CMatrix::zeros(3, 2));
         assert!(d.s.iter().all(|&s| s == 0.0));
         assert_eq!(d.rank(1e-9), 0);
+    }
+
+    #[test]
+    fn checked_svd_reports_sweeps_and_matches_silent_path() {
+        let a = CMatrix::from_fn(7, 5, |r, c| c64((r as f64 * 0.6).sin(), (c as f64 * 1.1).cos()));
+        let rep = svd_checked(&a).expect("well-conditioned input must converge");
+        assert!(rep.sweeps >= 1 && rep.sweeps < 64, "sweeps={}", rep.sweeps);
+        // The checked path returns exactly what the silent path returns.
+        let silent = svd(&a);
+        assert_eq!(rep.svd.s, silent.s);
+        assert_eq!(rep.svd.u, silent.u);
+        assert_eq!(rep.svd.v, silent.v);
+    }
+
+    #[test]
+    fn near_degenerate_shared_bin_matrix_converges_and_is_rank_deficient() {
+        // Theorem 1, condition (ii): two multipath components sharing a
+        // delay-Doppler bin. In the factorisation H = Γ P Φ that means
+        // two terms with the *same* Γ column (same delay signature k)
+        // but different complex gains — H collapses toward rank 1 and
+        // the Jacobi iteration works on a nearly-degenerate column
+        // space. The decomposition must still converge within the
+        // sweep cap, reconstruct, and report the rank collapse.
+        let (m, n) = (16, 12);
+        // Shared delay bin k=3: identical steering column for both paths.
+        let gamma: Vec<Complex64> =
+            (0..m).map(|k| Complex64::cis(-2.0 * PI_T * k as f64 * 3.0 / m as f64)).collect();
+        // Distinct Doppler rows, one of them perturbed off-grid by 1e-6
+        // of a bin so the two terms are *nearly* (not exactly) aligned.
+        let phi = |l: usize, bin: f64| Complex64::cis(2.0 * PI_T * l as f64 * bin / n as f64);
+        let h = CMatrix::from_fn(m, n, |k, l| {
+            gamma[k] * phi(l, 2.0)
+                + gamma[k].scale(0.7) * phi(l, 2.0 + 1e-6)
+        });
+        let rep = svd_checked(&h).expect("near-degenerate shared-bin matrix must converge");
+        assert!(rep.sweeps < 64, "sweeps={}", rep.sweeps);
+        // The two shared-bin paths merge into one dominant component.
+        assert_eq!(rep.svd.rank(1e-5), 1, "s={:?}", &rep.svd.s[..3]);
+        let rel = rep.svd.reconstruct().frobenius_dist(&h) / h.frobenius_norm();
+        assert!(rel < 1e-10, "rel={rel}");
+    }
+
+    const PI_T: f64 = std::f64::consts::PI;
+
+    #[test]
+    fn sweep_cap_is_surfaced_as_typed_error() {
+        // Force the cap with max_sweeps = 1 on a matrix that needs more.
+        let a = CMatrix::from_fn(6, 6, |r, c| {
+            c64((1.0 + (r * 5 + c) as f64).sin(), ((r + 2 * c) as f64).cos())
+        });
+        let opts = SvdOptions { max_sweeps: 1, ..SvdOptions::default() };
+        match svd_with_opts(&a, &opts) {
+            Err(SvdError::NotConverged { sweeps, off_diag }) => {
+                assert_eq!(sweeps, 1);
+                assert!(off_diag > opts.tol_rel, "off_diag={off_diag}");
+                assert!(off_diag <= 1.0 + 1e-12);
+            }
+            Ok(rep) => panic!("expected NotConverged, got convergence in {} sweeps", rep.sweeps),
+        }
+        // The monitored path still hands back usable best-effort factors
+        // alongside the same error.
+        let (best_effort, err) = {
+            let (s, _, e) = super::svd_any(&a, &opts);
+            (s, e)
+        };
+        assert!(err.is_some());
+        assert_eq!(best_effort.s.len(), 6);
+    }
+
+    #[test]
+    fn monitored_matches_silent_and_converges_on_clean_input() {
+        let a = CMatrix::from_fn(5, 4, |r, c| c64(r as f64 - c as f64, 0.3 * (r + c) as f64));
+        let (d, err) = svd_monitored(&a);
+        assert!(err.is_none());
+        assert_eq!(d.s, svd(&a).s);
     }
 
     #[test]

@@ -25,9 +25,38 @@ use rand::Rng;
 use rem_channel::models::ChannelModel;
 use rem_channel::noise::ici_relative_power;
 use rem_channel::{DdGrid, MultipathChannel};
+use rem_num::health;
 use rem_num::stats::db_to_lin;
 use rem_num::{CMatrix, SimRng};
 use serde::{Deserialize, Serialize};
+
+/// Stage-boundary spot check: a NaN/Inf anywhere in a DSP grid (post
+/// equalisation, post OTFS demodulation) is recorded in the thread's
+/// [`rem_num::health::DegradedStats`] ledger — once per grid, not per
+/// element, so the counter reads "degraded stages", not "bad samples".
+fn spot_check_stage(grid: &CMatrix) {
+    if health::first_non_finite_c(grid.as_slice()).is_some() {
+        health::record(|d| d.non_finite_stage += 1);
+    }
+}
+
+/// Neutralises non-finite LLRs (0.0 = "no information") before they
+/// reach the Viterbi decoder, recording each in the health ledger. A
+/// NaN LLR would otherwise poison every path metric and turn the block
+/// into undetected garbage; a zeroed LLR merely erases one bit's
+/// evidence — degradation the decoder is built to absorb.
+fn sanitize_llrs(llrs: &mut [f64]) {
+    let mut bad = 0u64;
+    for l in llrs.iter_mut() {
+        if !l.is_finite() {
+            *l = 0.0;
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        health::record(|d| d.non_finite_llr += bad);
+    }
+}
 
 /// Which waveform carries the block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -326,7 +355,10 @@ fn transmit_and_demap(
             let llrs = beliefs_to_llrs(&beliefs, cfg.modulation);
             debug_assert_eq!(llrs.len(), cap_bits);
             let eff = otfs_effective_sinr(&sinrs);
-            return (il.deinterleave(&llrs), eff);
+            spot_check_stage(&y_dd);
+            let mut dellrs = il.deinterleave(&llrs);
+            sanitize_llrs(&mut dellrs);
+            return (dellrs, eff);
         }
         Waveform::Otfs => {
             let mut tx_tf = CMatrix::zeros(grid.m, grid.n);
@@ -353,6 +385,8 @@ fn transmit_and_demap(
         }
     };
 
+    spot_check_stage(&eq_syms);
+
     // Demap with per-symbol noise variances, appending into the reused
     // LLR buffer (no per-symbol Vec).
     ws.llrs.clear();
@@ -362,7 +396,9 @@ fn transmit_and_demap(
     }
     debug_assert_eq!(ws.llrs.len(), cap_bits);
 
-    (il.deinterleave(&ws.llrs), eff_sinr)
+    let mut dellrs = il.deinterleave(&ws.llrs);
+    sanitize_llrs(&mut dellrs);
+    (dellrs, eff_sinr)
 }
 
 /// Applies the CSI model to the true gains: what the receiver's
@@ -712,6 +748,49 @@ mod tests {
         }
         let mc = fails as f64 / n as f64;
         assert!(mc > 0.1 && mc < 0.9, "mc={mc} not in waterfall band");
+    }
+
+    #[test]
+    fn llr_sanitizer_neutralises_and_counts_non_finite() {
+        let _ = health::take_thread_stats();
+        let mut llrs = [1.5, f64::NAN, -2.0, f64::INFINITY, f64::NEG_INFINITY];
+        sanitize_llrs(&mut llrs);
+        assert_eq!(llrs, [1.5, 0.0, -2.0, 0.0, 0.0]);
+        let stats = health::take_thread_stats();
+        assert_eq!(stats.non_finite_llr, 3);
+
+        // Finite input: untouched, nothing recorded.
+        let mut clean = [0.25, -0.5];
+        sanitize_llrs(&mut clean);
+        assert_eq!(clean, [0.25, -0.5]);
+        assert!(health::take_thread_stats().is_clean());
+    }
+
+    #[test]
+    fn stage_spot_check_counts_once_per_degraded_grid() {
+        let _ = health::take_thread_stats();
+        let good = CMatrix::from_fn(2, 3, |r, c| rem_num::c64(r as f64, c as f64));
+        spot_check_stage(&good);
+        assert!(health::take_thread_stats().is_clean());
+
+        let mut bad = good.clone();
+        bad[(0, 1)] = rem_num::c64(f64::NAN, 0.0);
+        bad[(1, 2)] = rem_num::c64(0.0, f64::INFINITY);
+        spot_check_stage(&bad);
+        let stats = health::take_thread_stats();
+        assert_eq!(stats.non_finite_stage, 1, "one grid, one event");
+    }
+
+    #[test]
+    fn healthy_block_records_no_degradations() {
+        let _ = health::take_thread_stats();
+        let cfg = LinkConfig::signaling(Waveform::Otfs);
+        let mut rng = rng_from_seed(9);
+        let ch = MultipathChannel::flat(rem_num::Complex64::ONE);
+        let p = payload(&cfg, &mut rng);
+        let out = simulate_block(&cfg, &ch, 15.0, &p, &mut rng);
+        assert!(out.crc_ok);
+        assert!(health::take_thread_stats().is_clean());
     }
 
     #[test]
