@@ -113,8 +113,15 @@ fn main() {
     let path = std::env::var("BENCH_DSP_JSON").unwrap_or_else(|_| "BENCH_dsp.json".into());
     let pretty = serde_json::to_string_pretty(&report).expect("serialise bench report");
     std::fs::write(&path, &pretty).expect("write BENCH_dsp.json");
+    // Provenance manifest beside the artifact (git SHA, plan-cache
+    // mode, iteration counts). No result hash: timings are not
+    // deterministic, only attributable.
+    let spec = serde_json::json!({ "warmup": warmup, "iters": iters, "smoke": smoke });
+    let manifest = rem_obs::RunManifest::new("bench:dsp_json", &spec.to_string(), iters);
+    let mpath = format!("{path}.manifest.json");
+    manifest.save(std::path::Path::new(&mpath)).expect("write bench manifest");
     println!("{pretty}");
-    println!("wrote {path}");
+    println!("wrote {path} (+ {mpath})");
     println!(
         "fft_1200_bluestein: planned {planned_1200:.2} us vs unplanned {unplanned_1200:.2} us \
          ({:.2}x)",

@@ -10,8 +10,10 @@
 //! ```
 
 mod args;
+mod obs;
 
 use args::{ArgError, Args};
+use obs::ObsSession;
 use rem_core::rem_faults::ChaosConfig;
 use rem_core::{
     fnv1a64, CampaignSpec, Comparison, DatasetSpec, ExperimentError, FaultConfig, FaultKind,
@@ -65,6 +67,8 @@ fn main() {
         "bler" => cmd_bler(rest),
         "storm" => cmd_storm(rest),
         "faults" => cmd_faults(rest),
+        "obs" => obs::cmd_obs(rest),
+        "rerun" => obs::cmd_rerun(rest),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -171,6 +175,11 @@ COMMANDS:
                                    (CI crash-safety gate); --chaos-fatal
                                    makes them persist past retries,
                                    --chaos-seed <n> picks the victims
+              --obs-trace <file>   write the observability trace (JSONL)
+                                   plus <file>.metrics.prom and
+                                   <file>.manifest.json; campaigns with
+                                   --checkpoint also write
+                                   <ckpt>.manifest.json
   trace     Export a MobileInsight-style signaling trace (JSON lines)
               --dataset/--speed/--route-km as above
               --plane legacy|rem   (default legacy)
@@ -190,7 +199,8 @@ COMMANDS:
                                        per-trial outcomes (determinism)
               --checkpoint/--resume/--checkpoint-every,
               --max-retries/--trial-timeout-ms,
-              --chaos-panic/--chaos-fatal/--chaos-seed as in compare
+              --chaos-panic/--chaos-fatal/--chaos-seed,
+              --obs-trace as in compare
   storm     Whole-train signaling burst statistics
               --clients <n>        (default 8)
               --threads <n>        (default 0 = all cores)
@@ -205,9 +215,21 @@ COMMANDS:
               --rate-scale <x>     (default 1.0; scales all fault rates)
               --verify <n>         also re-run on 1 vs <n> threads and
                                    require bit-identical metrics
+              --hash               print an FNV-1a 64 digest of the
+                                   aggregated metrics (determinism)
               --checkpoint/--resume/--checkpoint-every,
               --max-retries/--trial-timeout-ms,
-              --chaos-panic/--chaos-fatal/--chaos-seed as in compare
+              --chaos-panic/--chaos-fatal/--chaos-seed,
+              --obs-trace as in compare
+  obs       Offline tools over observability artifacts
+              summarize <trace.jsonl>  per-kind event counts of an
+                                       --obs-trace file
+  rerun     Replay a campaign from its run manifest alone and verify
+            the recomputed result digest (exit 1 on mismatch)
+              <file.manifest.json>     written by --obs-trace or
+                                       --checkpoint
+              --threads <n>            (default 0 = all cores; results
+                                       are thread-count invariant)
 
 Monte-Carlo trials are scheduled over --threads workers but reduced
 in canonical order: any thread count gives identical results."
@@ -238,8 +260,11 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let policy = run_policy(&a)?;
     let chaos = chaos_config(&a)?;
+    let session = ObsSession::begin(&a);
+    let ckpt_path: Option<PathBuf> =
+        a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
 
-    let (_campaign, checked) = if let Some(resume) = a.get("resume") {
+    let (campaign, checked) = if let Some(resume) = a.get("resume") {
         // The checkpoint carries the campaign fingerprint: dataset
         // flags are ignored, only the execution policy applies.
         let (campaign, checked) = CampaignSpec::resume(Path::new(resume), &policy)?;
@@ -261,15 +286,14 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
         );
         let campaign =
             CampaignSpec::new(spec).with_seed_count(n_seeds).with_threads(policy.threads);
-        let ckpt = a.get("checkpoint").map(PathBuf::from);
         let checked = match &chaos {
             Some(c) => Comparison::run_checkpointed_with(
                 &campaign,
                 &policy,
-                ckpt.as_deref(),
+                ckpt_path.as_deref(),
                 |i, attempt| c.maybe_panic(i, attempt),
             )?,
-            None => Comparison::run_checkpointed(&campaign, &policy, ckpt.as_deref())?,
+            None => Comparison::run_checkpointed(&campaign, &policy, ckpt_path.as_deref())?,
         };
         (campaign, checked)
     };
@@ -317,6 +341,22 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
         &checked.overruns,
         &checked.health,
     );
+    if session.wants_manifest(ckpt_path.as_deref()) {
+        // A quarantined campaign still gets its trace and manifest
+        // (that run is exactly the one worth diagnosing), but no
+        // result hash: the comparison holds fallback values.
+        let json = serde_json::to_string(cmp).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let hash = checked.is_clean().then(|| obs::hash_string(&json));
+        let manifest = obs::campaign_manifest(
+            "compare",
+            &campaign.fingerprint()?,
+            2 * campaign.seeds.len(),
+            &policy,
+            &chaos,
+            hash,
+        )?;
+        session.finish(&manifest, ckpt_path.as_deref())?;
+    }
     if !checked.is_clean() {
         return Err(ExperimentError::Quarantined { trials: checked.quarantined }.into());
     }
@@ -389,6 +429,7 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let policy = run_policy(&a)?;
     let chaos = chaos_config(&a)?;
+    let session = ObsSession::begin(&a);
 
     // Same seed for both waveforms: trial i sees the identical channel
     // and payload under each, so the comparison is paired.
@@ -482,6 +523,14 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
         &run.overruns,
         &run.health,
     );
+    if session.wants_manifest(ckpt_path.as_deref()) {
+        let json = serde_json::to_string(&(ofdm_outcomes, otfs_outcomes))
+            .map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let hash = run.is_clean().then(|| obs::hash_string(&json));
+        let manifest =
+            obs::campaign_manifest("bler", &fingerprint, 2 * blocks, &policy, &chaos, hash)?;
+        session.finish(&manifest, ckpt_path.as_deref())?;
+    }
     if !run.is_clean() {
         return Err(ExperimentError::Quarantined { trials: run.quarantined }.into());
     }
@@ -500,6 +549,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     let scale = a.num_or("rate-scale", 1.0)?;
     let faults = FaultConfig::default().scaled(scale);
     faults.validate().map_err(ArgError)?;
+    let session = ObsSession::begin(&a);
 
     println!(
         "{} @ {} km/h, {:?} plane, {} seeds, fault rates x{:.2}",
@@ -571,6 +621,10 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
         println!("\nverified: 1-thread and {verify}-thread campaigns are bit-identical");
     }
 
+    if a.flag("hash") {
+        let json = serde_json::to_string(m).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
     print_supervision(
         checked.retries,
         checked.resumed_trials,
@@ -578,6 +632,24 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
         &checked.overruns,
         &checked.health,
     );
+    if session.wants_manifest(ckpt.as_deref()) {
+        // Same fingerprint `aggregate_checkpointed` stores in the
+        // checkpoint: the plane is part of the campaign identity.
+        let fingerprint =
+            serde_json::to_string(&(&campaign.spec, &campaign.seeds, &campaign.faults, pl))
+                .map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let json = serde_json::to_string(m).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let hash = checked.is_clean().then(|| obs::hash_string(&json));
+        let manifest = obs::campaign_manifest(
+            "aggregate",
+            &fingerprint,
+            campaign.seeds.len(),
+            &policy,
+            &chaos,
+            hash,
+        )?;
+        session.finish(&manifest, ckpt.as_deref())?;
+    }
     if !checked.is_clean() {
         return Err(ExperimentError::Quarantined { trials: checked.quarantined.clone() }.into());
     }

@@ -1,0 +1,249 @@
+//! CLI-side observability plumbing: the `--obs-trace` session, run
+//! manifests, and the `rem obs` / `rem rerun` subcommands.
+//!
+//! A campaign command opens an [`ObsSession`] right after flag
+//! parsing. When `--obs-trace <file>` is present the session resets
+//! the metrics registry and activates the trace sink; when the
+//! campaign finishes it drains the sink to `<file>` (JSONL), dumps
+//! every metric to `<file>.metrics.prom` (Prometheus text format) and
+//! writes the run manifest to `<file>.manifest.json`. Campaigns that
+//! checkpoint also drop `<ckpt>.manifest.json` next to the checkpoint,
+//! so every artifact on disk carries its own reproduction recipe:
+//! `rem rerun <manifest>` replays the campaign from the manifest alone
+//! and fails (exit 1) unless the recomputed `--hash` digest matches.
+
+use crate::args::{ArgError, Args};
+use crate::CliError;
+use rem_core::rem_faults::ChaosConfig;
+use rem_core::{fnv1a64, RunPolicy};
+use rem_obs::RunManifest;
+use std::path::{Path, PathBuf};
+
+/// Formats a result digest the way `--hash` prints it.
+pub fn hash_string(json: &str) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(json.as_bytes()))
+}
+
+/// `<path>.manifest.json` — the manifest written beside an artifact.
+pub fn manifest_path_for(artifact: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.manifest.json", artifact.display()))
+}
+
+/// One command's observability scope, created right after flag
+/// parsing so the whole campaign is covered.
+pub struct ObsSession {
+    trace_path: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Opens the session. With `--obs-trace <file>` this clears the
+    /// metrics registry and activates the trace sink (warning on
+    /// stderr when the binary was built without the `obs` feature and
+    /// the file would stay empty).
+    pub fn begin(a: &Args) -> Self {
+        let trace_path = a.get("obs-trace").map(PathBuf::from);
+        if trace_path.is_some() {
+            rem_obs::metrics::reset();
+            if !rem_obs::trace::start() {
+                eprintln!(
+                    "warning: --obs-trace requested but probes are compiled out \
+                     (build rem-cli with the default `obs` feature); \
+                     trace and metrics will be empty"
+                );
+            }
+        }
+        Self { trace_path }
+    }
+
+    /// Closes the session: drains the trace sink to the `--obs-trace`
+    /// file, dumps the metrics registry beside it, and writes the run
+    /// manifest next to both the trace and any checkpoint file.
+    pub fn finish(
+        &self,
+        manifest: &RunManifest,
+        checkpoint: Option<&Path>,
+    ) -> Result<(), CliError> {
+        let io = |path: &Path, e: std::io::Error| {
+            CliError::Arg(ArgError(format!("cannot write {}: {e}", path.display())))
+        };
+        if let Some(trace_path) = &self.trace_path {
+            let events = rem_obs::trace::finish();
+            std::fs::write(trace_path, rem_obs::trace::to_jsonl(&events))
+                .map_err(|e| io(trace_path, e))?;
+            let prom = PathBuf::from(format!("{}.metrics.prom", trace_path.display()));
+            let snap = rem_obs::metrics::snapshot();
+            std::fs::write(&prom, rem_obs::metrics::render_prometheus(&snap))
+                .map_err(|e| io(&prom, e))?;
+            let mpath = manifest_path_for(trace_path);
+            manifest.save(&mpath).map_err(|e| CliError::Arg(ArgError(e)))?;
+            println!(
+                "obs: {} events -> {}, {} metrics -> {}, manifest -> {}",
+                events.len(),
+                trace_path.display(),
+                snap.counters.len() + snap.histograms.len(),
+                prom.display(),
+                mpath.display()
+            );
+        }
+        if let Some(ckpt) = checkpoint {
+            let mpath = manifest_path_for(ckpt);
+            manifest.save(&mpath).map_err(|e| CliError::Arg(ArgError(e)))?;
+            println!("manifest -> {}", mpath.display());
+        }
+        Ok(())
+    }
+
+    /// True when anything will be written at [`ObsSession::finish`]
+    /// (used to skip hash computation when nobody consumes it).
+    pub fn wants_manifest(&self, checkpoint: Option<&Path>) -> bool {
+        self.trace_path.is_some() || checkpoint.is_some()
+    }
+}
+
+/// Builds a campaign manifest from the shared execution-policy flags.
+pub fn campaign_manifest(
+    kind: &str,
+    spec_json: &str,
+    n_trials: usize,
+    policy: &RunPolicy,
+    chaos: &Option<ChaosConfig>,
+    result_hash: Option<String>,
+) -> Result<RunManifest, CliError> {
+    let mut m = RunManifest::new(kind, spec_json, n_trials);
+    m.threads = policy.threads;
+    m.max_retries = policy.max_retries;
+    m.trial_timeout_ms = policy.trial_timeout_ms;
+    m.checkpoint_every = policy.checkpoint_every;
+    m.chaos = match chaos {
+        Some(c) => Some(
+            serde_json::to_value(c)
+                .map_err(|e| CliError::Arg(ArgError(format!("serialize chaos config: {e}"))))?,
+        ),
+        None => None,
+    };
+    m.result_hash = result_hash;
+    Ok(m)
+}
+
+/// `rem obs <subcommand>` — offline tooling over observability
+/// artifacts. `summarize <trace.jsonl>` prints order-independent
+/// per-kind event counts.
+pub fn cmd_obs(rest: Vec<String>) -> Result<(), CliError> {
+    let a = Args::parse(rest)?;
+    let usage = || {
+        CliError::Arg(ArgError(
+            "usage: rem obs summarize <trace.jsonl> (see `rem help`)".to_string(),
+        ))
+    };
+    let mut pos = a.positional().iter();
+    match pos.next().map(String::as_str) {
+        Some("summarize") => {
+            let file = pos.next().ok_or_else(usage)?;
+            let body = std::fs::read_to_string(file)
+                .map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
+            let events = rem_obs::trace::parse_jsonl(&body).map_err(ArgError)?;
+            print!("{}", rem_obs::summary::summarize(&events));
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+/// `rem rerun <manifest> [--threads N]` — replays the campaign a
+/// manifest describes, from the manifest alone, and verifies the
+/// recomputed result digest against the recorded one. Exit 1 on
+/// mismatch: the artifact no longer reproduces.
+pub fn cmd_rerun(rest: Vec<String>) -> Result<(), CliError> {
+    use rem_core::{CampaignSpec, Comparison, DatasetSpec, FaultConfig, Plane};
+    use rem_phy::link::BlerScenario;
+
+    let a = Args::parse(rest)?;
+    let file = a
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("rerun needs a manifest file (see `rem help`)".to_string()))?;
+    let manifest = RunManifest::load(Path::new(file)).map_err(ArgError)?;
+    let policy =
+        RunPolicy { threads: a.int_or("threads", 0)? as usize, ..RunPolicy::default() };
+    println!(
+        "rerunning {} campaign ({} trials) from {file}",
+        manifest.kind, manifest.n_trials
+    );
+
+    let recomputed = match manifest.kind.as_str() {
+        "compare" => {
+            let (spec, seeds, faults): (DatasetSpec, Vec<u64>, Option<FaultConfig>) =
+                serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                    ArgError(format!("manifest spec_json is not a compare fingerprint: {e}"))
+                })?;
+            let campaign = CampaignSpec { spec, seeds, threads: policy.threads, faults };
+            let checked = Comparison::run_checkpointed(&campaign, &policy, None)?;
+            let cmp = checked.into_result()?;
+            serde_json::to_string(&cmp)
+                .map_err(|e| ArgError(format!("serialize comparison: {e}")))?
+        }
+        "aggregate" => {
+            let (spec, seeds, faults, plane): (
+                DatasetSpec,
+                Vec<u64>,
+                Option<FaultConfig>,
+                Plane,
+            ) = serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                ArgError(format!("manifest spec_json is not an aggregate fingerprint: {e}"))
+            })?;
+            let campaign = CampaignSpec { spec, seeds, threads: policy.threads, faults };
+            let checked = campaign.aggregate_checkpointed(plane, &policy, None)?;
+            let metrics = checked.into_result()?;
+            serde_json::to_string(&metrics)
+                .map_err(|e| ArgError(format!("serialize metrics: {e}")))?
+        }
+        "bler" => {
+            let (scenario, otfs_scenario): (BlerScenario, BlerScenario) =
+                serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                    ArgError(format!("manifest spec_json is not a bler fingerprint: {e}"))
+                })?;
+            let blocks = scenario.blocks;
+            let run = rem_core::run_trials_checkpointed(
+                "bler",
+                &manifest.spec_json,
+                2 * blocks,
+                &policy,
+                None,
+                |i, _attempt| {
+                    if i < blocks {
+                        scenario.trial(i)
+                    } else {
+                        otfs_scenario.trial(i - blocks)
+                    }
+                },
+            )?;
+            let (ofdm, otfs) = run.values.split_at(blocks);
+            serde_json::to_string(&(ofdm, otfs))
+                .map_err(|e| ArgError(format!("serialize outcomes: {e}")))?
+        }
+        other => {
+            return Err(ArgError(format!(
+                "cannot rerun kind '{other}' (supported: compare, aggregate, bler)"
+            ))
+            .into())
+        }
+    };
+
+    let digest = hash_string(&recomputed);
+    match &manifest.result_hash {
+        Some(expected) if *expected == digest => {
+            println!("hash: {digest}");
+            println!("reproduced: recomputed hash matches the manifest");
+            Ok(())
+        }
+        Some(expected) => {
+            eprintln!("error: hash mismatch — manifest {expected}, recomputed {digest}");
+            std::process::exit(1);
+        }
+        None => {
+            println!("hash: {digest}");
+            println!("manifest records no result hash; nothing to verify");
+            Ok(())
+        }
+    }
+}

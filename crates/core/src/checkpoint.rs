@@ -115,8 +115,11 @@ impl Checkpoint {
     /// Atomically writes the checkpoint: serialize, checksum, write to
     /// `<path>.tmp`, fsync, rename over `path`.
     pub fn save(&self, path: &Path) -> Result<(), ExperimentError> {
+        let _timing = rem_obs::metrics::span("rem_core_checkpoint_save_us");
         let body =
             serde_json::to_string(self).map_err(|e| ExperimentError::serde("checkpoint", e))?;
+        rem_obs::metrics::inc("rem_core_checkpoint_saves_total");
+        rem_obs::metrics::add("rem_core_checkpoint_bytes_written_total", body.len() as u64);
         let content =
             format!("{CHECKPOINT_MAGIC} fnv1a64:{:016x}\n{body}", fnv1a64(body.as_bytes()));
         let tmp = path.with_extension("ckpt.tmp");
@@ -132,6 +135,8 @@ impl Checkpoint {
     pub fn load(path: &Path) -> Result<Self, ExperimentError> {
         let content =
             std::fs::read_to_string(path).map_err(|e| ExperimentError::io(path, e))?;
+        rem_obs::metrics::inc("rem_core_checkpoint_loads_total");
+        rem_obs::metrics::add("rem_core_checkpoint_bytes_read_total", content.len() as u64);
         let corrupt = |detail: &str| ExperimentError::Corrupt {
             path: path.to_path_buf(),
             detail: detail.to_string(),
@@ -301,6 +306,17 @@ where
     let resumed_trials = n_trials - values.iter().filter(|v| v.is_none()).count();
 
     let missing = ckpt.missing();
+    rem_obs::metrics::add("rem_core_trials_resumed_total", resumed_trials as u64);
+    rem_obs::trace::emit(
+        "core",
+        "campaign_start",
+        &[
+            ("kind", kind.into()),
+            ("n_trials", n_trials.into()),
+            ("resumed", resumed_trials.into()),
+            ("missing", missing.len().into()),
+        ],
+    );
     let mut quarantined = Vec::new();
     let mut overruns = Vec::new();
     let mut retries = 0u64;
@@ -346,9 +362,23 @@ where
         if let Some(p) = path {
             ckpt.save(p)?;
         }
+        rem_obs::trace::emit(
+            "core",
+            "wave_done",
+            &[("wave_len", wave.len().into()), ("completed", ckpt.completed().into())],
+        );
     }
 
     quarantined.sort_by_key(|q| q.index);
+    rem_obs::trace::emit(
+        "core",
+        "campaign_done",
+        &[
+            ("kind", kind.into()),
+            ("quarantined", quarantined.len().into()),
+            ("retries", retries.into()),
+        ],
+    );
     Ok(CheckpointedRun { values, quarantined, overruns, retries, resumed_trials, health: stats })
 }
 

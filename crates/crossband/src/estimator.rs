@@ -142,12 +142,14 @@ impl<E: CrossBandEstimator> CrossBandEstimator for GuardedEstimator<E> {
     }
 
     fn predict_band2_tf(&self, obs: &Observation) -> CMatrix {
+        rem_obs::metrics::inc("rem_crossband_predictions_total");
         let pred = self.inner.predict_band2_tf(obs);
         if health::first_non_finite_c(pred.as_slice()).is_none() {
             *self.last_good.borrow_mut() = Some(pred.clone());
             return pred;
         }
         health::record(|d| d.estimator_fallbacks += 1);
+        rem_obs::metrics::inc("rem_crossband_fallbacks_total");
         let (m, n) = pred.shape();
         self.last_good.borrow().clone().unwrap_or_else(|| CMatrix::zeros(m, n))
     }

@@ -22,8 +22,19 @@
 //!
 //! Scoped threads come from the standard library
 //! ([`std::thread::scope`], the stabilised descendant of
-//! `crossbeam::thread::scope`), so the crate has zero dependencies and
-//! builds in hermetic environments.
+//! `crossbeam::thread::scope`), so the crate's only dependency is the
+//! workspace's own `rem-obs` probe layer, whose calls compile to
+//! nothing unless a binary turns its `enabled` feature on.
+//!
+//! ## Observability
+//!
+//! Both entry points count their calls and trials
+//! (`rem_exec_par_map_*` / `rem_exec_checked_*`), and the checked
+//! runner additionally counts retries, quarantines and deadline
+//! overruns and emits one `exec/quarantine` or `exec/deadline_overrun`
+//! trace event per affected trial, in canonical index order. Probes never touch trial values or
+//! scheduling, so instrumented and uninstrumented builds produce
+//! bit-identical results.
 //!
 //! ```
 //! // Any thread count — including 1 — produces the same vector.
@@ -94,6 +105,8 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    rem_obs::metrics::inc("rem_exec_par_map_calls_total");
+    rem_obs::metrics::add("rem_exec_par_map_trials_total", n as u64);
     let workers = resolve_threads(threads).min(n.max(1));
     if workers <= 1 || n <= 1 {
         let mut state = init();
@@ -385,6 +398,8 @@ where
     F: Fn(&mut S, usize, u32) -> T + Sync,
 {
     install_quiet_panic_hook();
+    rem_obs::metrics::inc("rem_exec_checked_calls_total");
+    rem_obs::metrics::add("rem_exec_checked_trials_total", n as u64);
     let workers = resolve_threads(threads).min(n.max(1));
     let deadline_ms = policy.trial_timeout.map(|d| d.as_millis().max(1) as u64);
     let epoch = Instant::now();
@@ -543,11 +558,37 @@ where
         }
     }
     overruns.sort_by_key(|o| o.index);
-    let outcomes = slots_out
+    let outcomes: Vec<TrialOutcome<T>> = slots_out
         .into_iter()
         .enumerate()
         .map(|(i, s)| s.unwrap_or_else(|| panic!("trial {i} never ran")))
         .collect();
+
+    // Supervision probes, emitted after the canonical-order reduction
+    // so the trace is deterministic even under contention.
+    rem_obs::metrics::add("rem_exec_checked_retries_total", retries);
+    rem_obs::metrics::add("rem_exec_checked_overruns_total", overruns.len() as u64);
+    for o in &overruns {
+        rem_obs::trace::emit(
+            "exec",
+            "deadline_overrun",
+            &[
+                ("index", o.index.into()),
+                ("elapsed_ms", o.elapsed_ms.into()),
+                ("deadline_ms", o.deadline_ms.into()),
+            ],
+        );
+    }
+    for outcome in &outcomes {
+        if let TrialOutcome::Quarantined(q) = outcome {
+            rem_obs::metrics::inc("rem_exec_checked_quarantined_total");
+            rem_obs::trace::emit(
+                "exec",
+                "quarantine",
+                &[("index", q.index.into()), ("attempts", q.attempts.into())],
+            );
+        }
+    }
     CheckedRun { outcomes, overruns, retries }
 }
 

@@ -148,6 +148,7 @@ impl HandoverAttempt {
         self.check_time(now_ms, "complete (time ordering)")?;
         self.phase = HoPhase::Complete;
         self.finished_at_ms = Some(now_ms);
+        rem_obs::metrics::inc("rem_mobility_handover_complete_total");
         Ok(())
     }
 
@@ -161,6 +162,7 @@ impl HandoverAttempt {
                 self.check_time(now_ms, "fail (time ordering)")?;
                 self.phase = HoPhase::Failed(cause);
                 self.finished_at_ms = Some(now_ms);
+                rem_obs::metrics::inc("rem_mobility_handover_fail_total");
                 Ok(())
             }
         }

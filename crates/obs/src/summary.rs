@@ -1,0 +1,77 @@
+//! Order-independent rollups of a trace (`rem obs summarize`).
+//!
+//! A summary is computed from the event *set*, never the interleaving,
+//! so it is identical at any worker-thread count — the trace-level
+//! determinism contract campaigns are tested against.
+
+use crate::trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate view of a campaign trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total events.
+    pub total_events: u64,
+    /// Event counts by `scope/name`, canonically ordered.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Distinct scopes observed.
+    pub scopes: Vec<String>,
+}
+
+impl TraceSummary {
+    /// Count for one `scope/name` kind (0 when absent).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} events across {} scope(s)", self.total_events, self.scopes.len())?;
+        for (kind, n) in &self.by_kind {
+            writeln!(f, "  {kind:<40} {n:>8}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summarizes a trace: total, per-kind counts, distinct scopes.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut scopes: Vec<String> = Vec::new();
+    for e in events {
+        *by_kind.entry(e.kind()).or_insert(0) += 1;
+        if !scopes.contains(&e.scope) {
+            scopes.push(e.scope.clone());
+        }
+    }
+    scopes.sort();
+    TraceSummary { total_events: events.len() as u64, by_kind, scopes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_jsonl;
+
+    #[test]
+    fn summary_counts_by_kind_and_ignores_order() {
+        let text = "{\"seq\":0,\"scope\":\"exec\",\"name\":\"trial\"}\n\
+                    {\"seq\":2,\"scope\":\"core\",\"name\":\"wave\"}\n\
+                    {\"seq\":1,\"scope\":\"exec\",\"name\":\"trial\"}\n";
+        let mut events = parse_jsonl(text).expect("parse");
+        let a = summarize(&events);
+        events.reverse();
+        let b = summarize(&events);
+        assert_eq!(a, b, "summaries are order-independent");
+        assert_eq!(a.total_events, 3);
+        assert_eq!(a.count("exec/trial"), 2);
+        assert_eq!(a.count("core/wave"), 1);
+        assert_eq!(a.count("missing/kind"), 0);
+        assert_eq!(a.scopes, vec!["core".to_string(), "exec".to_string()]);
+        let shown = a.to_string();
+        assert!(shown.contains("exec/trial"));
+        assert!(shown.contains("3 events"));
+    }
+}

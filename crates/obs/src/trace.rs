@@ -1,0 +1,277 @@
+//! Structured event tracing with a JSONL wire format.
+//!
+//! A trace is a flat stream of [`TraceEvent`]s — `(seq, scope, name,
+//! fields)` — collected in memory while a sink is active
+//! ([`start`] / [`finish`]) and written one JSON object per line.
+//! `seq` is a process-monotonic counter, **never wall-clock**: replays
+//! of the same campaign produce the same event payloads, and at one
+//! worker thread the same order. At higher thread counts the event
+//! *set* is invariant while interleaving may differ; every aggregate
+//! derived from the set (see [`crate::summary`]) is therefore
+//! thread-count invariant.
+//!
+//! Emission is a single relaxed atomic load when no sink is active,
+//! and compiles out entirely without the `enabled` feature.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A scalar field value carried by a trace event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum FieldValue {
+    /// Unsigned integer (indices, counts, seeds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (times in simulated ms, ratios).
+    F64(f64),
+    /// Short string label (plane, dataset, kind).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One structured event of a campaign trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Process-monotonic sequence number (arrival order, no
+    /// wall-clock).
+    pub seq: u64,
+    /// Subsystem that emitted the event (`exec`, `core`, `sim`, ...).
+    pub scope: String,
+    /// Event name within the scope (`trial_done`, `checkpoint_save`).
+    pub name: String,
+    /// Deterministic payload fields.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub fields: BTreeMap<String, FieldValue>,
+}
+
+impl TraceEvent {
+    /// `scope/name`, the key summaries group by.
+    pub fn kind(&self) -> String {
+        format!("{}/{}", self.scope, self.name)
+    }
+}
+
+/// Serializes events as JSONL (one JSON object per line, trailing
+/// newline).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into events; blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Emits a structured event to the active sink, if any. A relaxed
+/// atomic load when no sink is active; compiled out entirely without
+/// the `enabled` feature.
+#[inline(always)]
+pub fn emit(scope: &'static str, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    #[cfg(feature = "enabled")]
+    imp::emit(scope, name, fields);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (scope, name, fields);
+}
+
+/// Activates the in-memory sink (clearing any previous buffer) and
+/// returns whether probes are compiled into this build. Subsequent
+/// [`emit`] calls are recorded until [`finish`].
+pub fn start() -> bool {
+    #[cfg(feature = "enabled")]
+    imp::start();
+    crate::compiled_in()
+}
+
+/// True when a sink is currently collecting events.
+pub fn active() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        imp::active()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Deactivates the sink and returns everything it collected (empty
+/// when probes are compiled out or no sink was started).
+pub fn finish() -> Vec<TraceEvent> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::finish()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{FieldValue, TraceEvent};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+    pub(super) fn emit(
+        scope: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return;
+        }
+        let event = TraceEvent {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            scope: scope.to_string(),
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        EVENTS.lock().unwrap().push(event);
+    }
+
+    pub(super) fn start() {
+        let mut buf = EVENTS.lock().unwrap();
+        buf.clear();
+        SEQ.store(0, Ordering::Relaxed);
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn finish() -> Vec<TraceEvent> {
+        ACTIVE.store(false, Ordering::Relaxed);
+        std::mem::take(&mut *EVENTS.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, scope: &str, name: &str) -> TraceEvent {
+        TraceEvent {
+            seq,
+            scope: scope.into(),
+            name: name.into(),
+            fields: [("index".to_string(), FieldValue::from(7usize))].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = vec![event(0, "exec", "trial_done"), event(1, "core", "wave_done")];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).expect("parse");
+        assert_eq!(back, events);
+        // Untagged field values come back as the same variants.
+        assert_eq!(back[0].fields["index"], FieldValue::U64(7));
+        assert_eq!(back[0].kind(), "exec/trial_done");
+    }
+
+    #[test]
+    fn parse_reports_the_offending_line() {
+        let err = parse_jsonl("{\"seq\":0,\"scope\":\"a\",\"name\":\"b\"}\nnot json\n")
+            .expect_err("must fail");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n{\"seq\":3,\"scope\":\"s\",\"name\":\"n\"}\n\n";
+        let back = parse_jsonl(text).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].seq, 3);
+        assert!(back[0].fields.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn sink_collects_only_while_active() {
+        // Process-global sink: this is the only test in this binary
+        // that starts/finishes it, so no cross-test interference.
+        emit("test", "before", &[]);
+        assert!(start());
+        assert!(active());
+        emit("test", "during", &[("i", 1usize.into())]);
+        emit("test", "during", &[("i", 2usize.into())]);
+        let events = finish();
+        assert!(!active());
+        emit("test", "after", &[]);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.name == "during"));
+        assert!(events[0].seq < events[1].seq, "seq is monotonic");
+        assert!(finish().is_empty(), "buffer drained");
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_sink_is_inert() {
+        assert!(!start());
+        emit("test", "during", &[]);
+        assert!(!active());
+        assert!(finish().is_empty());
+    }
+}

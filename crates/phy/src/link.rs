@@ -193,6 +193,8 @@ pub fn simulate_block_with(
     ws: &mut DspScratch,
 ) -> BlockOutcome {
     assert!(payload.len() <= cfg.max_payload_bits(), "payload exceeds block capacity");
+    let _timing = rem_obs::metrics::span("rem_phy_block_us");
+    rem_obs::metrics::inc("rem_phy_blocks_total");
     let cap_bits = cfg.capacity_bits();
 
     // Encode.
@@ -215,6 +217,10 @@ pub fn simulate_block_with(
         .filter(|(a, b)| a != b)
         .count();
 
+    if !(crc_ok && bit_errors == 0) {
+        rem_obs::metrics::inc("rem_phy_crc_fail_total");
+    }
+    rem_obs::metrics::observe("rem_phy_bit_errors", bit_errors as u64);
     BlockOutcome {
         crc_ok: crc_ok && bit_errors == 0,
         bit_errors,

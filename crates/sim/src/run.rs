@@ -865,6 +865,25 @@ pub fn simulate_run(cfg: &RunConfig) -> RunMetrics {
         }
         fwd + back < 0.0
     });
+
+    rem_obs::metrics::inc("rem_sim_runs_total");
+    rem_obs::metrics::add("rem_sim_handovers_total", metrics.handovers.len() as u64);
+    rem_obs::metrics::add("rem_sim_failures_total", metrics.failures.len() as u64);
+    rem_obs::metrics::add(
+        "rem_sim_reestablish_attempts_total",
+        metrics.reestablish_attempts as u64,
+    );
+    rem_obs::trace::emit(
+        "sim",
+        "run_done",
+        &[
+            ("plane", format!("{:?}", cfg.plane).into()),
+            ("seed", cfg.seed.into()),
+            ("handovers", metrics.handovers.len().into()),
+            ("failures", metrics.failures.len().into()),
+            ("loops", metrics.loops.len().into()),
+        ],
+    );
     metrics
 }
 
