@@ -1,7 +1,12 @@
-//! A tiny, dependency-free argument parser: `--key value` flags with
-//! typed lookups and helpful errors.
+//! A tiny argument parser: `--key value` flags with typed lookups and
+//! helpful errors, plus [`CommonArgs`] — the one flattened struct
+//! holding the execution knobs every campaign subcommand shares.
 
+use rem_core::rem_faults::ChaosConfig;
+use rem_core::scenario::RunSpec;
+use rem_core::RunPolicy;
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Parsed `--key value` flags plus positional arguments.
 #[derive(Clone, Debug, Default)]
@@ -88,9 +93,155 @@ impl Args {
         }
     }
 
+    /// Integer flag, `None` when absent.
+    pub fn int_opt(&self, key: &str) -> Result<Option<u64>, ArgError> {
+        self.flags
+            .get(key)
+            .map(|v| {
+                v.parse().map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'")))
+            })
+            .transpose()
+    }
+
+    /// Numeric flag, `None` when absent.
+    pub fn num_opt(&self, key: &str) -> Result<Option<f64>, ArgError> {
+        self.flags
+            .get(key)
+            .map(|v| {
+                v.parse().map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'")))
+            })
+            .transpose()
+    }
+
     /// Positional arguments.
     pub fn positional(&self) -> &[String] {
         &self.positional
+    }
+}
+
+/// The execution flags shared by every campaign subcommand (`compare`,
+/// `bler`, `faults`, `train`): scenario file, threads, seeds, result
+/// hashing, checkpointing, crash-safety, chaos injection and the
+/// observability trace. Parsed once instead of per-command.
+///
+/// Every knob is presence-aware (`None`/`false` = the flag was
+/// absent), so the same struct serves both modes: falling back to the
+/// CLI defaults when no scenario file is involved, and overriding only
+/// what the user actually typed on top of a loaded `--scenario` spec.
+#[derive(Clone, Debug, Default)]
+pub struct CommonArgs {
+    /// `--scenario <file>` — declarative base configuration.
+    pub scenario: Option<String>,
+    /// `--threads <n>` (`0` = all cores).
+    pub threads: Option<usize>,
+    /// `--seeds <n>` — Monte-Carlo seed count (expands to `1..=n`).
+    pub seeds: Option<usize>,
+    /// `--hash` — print the FNV-1a 64 result digest.
+    pub hash: bool,
+    /// `--checkpoint <file>`.
+    pub checkpoint: Option<String>,
+    /// `--resume <file>`.
+    pub resume: Option<String>,
+    /// `--checkpoint-every <n>` — trials per checkpoint wave.
+    pub checkpoint_every: Option<usize>,
+    /// `--max-retries <n>` — panicking-trial retries before quarantine.
+    pub max_retries: Option<u32>,
+    /// `--trial-timeout-ms <ms>` (`0` disables the deadline).
+    pub trial_timeout_ms: Option<u64>,
+    /// `--chaos-panic <rate>` — deterministic trial-panic injection.
+    pub chaos_panic: Option<f64>,
+    /// `--chaos-fatal` — chaos panics persist past retries.
+    pub chaos_fatal: bool,
+    /// `--chaos-seed <n>` — chaos stream seed.
+    pub chaos_seed: Option<u64>,
+    /// `--obs-trace <file>` — observability trace destination.
+    pub obs_trace: Option<String>,
+}
+
+impl CommonArgs {
+    /// Extracts the shared flags from a parsed token stream, validating
+    /// values that have a legal range.
+    pub fn parse(a: &Args) -> Result<Self, ArgError> {
+        let c = Self {
+            scenario: a.get("scenario").map(String::from),
+            threads: a.int_opt("threads")?.map(|n| n as usize),
+            seeds: a.int_opt("seeds")?.map(|n| n as usize),
+            hash: a.flag("hash"),
+            checkpoint: a.get("checkpoint").map(String::from),
+            resume: a.get("resume").map(String::from),
+            checkpoint_every: a.int_opt("checkpoint-every")?.map(|n| n as usize),
+            max_retries: a.int_opt("max-retries")?.map(|n| n as u32),
+            trial_timeout_ms: a.int_opt("trial-timeout-ms")?,
+            chaos_panic: a.num_opt("chaos-panic")?,
+            chaos_fatal: a.flag("chaos-fatal"),
+            chaos_seed: a.int_opt("chaos-seed")?,
+            obs_trace: a.get("obs-trace").map(String::from),
+        };
+        if let Some(rate) = c.chaos_panic {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ArgError(format!(
+                    "--chaos-panic expects a rate in [0,1], got {rate}"
+                )));
+            }
+        }
+        Ok(c)
+    }
+
+    /// Folds the explicit flags into a scenario's `[run]` section:
+    /// whatever the user typed wins, everything else keeps the file's
+    /// value.
+    pub fn overlay_run(&self, run: &mut RunSpec) {
+        if let Some(t) = self.threads {
+            run.threads = t;
+        }
+        if let Some(n) = self.seeds {
+            run.seeds = (1..=n as u64).collect();
+        }
+        if let Some(n) = self.checkpoint_every {
+            run.checkpoint_every = n;
+        }
+        if let Some(n) = self.max_retries {
+            run.max_retries = n;
+        }
+        if let Some(ms) = self.trial_timeout_ms {
+            run.trial_timeout_ms = (ms > 0).then_some(ms);
+        }
+        if let Some(rate) = self.chaos_panic {
+            run.chaos_panic_rate = rate;
+        }
+        if self.chaos_fatal {
+            run.chaos_fatal = true;
+        }
+        if let Some(seed) = self.chaos_seed {
+            run.chaos_seed = seed;
+        }
+    }
+
+    /// The crash-safety policy from flags alone, with the historical
+    /// CLI defaults for anything absent.
+    pub fn run_policy(&self) -> RunPolicy {
+        RunPolicy {
+            threads: self.threads.unwrap_or(0),
+            max_retries: self.max_retries.unwrap_or(1),
+            trial_timeout_ms: self.trial_timeout_ms.filter(|&ms| ms > 0),
+            checkpoint_every: self.checkpoint_every.unwrap_or(16),
+        }
+    }
+
+    /// The chaos config from flags alone; `None` when chaos is off.
+    pub fn chaos(&self) -> Option<ChaosConfig> {
+        let rate = self.chaos_panic.unwrap_or(0.0);
+        (rate > 0.0).then(|| ChaosConfig {
+            seed: self.chaos_seed.unwrap_or(7),
+            panic_rate: rate,
+            fatal: self.chaos_fatal,
+        })
+    }
+
+    /// The checkpoint file the runner should use: `--resume` doubles as
+    /// the write path, else `--checkpoint`.
+    pub fn ckpt_path(&self) -> Option<PathBuf> {
+        self.resume.as_deref().or(self.checkpoint.as_deref()).map(PathBuf::from)
     }
 }
 
@@ -132,5 +283,44 @@ mod tests {
         assert!(a.flag("verbose"));
         assert!(!a.flag("absent"));
         assert_eq!(a.int_or("seeds", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn common_args_defaults_match_the_historical_cli() {
+        let c = CommonArgs::parse(&Args::parse(toks("")).unwrap()).unwrap();
+        let p = c.run_policy();
+        assert_eq!(p.threads, 0);
+        assert_eq!(p.max_retries, 1);
+        assert_eq!(p.trial_timeout_ms, None);
+        assert_eq!(p.checkpoint_every, 16);
+        assert!(c.chaos().is_none());
+        assert!(c.ckpt_path().is_none());
+        assert!(!c.hash);
+    }
+
+    #[test]
+    fn common_args_overlay_only_touches_present_flags() {
+        let a = Args::parse(toks("--threads 4 --seeds 3 --chaos-panic 0.5")).unwrap();
+        let c = CommonArgs::parse(&a).unwrap();
+        let mut run = RunSpec { checkpoint_every: 99, ..RunSpec::default() };
+        c.overlay_run(&mut run);
+        assert_eq!(run.threads, 4);
+        assert_eq!(run.seeds, vec![1, 2, 3]);
+        assert_eq!(run.checkpoint_every, 99, "absent flag must keep the spec value");
+        assert_eq!(run.chaos_panic_rate, 0.5);
+        assert_eq!(run.chaos_seed, 7, "absent flag must keep the spec value");
+    }
+
+    #[test]
+    fn common_args_validates_the_chaos_rate() {
+        let a = Args::parse(toks("--chaos-panic 1.5")).unwrap();
+        assert!(CommonArgs::parse(&a).is_err());
+    }
+
+    #[test]
+    fn resume_doubles_as_the_checkpoint_path() {
+        let a = Args::parse(toks("--resume r.ckpt --checkpoint c.ckpt")).unwrap();
+        let c = CommonArgs::parse(&a).unwrap();
+        assert_eq!(c.ckpt_path().unwrap(), PathBuf::from("r.ckpt"));
     }
 }

@@ -2,32 +2,35 @@
 //!
 //! ```text
 //! rem compare --dataset bs --speed 300 --route-km 40 --seeds 2
+//! rem compare --scenario scenarios/hsr_beijing_shanghai.toml --hash
 //! rem trace   --dataset bt --plane legacy --out trace.jsonl
 //! rem audit   policies.json
 //! rem bler    --model hst --speed 350 --snr 6 --blocks 200
-//! rem storm   --clients 8 --dataset bs --speed 300
+//! rem train   --clients 8 --dataset bs --speed 300
 //! rem faults  --dataset bt --plane legacy --seeds 3 --verify 2
+//! rem scenario validate scenarios/
 //! ```
 
 mod args;
 mod obs;
 
-use args::{ArgError, Args};
+use args::{ArgError, Args, CommonArgs};
 use obs::ObsSession;
-use rem_core::rem_faults::ChaosConfig;
+use rem_core::scenario::{Family, PlaneMix};
 use rem_core::{
     fnv1a64, CampaignSpec, Comparison, DatasetSpec, ExperimentError, FaultConfig, FaultKind,
-    Plane, RunConfig, RunPolicy,
+    Plane, RunConfig, ScenarioSpec,
 };
 use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
 use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
 use rem_mobility::CellPolicy;
-use rem_sim::{simulate_run, simulate_train};
+use rem_sim::{simulate_run, TrainScenario};
 use std::path::{Path, PathBuf};
 
 /// Everything a command can fail with, mapped to distinct exit codes:
-/// usage errors exit 2, experiment/runtime errors (I/O, corrupt
-/// checkpoints, quarantined trials...) exit 1.
+/// usage errors (bad flags, bad scenario files) exit 2,
+/// experiment/runtime errors (I/O, corrupt checkpoints, quarantined
+/// trials...) exit 1.
 enum CliError {
     /// Bad flags or arguments.
     Arg(ArgError),
@@ -65,8 +68,11 @@ fn main() {
         "trace" => cmd_trace(rest),
         "audit" => cmd_audit(rest),
         "bler" => cmd_bler(rest),
-        "storm" => cmd_storm(rest),
+        // `storm` is the historical name of `train`; both spellings run
+        // the whole-train study.
+        "train" | "storm" => cmd_train(rest),
         "faults" => cmd_faults(rest),
+        "scenario" => cmd_scenario(rest),
         "obs" => obs::cmd_obs(rest),
         "rerun" => obs::cmd_rerun(rest),
         "help" | "--help" | "-h" => {
@@ -81,6 +87,12 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+        // A bad scenario file is a usage error, not a campaign failure:
+        // the invocation was wrong, nothing ran.
+        Err(CliError::Experiment(ExperimentError::Scenario(e))) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
         Err(CliError::Experiment(e)) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -88,33 +100,55 @@ fn main() {
     }
 }
 
-/// Parses the shared crash-safety flags (`--threads`, `--max-retries`,
-/// `--trial-timeout-ms`, `--checkpoint-every`).
-fn run_policy(a: &Args) -> Result<RunPolicy, ArgError> {
-    let timeout = a.int_or("trial-timeout-ms", 0)?;
-    Ok(RunPolicy {
-        threads: a.int_or("threads", 0)? as usize,
-        max_retries: a.int_or("max-retries", 1)? as u32,
-        trial_timeout_ms: (timeout > 0).then_some(timeout),
-        checkpoint_every: a.int_or("checkpoint-every", 16)? as usize,
-    })
-}
-
-/// Parses the chaos flags (`--chaos-panic <rate>`, `--chaos-fatal`,
-/// `--chaos-seed`); `None` when chaos is off.
-fn chaos_config(a: &Args) -> Result<Option<ChaosConfig>, ArgError> {
-    let rate = a.num_or("chaos-panic", 0.0)?;
-    if rate <= 0.0 {
-        return Ok(None);
+/// Loads `--scenario <file>` when present and folds every explicit
+/// command-line flag on top: flags win over the file, absent flags keep
+/// the file's values. The result is re-validated, so an override that
+/// breaks an invariant fails exactly like a bad file would.
+fn scenario_from(a: &Args, common: &CommonArgs) -> Result<Option<ScenarioSpec>, CliError> {
+    let Some(path) = &common.scenario else { return Ok(None) };
+    let mut spec = ScenarioSpec::load(Path::new(path)).map_err(ExperimentError::from)?;
+    if let Some(code) = a.get("dataset") {
+        spec.cells.family = Family::from_code(code)
+            .ok_or_else(|| ArgError(format!("unknown dataset '{code}' (bt|bs|la|nr)")))?;
     }
-    if !(0.0..=1.0).contains(&rate) {
-        return Err(ArgError(format!("--chaos-panic expects a rate in [0,1], got {rate}")));
+    if let Some(v) = a.num_opt("speed")? {
+        spec.trajectory.speed_kmh = v;
     }
-    Ok(Some(ChaosConfig {
-        seed: a.int_or("chaos-seed", 7)?,
-        panic_rate: rate,
-        fatal: a.flag("chaos-fatal"),
-    }))
+    if let Some(v) = a.num_opt("route-km")? {
+        spec.trajectory.route_km = v;
+    }
+    if let Some(p) = a.get("plane") {
+        spec.policy.plane = match p {
+            "legacy" => PlaneMix::Legacy,
+            "rem" => PlaneMix::Rem,
+            "both" => PlaneMix::Both,
+            other => {
+                return Err(ArgError(format!("unknown plane '{other}' (legacy|rem|both)")).into())
+            }
+        };
+    }
+    if let Some(m) = a.get("model") {
+        spec.link.model = link_model(m)?;
+    }
+    if let Some(v) = a.num_opt("snr")? {
+        spec.link.snr_db = v;
+    }
+    if let Some(n) = a.int_opt("blocks")? {
+        spec.link.blocks = n as usize;
+    }
+    if let Some(s) = a.int_opt("seed")? {
+        spec.link.seed = s;
+        spec.train.seed = s;
+    }
+    if let Some(x) = a.num_opt("rate-scale")? {
+        spec.faults.get_or_insert_with(Default::default).rate_scale = Some(x);
+    }
+    if let Some(n) = a.int_opt("clients")? {
+        spec.train.clients = n as usize;
+    }
+    common.overlay_run(&mut spec.run);
+    spec.validate().map_err(ExperimentError::from)?;
+    Ok(Some(spec))
 }
 
 /// Prints the supervision summary of a checked run when anything
@@ -152,34 +186,39 @@ fn print_help() {
 
 USAGE: rem <command> [--flag value ...]
 
+Campaign commands (compare, bler, faults, train) accept
+  --scenario <file>    load a declarative REMSCENARIO1 TOML scenario
+                       (see scenarios/) as the base configuration; any
+                       other flag on the command line overrides the
+                       corresponding scenario field
+and the shared execution flags
+  --threads <n>        worker threads (default 0 = all cores)
+  --hash               print an FNV-1a 64 digest of the full result
+                       (determinism checks)
+  --checkpoint <file>  save campaign state atomically as trials finish
+  --resume <file>      resume a killed campaign: only the missing
+                       trials run; the result is bit-identical to an
+                       uninterrupted run
+  --checkpoint-every <n>   trials per checkpoint wave (default 16)
+  --max-retries <n>        panicking-trial retries before quarantine
+                           (default 1)
+  --trial-timeout-ms <ms>  report trials exceeding this deadline
+                           (detection only)
+  --chaos-panic <rate>     inject deterministic trial panics (CI
+                           crash-safety gate); --chaos-fatal makes them
+                           persist past retries, --chaos-seed <n> picks
+                           the victims
+  --obs-trace <file>   write the observability trace (JSONL) plus
+                       <file>.metrics.prom and <file>.manifest.json;
+                       campaigns with --checkpoint also write
+                       <ckpt>.manifest.json
+
 COMMANDS:
   compare   Paired legacy-vs-REM replay on a synthetic dataset
               --dataset bt|bs|la|nr (default bs)
               --speed <km/h>       (default 300)
               --route-km <km>      (default 40)
               --seeds <n>          (default 2)
-              --threads <n>        (default 0 = all cores)
-              --hash               print an FNV-1a 64 digest of the
-                                   full comparison (determinism checks)
-              --checkpoint <file>  save campaign state atomically as
-                                   trials finish (crash-safe)
-              --resume <file>      resume a killed campaign: only the
-                                   missing trials run; the result is
-                                   bit-identical to an uninterrupted run
-              --checkpoint-every <n>  trials per checkpoint wave (16)
-              --max-retries <n>    panicking-trial retries before
-                                   quarantine (default 1)
-              --trial-timeout-ms <ms>  report trials exceeding this
-                                   deadline (detection only)
-              --chaos-panic <rate> inject deterministic trial panics
-                                   (CI crash-safety gate); --chaos-fatal
-                                   makes them persist past retries,
-                                   --chaos-seed <n> picks the victims
-              --obs-trace <file>   write the observability trace (JSONL)
-                                   plus <file>.metrics.prom and
-                                   <file>.manifest.json; campaigns with
-                                   --checkpoint also write
-                                   <ckpt>.manifest.json
   trace     Export a MobileInsight-style signaling trace (JSON lines)
               --dataset/--speed/--route-km as above
               --plane legacy|rem   (default legacy)
@@ -194,16 +233,9 @@ COMMANDS:
               --snr <dB>               (default 6)
               --blocks <n>             (default 200)
               --seed <n>               (default 1)
-              --threads <n>            (default 0 = all cores)
-              --hash                   print an FNV-1a 64 digest of all
-                                       per-trial outcomes (determinism)
-              --checkpoint/--resume/--checkpoint-every,
-              --max-retries/--trial-timeout-ms,
-              --chaos-panic/--chaos-fatal/--chaos-seed,
-              --obs-trace as in compare
-  storm     Whole-train signaling burst statistics
+  train     Whole-train signaling burst statistics (alias: storm)
               --clients <n>        (default 8)
-              --threads <n>        (default 0 = all cores)
+              --seed <n>           (default 7)
               --dataset/--speed/--route-km/--plane as above
   faults    Fault-injection campaign: seeded faults (Table 2 taxonomy),
             recovery statistics, and the classification oracle.
@@ -211,16 +243,14 @@ COMMANDS:
             injected ground truth.
               --dataset/--speed/--route-km/--plane as above
               --seeds <n>          (default 3)
-              --threads <n>        (default 0 = all cores)
               --rate-scale <x>     (default 1.0; scales all fault rates)
               --verify <n>         also re-run on 1 vs <n> threads and
                                    require bit-identical metrics
-              --hash               print an FNV-1a 64 digest of the
-                                   aggregated metrics (determinism)
-              --checkpoint/--resume/--checkpoint-every,
-              --max-retries/--trial-timeout-ms,
-              --chaos-panic/--chaos-fatal/--chaos-seed,
-              --obs-trace as in compare
+  scenario  Tooling over scenario files (the CI scenario gate)
+              validate <file-or-dir>...  parse + validate each file,
+                                         print its fingerprint
+              smoke <file-or-dir>...     additionally run a 1-seed
+                                         paired comparison end-to-end
   obs       Offline tools over observability artifacts
               summarize <trace.jsonl>  per-kind event counts of an
                                        --obs-trace file
@@ -256,15 +286,29 @@ fn plane(a: &Args) -> Result<Plane, ArgError> {
     }
 }
 
+fn link_model(code: &str) -> Result<rem_channel::models::ChannelModel, ArgError> {
+    use rem_channel::models::ChannelModel;
+    match code {
+        "hst" => Ok(ChannelModel::Hst),
+        "eva" => Ok(ChannelModel::Eva),
+        "etu" => Ok(ChannelModel::Etu),
+        "epa" => Ok(ChannelModel::Epa),
+        other => Err(ArgError(format!("unknown model '{other}' (hst|eva|etu|epa)"))),
+    }
+}
+
 fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
-    let policy = run_policy(&a)?;
-    let chaos = chaos_config(&a)?;
-    let session = ObsSession::begin(&a);
-    let ckpt_path: Option<PathBuf> =
-        a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
+    let common = CommonArgs::parse(&a)?;
+    let scn = scenario_from(&a, &common)?;
+    let (policy, chaos) = match &scn {
+        Some(s) => (s.run_policy(), s.chaos()),
+        None => (common.run_policy(), common.chaos()),
+    };
+    let session = ObsSession::begin(&common);
+    let ckpt_path = common.ckpt_path();
 
-    let (campaign, checked) = if let Some(resume) = a.get("resume") {
+    let (campaign, checked) = if let Some(resume) = &common.resume {
         // The checkpoint carries the campaign fingerprint: dataset
         // flags are ignored, only the execution policy applies.
         let (campaign, checked) = CampaignSpec::resume(Path::new(resume), &policy)?;
@@ -275,17 +319,22 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
         );
         (campaign, checked)
     } else {
-        let spec = dataset(&a)?;
-        let n_seeds = a.int_or("seeds", 2)? as usize;
+        let campaign = match &scn {
+            Some(s) => s.campaign(),
+            None => {
+                let n_seeds = common.seeds.unwrap_or(2);
+                CampaignSpec::new(dataset(&a)?)
+                    .with_seed_count(n_seeds)
+                    .with_threads(policy.threads)
+            }
+        };
         println!(
             "{} @ {} km/h, {:.0} km x {} seeds",
-            spec.name,
-            spec.speed_kmh,
-            spec.deployment.route_m / 1e3,
-            n_seeds
+            campaign.spec.name,
+            campaign.spec.speed_kmh,
+            campaign.spec.deployment.route_m / 1e3,
+            campaign.seeds.len()
         );
-        let campaign =
-            CampaignSpec::new(spec).with_seed_count(n_seeds).with_threads(policy.threads);
         let checked = match &chaos {
             Some(c) => Comparison::run_checkpointed_with(
                 &campaign,
@@ -330,7 +379,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
         cmp.legacy.signaling.total_messages(),
         cmp.rem.signaling.total_messages()
     );
-    if a.flag("hash") {
+    if common.hash {
         let json = serde_json::to_string(cmp).map_err(|e| ArgError(format!("serialize: {e}")))?;
         println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
     }
@@ -354,6 +403,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
             &policy,
             &chaos,
             hash,
+            scn.as_ref().map(ScenarioSpec::fingerprint),
         )?;
         session.finish(&manifest, ckpt_path.as_deref())?;
     }
@@ -423,17 +473,20 @@ fn cmd_audit(rest: Vec<String>) -> Result<(), CliError> {
 }
 
 fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
-    use rem_channel::models::ChannelModel;
     use rem_phy::link::{BlerScenario, Waveform};
 
     let a = Args::parse(rest)?;
-    let policy = run_policy(&a)?;
-    let chaos = chaos_config(&a)?;
-    let session = ObsSession::begin(&a);
+    let common = CommonArgs::parse(&a)?;
+    let scn = scenario_from(&a, &common)?;
+    let (policy, chaos) = match &scn {
+        Some(s) => (s.run_policy(), s.chaos()),
+        None => (common.run_policy(), common.chaos()),
+    };
+    let session = ObsSession::begin(&common);
 
     // Same seed for both waveforms: trial i sees the identical channel
     // and payload under each, so the comparison is paired.
-    let (scenario, otfs_scenario) = if let Some(resume) = a.get("resume") {
+    let (scenario, otfs_scenario) = if let Some(resume) = &common.resume {
         // The checkpoint carries both scenarios; link flags are
         // ignored, only the execution policy applies.
         let ckpt = rem_core::Checkpoint::load(Path::new(resume))?;
@@ -447,15 +500,10 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
         let (s, o): (BlerScenario, BlerScenario) = serde_json::from_str(&ckpt.spec_json)
             .map_err(|e| ExperimentError::serde("bler scenarios in checkpoint", e))?;
         (s.with_threads(policy.threads), o.with_threads(policy.threads))
+    } else if let Some(s) = &scn {
+        (s.bler_scenario(Waveform::Ofdm), s.bler_scenario(Waveform::Otfs))
     } else {
-        let model = match a.get_or("model", "hst") {
-            "hst" => ChannelModel::Hst,
-            "eva" => ChannelModel::Eva,
-            "etu" => ChannelModel::Etu,
-            "epa" => ChannelModel::Epa,
-            other => return Err(ArgError(format!("unknown model '{other}'")).into()),
-        };
-        let s = BlerScenario::signaling(Waveform::Ofdm, model)
+        let s = BlerScenario::signaling(Waveform::Ofdm, link_model(a.get_or("model", "hst"))?)
             .with_speed_kmh(a.num_or("speed", 350.0)?)
             .with_snr_db(a.num_or("snr", 6.0)?)
             .with_blocks(a.int_or("blocks", 200)? as usize)
@@ -472,8 +520,7 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
     let fingerprint =
         serde_json::to_string(&(scenario.with_threads(0), otfs_scenario.with_threads(0)))
             .map_err(|e| ExperimentError::serde("bler fingerprint", e))?;
-    let ckpt_path: Option<PathBuf> =
-        a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
+    let ckpt_path = common.ckpt_path();
     let run = rem_core::run_trials_checkpointed(
         "bler",
         &fingerprint,
@@ -506,7 +553,7 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
     );
     println!("  legacy OFDM BLER: {:.3}", bler(ofdm_outcomes));
     println!("  REM OTFS BLER:    {:.3}", bler(otfs_outcomes));
-    if a.flag("hash") {
+    if common.hash {
         // Hash the full per-trial outcome record, not just the BLER:
         // any change in SINR or bit-error counts must move the digest.
         // `Vec<Option<T>>` with every slot `Some` serializes exactly
@@ -527,8 +574,15 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
         let json = serde_json::to_string(&(ofdm_outcomes, otfs_outcomes))
             .map_err(|e| ArgError(format!("serialize: {e}")))?;
         let hash = run.is_clean().then(|| obs::hash_string(&json));
-        let manifest =
-            obs::campaign_manifest("bler", &fingerprint, 2 * blocks, &policy, &chaos, hash)?;
+        let manifest = obs::campaign_manifest(
+            "bler",
+            &fingerprint,
+            2 * blocks,
+            &policy,
+            &chaos,
+            hash,
+            scn.as_ref().map(ScenarioSpec::fingerprint),
+        )?;
         session.finish(&manifest, ckpt_path.as_deref())?;
     }
     if !run.is_clean() {
@@ -541,27 +595,49 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     use rem_mobility::FailureCause;
 
     let a = Args::parse(rest)?;
-    let spec = dataset(&a)?;
-    let pl = plane(&a)?;
-    let n_seeds = a.int_or("seeds", 3)? as usize;
-    let policy = run_policy(&a)?;
-    let chaos = chaos_config(&a)?;
-    let scale = a.num_or("rate-scale", 1.0)?;
-    let faults = FaultConfig::default().scaled(scale);
+    let common = CommonArgs::parse(&a)?;
+    let scn = scenario_from(&a, &common)?;
+    let (policy, chaos) = match &scn {
+        Some(s) => (s.run_policy(), s.chaos()),
+        None => (common.run_policy(), common.chaos()),
+    };
+    // A fault campaign always injects: a scenario without a `[faults]`
+    // section runs the stock schedule, exactly like the flag path.
+    let (spec, pl, seeds, faults) = match &scn {
+        Some(s) => (
+            s.dataset(),
+            s.single_plane().unwrap_or(Plane::Legacy),
+            s.run.seeds.clone(),
+            s.fault_config().unwrap_or_default(),
+        ),
+        None => {
+            let n_seeds = common.seeds.unwrap_or(3);
+            let scale = a.num_or("rate-scale", 1.0)?;
+            (
+                dataset(&a)?,
+                plane(&a)?,
+                (1..=n_seeds as u64).collect(),
+                FaultConfig::default().scaled(scale),
+            )
+        }
+    };
     faults.validate().map_err(ArgError)?;
-    let session = ObsSession::begin(&a);
+    let session = ObsSession::begin(&common);
 
     println!(
-        "{} @ {} km/h, {:?} plane, {} seeds, fault rates x{:.2}",
-        spec.name, spec.speed_kmh, pl, n_seeds, scale
+        "{} @ {} km/h, {:?} plane, {} seeds, fault injection on",
+        spec.name,
+        spec.speed_kmh,
+        pl,
+        seeds.len()
     );
     let campaign = CampaignSpec::new(spec)
-        .with_seed_count(n_seeds)
+        .with_seeds(&seeds)
         .with_threads(policy.threads)
         .with_faults(faults);
     // `--checkpoint` doubles as resume: rerunning the same command with
     // an existing checkpoint computes only the missing trials.
-    let ckpt: Option<PathBuf> = a.get("resume").or_else(|| a.get("checkpoint")).map(PathBuf::from);
+    let ckpt = common.ckpt_path();
     let checked = match &chaos {
         Some(c) => campaign.aggregate_checkpointed_with(pl, &policy, ckpt.as_deref(), |i, at| {
             c.maybe_panic(i, at)
@@ -621,7 +697,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
         println!("\nverified: 1-thread and {verify}-thread campaigns are bit-identical");
     }
 
-    if a.flag("hash") {
+    if common.hash {
         let json = serde_json::to_string(m).map_err(|e| ArgError(format!("serialize: {e}")))?;
         println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
     }
@@ -647,6 +723,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
             &policy,
             &chaos,
             hash,
+            scn.as_ref().map(ScenarioSpec::fingerprint),
         )?;
         session.finish(&manifest, ckpt.as_deref())?;
     }
@@ -660,17 +737,108 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_storm(rest: Vec<String>) -> Result<(), CliError> {
+/// `rem train` (historically `rem storm`) — the whole-train
+/// signaling-burst study over [`TrainScenario`].
+fn cmd_train(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
-    let spec = dataset(&a)?;
-    let cfg = RunConfig::new(spec, plane(&a)?, a.int_or("seed", 7)?);
-    let clients = a.int_or("clients", 8)? as usize;
-    let threads = a.int_or("threads", 0)? as usize;
-    let t = simulate_train(&cfg, clients, 400.0, 1_000.0, threads);
+    let common = CommonArgs::parse(&a)?;
+    let scn = scenario_from(&a, &common)?;
+    let train = match &scn {
+        Some(s) => s.train_scenario(),
+        None => {
+            let cfg = RunConfig::new(dataset(&a)?, plane(&a)?, a.int_or("seed", 7)?);
+            TrainScenario::new(cfg)
+                .with_clients(a.int_or("clients", 8)? as usize)
+                .with_threads(common.threads.unwrap_or(0))
+        }
+    };
+    let t = train.run();
     println!(
         "{} clients, {} messages total: mean {:.1} msg/s, peak {:.1} msg/s over {:.0} ms windows",
         t.n_clients, t.total_messages, t.mean_rate_per_s, t.peak_rate_per_s, t.window_ms
     );
     println!("handovers {} / failures {}", t.handovers, t.failures);
+    if let Some(s) = &scn {
+        println!("scenario: {}", s.fingerprint());
+    }
+    Ok(())
+}
+
+/// Expands `rem scenario` positionals into concrete files: a directory
+/// contributes every `*.toml` inside it, sorted by name.
+fn scenario_files(paths: &[String]) -> Result<Vec<PathBuf>, CliError> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = PathBuf::from(p);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&path)
+                .map_err(|e| ArgError(format!("cannot read {}: {e}", path.display())))?
+                .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(ArgError("no scenario files given (expected files or directories)".into())
+            .into());
+    }
+    Ok(files)
+}
+
+/// `rem scenario validate|smoke <file-or-dir>...` — the CI gate over
+/// the `scenarios/` directory. `validate` loads and fully validates
+/// each file; `smoke` additionally replays a 1-seed paired comparison
+/// so every shipped scenario is known to run end-to-end.
+fn cmd_scenario(rest: Vec<String>) -> Result<(), CliError> {
+    let a = Args::parse(rest)?;
+    let usage = || {
+        CliError::Arg(ArgError(
+            "usage: rem scenario validate|smoke <file-or-dir>... (see `rem help`)".to_string(),
+        ))
+    };
+    let (verb, rest) = a.positional().split_first().ok_or_else(usage)?;
+    let smoke = match verb.as_str() {
+        "validate" => false,
+        "smoke" => true,
+        _ => return Err(usage()),
+    };
+    let files = scenario_files(rest)?;
+
+    let mut failed = 0usize;
+    for file in &files {
+        match ScenarioSpec::load(file) {
+            Err(e) => {
+                eprintln!("error: {}: {e}", file.display());
+                failed += 1;
+            }
+            Ok(spec) => {
+                println!("ok: {} ({})", file.display(), spec.fingerprint());
+                if smoke {
+                    let mut campaign = spec.campaign();
+                    campaign.seeds.truncate(1);
+                    let cmp = Comparison::run(&campaign);
+                    println!(
+                        "   1-seed smoke: legacy {:.1}% -> REM {:.1}% failures, \
+                         {} + {} handovers",
+                        cmp.legacy.failure_ratio() * 100.0,
+                        cmp.rem.failure_ratio() * 100.0,
+                        cmp.legacy.handovers.len(),
+                        cmp.rem.handovers.len()
+                    );
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(ArgError(format!(
+            "{failed} of {} scenario file(s) failed validation",
+            files.len()
+        ))
+        .into());
+    }
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! `rem rerun <manifest>` replays the campaign from the manifest alone
 //! and fails (exit 1) unless the recomputed `--hash` digest matches.
 
-use crate::args::{ArgError, Args};
+use crate::args::{ArgError, Args, CommonArgs};
 use crate::CliError;
 use rem_core::rem_faults::ChaosConfig;
 use rem_core::{fnv1a64, RunPolicy};
@@ -40,8 +40,8 @@ impl ObsSession {
     /// metrics registry and activates the trace sink (warning on
     /// stderr when the binary was built without the `obs` feature and
     /// the file would stay empty).
-    pub fn begin(a: &Args) -> Self {
-        let trace_path = a.get("obs-trace").map(PathBuf::from);
+    pub fn begin(c: &CommonArgs) -> Self {
+        let trace_path = c.obs_trace.as_deref().map(PathBuf::from);
         if trace_path.is_some() {
             rem_obs::metrics::reset();
             if !rem_obs::trace::start() {
@@ -101,6 +101,8 @@ impl ObsSession {
 }
 
 /// Builds a campaign manifest from the shared execution-policy flags.
+/// `scenario` is the fingerprint of the `--scenario` file the run was
+/// launched from, when there was one.
 pub fn campaign_manifest(
     kind: &str,
     spec_json: &str,
@@ -108,6 +110,7 @@ pub fn campaign_manifest(
     policy: &RunPolicy,
     chaos: &Option<ChaosConfig>,
     result_hash: Option<String>,
+    scenario: Option<String>,
 ) -> Result<RunManifest, CliError> {
     let mut m = RunManifest::new(kind, spec_json, n_trials);
     m.threads = policy.threads;
@@ -122,6 +125,7 @@ pub fn campaign_manifest(
         None => None,
     };
     m.result_hash = result_hash;
+    m.scenario = scenario;
     Ok(m)
 }
 

@@ -60,6 +60,10 @@ pub enum ExperimentError {
         /// The quarantined trials, in canonical index order.
         trials: Vec<rem_exec::QuarantinedTrial>,
     },
+    /// A scenario file failed to load or validate. The CLI treats this
+    /// as a usage error (exit 2): the invocation, not the campaign,
+    /// was wrong.
+    Scenario(crate::scenario::ScenarioError),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -92,6 +96,7 @@ impl std::fmt::Display for ExperimentError {
                 }
                 Ok(())
             }
+            ExperimentError::Scenario(e) => write!(f, "{e}"),
         }
     }
 }
@@ -114,6 +119,12 @@ impl ExperimentError {
     /// Shorthand for a serde error in `context`.
     pub fn serde(context: impl Into<String>, err: impl std::fmt::Display) -> Self {
         ExperimentError::Serde { context: context.into(), message: err.to_string() }
+    }
+}
+
+impl From<crate::scenario::ScenarioError> for ExperimentError {
+    fn from(e: crate::scenario::ScenarioError) -> Self {
+        ExperimentError::Scenario(e)
     }
 }
 

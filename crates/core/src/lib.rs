@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod experiment;
 pub mod report;
+pub mod scenario;
 pub mod tcp_coupling;
 
 pub use checkpoint::{
@@ -52,6 +53,7 @@ pub use experiment::{
     DEFAULT_SEEDS,
 };
 pub use report::{ExperimentReport, ReportRow};
+pub use scenario::{ScenarioError, ScenarioSpec, SCENARIO_FORMAT};
 pub use tcp_coupling::{mean_stall_per_failure_s, replay_tcp, replay_tcp_faulted, STALL_GAP_MS};
 
 // Subsystem re-exports so downstream users depend on one crate.

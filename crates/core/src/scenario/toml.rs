@@ -1,0 +1,423 @@
+//! A tiny, dependency-free TOML-subset reader for scenario files.
+//!
+//! Scenario files only need a small, predictable slice of TOML, so —
+//! like the CLI's flag parser — this module implements exactly that
+//! slice instead of pulling in a dependency:
+//!
+//! * comments (`# ...`, full-line or trailing, outside strings);
+//! * `[section]` and `[section.sub]` table headers;
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]`);
+//! * values: basic strings (`"..."` with `\"`, `\\`, `\n`, `\t`
+//!   escapes), booleans, integers, floats (including exponent
+//!   notation), and arrays of values (nestable, may span lines).
+//!
+//! Not supported (and rejected with a line-numbered error): inline
+//! tables, arrays of tables (`[[x]]`), multi-line strings, literal
+//! (single-quoted) strings, and dotted keys on the left-hand side of
+//! a `key = value` pair. The scenario writer
+//! ([`crate::scenario::ScenarioSpec::to_toml`]) only emits the
+//! supported slice, so everything it writes parses back.
+
+use std::collections::BTreeMap;
+
+/// One parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Toml {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Toml>),
+    /// A (sub)table.
+    Table(BTreeMap<String, Toml>),
+}
+
+impl Toml {
+    /// Short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Toml::Str(_) => "string",
+            Toml::Int(_) => "integer",
+            Toml::Float(_) => "float",
+            Toml::Bool(_) => "boolean",
+            Toml::Array(_) => "array",
+            Toml::Table(_) => "table",
+        }
+    }
+}
+
+/// A syntax error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Strips a trailing comment (a `#` outside any string) from a line.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Whether every `[` has been closed and no string is open — used to
+/// decide if an array value continues on the next line.
+fn is_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => escaped = false,
+        }
+        if c != '\\' {
+            escaped = false;
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+fn valid_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses a full document into its top-level table.
+pub fn parse(src: &str) -> Result<BTreeMap<String, Toml>, TomlError> {
+    let mut root: BTreeMap<String, Toml> = BTreeMap::new();
+    let mut current_path: Vec<String> = Vec::new();
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix('[') {
+            if rest.starts_with('[') {
+                return Err(TomlError {
+                    line: lineno,
+                    message: "arrays of tables ([[...]]) are not supported".into(),
+                });
+            }
+            let Some(inner) = rest.strip_suffix(']') else {
+                return Err(TomlError {
+                    line: lineno,
+                    message: format!("unterminated table header '{line}'"),
+                });
+            };
+            let path: Vec<String> = inner.split('.').map(|p| p.trim().to_string()).collect();
+            if path.iter().any(|p| !valid_key(p)) {
+                return Err(TomlError {
+                    line: lineno,
+                    message: format!("invalid table name '[{inner}]'"),
+                });
+            }
+            // Materialise the table path (re-opening is allowed).
+            let mut cursor = &mut root;
+            for part in &path {
+                let entry = cursor
+                    .entry(part.clone())
+                    .or_insert_with(|| Toml::Table(BTreeMap::new()));
+                match entry {
+                    Toml::Table(t) => cursor = t,
+                    other => {
+                        return Err(TomlError {
+                            line: lineno,
+                            message: format!(
+                                "'{part}' is already a {}, not a table",
+                                other.type_name()
+                            ),
+                        })
+                    }
+                }
+            }
+            current_path = path;
+            continue;
+        }
+
+        let Some(eq) = line.find('=') else {
+            return Err(TomlError {
+                line: lineno,
+                message: format!("expected 'key = value' or '[table]', got '{line}'"),
+            });
+        };
+        let key = line[..eq].trim();
+        if !valid_key(key) {
+            return Err(TomlError {
+                line: lineno,
+                message: format!(
+                    "invalid key '{key}' (bare keys only: letters, digits, '_', '-')"
+                ),
+            });
+        }
+        let mut value_src = line[eq + 1..].trim().to_string();
+        // Arrays may span lines: keep consuming until brackets balance.
+        while !is_balanced(&value_src) {
+            let Some((_, next)) = lines.next() else {
+                return Err(TomlError {
+                    line: lineno,
+                    message: format!("unterminated array in value of '{key}'"),
+                });
+            };
+            value_src.push(' ');
+            value_src.push_str(strip_comment(next).trim());
+        }
+        let (value, rest) = parse_value(&value_src, lineno)?;
+        if !rest.trim().is_empty() {
+            return Err(TomlError {
+                line: lineno,
+                message: format!("trailing content '{}' after value of '{key}'", rest.trim()),
+            });
+        }
+
+        // Walk to the current table and insert.
+        let mut cursor = &mut root;
+        for part in &current_path {
+            match cursor.get_mut(part) {
+                Some(Toml::Table(t)) => cursor = t,
+                _ => unreachable!("table path was materialised by its header"),
+            }
+        }
+        if cursor.insert(key.to_string(), value).is_some() {
+            return Err(TomlError {
+                line: lineno,
+                message: format!("duplicate key '{key}'"),
+            });
+        }
+    }
+    Ok(root)
+}
+
+/// Parses one value off the front of `src`, returning the remainder.
+fn parse_value<'a>(src: &'a str, lineno: usize) -> Result<(Toml, &'a str), TomlError> {
+    let src = src.trim_start();
+    let err = |message: String| TomlError { line: lineno, message };
+
+    if let Some(rest) = src.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Toml::Str(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => {
+                        return Err(err(format!("unsupported escape '\\{other}'")))
+                    }
+                    None => return Err(err("unterminated string".into())),
+                },
+                other => out.push(other),
+            }
+        }
+        return Err(err("unterminated string".into()));
+    }
+
+    if let Some(mut rest) = src.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Toml::Array(items), after));
+            }
+            let (item, after) = parse_value(rest, lineno)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err(err("expected ',' or ']' in array".into()));
+            }
+        }
+    }
+
+    // Scalar token: runs to the next delimiter.
+    let end = src
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(src.len());
+    let token = &src[..end];
+    let rest = &src[end..];
+    if token.is_empty() {
+        return Err(err("expected a value".into()));
+    }
+    match token {
+        "true" => return Ok((Toml::Bool(true), rest)),
+        "false" => return Ok((Toml::Bool(false), rest)),
+        _ => {}
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Ok((Toml::Int(i), rest));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        if f.is_finite() {
+            return Ok((Toml::Float(f), rest));
+        }
+        return Err(err(format!("non-finite number '{token}'")));
+    }
+    Err(err(format!("cannot parse value '{token}'")))
+}
+
+/// Escapes a string for emission inside `"..."`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it parses back to the identical bits (Rust's
+/// shortest round-trip representation) and always reads as a float.
+pub fn fmt_f64(v: f64) -> String {
+    let s = format!("{v:?}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_comments() {
+        let doc = r#"
+            # a scenario
+            format = "REMSCENARIO1"  # trailing comment
+            count = 3
+            rate = 1.5
+            on = true
+
+            [trajectory]
+            speed_kmh = 300.0
+            exp = 1.88e9
+        "#;
+        let t = parse(doc).unwrap();
+        assert_eq!(t["format"], Toml::Str("REMSCENARIO1".into()));
+        assert_eq!(t["count"], Toml::Int(3));
+        assert_eq!(t["rate"], Toml::Float(1.5));
+        assert_eq!(t["on"], Toml::Bool(true));
+        let Toml::Table(traj) = &t["trajectory"] else { panic!("table") };
+        assert_eq!(traj["speed_kmh"], Toml::Float(300.0));
+        assert_eq!(traj["exp"], Toml::Float(1.88e9));
+    }
+
+    #[test]
+    fn parses_nested_and_multiline_arrays() {
+        let doc = "
+            seeds = [1, 2, 3]
+            carriers = [
+                [1850, 1.88e9, 20.0],  # primary
+                [2452, 2.66e9, 20.0],
+            ]
+        ";
+        let t = parse(doc).unwrap();
+        assert_eq!(
+            t["seeds"],
+            Toml::Array(vec![Toml::Int(1), Toml::Int(2), Toml::Int(3)])
+        );
+        let Toml::Array(rows) = &t["carriers"] else { panic!("array") };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            Toml::Array(vec![Toml::Int(1850), Toml::Float(1.88e9), Toml::Float(20.0)])
+        );
+    }
+
+    #[test]
+    fn parses_dotted_table_headers_and_strings_with_escapes() {
+        let doc = "[a.b]\nname = \"x \\\"y\\\" #z\"\n";
+        let t = parse(doc).unwrap();
+        let Toml::Table(a) = &t["a"] else { panic!("table a") };
+        let Toml::Table(b) = &a["b"] else { panic!("table b") };
+        assert_eq!(b["name"], Toml::Str("x \"y\" #z".into()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("key = value"), "{e}");
+
+        let e = parse("x = \"unterminated").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse("x = nope").unwrap_err();
+        assert!(e.message.contains("nope"), "{e}");
+
+        let e = parse("[[tables]]\n").unwrap_err();
+        assert!(e.message.contains("not supported"), "{e}");
+
+        let e = parse("x = 1\nx = 2").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+
+        let e = parse("x = 1 2").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn reopening_a_table_is_allowed_but_scalar_clash_is_not() {
+        let t = parse("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3\n").unwrap();
+        let Toml::Table(a) = &t["a"] else { panic!("table") };
+        assert_eq!(a.len(), 2);
+
+        let e = parse("a = 1\n[a]\nx = 2\n").unwrap_err();
+        assert!(e.message.contains("not a table"), "{e}");
+    }
+
+    #[test]
+    fn fmt_f64_round_trips() {
+        for v in [300.0, 0.06, 1.88e9, -3.0, 0.935, 1e-12, 12345.678901234] {
+            let s = fmt_f64(v);
+            let (parsed, rest) = parse_value(&s, 1).unwrap();
+            assert!(rest.is_empty());
+            assert_eq!(parsed, Toml::Float(v), "{s}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a \"quoted\" \\ path\nnext\ttab";
+        let quoted = format!("\"{}\"", escape(s));
+        let (parsed, _) = parse_value(&quoted, 1).unwrap();
+        assert_eq!(parsed, Toml::Str(s.into()));
+    }
+}

@@ -66,6 +66,12 @@ pub struct RunManifest {
     /// the run computes one. `rem rerun` recomputes and compares.
     #[serde(default)]
     pub result_hash: Option<String>,
+    /// Scenario fingerprint (`"<name>:fnv1a64:<16 hex>"`) when the run
+    /// was launched from a `--scenario` file. Provenance only: the
+    /// campaign identity stays in `spec_json`, which is why `rem rerun`
+    /// replays scenario runs without the scenario file present.
+    #[serde(default)]
+    pub scenario: Option<String>,
 }
 
 impl RunManifest {
@@ -87,6 +93,7 @@ impl RunManifest {
             git_sha: git_sha(),
             obs_enabled: crate::compiled_in(),
             result_hash: None,
+            scenario: None,
         }
     }
 
@@ -196,6 +203,7 @@ mod tests {
         assert_eq!(m.threads, 0);
         assert!(m.result_hash.is_none());
         assert!(m.chaos.is_none());
+        assert!(m.scenario.is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// Why an external input could not be loaded.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ParseError {
     /// The file could not be read at all.
     Io {

@@ -41,5 +41,7 @@ pub use radio::{RadioEnv, ShadowingCfg};
 pub use rem_faults::{FaultConfig, FaultKind, FaultMode, FaultPlan, InjectedFault, OraclePair};
 pub use run::{simulate_run, Plane, ReestablishCfg, RunConfig};
 pub use trace::{SignalingEvent, SignalingTrace};
-pub use train::{simulate_train, TrainMetrics};
+#[allow(deprecated)]
+pub use train::simulate_train;
+pub use train::{TrainMetrics, TrainScenario};
 pub use trajectory::{SpeedProfile, Trajectory};

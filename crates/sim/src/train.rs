@@ -32,9 +32,20 @@ pub struct TrainMetrics {
     pub handovers: usize,
 }
 
-/// Simulates `n_clients` clients spread over `train_len_m` of train,
-/// each running the configured plane, and aggregates their signaling
-/// into network-side burst statistics.
+/// A whole-train signaling-storm study: `clients` clients spread over
+/// `train_len_m` of train, each replaying the base configuration's
+/// plane, their signaling merged into network-side burst statistics.
+///
+/// This is the builder-style replacement for the old positional
+/// [`simulate_train`] call. Defaults mirror the CLI: 8 clients over a
+/// 400 m train, a 1 s burst window, all available threads.
+///
+/// ```
+/// use rem_sim::{DatasetSpec, Plane, RunConfig, TrainScenario};
+/// let base = RunConfig::new(DatasetSpec::beijing_taiyuan(10.0, 300.0), Plane::Legacy, 5);
+/// let metrics = TrainScenario::new(base).with_clients(4).with_threads(1).run();
+/// assert_eq!(metrics.n_clients, 4);
+/// ```
 ///
 /// Each client's events are time-shifted by its car's offset (the cars
 /// cross each boundary `offset / speed` seconds apart), then merged on
@@ -44,6 +55,123 @@ pub struct TrainMetrics {
 /// `(base.seed, i)` alone — so they run on `threads` workers
 /// (`0` = all available) and merge in canonical client order; the
 /// result is bit-identical for every thread count.
+#[derive(Clone, Debug)]
+pub struct TrainScenario {
+    /// Per-client run configuration (plane, dataset, base seed).
+    pub base: RunConfig,
+    /// Active clients spread over the train.
+    pub clients: usize,
+    /// Train length (m).
+    pub train_len_m: f64,
+    /// Burst window (ms).
+    pub window_ms: f64,
+    /// Worker threads (`0` = all available).
+    pub threads: usize,
+}
+
+impl TrainScenario {
+    /// A train study over `base` with the CLI's defaults.
+    pub fn new(base: RunConfig) -> Self {
+        Self { base, clients: 8, train_len_m: 400.0, window_ms: 1_000.0, threads: 0 }
+    }
+
+    /// Sets the number of clients (must stay > 0).
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the train length (m).
+    pub fn with_train_len_m(mut self, train_len_m: f64) -> Self {
+        self.train_len_m = train_len_m;
+        self
+    }
+
+    /// Sets the burst window (ms).
+    pub fn with_window_ms(mut self, window_ms: f64) -> Self {
+        self.window_ms = window_ms;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = all available).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the study and aggregates the burst statistics.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero.
+    pub fn run(&self) -> TrainMetrics {
+        let Self { base, clients: n_clients, train_len_m, window_ms, threads } = self;
+        let (n_clients, train_len_m, window_ms, threads) =
+            (*n_clients, *train_len_m, *window_ms, *threads);
+        assert!(n_clients > 0);
+        let speed = base.spec.speed_ms();
+        let mut queue: EventQueue<SignalingEvent> = EventQueue::new();
+        let mut failures = 0usize;
+        let mut handovers = 0usize;
+        let mut duration_ms = 0.0f64;
+
+        let runs = rem_exec::par_map(threads, n_clients, |i| {
+            let mut cfg = base.clone();
+            cfg.record_trace = true;
+            // Same environment, different link/measurement randomness —
+            // and a distinct fault schedule when injection is enabled.
+            cfg.seed = base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
+            cfg.client_id = i as u64;
+            simulate_run(&cfg)
+        });
+        for (i, m) in runs.into_iter().enumerate() {
+            failures += m.failures.len();
+            handovers += m.handovers.len();
+            duration_ms = duration_ms.max(m.duration_s * 1e3);
+            // Car offset: clients further back cross each point later.
+            let offset_ms = if speed > 0.0 {
+                (i as f64 / n_clients.max(1) as f64) * train_len_m / speed * 1e3
+            } else {
+                0.0
+            };
+            for e in m.trace.events {
+                queue.push(e.t_ms() + offset_ms, e);
+            }
+        }
+
+        // Drain chronologically and slide the burst window.
+        let mut times = Vec::with_capacity(queue.len());
+        while let Some((t, _)) = queue.pop_due(f64::INFINITY) {
+            times.push(t);
+        }
+        let total = times.len();
+        let mut peak = 0usize;
+        let mut lo = 0usize;
+        for hi in 0..total {
+            while times[hi] - times[lo] > window_ms {
+                lo += 1;
+            }
+            peak = peak.max(hi - lo + 1);
+        }
+        let mean_rate =
+            if duration_ms > 0.0 { total as f64 / (duration_ms / 1e3) } else { 0.0 };
+        let peak_rate = peak as f64 / (window_ms / 1e3);
+
+        TrainMetrics {
+            n_clients,
+            total_messages: total,
+            mean_rate_per_s: mean_rate,
+            peak_rate_per_s: peak_rate,
+            window_ms,
+            failures,
+            handovers,
+        }
+    }
+}
+
+/// Simulates `n_clients` clients spread over `train_len_m` of train.
+///
+/// Positional-argument shim kept for one release.
+#[deprecated(since = "0.1.0", note = "use TrainScenario::new(base).with_clients(..).run()")]
 pub fn simulate_train(
     base: &RunConfig,
     n_clients: usize,
@@ -51,63 +179,12 @@ pub fn simulate_train(
     window_ms: f64,
     threads: usize,
 ) -> TrainMetrics {
-    assert!(n_clients > 0);
-    let speed = base.spec.speed_ms();
-    let mut queue: EventQueue<SignalingEvent> = EventQueue::new();
-    let mut failures = 0usize;
-    let mut handovers = 0usize;
-    let mut duration_ms = 0.0f64;
-
-    let runs = rem_exec::par_map(threads, n_clients, |i| {
-        let mut cfg = base.clone();
-        cfg.record_trace = true;
-        // Same environment, different link/measurement randomness —
-        // and a distinct fault schedule when injection is enabled.
-        cfg.seed = base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
-        cfg.client_id = i as u64;
-        simulate_run(&cfg)
-    });
-    for (i, m) in runs.into_iter().enumerate() {
-        failures += m.failures.len();
-        handovers += m.handovers.len();
-        duration_ms = duration_ms.max(m.duration_s * 1e3);
-        // Car offset: clients further back cross each point later.
-        let offset_ms = if speed > 0.0 {
-            (i as f64 / n_clients.max(1) as f64) * train_len_m / speed * 1e3
-        } else {
-            0.0
-        };
-        for e in m.trace.events {
-            queue.push(e.t_ms() + offset_ms, e);
-        }
-    }
-
-    // Drain chronologically and slide the burst window.
-    let mut times = Vec::with_capacity(queue.len());
-    while let Some((t, _)) = queue.pop_due(f64::INFINITY) {
-        times.push(t);
-    }
-    let total = times.len();
-    let mut peak = 0usize;
-    let mut lo = 0usize;
-    for hi in 0..total {
-        while times[hi] - times[lo] > window_ms {
-            lo += 1;
-        }
-        peak = peak.max(hi - lo + 1);
-    }
-    let mean_rate = if duration_ms > 0.0 { total as f64 / (duration_ms / 1e3) } else { 0.0 };
-    let peak_rate = peak as f64 / (window_ms / 1e3);
-
-    TrainMetrics {
-        n_clients,
-        total_messages: total,
-        mean_rate_per_s: mean_rate,
-        peak_rate_per_s: peak_rate,
-        window_ms,
-        failures,
-        handovers,
-    }
+    TrainScenario::new(base.clone())
+        .with_clients(n_clients)
+        .with_train_len_m(train_len_m)
+        .with_window_ms(window_ms)
+        .with_threads(threads)
+        .run()
 }
 
 #[cfg(test)]
@@ -120,10 +197,18 @@ mod tests {
         RunConfig::new(DatasetSpec::beijing_taiyuan(10.0, 300.0), plane, 5)
     }
 
+    fn train(plane: Plane, clients: usize) -> TrainScenario {
+        TrainScenario::new(base(plane))
+            .with_clients(clients)
+            .with_train_len_m(200.0)
+            .with_window_ms(1_000.0)
+            .with_threads(1)
+    }
+
     #[test]
     fn train_aggregates_clients() {
-        let one = simulate_train(&base(Plane::Legacy), 1, 200.0, 1_000.0, 1);
-        let four = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 1);
+        let one = train(Plane::Legacy, 1).run();
+        let four = train(Plane::Legacy, 4).run();
         assert!(four.total_messages > one.total_messages);
         assert!(four.handovers >= one.handovers);
         assert_eq!(four.n_clients, 4);
@@ -133,26 +218,37 @@ mod tests {
     fn bursts_exceed_mean_rate() {
         // Clients cross boundaries together: the peak windowed rate is
         // far above the average — the signaling-storm shape.
-        let t = simulate_train(&base(Plane::Legacy), 6, 200.0, 1_000.0, 1);
+        let t = train(Plane::Legacy, 6).run();
         assert!(t.peak_rate_per_s > 2.0 * t.mean_rate_per_s, "peak={} mean={}", t.peak_rate_per_s, t.mean_rate_per_s);
     }
 
     #[test]
     fn deterministic() {
-        let a = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0, 1);
-        let b = simulate_train(&base(Plane::Rem), 3, 150.0, 500.0, 1);
+        let s = train(Plane::Rem, 3).with_train_len_m(150.0).with_window_ms(500.0);
+        let a = s.run();
+        let b = s.run();
         assert_eq!(a.total_messages, b.total_messages);
         assert_eq!(a.peak_rate_per_s, b.peak_rate_per_s);
     }
 
     #[test]
     fn thread_count_invariant() {
-        let serial = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 1);
-        let parallel = simulate_train(&base(Plane::Legacy), 4, 200.0, 1_000.0, 4);
+        let serial = train(Plane::Legacy, 4).run();
+        let parallel = train(Plane::Legacy, 4).with_threads(4).run();
         assert_eq!(serial.total_messages, parallel.total_messages);
         assert_eq!(serial.peak_rate_per_s, parallel.peak_rate_per_s);
         assert_eq!(serial.mean_rate_per_s, parallel.mean_rate_per_s);
         assert_eq!(serial.failures, parallel.failures);
         assert_eq!(serial.handovers, parallel.handovers);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn positional_shim_matches_builder() {
+        let via_shim = simulate_train(&base(Plane::Legacy), 3, 200.0, 1_000.0, 1);
+        let via_builder = train(Plane::Legacy, 3).run();
+        assert_eq!(via_shim.total_messages, via_builder.total_messages);
+        assert_eq!(via_shim.peak_rate_per_s, via_builder.peak_rate_per_s);
+        assert_eq!(via_shim.failures, via_builder.failures);
     }
 }

@@ -92,8 +92,11 @@ fn simulate_train_serial_vs_parallel_identical() {
         Plane::Legacy,
         5,
     );
-    let serial = rem_sim::simulate_train(&base, 4, 200.0, 1_000.0, 1);
-    let parallel = rem_sim::simulate_train(&base, 4, 200.0, 1_000.0, 4);
+    let train = rem_sim::TrainScenario::new(base)
+        .with_clients(4)
+        .with_train_len_m(200.0);
+    let serial = train.clone().with_threads(1).run();
+    let parallel = train.with_threads(4).run();
     assert_eq!(serial.total_messages, parallel.total_messages);
     assert_eq!(serial.peak_rate_per_s, parallel.peak_rate_per_s);
     assert_eq!(serial.mean_rate_per_s, parallel.mean_rate_per_s);

@@ -1,0 +1,204 @@
+//! Scenario-file integration: the shipped `scenarios/` files load,
+//! validate, round-trip losslessly, and the HSR corridor file derives a
+//! campaign byte-identical to the CLI's hard-coded flag defaults (the
+//! CI hash gate depends on that equivalence).
+
+use rem_core::scenario::{Family, PlaneMix, ProfileSpec, ScenarioError};
+use rem_core::{CampaignSpec, DatasetSpec, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn shipped() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "expected >= 3 shipped scenarios, found {files:?}");
+    files
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serialize")
+}
+
+#[test]
+fn every_shipped_scenario_loads_and_round_trips_losslessly() {
+    for file in shipped() {
+        let spec = ScenarioSpec::load(&file)
+            .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let canonical = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&canonical)
+            .unwrap_or_else(|e| panic!("{} canonical form: {e}", file.display()));
+        assert_eq!(back, spec, "{}: to_toml/from_toml must be lossless", file.display());
+        assert_eq!(
+            back.to_toml(),
+            canonical,
+            "{}: canonical serialization must be a fixed point",
+            file.display()
+        );
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+}
+
+#[test]
+fn hsr_file_reproduces_the_hardcoded_flag_default_campaign() {
+    let spec = ScenarioSpec::load(&scenarios_dir().join("hsr_beijing_shanghai.toml"))
+        .expect("load hsr scenario");
+    let flag_default =
+        CampaignSpec::new(DatasetSpec::beijing_shanghai(40.0, 300.0)).with_seed_count(2);
+    // CampaignSpec carries f64s and no PartialEq; serde_json is the
+    // byte-level equality the --hash digest is built on.
+    assert_eq!(
+        json(&spec.campaign()),
+        json(&flag_default),
+        "scenario campaign must be byte-identical to the CLI flag defaults"
+    );
+    assert!(spec.fault_config().is_none(), "the clean corridor schedules no faults");
+    assert_eq!(spec.single_plane(), None, "HSR file runs the paired comparison");
+}
+
+#[test]
+fn urban_scenario_is_a_slower_denser_la_variant() {
+    let spec = ScenarioSpec::load(&scenarios_dir().join("urban_driving.toml"))
+        .expect("load urban scenario");
+    assert_eq!(spec.cells.family, Family::LaDriving);
+    let d = spec.dataset();
+    let la = DatasetSpec::la_driving(spec.trajectory.route_km, spec.trajectory.speed_kmh);
+    assert!(d.speed_kmh < 100.0, "urban driving is a low-speed bin");
+    assert!(
+        d.deployment.site_spacing_m < la.deployment.site_spacing_m,
+        "urban deployment must be denser than the freeway calibration"
+    );
+    assert!(matches!(spec.trajectory.profile, ProfileSpec::Stations { .. }));
+    assert_eq!(d.name, la.name, "overrides must not move the family display name");
+    assert_eq!(spec.run.seeds, vec![1, 2, 3]);
+}
+
+#[test]
+fn metro_scenario_schedules_tunnels_as_coverage_hole_faults() {
+    let spec =
+        ScenarioSpec::load(&scenarios_dir().join("metro.toml")).expect("load metro scenario");
+    assert_eq!(spec.cells.family, Family::NrSmallcell);
+    let faults = spec.fault_config().expect("metro schedules tunnel faults");
+    let stock = rem_core::FaultConfig::default();
+    assert!(faults.hole_ms > stock.hole_ms, "tunnels are longer than stock holes");
+    assert!(faults.hole_per_min > 0.0);
+    let d = spec.dataset();
+    assert!(
+        d.deployment.site_spacing_m < 500.0,
+        "metro cells are denser than the stock nr calibration"
+    );
+    assert!(matches!(spec.trajectory.profile, ProfileSpec::Stations { .. }));
+    // The campaign carries the derived fault schedule.
+    assert_eq!(json(&spec.campaign().faults), json(&Some(faults)));
+}
+
+#[test]
+fn shipped_scenarios_run_the_derived_entry_points() {
+    // A truncated metro spec exercises the whole derivation chain
+    // end-to-end (deployment synthesis, stations trajectory, fault
+    // schedule) without a full campaign's runtime.
+    let mut spec =
+        ScenarioSpec::load(&scenarios_dir().join("metro.toml")).expect("load metro scenario");
+    spec.trajectory.route_km = 4.0;
+    spec.run.seeds = vec![1];
+    spec.train.clients = 2;
+    spec.validate().expect("truncated metro spec stays valid");
+
+    let cmp = rem_core::Comparison::run(&spec.campaign());
+    assert!(cmp.legacy.handovers.len() + cmp.rem.handovers.len() > 0, "dense metro cells hand over");
+
+    let t = spec.train_scenario().run();
+    assert_eq!(t.n_clients, 2);
+    assert!(t.total_messages > 0);
+}
+
+#[test]
+fn cli_style_overrides_change_the_campaign_and_refuse_bad_values() {
+    let mut spec = ScenarioSpec::load(&scenarios_dir().join("hsr_beijing_shanghai.toml"))
+        .expect("load hsr scenario");
+    let before = spec.fingerprint();
+    spec.run.seeds = vec![1, 2, 3, 4];
+    spec.validate().expect("seed override is valid");
+    assert_eq!(spec.campaign().seeds, vec![1, 2, 3, 4]);
+    assert_ne!(spec.fingerprint(), before, "overrides must move the fingerprint");
+
+    spec.trajectory.speed_kmh = -1.0;
+    let err = spec.validate().expect_err("negative speed must be rejected");
+    match err {
+        ScenarioError::OutOfRange { path, .. } => assert_eq!(path, "trajectory.speed_kmh"),
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn golden_errors_carry_field_paths_per_variant() {
+    let load = |body: &str| ScenarioSpec::from_toml(body);
+    let base = "format = \"REMSCENARIO1\"\nname = \"x\"\n\
+                [trajectory]\nspeed_kmh = 300\nroute_km = 10\n[cells]\nfamily = \"bs\"\n";
+
+    match load("format = \"REMSCENARIO2\"") {
+        Err(ScenarioError::Version { found }) => assert_eq!(found, "REMSCENARIO2"),
+        other => panic!("expected Version, got {other:?}"),
+    }
+    match load("format = \"REMSCENARIO1\"\nname = \"x\"\n[cells]\nfamily = \"bs\"\n") {
+        Err(ScenarioError::Missing { path }) => assert_eq!(path, "trajectory"),
+        other => panic!("expected Missing, got {other:?}"),
+    }
+    match load(&format!("{base}typo_field = 1\n")) {
+        Err(ScenarioError::Unknown { path }) => assert_eq!(path, "cells.typo_field"),
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+    match load(&base.replace("route_km = 10", "route_km = \"ten\"")) {
+        Err(ScenarioError::BadValue { path, .. }) => assert_eq!(path, "trajectory.route_km"),
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    match load(&base.replace("speed_kmh = 300", "speed_kmh = 0")) {
+        Err(ScenarioError::OutOfRange { path, .. }) => {
+            assert_eq!(path, "trajectory.speed_kmh")
+        }
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    match load("format = ") {
+        Err(ScenarioError::Syntax { line, .. }) => assert_eq!(line, 1),
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+
+    // The CLI folds scenario errors into ExperimentError and exits 2.
+    let e: rem_core::ExperimentError =
+        ScenarioError::Missing { path: "trajectory".into() }.into();
+    assert!(matches!(e, rem_core::ExperimentError::Scenario(_)));
+    assert!(e.to_string().contains("trajectory"));
+}
+
+#[test]
+fn plane_mix_maps_onto_single_plane_commands() {
+    let mut spec = ScenarioSpec::new("p", Family::BeijingTaiyuan, 10.0, 300.0);
+    assert_eq!(spec.single_plane(), None);
+    spec.policy.plane = PlaneMix::Rem;
+    assert_eq!(spec.single_plane(), Some(rem_core::Plane::Rem));
+    spec.policy.plane = PlaneMix::Legacy;
+    assert_eq!(spec.single_plane(), Some(rem_core::Plane::Legacy));
+}
+
+#[test]
+fn manifests_record_the_scenario_fingerprint() {
+    let spec = ScenarioSpec::load(&scenarios_dir().join("metro.toml")).expect("load metro");
+    let fp = spec.fingerprint();
+    assert!(fp.starts_with("metro:fnv1a64:"), "fingerprint is name-tagged: {fp}");
+
+    let mut m = rem_obs::RunManifest::new("compare", "{}", 2);
+    m.scenario = Some(fp.clone());
+    let dir = std::env::temp_dir().join("rem-scenario-spec-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("scenario.manifest.json");
+    m.save(&path).expect("save");
+    let back = rem_obs::RunManifest::load(&path).expect("load");
+    assert_eq!(back.scenario.as_deref(), Some(fp.as_str()));
+    let _ = std::fs::remove_file(&path);
+}
