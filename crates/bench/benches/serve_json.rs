@@ -1,0 +1,159 @@
+//! Campaign-service throughput, machine-readable: stands up an
+//! in-process `rem-serve` instance, pushes a batch of small scenario
+//! jobs through the real HTTP control plane, and writes
+//! `BENCH_serve.json` with submit→complete latency, steady-state
+//! jobs/sec and the graceful-drain time, so CI can archive the
+//! service's perf trajectory next to the DSP numbers.
+//!
+//! Usage: `cargo bench -p rem-bench --bench serve_json [-- --test]`
+//! (`--test` shrinks the batch to a smoke run; the JSON is written
+//! either way). The output lands in the working directory, or at
+//! `$BENCH_SERVE_JSON` when set.
+
+use rem_serve::{JobState, ServeConfig, Server};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One queue wait + one seed + a short route: the smallest job the
+/// service treats exactly like a real campaign.
+const JOB_SCENARIO: &str = r#"
+format = "REMSCENARIO1"
+name = "serve-bench"
+
+[trajectory]
+speed_kmh = 300
+route_km = 5
+
+[run]
+seeds = 1
+checkpoint_every = 1
+"#;
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to service");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("set timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 =
+        raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let jobs: u64 = if smoke { 2 } else { 12 };
+
+    let spool = std::env::temp_dir()
+        .join("rem-serve-bench")
+        .join(format!("spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool).expect("create bench spool");
+
+    let cfg = ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        spool: spool.clone(),
+        workers: 1,
+        queue_capacity: jobs as usize + 1,
+        checkpoint_every: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&cfg).expect("service starts");
+    let addr = server.addr();
+
+    // Control-plane round-trip cost, measured while the queue is idle.
+    let healthz_us = {
+        let n = if smoke { 3 } else { 25 };
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let (status, _) = http(addr, "GET", "/healthz", "");
+            assert_eq!(status, 200);
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    };
+
+    // Batch: submit everything up front (steady-state queue pressure),
+    // then watch completions; per-job latency is submit→Done including
+    // queue wait, which is what a service client experiences.
+    let batch_start = Instant::now();
+    let mut submitted_at = Vec::with_capacity(jobs as usize);
+    for _ in 0..jobs {
+        let t = Instant::now();
+        let (status, body) = http(addr, "POST", "/jobs", JOB_SCENARIO);
+        assert_eq!(status, 201, "submit failed: {body}");
+        submitted_at.push(t);
+    }
+    let submit_us = batch_start.elapsed().as_secs_f64() * 1e6 / jobs as f64;
+
+    let mut latency_s = vec![f64::NAN; jobs as usize];
+    let mut pending: Vec<u64> = (1..=jobs).collect();
+    let deadline = Instant::now() + Duration::from_secs(if smoke { 300 } else { 900 });
+    while !pending.is_empty() {
+        assert!(Instant::now() < deadline, "bench jobs did not finish: {pending:?} left");
+        pending.retain(|&id| {
+            let job = server.queue().job(id).expect("job exists");
+            match job.state {
+                JobState::Done => {
+                    latency_s[(id - 1) as usize] =
+                        submitted_at[(id - 1) as usize].elapsed().as_secs_f64();
+                    false
+                }
+                JobState::Quarantined => panic!("bench job {id} quarantined: {:?}", job.error),
+                _ => true,
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let wall_s = batch_start.elapsed().as_secs_f64();
+    let jobs_per_sec = jobs as f64 / wall_s;
+    let mean_latency_s = latency_s.iter().sum::<f64>() / jobs as f64;
+    let max_latency_s = latency_s.iter().cloned().fold(0.0, f64::max);
+    let min_latency_s = latency_s.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    // Drain an idle service: the floor every graceful shutdown pays
+    // (worker joins + supervisor exit + journal already durable).
+    let t0 = Instant::now();
+    server.drain();
+    server.join();
+    let drain_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let report = serde_json::json!({
+        "bench": "serve_json",
+        "mode": if smoke { "smoke" } else { "full" },
+        "jobs": jobs,
+        "workers": 1,
+        "service": {
+            "healthz_roundtrip_us": healthz_us,
+            "submit_roundtrip_us": submit_us,
+            "jobs_per_sec": jobs_per_sec,
+            "submit_to_complete_s": {
+                "mean": mean_latency_s,
+                "min": min_latency_s,
+                "max": max_latency_s,
+            },
+            "soak_wall_s": wall_s,
+            "idle_drain_ms": drain_ms,
+        },
+    });
+
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let pretty = serde_json::to_string_pretty(&report).expect("serialise bench report");
+    std::fs::write(&path, &pretty).expect("write BENCH_serve.json");
+    let spec = serde_json::json!({ "jobs": jobs, "smoke": smoke });
+    let manifest = rem_obs::RunManifest::new("bench:serve_json", &spec.to_string(), jobs as usize);
+    let mpath = format!("{path}.manifest.json");
+    manifest.save(std::path::Path::new(&mpath)).expect("write bench manifest");
+    println!("{pretty}");
+    println!("wrote {path} (+ {mpath})");
+    println!(
+        "serve: {jobs} jobs at {jobs_per_sec:.2} jobs/s, mean submit→complete \
+         {mean_latency_s:.2} s, drain {drain_ms:.0} ms"
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -225,6 +225,7 @@ impl CommonArgs {
             max_retries: self.max_retries.unwrap_or(1),
             trial_timeout_ms: self.trial_timeout_ms.filter(|&ms| ms > 0),
             checkpoint_every: self.checkpoint_every.unwrap_or(16),
+            cancel: None,
         }
     }
 

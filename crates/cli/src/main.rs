@@ -13,13 +13,15 @@
 
 mod args;
 mod obs;
+mod serve;
 
 use args::{ArgError, Args, CommonArgs};
 use obs::ObsSession;
+use rem_core::rem_faults::ChaosConfig;
 use rem_core::scenario::{Family, PlaneMix};
 use rem_core::{
     fnv1a64, CampaignSpec, Comparison, DatasetSpec, ExperimentError, FaultConfig, FaultKind,
-    Plane, RunConfig, ScenarioSpec,
+    Plane, RunConfig, RunPolicy, ScenarioSpec,
 };
 use rem_mobility::conflict::{a3_graph_from_policies, scan_conflicts};
 use rem_mobility::rem_policy::{rem_policies, SimplifyConfig};
@@ -72,6 +74,7 @@ fn main() {
         // the whole-train study.
         "train" | "storm" => cmd_train(rest),
         "faults" => cmd_faults(rest),
+        "serve" => serve::cmd_serve(rest),
         "scenario" => cmd_scenario(rest),
         "obs" => obs::cmd_obs(rest),
         "rerun" => obs::cmd_rerun(rest),
@@ -92,6 +95,13 @@ fn main() {
         Err(CliError::Experiment(ExperimentError::Scenario(e))) => {
             eprintln!("error: {e}");
             std::process::exit(2);
+        }
+        // SIGINT/SIGTERM drained the run at a wave boundary: the
+        // checkpoint (and its manifest) are on disk. 130 is the shell
+        // convention for an interrupted process.
+        Err(CliError::Experiment(e @ ExperimentError::Interrupted { .. })) => {
+            eprintln!("{e}");
+            std::process::exit(130);
         }
         Err(CliError::Experiment(e)) => {
             eprintln!("error: {e}");
@@ -151,6 +161,77 @@ fn scenario_from(a: &Args, common: &CommonArgs) -> Result<Option<ScenarioSpec>, 
     Ok(Some(spec))
 }
 
+/// Arms graceful shutdown for a checkpointed one-shot run: SIGINT or
+/// SIGTERM flips a flag the execution policy polls at wave boundaries,
+/// so the run stops with a complete, resumable checkpoint instead of
+/// dying mid-wave. Without `--checkpoint`/`--resume` there is nothing
+/// to save, so the default kill-the-process behaviour stays.
+fn arm_graceful_shutdown(policy: &mut RunPolicy, ckpt: Option<&Path>) {
+    if ckpt.is_none() {
+        return;
+    }
+    rem_serve::signal::install();
+    policy.cancel = Some(std::sync::Arc::new(rem_serve::signal::requested));
+}
+
+/// On an interrupted (SIGINT/SIGTERM) run the checkpoint is already
+/// flushed — waves persist as they complete — but the manifest is not.
+/// Write it hash-less (the run is incomplete) so the checkpoint
+/// carries its reproduction recipe, reading kind/fingerprint/total
+/// back from the checkpoint itself, then print the resume hint.
+fn finish_interrupted(
+    session: &ObsSession,
+    policy: &RunPolicy,
+    chaos: &Option<ChaosConfig>,
+    scenario: Option<String>,
+    ckpt: Option<&Path>,
+) {
+    let Some(path) = ckpt else { return };
+    if !session.wants_manifest(ckpt) {
+        return;
+    }
+    if let Ok(c) = rem_core::Checkpoint::load(path) {
+        if let Ok(m) = obs::campaign_manifest(
+            &c.kind,
+            &c.spec_json,
+            c.n_trials,
+            policy,
+            chaos,
+            None,
+            scenario,
+        ) {
+            let _ = session.finish(&m, ckpt);
+        }
+        eprintln!(
+            "interrupted: {} of {} trials checkpointed in {}; rerun with --resume {} to finish",
+            c.completed(),
+            c.n_trials,
+            path.display(),
+            path.display()
+        );
+    }
+}
+
+/// Runs `body` with interruption handling: on
+/// [`ExperimentError::Interrupted`] the hash-less manifest is written
+/// before the error propagates (exit 130).
+fn checkpointed<T>(
+    session: &ObsSession,
+    policy: &RunPolicy,
+    chaos: &Option<ChaosConfig>,
+    scenario: Option<String>,
+    ckpt: Option<&Path>,
+    body: impl FnOnce() -> Result<T, ExperimentError>,
+) -> Result<T, CliError> {
+    match body() {
+        Err(e @ ExperimentError::Interrupted { .. }) => {
+            finish_interrupted(session, policy, chaos, scenario, ckpt);
+            Err(e.into())
+        }
+        other => Ok(other?),
+    }
+}
+
 /// Prints the supervision summary of a checked run when anything
 /// noteworthy happened.
 fn print_supervision(
@@ -195,7 +276,10 @@ and the shared execution flags
   --threads <n>        worker threads (default 0 = all cores)
   --hash               print an FNV-1a 64 digest of the full result
                        (determinism checks)
-  --checkpoint <file>  save campaign state atomically as trials finish
+  --checkpoint <file>  save campaign state atomically as trials finish;
+                       also arms graceful shutdown: SIGINT/SIGTERM
+                       stops at the next wave with a complete,
+                       resumable checkpoint + manifest (exit 130)
   --resume <file>      resume a killed campaign: only the missing
                        trials run; the result is bit-identical to an
                        uninterrupted run
@@ -233,7 +317,11 @@ COMMANDS:
               --snr <dB>               (default 6)
               --blocks <n>             (default 200)
               --seed <n>               (default 1)
-  train     Whole-train signaling burst statistics (alias: storm)
+  train     Whole-train signaling burst statistics (alias: storm).
+            Each client is an independent checkpointable trial, so the
+            shared execution flags (--checkpoint/--resume/--hash/...)
+            work exactly as for compare; --resume repeats the original
+            flags.
               --clients <n>        (default 8)
               --seed <n>           (default 7)
               --dataset/--speed/--route-km/--plane as above
@@ -246,6 +334,31 @@ COMMANDS:
               --rate-scale <x>     (default 1.0; scales all fault rates)
               --verify <n>         also re-run on 1 vs <n> threads and
                                    require bit-identical metrics
+  serve     Resident campaign service: a durable job queue (REMQUEUE1
+            journal under --spool), a supervised worker pool running
+            each job through the checkpointed campaign machinery, and
+            a small HTTP control plane. SIGINT/SIGTERM drains
+            gracefully; kill -9 loses nothing — a restart requeues
+            in-flight jobs and resumes them from their checkpoints
+            with identical result hashes.
+              --listen <addr:port>   (default 127.0.0.1:7787; port 0
+                                     picks a free port, written to
+                                     <spool>/serve.addr)
+              --spool <dir>          durable state dir (default
+                                     .rem-spool)
+              --workers <n>          concurrent jobs (default 1)
+              --queue-cap <n>        admission bound; beyond it POST
+                                     /jobs returns 503 (default 64)
+              --job-retries <n>      attempts before a job is
+                                     quarantined as poison (default 2)
+              --job-threads <n>      threads inside each job's campaign
+                                     (default 0 = all cores)
+              --checkpoint-every <n> trials per checkpoint wave
+                                     (default 4)
+              --job-timeout-s <s>    flag jobs with stale heartbeats
+                                     (detection only; default 0 = off)
+            Routes: POST /jobs (scenario TOML body), GET /jobs,
+            GET /jobs/<id>, GET /healthz, GET /metrics (Prometheus).
   scenario  Tooling over scenario files (the CI scenario gate)
               validate <file-or-dir>...  parse + validate each file,
                                          print its fingerprint
@@ -254,8 +367,9 @@ COMMANDS:
   obs       Offline tools over observability artifacts
               summarize <trace.jsonl>  per-kind event counts of an
                                        --obs-trace file
-  rerun     Replay a campaign from its run manifest alone and verify
-            the recomputed result digest (exit 1 on mismatch)
+  rerun     Replay a campaign (compare, aggregate, bler, train) from
+            its run manifest alone and verify the recomputed result
+            digest (exit 1 on mismatch)
               <file.manifest.json>     written by --obs-trace or
                                        --checkpoint
               --threads <n>            (default 0 = all cores; results
@@ -301,17 +415,22 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let common = CommonArgs::parse(&a)?;
     let scn = scenario_from(&a, &common)?;
-    let (policy, chaos) = match &scn {
+    let (mut policy, chaos) = match &scn {
         Some(s) => (s.run_policy(), s.chaos()),
         None => (common.run_policy(), common.chaos()),
     };
     let session = ObsSession::begin(&common);
     let ckpt_path = common.ckpt_path();
+    arm_graceful_shutdown(&mut policy, ckpt_path.as_deref());
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
 
     let (campaign, checked) = if let Some(resume) = &common.resume {
         // The checkpoint carries the campaign fingerprint: dataset
         // flags are ignored, only the execution policy applies.
-        let (campaign, checked) = CampaignSpec::resume(Path::new(resume), &policy)?;
+        let (campaign, checked) =
+            checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt_path.as_deref(), || {
+                CampaignSpec::resume(Path::new(resume), &policy)
+            })?;
         println!(
             "{} @ {} km/h, resumed from {resume} ({} of {} trials replayed)",
             campaign.spec.name, campaign.spec.speed_kmh, checked.resumed_trials,
@@ -335,15 +454,18 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
             campaign.spec.deployment.route_m / 1e3,
             campaign.seeds.len()
         );
-        let checked = match &chaos {
-            Some(c) => Comparison::run_checkpointed_with(
-                &campaign,
-                &policy,
-                ckpt_path.as_deref(),
-                |i, attempt| c.maybe_panic(i, attempt),
-            )?,
-            None => Comparison::run_checkpointed(&campaign, &policy, ckpt_path.as_deref())?,
-        };
+        let checked =
+            checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt_path.as_deref(), || {
+                match &chaos {
+                    Some(c) => Comparison::run_checkpointed_with(
+                        &campaign,
+                        &policy,
+                        ckpt_path.as_deref(),
+                        |i, attempt| c.maybe_panic(i, attempt),
+                    ),
+                    None => Comparison::run_checkpointed(&campaign, &policy, ckpt_path.as_deref()),
+                }
+            })?;
         (campaign, checked)
     };
     let cmp = &checked.comparison;
@@ -403,7 +525,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), CliError> {
             &policy,
             &chaos,
             hash,
-            scn.as_ref().map(ScenarioSpec::fingerprint),
+            scn_fp,
         )?;
         session.finish(&manifest, ckpt_path.as_deref())?;
     }
@@ -478,11 +600,12 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let common = CommonArgs::parse(&a)?;
     let scn = scenario_from(&a, &common)?;
-    let (policy, chaos) = match &scn {
+    let (mut policy, chaos) = match &scn {
         Some(s) => (s.run_policy(), s.chaos()),
         None => (common.run_policy(), common.chaos()),
     };
     let session = ObsSession::begin(&common);
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
 
     // Same seed for both waveforms: trial i sees the identical channel
     // and payload under each, so the comparison is paired.
@@ -521,23 +644,27 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
         serde_json::to_string(&(scenario.with_threads(0), otfs_scenario.with_threads(0)))
             .map_err(|e| ExperimentError::serde("bler fingerprint", e))?;
     let ckpt_path = common.ckpt_path();
-    let run = rem_core::run_trials_checkpointed(
-        "bler",
-        &fingerprint,
-        2 * blocks,
-        &policy,
-        ckpt_path.as_deref(),
-        |i, attempt| {
-            if let Some(c) = &chaos {
-                c.maybe_panic(i, attempt);
-            }
-            if i < blocks {
-                scenario.trial(i)
-            } else {
-                otfs_scenario.trial(i - blocks)
-            }
-        },
-    )?;
+    arm_graceful_shutdown(&mut policy, ckpt_path.as_deref());
+    let run =
+        checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt_path.as_deref(), || {
+            rem_core::run_trials_checkpointed(
+                "bler",
+                &fingerprint,
+                2 * blocks,
+                &policy,
+                ckpt_path.as_deref(),
+                |i, attempt| {
+                    if let Some(c) = &chaos {
+                        c.maybe_panic(i, attempt);
+                    }
+                    if i < blocks {
+                        scenario.trial(i)
+                    } else {
+                        otfs_scenario.trial(i - blocks)
+                    }
+                },
+            )
+        })?;
 
     let (ofdm_outcomes, otfs_outcomes) = run.values.split_at(blocks);
     let bler = |outs: &[Option<rem_phy::BlockOutcome>]| {
@@ -581,7 +708,7 @@ fn cmd_bler(rest: Vec<String>) -> Result<(), CliError> {
             &policy,
             &chaos,
             hash,
-            scn.as_ref().map(ScenarioSpec::fingerprint),
+            scn_fp,
         )?;
         session.finish(&manifest, ckpt_path.as_deref())?;
     }
@@ -597,7 +724,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let common = CommonArgs::parse(&a)?;
     let scn = scenario_from(&a, &common)?;
-    let (policy, chaos) = match &scn {
+    let (mut policy, chaos) = match &scn {
         Some(s) => (s.run_policy(), s.chaos()),
         None => (common.run_policy(), common.chaos()),
     };
@@ -638,12 +765,17 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     // `--checkpoint` doubles as resume: rerunning the same command with
     // an existing checkpoint computes only the missing trials.
     let ckpt = common.ckpt_path();
-    let checked = match &chaos {
-        Some(c) => campaign.aggregate_checkpointed_with(pl, &policy, ckpt.as_deref(), |i, at| {
-            c.maybe_panic(i, at)
-        })?,
-        None => campaign.aggregate_checkpointed(pl, &policy, ckpt.as_deref())?,
-    };
+    arm_graceful_shutdown(&mut policy, ckpt.as_deref());
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
+    let checked = checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt.as_deref(), || {
+        match &chaos {
+            Some(c) => campaign
+                .aggregate_checkpointed_with(pl, &policy, ckpt.as_deref(), |i, at| {
+                    c.maybe_panic(i, at)
+                }),
+            None => campaign.aggregate_checkpointed(pl, &policy, ckpt.as_deref()),
+        }
+    })?;
     let m = &checked.metrics;
 
     println!("\ninjected faults:");
@@ -723,7 +855,7 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
             &policy,
             &chaos,
             hash,
-            scn.as_ref().map(ScenarioSpec::fingerprint),
+            scn_fp,
         )?;
         session.finish(&manifest, ckpt.as_deref())?;
     }
@@ -738,21 +870,40 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
 }
 
 /// `rem train` (historically `rem storm`) — the whole-train
-/// signaling-burst study over [`TrainScenario`].
+/// signaling-burst study over [`TrainScenario`], under the same
+/// crash-safety machinery as the other campaigns: each client is an
+/// independent checkpointable trial, so `--checkpoint`/`--resume`,
+/// `--hash`, chaos injection and graceful SIGINT/SIGTERM shutdown all
+/// behave exactly like `rem compare`. A `--resume` must repeat the
+/// original flags (the checkpoint's fingerprint is verified).
 fn cmd_train(rest: Vec<String>) -> Result<(), CliError> {
     let a = Args::parse(rest)?;
     let common = CommonArgs::parse(&a)?;
     let scn = scenario_from(&a, &common)?;
+    let (mut policy, chaos) = match &scn {
+        Some(s) => (s.run_policy(), s.chaos()),
+        None => (common.run_policy(), common.chaos()),
+    };
+    let session = ObsSession::begin(&common);
+    let ckpt_path = common.ckpt_path();
+    arm_graceful_shutdown(&mut policy, ckpt_path.as_deref());
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
     let train = match &scn {
         Some(s) => s.train_scenario(),
         None => {
             let cfg = RunConfig::new(dataset(&a)?, plane(&a)?, a.int_or("seed", 7)?);
-            TrainScenario::new(cfg)
-                .with_clients(a.int_or("clients", 8)? as usize)
-                .with_threads(common.threads.unwrap_or(0))
+            TrainScenario::new(cfg).with_clients(a.int_or("clients", 8)? as usize)
         }
     };
-    let t = train.run();
+    let checked =
+        checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt_path.as_deref(), || {
+            rem_core::run_train_checkpointed(&train, &policy, ckpt_path.as_deref(), |i, at| {
+                if let Some(c) = &chaos {
+                    c.maybe_panic(i, at);
+                }
+            })
+        })?;
+    let t = &checked.metrics;
     println!(
         "{} clients, {} messages total: mean {:.1} msg/s, peak {:.1} msg/s over {:.0} ms windows",
         t.n_clients, t.total_messages, t.mean_rate_per_s, t.peak_rate_per_s, t.window_ms
@@ -760,6 +911,35 @@ fn cmd_train(rest: Vec<String>) -> Result<(), CliError> {
     println!("handovers {} / failures {}", t.handovers, t.failures);
     if let Some(s) = &scn {
         println!("scenario: {}", s.fingerprint());
+    }
+    if common.hash {
+        let json = serde_json::to_string(t).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        println!("hash: fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+    }
+    print_supervision(
+        checked.retries,
+        checked.resumed_trials,
+        &checked.quarantined,
+        &checked.overruns,
+        &checked.health,
+    );
+    if session.wants_manifest(ckpt_path.as_deref()) {
+        let fingerprint = rem_core::train_fingerprint(&train)?;
+        let json = serde_json::to_string(t).map_err(|e| ArgError(format!("serialize: {e}")))?;
+        let hash = checked.is_clean().then(|| obs::hash_string(&json));
+        let manifest = obs::campaign_manifest(
+            "train",
+            &fingerprint,
+            train.clients,
+            &policy,
+            &chaos,
+            hash,
+            scn_fp,
+        )?;
+        session.finish(&manifest, ckpt_path.as_deref())?;
+    }
+    if !checked.is_clean() {
+        return Err(ExperimentError::Quarantined { trials: checked.quarantined }.into());
     }
     Ok(())
 }

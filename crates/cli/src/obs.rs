@@ -225,9 +225,39 @@ pub fn cmd_rerun(rest: Vec<String>) -> Result<(), CliError> {
             serde_json::to_string(&(ofdm, otfs))
                 .map_err(|e| ArgError(format!("serialize outcomes: {e}")))?
         }
+        "train" => {
+            // The tuple written by `rem_core::train_fingerprint`.
+            #[allow(clippy::type_complexity)]
+            let (spec, plane, seed, clamp, ablation, faults, clients, train_len_m, window_ms): (
+                rem_core::DatasetSpec,
+                Plane,
+                u64,
+                bool,
+                rem_sim::run::RemAblation,
+                Option<FaultConfig>,
+                usize,
+                f64,
+                f64,
+            ) = serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                ArgError(format!("manifest spec_json is not a train fingerprint: {e}"))
+            })?;
+            let mut cfg = rem_core::RunConfig::new(spec, plane, seed);
+            cfg.rem_clamp_offsets = clamp;
+            cfg.ablation = ablation;
+            cfg.faults = faults;
+            let train = rem_sim::TrainScenario::new(cfg)
+                .with_clients(clients)
+                .with_train_len_m(train_len_m)
+                .with_window_ms(window_ms);
+            let checked =
+                rem_core::run_train_checkpointed(&train, &policy, None, |_i, _at| {})?;
+            let metrics = checked.into_result()?;
+            serde_json::to_string(&metrics)
+                .map_err(|e| ArgError(format!("serialize metrics: {e}")))?
+        }
         other => {
             return Err(ArgError(format!(
-                "cannot rerun kind '{other}' (supported: compare, aggregate, bler)"
+                "cannot rerun kind '{other}' (supported: compare, aggregate, bler, train)"
             ))
             .into())
         }

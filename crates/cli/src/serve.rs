@@ -1,0 +1,52 @@
+//! `rem serve` — the resident campaign service.
+//!
+//! Thin shell over [`rem_serve::Server`]: parse flags into a
+//! [`ServeConfig`], install the SIGINT/SIGTERM handler, start the
+//! service, and block until a signal drains it. All the interesting
+//! behaviour (durable queue, supervised workers, HTTP control plane)
+//! lives in the `rem-serve` crate so tests can drive it in-process.
+
+use crate::args::{ArgError, Args};
+use crate::CliError;
+use rem_serve::{signal, ServeConfig, Server};
+use std::path::PathBuf;
+
+/// Parses `rem serve` flags and runs the service to completion.
+pub fn cmd_serve(rest: Vec<String>) -> Result<(), CliError> {
+    let a = Args::parse(rest)?;
+    let d = ServeConfig::default();
+    let cfg = ServeConfig {
+        listen: a.get_or("listen", &d.listen).to_string(),
+        spool: PathBuf::from(a.get_or("spool", ".rem-spool")),
+        workers: a.int_or("workers", d.workers as u64)? as usize,
+        queue_capacity: a.int_or("queue-cap", d.queue_capacity as u64)? as usize,
+        job_retries: a.int_or("job-retries", d.job_retries as u64)? as u32,
+        job_threads: a.int_or("job-threads", d.job_threads as u64)? as usize,
+        checkpoint_every: a.int_or("checkpoint-every", d.checkpoint_every as u64)? as usize,
+        job_timeout_s: a.int_or("job-timeout-s", d.job_timeout_s)?,
+    };
+    if cfg.queue_capacity == 0 {
+        return Err(ArgError("--queue-cap must be at least 1".into()).into());
+    }
+    if cfg.job_retries == 0 {
+        return Err(ArgError("--job-retries must be at least 1".into()).into());
+    }
+
+    signal::install();
+    let server = Server::start(&cfg)?;
+    let recovered = server.stats().recovered_jobs.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "rem serve: listening on http://{} (spool {}, {} worker(s), queue cap {})",
+        server.addr(),
+        cfg.spool.display(),
+        cfg.workers.max(1),
+        cfg.queue_capacity
+    );
+    if recovered > 0 {
+        println!("recovered {recovered} in-flight job(s) from the journal; resuming from checkpoints");
+    }
+    println!("routes: POST /jobs  GET /jobs  GET /jobs/<id>  GET /healthz  GET /metrics");
+    server.run_to_completion();
+    println!("rem serve: drained cleanly (queue state persisted; restart resumes in-flight jobs)");
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Black-box `kill -9` drill against the real `rem` binary: start the
+//! service, submit a job, SIGKILL the process mid-run, restart on the
+//! same spool, and require zero lost jobs plus a result hash identical
+//! to a one-shot `rem compare --scenario <f> --hash` run. Finishes
+//! with a SIGTERM to check the graceful-drain exit path (exit 0).
+#![cfg(unix)]
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// 2 planes x 4 seeds with per-trial checkpoints: slow enough that the
+/// SIGKILL below lands mid-campaign, fast enough for CI.
+const SCENARIO: &str = r#"
+format = "REMSCENARIO1"
+name = "kill-drill"
+
+[trajectory]
+speed_kmh = 300
+route_km = 8
+
+[run]
+seeds = 4
+checkpoint_every = 1
+"#;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rem-serve-kill-test")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to service");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("set timeout");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Starts `rem serve` on the spool and waits for `<spool>/serve.addr`.
+fn start_service(spool: &Path) -> (Child, SocketAddr) {
+    let addr_file = spool.join("serve.addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_rem"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--spool",
+            spool.to_str().expect("utf-8 spool path"),
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn rem serve");
+    let start = Instant::now();
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = s.trim().parse::<SocketAddr>() {
+                return (child, addr);
+            }
+        }
+        assert!(start.elapsed() < Duration::from_secs(60), "service never published its address");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Substring-extracts `"field":"value"` from a JSON body.
+fn json_str_field(body: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\":\"");
+    let start = body.find(&key)? + key.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+/// The reference digest from the one-shot CLI path.
+fn one_shot_hash(scenario_file: &Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_rem"))
+        .args(["compare", "--scenario", scenario_file.to_str().unwrap(), "--hash"])
+        .output()
+        .expect("run rem compare");
+    assert!(out.status.success(), "one-shot compare failed: {:?}", out);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("hash: "))
+        .unwrap_or_else(|| panic!("no hash line in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn sigkill_midrun_loses_no_jobs_and_reproduces_the_hash() {
+    let spool = scratch("spool");
+    let scenario_file = spool.join("kill-drill.toml");
+    std::fs::write(&scenario_file, SCENARIO).expect("write scenario");
+
+    // Round 1: submit, wait until the job is provably mid-run (state
+    // Running and a checkpoint wave on disk), then SIGKILL.
+    let (mut child, addr) = start_service(&spool);
+    let (status, body) = http(addr, "POST", "/jobs", SCENARIO);
+    assert_eq!(status, 201, "submit: {body}");
+    let ckpt = spool.join("jobs").join("job-1.ckpt");
+    let start = Instant::now();
+    let mut saw_running = false;
+    while start.elapsed() < Duration::from_secs(120) {
+        let (_, jobs) = http(addr, "GET", "/jobs", "");
+        if jobs.contains("\"state\":\"Done\"") {
+            break; // Too fast to catch mid-run; the drill degrades gracefully.
+        }
+        if jobs.contains("\"state\":\"Running\"") && ckpt.exists() {
+            saw_running = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL the service");
+    let _ = child.wait();
+
+    // Round 2: restart on the same spool. The journal must still hold
+    // the job, the service must report the recovery, and the job must
+    // finish with the hash an uninterrupted one-shot run produces.
+    let (child, addr) = start_service(&spool);
+    let start = Instant::now();
+    let job = loop {
+        let (status, body) = http(addr, "GET", "/jobs/1", "");
+        assert_eq!(status, 200, "job 1 lost after SIGKILL: {body}");
+        if body.contains("\"state\":\"Done\"") {
+            break body;
+        }
+        assert!(
+            !body.contains("\"state\":\"Quarantined\""),
+            "job quarantined instead of recovered: {body}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(300),
+            "job did not finish after restart: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let got = json_str_field(&job, "result_hash").expect("done job has a result hash");
+    assert_eq!(got, one_shot_hash(&scenario_file), "service result diverged from one-shot run");
+
+    let (_, health) = http(addr, "GET", "/healthz", "");
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    if saw_running {
+        assert!(
+            health.contains("\"recovered_jobs\":1"),
+            "healthz must report the recovery: {health}"
+        );
+        assert!(
+            metrics.contains("rem_serve_recovered_jobs_total 1"),
+            "metrics must report the recovery:\n{metrics}"
+        );
+    }
+    assert!(metrics.contains("rem_serve_queue_depth 0"), "queue drained:\n{metrics}");
+
+    // Round 3: graceful exit — SIGTERM must drain and exit 0.
+    let pid = child.id().to_string();
+    let term = Command::new("kill").args(["-TERM", &pid]).status().expect("send SIGTERM");
+    assert!(term.success());
+    let mut child = child;
+    let status = child.wait().expect("wait for drained service");
+    assert!(status.success(), "graceful drain must exit 0, got {status:?}");
+
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -47,6 +47,57 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Header magic of the checkpoint format.
 pub const CHECKPOINT_MAGIC: &str = "REMCKPT1";
 
+/// Atomically writes a checksummed artifact in the shared
+/// `<magic> fnv1a64:<16 hex>\n<body>` layout: the content goes to a
+/// sibling `<path>.tmp`, is fsynced, then renamed over `path`. Both
+/// checkpoints (`REMCKPT1`) and the campaign service's queue journal
+/// (`REMQUEUE1`) use this, so crash-atomicity has one implementation.
+pub fn write_atomic_checksummed(
+    magic: &str,
+    path: &Path,
+    body: &str,
+) -> Result<(), ExperimentError> {
+    let content = format!("{magic} fnv1a64:{:016x}\n{body}", fnv1a64(body.as_bytes()));
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let io = |e| ExperimentError::io(&tmp, e);
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(content.as_bytes()).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| ExperimentError::io(path, e))
+}
+
+/// Reads an artifact written by [`write_atomic_checksummed`], verifies
+/// magic and checksum, and returns the body. Structural damage is a
+/// typed [`ExperimentError::Corrupt`]; a checksum disagreement is
+/// [`ExperimentError::ChecksumMismatch`] — never a panic, never a
+/// silently accepted half-write.
+pub fn read_checksummed(magic: &str, path: &Path) -> Result<String, ExperimentError> {
+    let content = std::fs::read_to_string(path).map_err(|e| ExperimentError::io(path, e))?;
+    let corrupt = |detail: &str| ExperimentError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    let (header, body) = content.split_once('\n').ok_or_else(|| corrupt("missing header line"))?;
+    let digest_hex = header
+        .strip_prefix(magic)
+        .and_then(|r| r.strip_prefix(" fnv1a64:"))
+        .ok_or_else(|| corrupt("bad magic or header"))?;
+    let expected = u64::from_str_radix(digest_hex.trim(), 16)
+        .map_err(|_| corrupt("unparseable checksum"))?;
+    let actual = fnv1a64(body.as_bytes());
+    if expected != actual {
+        return Err(ExperimentError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    Ok(body.to_string())
+}
+
 /// On-disk campaign state: which trials have completed and their
 /// serialized records.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -120,44 +171,15 @@ impl Checkpoint {
             serde_json::to_string(self).map_err(|e| ExperimentError::serde("checkpoint", e))?;
         rem_obs::metrics::inc("rem_core_checkpoint_saves_total");
         rem_obs::metrics::add("rem_core_checkpoint_bytes_written_total", body.len() as u64);
-        let content =
-            format!("{CHECKPOINT_MAGIC} fnv1a64:{:016x}\n{body}", fnv1a64(body.as_bytes()));
-        let tmp = path.with_extension("ckpt.tmp");
-        let io = |e| ExperimentError::io(&tmp, e);
-        let mut f = std::fs::File::create(&tmp).map_err(io)?;
-        f.write_all(content.as_bytes()).map_err(io)?;
-        f.sync_all().map_err(io)?;
-        drop(f);
-        std::fs::rename(&tmp, path).map_err(|e| ExperimentError::io(path, e))
+        write_atomic_checksummed(CHECKPOINT_MAGIC, path, &body)
     }
 
     /// Loads and verifies a checkpoint written by [`Checkpoint::save`].
     pub fn load(path: &Path) -> Result<Self, ExperimentError> {
-        let content =
-            std::fs::read_to_string(path).map_err(|e| ExperimentError::io(path, e))?;
+        let body = read_checksummed(CHECKPOINT_MAGIC, path)?;
         rem_obs::metrics::inc("rem_core_checkpoint_loads_total");
-        rem_obs::metrics::add("rem_core_checkpoint_bytes_read_total", content.len() as u64);
-        let corrupt = |detail: &str| ExperimentError::Corrupt {
-            path: path.to_path_buf(),
-            detail: detail.to_string(),
-        };
-        let (header, body) =
-            content.split_once('\n').ok_or_else(|| corrupt("missing header line"))?;
-        let digest_hex = header
-            .strip_prefix(CHECKPOINT_MAGIC)
-            .and_then(|r| r.strip_prefix(" fnv1a64:"))
-            .ok_or_else(|| corrupt("bad magic or header"))?;
-        let expected = u64::from_str_radix(digest_hex.trim(), 16)
-            .map_err(|_| corrupt("unparseable checksum"))?;
-        let actual = fnv1a64(body.as_bytes());
-        if expected != actual {
-            return Err(ExperimentError::ChecksumMismatch {
-                path: path.to_path_buf(),
-                expected,
-                actual,
-            });
-        }
-        serde_json::from_str(body).map_err(|e| ExperimentError::Corrupt {
+        rem_obs::metrics::add("rem_core_checkpoint_bytes_read_total", body.len() as u64);
+        serde_json::from_str(&body).map_err(|e| ExperimentError::Corrupt {
             path: path.to_path_buf(),
             detail: format!("body does not parse: {e}"),
         })
@@ -190,8 +212,9 @@ impl Checkpoint {
 }
 
 /// Execution policy of a checkpointed campaign: worker threads, panic
-/// retry budget, per-trial deadline and checkpoint cadence.
-#[derive(Clone, Copy, Debug)]
+/// retry budget, per-trial deadline, checkpoint cadence and an
+/// optional cancellation hook.
+#[derive(Clone)]
 pub struct RunPolicy {
     /// Worker threads (`0` = all available hardware threads).
     pub threads: usize,
@@ -203,11 +226,35 @@ pub struct RunPolicy {
     /// Save the checkpoint after every `checkpoint_every` newly
     /// completed trials (`0` = only at the end).
     pub checkpoint_every: usize,
+    /// Polled at every wave boundary; returning `true` stops the
+    /// campaign with [`ExperimentError::Interrupted`] after the
+    /// just-finished wave's records are safely checkpointed. Signal
+    /// handlers and the campaign service's drain/heartbeat path hook
+    /// in here; `None` (the default) never cancels.
+    pub cancel: Option<std::sync::Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl std::fmt::Debug for RunPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunPolicy")
+            .field("threads", &self.threads)
+            .field("max_retries", &self.max_retries)
+            .field("trial_timeout_ms", &self.trial_timeout_ms)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("cancel", &self.cancel.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for RunPolicy {
     fn default() -> Self {
-        Self { threads: 0, max_retries: 1, trial_timeout_ms: None, checkpoint_every: 16 }
+        Self {
+            threads: 0,
+            max_retries: 1,
+            trial_timeout_ms: None,
+            checkpoint_every: 16,
+            cancel: None,
+        }
     }
 }
 
@@ -219,6 +266,21 @@ impl RunPolicy {
             p = p.with_timeout(Duration::from_millis(ms.max(1)));
         }
         p
+    }
+
+    /// This policy with `hook` installed as the cancellation check.
+    pub fn with_cancel(
+        mut self,
+        hook: std::sync::Arc<dyn Fn() -> bool + Send + Sync>,
+    ) -> Self {
+        self.cancel = Some(hook);
+        self
+    }
+
+    /// True when the cancellation hook reports the campaign should
+    /// stop at the next wave boundary.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().map(|c| c()).unwrap_or(false)
     }
 }
 
@@ -327,6 +389,19 @@ where
     };
 
     for wave in missing.chunks(wave_len) {
+        // Wave-boundary cancellation: everything finished so far is
+        // already saved (the checkpoint write trails every wave), so
+        // stopping here loses no work and a resume reproduces the
+        // uninterrupted hash exactly.
+        if policy.cancelled() {
+            let completed = ckpt.completed();
+            rem_obs::trace::emit(
+                "core",
+                "campaign_interrupted",
+                &[("kind", kind.into()), ("completed", completed.into())],
+            );
+            return Err(ExperimentError::Interrupted { completed, total: n_trials });
+        }
         let run = rem_exec::par_map_checked(
             policy.threads,
             wave.len(),
@@ -546,6 +621,60 @@ mod tests {
         )?;
         assert_eq!(run.resumed_trials, 0);
         assert_eq!(run.into_values()?, (0..8).collect::<Vec<u64>>());
+        Ok(())
+    }
+
+    #[test]
+    fn checksummed_helpers_roundtrip_any_magic() -> Result<(), ExperimentError> {
+        let path = tmp("journal.q");
+        write_atomic_checksummed("REMQUEUE1", &path, "{\"jobs\":[]}")?;
+        assert_eq!(read_checksummed("REMQUEUE1", &path)?, "{\"jobs\":[]}");
+        // A reader expecting a different magic refuses the file.
+        assert!(matches!(
+            read_checksummed(CHECKPOINT_MAGIC, &path),
+            Err(ExperimentError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn cancel_hook_interrupts_at_a_wave_boundary() -> Result<(), ExperimentError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let path = tmp("cancel.ckpt");
+        let _ = std::fs::remove_file(&path);
+        // Cancel after the first poll: wave 1 runs, wave 2 does not.
+        let polls = Arc::new(AtomicUsize::new(0));
+        let p2 = Arc::clone(&polls);
+        let policy = RunPolicy {
+            threads: 1,
+            checkpoint_every: 2,
+            cancel: Some(Arc::new(move || p2.fetch_add(1, Ordering::SeqCst) >= 1)),
+            ..Default::default()
+        };
+        let ran = AtomicUsize::new(0);
+        let err = run_trials_checkpointed("demo", "s", 6, &policy, Some(&path), |i, _a| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            i as u64
+        })
+        .expect_err("cancelled run must not complete");
+        match err {
+            ExperimentError::Interrupted { completed, total } => {
+                assert_eq!(completed, 2, "first wave checkpointed before the stop");
+                assert_eq!(total, 6);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+
+        // Resume without the hook: only the missing trials run, and the
+        // merged result equals an uninterrupted run.
+        let resume = RunPolicy { threads: 1, checkpoint_every: 2, ..Default::default() };
+        let done = run_trials_checkpointed("demo", "s", 6, &resume, Some(&path), |i, _a| i as u64)?;
+        assert_eq!(done.resumed_trials, 2);
+        assert_eq!(done.into_values()?, (0..6).collect::<Vec<u64>>());
+        let _ = std::fs::remove_file(&path);
         Ok(())
     }
 

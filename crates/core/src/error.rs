@@ -64,6 +64,15 @@ pub enum ExperimentError {
     /// as a usage error (exit 2): the invocation, not the campaign,
     /// was wrong.
     Scenario(crate::scenario::ScenarioError),
+    /// The campaign was cancelled at a wave boundary (SIGINT/SIGTERM
+    /// or a service drain). Completed work is already checkpointed; a
+    /// resume finishes the remaining trials with an identical hash.
+    Interrupted {
+        /// Trials whose records are safely in the checkpoint.
+        completed: usize,
+        /// Total trials in the campaign.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -87,7 +96,7 @@ impl std::fmt::Display for ExperimentError {
                 path.display()
             ),
             ExperimentError::Corrupt { path, detail } => {
-                write!(f, "checkpoint {} is not a valid REMCKPT1 file: {detail}", path.display())
+                write!(f, "{} is not a valid campaign artifact: {detail}", path.display())
             }
             ExperimentError::Quarantined { trials } => {
                 write!(f, "{} trial(s) quarantined:", trials.len())?;
@@ -97,6 +106,11 @@ impl std::fmt::Display for ExperimentError {
                 Ok(())
             }
             ExperimentError::Scenario(e) => write!(f, "{e}"),
+            ExperimentError::Interrupted { completed, total } => write!(
+                f,
+                "interrupted after {completed}/{total} trials; completed work is \
+                 checkpointed — resume to finish with an identical hash"
+            ),
         }
     }
 }

@@ -11,7 +11,7 @@ use rem_exec::{DeadlineOverrun, QuarantinedTrial};
 use rem_faults::FaultConfig;
 use rem_mobility::FailureCause;
 use rem_num::health::DegradedStats;
-use rem_sim::{simulate_run, DatasetSpec, Plane, RunConfig, RunMetrics};
+use rem_sim::{simulate_run, ClientTrial, DatasetSpec, Plane, RunConfig, RunMetrics, TrainMetrics, TrainScenario};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -279,6 +279,109 @@ impl CheckedAggregate {
             Err(ExperimentError::Quarantined { trials: self.quarantined })
         }
     }
+}
+
+/// A whole-train study produced under crash isolation: the burst
+/// statistics plus the supervision report (the train sibling of
+/// [`CheckedAggregate`]).
+#[derive(Clone, Debug)]
+pub struct CheckedTrain {
+    /// Burst statistics over every *completed* client.
+    pub metrics: TrainMetrics,
+    /// Clients that panicked on every attempt (excluded from the
+    /// statistics; a later resume retries exactly these).
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// Clients that exceeded the per-trial deadline (reported, never
+    /// altered).
+    pub overruns: Vec<DeadlineOverrun>,
+    /// Panicking attempts that were retried successfully.
+    pub retries: u64,
+    /// Clients replayed from the checkpoint instead of recomputed.
+    pub resumed_trials: usize,
+    /// Completed clients (resumed + newly run).
+    pub completed_trials: usize,
+    /// Total clients in the study.
+    pub total_trials: usize,
+    /// Merged numerical-health counters over all completed clients.
+    pub health: DegradedStats,
+}
+
+impl CheckedTrain {
+    /// True when every client completed.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The metrics, or the quarantine list as a typed error.
+    pub fn into_result(self) -> Result<TrainMetrics, ExperimentError> {
+        if self.is_clean() {
+            Ok(self.metrics)
+        } else {
+            Err(ExperimentError::Quarantined { trials: self.quarantined })
+        }
+    }
+}
+
+/// [`rem_sim::TrainScenario::run`] under crash isolation with optional
+/// checkpointing: each client is an independent trial (a pure function
+/// of `(scenario, client index)` — see
+/// [`rem_sim::TrainScenario::client_trial`]), so a killed study
+/// resumes with only the missing clients and a clean run merges into
+/// exactly the metrics `TrainScenario::run` produces — same JSON, same
+/// hash. `hook(i, attempt)` is the chaos-injection seam (see
+/// [`Comparison::run_checkpointed_with`]).
+/// The serializable identity of a train study: every field that feeds
+/// a client trial's value (`RunConfig` itself does not serialize; the
+/// link, timer and re-establishment sections stay at their defaults
+/// for train studies, so they are omitted). The same tuple lets `rem
+/// rerun` rebuild the scenario from a manifest alone.
+pub fn train_fingerprint(train: &TrainScenario) -> Result<String, ExperimentError> {
+    let b = &train.base;
+    serde_json::to_string(&(
+        &b.spec,
+        b.plane,
+        b.seed,
+        b.rem_clamp_offsets,
+        b.ablation,
+        &b.faults,
+        train.clients,
+        train.train_len_m,
+        train.window_ms,
+    ))
+    .map_err(|e| ExperimentError::serde("train fingerprint", e))
+}
+
+pub fn run_train_checkpointed(
+    train: &TrainScenario,
+    policy: &RunPolicy,
+    path: Option<&Path>,
+    hook: impl Fn(usize, u32) + Sync,
+) -> Result<CheckedTrain, ExperimentError> {
+    let spec_json = train_fingerprint(train)?;
+    let run = run_trials_checkpointed(
+        "train",
+        &spec_json,
+        train.clients,
+        policy,
+        path,
+        |i, attempt| {
+            hook(i, attempt);
+            train.client_trial(i)
+        },
+    )?;
+    let CheckpointedRun { values, quarantined, overruns, retries, resumed_trials, health } = run;
+    let completed: Vec<ClientTrial> = values.iter().flatten().cloned().collect();
+    let completed_trials = completed.len();
+    Ok(CheckedTrain {
+        metrics: train.merge_trials(&completed),
+        quarantined,
+        overruns,
+        retries,
+        resumed_trials,
+        completed_trials,
+        total_trials: train.clients,
+        health,
+    })
 }
 
 /// Results of one paired replay.
@@ -694,6 +797,46 @@ mod tests {
             serde_json::to_string(&clean)?,
             "retried trials must reproduce the unfaulted values exactly"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn checkpointed_train_matches_plain_run_and_resumes() -> Result<(), Box<dyn std::error::Error>>
+    {
+        let dir = std::env::temp_dir().join("rem-core-exp-tests");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("train-resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let base =
+            RunConfig::new(DatasetSpec::beijing_taiyuan(8.0, 300.0), Plane::Legacy, 5);
+        let train = TrainScenario::new(base).with_clients(3).with_threads(1);
+        let plain = train.run();
+        let policy = RunPolicy { threads: 1, checkpoint_every: 1, ..Default::default() };
+        let checked = run_train_checkpointed(&train, &policy, Some(&path), |_, _| {})?;
+        assert!(checked.is_clean());
+        assert_eq!(checked.total_trials, 3);
+        assert_eq!(
+            serde_json::to_string(&plain)?,
+            serde_json::to_string(&checked.metrics)?,
+            "crash isolation must not perturb a clean train study"
+        );
+
+        // Forget one client and resume: only the hole recomputes.
+        let mut ckpt = Checkpoint::load(&path)?;
+        ckpt.unrecord(1);
+        ckpt.save(&path)?;
+        let resumed = run_train_checkpointed(&train, &policy, Some(&path), |_, _| {})?;
+        assert_eq!(resumed.resumed_trials, 2);
+        assert_eq!(serde_json::to_string(&plain)?, serde_json::to_string(&resumed.metrics)?);
+
+        // A different client count refuses the checkpoint.
+        let other = train.clone().with_clients(4);
+        assert!(matches!(
+            run_train_checkpointed(&other, &policy, Some(&path), |_, _| {}),
+            Err(ExperimentError::SpecMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
         Ok(())
     }
 

@@ -45,12 +45,13 @@ pub mod scenario;
 pub mod tcp_coupling;
 
 pub use checkpoint::{
-    fnv1a64, run_trials_checkpointed, Checkpoint, CheckpointedRun, RunPolicy, CHECKPOINT_MAGIC,
+    fnv1a64, read_checksummed, run_trials_checkpointed, write_atomic_checksummed, Checkpoint,
+    CheckpointedRun, RunPolicy, CHECKPOINT_MAGIC,
 };
 pub use error::ExperimentError;
 pub use experiment::{
-    merge, CampaignSpec, CheckedAggregate, CheckedComparison, Comparison, DEFAULT_ROUTE_KM,
-    DEFAULT_SEEDS,
+    merge, run_train_checkpointed, train_fingerprint, CampaignSpec, CheckedAggregate,
+    CheckedComparison, CheckedTrain, Comparison, DEFAULT_ROUTE_KM, DEFAULT_SEEDS,
 };
 pub use report::{ExperimentReport, ReportRow};
 pub use scenario::{ScenarioError, ScenarioSpec, SCENARIO_FORMAT};

@@ -886,6 +886,7 @@ impl ScenarioSpec {
             max_retries: self.run.max_retries,
             trial_timeout_ms: self.run.trial_timeout_ms,
             checkpoint_every: self.run.checkpoint_every,
+            cancel: None,
         }
     }
 

@@ -7,9 +7,12 @@
 //! identical at any worker-thread count — the property the
 //! observability determinism tests assert.
 //!
-//! Two value families:
+//! Three value families:
 //!
 //! * **counters** — monotonic `u64` totals ([`add`] / [`inc`]);
+//! * **gauges** — last-written `u64` levels ([`set`]); the campaign
+//!   service uses these for queue depth and quarantine counts, values
+//!   that go down as well as up;
 //! * **histograms** — power-of-two bucketed `u64` observations
 //!   ([`observe`], or a timing [`Span`] that observes elapsed
 //!   microseconds on drop). Timing histograms are *not* expected to be
@@ -36,6 +39,10 @@ pub const HIST_BUCKETS: usize = 32;
 pub struct MetricsSnapshot {
     /// Counter totals by metric name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by metric name (absent in snapshots serialized
+    /// before gauges existed).
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram states by metric name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -55,7 +62,7 @@ pub struct HistogramSnapshot {
 impl MetricsSnapshot {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// A view keeping only metrics whose name starts with `prefix`
@@ -65,6 +72,12 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             counters: self
                 .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
                 .iter()
                 .filter(|(k, _)| k.starts_with(prefix))
                 .map(|(k, v)| (k.clone(), *v))
@@ -86,6 +99,9 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
     }
     for (name, h) in &snap.histograms {
         out.push_str(&format!("# TYPE {name} histogram\n"));
@@ -151,6 +167,15 @@ pub fn add(name: &'static str, delta: u64) {
 #[inline(always)]
 pub fn inc(name: &'static str) {
     add(name, 1);
+}
+
+/// Sets gauge `name` to `value` (last write wins).
+#[inline(always)]
+pub fn set(name: &'static str, value: u64) {
+    #[cfg(feature = "enabled")]
+    imp::set(name, value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
 }
 
 /// Records `value` into histogram `name`.
@@ -237,6 +262,7 @@ mod imp {
     // block/trial granularity the probes sit at).
     struct Registry {
         counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+        gauges: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
         histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
     }
 
@@ -244,6 +270,7 @@ mod imp {
         static REGISTRY: OnceLock<Registry> = OnceLock::new();
         REGISTRY.get_or_init(|| Registry {
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
         })
     }
@@ -254,6 +281,14 @@ mod imp {
             *map.entry(name).or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
         };
         handle.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(super) fn set(name: &'static str, value: u64) {
+        let handle = {
+            let mut map = registry().gauges.lock().unwrap();
+            *map.entry(name).or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+        };
+        handle.store(value, Ordering::Relaxed);
     }
 
     pub(super) fn observe(name: &'static str, value: u64) {
@@ -273,6 +308,15 @@ mod imp {
             .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
             .filter(|(_, v)| *v > 0)
             .collect();
+        // A gauge set to zero stays visible: zero is a level, not an
+        // absence (a drained queue legitimately reports depth 0).
+        let gauges = registry()
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
         let histograms = registry()
             .histograms
             .lock()
@@ -281,13 +325,14 @@ mod imp {
             .map(|(k, h)| (k.to_string(), h.snapshot()))
             .filter(|(_, h)| h.count > 0)
             .collect();
-        MetricsSnapshot { counters, histograms }
+        MetricsSnapshot { counters, gauges, histograms }
     }
 
     pub(super) fn reset() {
         for c in registry().counters.lock().unwrap().values() {
             c.store(0, Ordering::Relaxed);
         }
+        registry().gauges.lock().unwrap().clear();
         for h in registry().histograms.lock().unwrap().values() {
             h.reset();
         }
@@ -302,12 +347,15 @@ mod tests {
     fn render_prometheus_is_a_pure_function() {
         let mut snap = MetricsSnapshot::default();
         snap.counters.insert("rem_demo_total".into(), 3);
+        snap.gauges.insert("rem_demo_depth".into(), 0);
         let mut h = HistogramSnapshot { count: 2, sum: 9, buckets: vec![0; HIST_BUCKETS] };
         h.buckets[3] = 2; // two observations < 8
         snap.histograms.insert("rem_demo_us".into(), h);
         let text = render_prometheus(&snap);
         assert!(text.contains("# TYPE rem_demo_total counter"));
         assert!(text.contains("rem_demo_total 3"));
+        assert!(text.contains("# TYPE rem_demo_depth gauge"));
+        assert!(text.contains("rem_demo_depth 0"), "zero-valued gauges still render");
         assert!(text.contains("rem_demo_us_bucket{le=\"8\"} 2"));
         assert!(text.contains("rem_demo_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("rem_demo_us_sum 9"));
@@ -353,6 +401,18 @@ mod tests {
 
         reset();
         assert!(snapshot().filtered("rem_obs_test_metrics_").is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn gauges_keep_the_last_written_level() {
+        set("rem_obs_test_metrics_gauge", 7);
+        set("rem_obs_test_metrics_gauge", 2);
+        let snap = snapshot().filtered("rem_obs_test_metrics_gauge");
+        assert_eq!(snap.gauges["rem_obs_test_metrics_gauge"], 2, "last write wins");
+        set("rem_obs_test_metrics_gauge", 0);
+        let snap = snapshot().filtered("rem_obs_test_metrics_gauge");
+        assert_eq!(snap.gauges["rem_obs_test_metrics_gauge"], 0, "zero stays visible");
     }
 
     #[cfg(feature = "enabled")]

@@ -1,0 +1,182 @@
+//! A deliberately minimal HTTP/1.1 server-side codec.
+//!
+//! The control plane of `rem serve` needs exactly four routes, one
+//! client at a time, on a trusted loopback interface — a full HTTP
+//! stack would be the largest dependency in the workspace for the
+//! smallest job in it. This module reads one request (request line,
+//! headers, `Content-Length` body) and writes one `Connection: close`
+//! response, all over `std::net::TcpStream`, and nothing more: no
+//! keep-alive, no chunked encoding, no TLS.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a scenario TOML is ~1 KiB; this is
+/// generous while still bounding a misbehaving client).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the client per RFC 9112).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// One response to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self { status, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads one request off the stream. `Err` covers both I/O failures
+/// and malformed requests; the caller just drops the connection.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_string();
+    let target = parts.next().ok_or_else(|| bad("request line without target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes `resp` and flushes. The connection is then done
+/// (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs one request/response cycle over a real socket pair.
+    fn roundtrip(raw_request: &str, resp: Response) -> (Request, String) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw_request.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side).unwrap();
+        write_response(&mut server_side, &resp).unwrap();
+        drop(server_side);
+        (req, client.join().unwrap())
+    }
+
+    #[test]
+    fn parses_request_line_headers_and_body() {
+        let (req, reply) = roundtrip(
+            "POST /jobs?src=test HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            Response::json(201, "{\"id\":0}".into()),
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs", "query string is stripped");
+        assert_eq!(req.body, b"hello");
+        assert!(reply.starts_with("HTTP/1.1 201 Created\r\n"), "reply: {reply}");
+        assert!(reply.contains("Content-Length: 8\r\n"));
+        assert!(reply.ends_with("{\"id\":0}"));
+    }
+
+    #[test]
+    fn get_without_body_parses_empty() {
+        let (req, reply) = roundtrip(
+            "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            Response::text(200, "ok".into()),
+        );
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let head =
+                format!("POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+            s.write_all(head.as_bytes()).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        assert!(read_request(&mut server_side).is_err());
+        client.join().unwrap();
+    }
+}

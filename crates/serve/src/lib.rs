@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # rem-serve
+//!
+//! A supervised, crash-tolerant resident campaign service for the REM
+//! reproduction: submit REMSCENARIO1 scenario TOMLs over a minimal
+//! std-only HTTP/1.1 control plane, and a supervised worker pool runs
+//! each through the existing checkpointed campaign machinery.
+//!
+//! The headline guarantee is the same one the one-shot CLI makes for
+//! `--checkpoint`/`--resume`, lifted to a whole service: **`kill -9`
+//! at any instant loses no acknowledged job and no completed trial
+//! wave**. Every queue mutation is journalled (`REMQUEUE1`, atomic
+//! write + fsync + checksum — the checkpoint discipline of
+//! [`rem_core::write_atomic_checksummed`]) before it is acknowledged;
+//! every job checkpoints trial waves as it runs; a restarted service
+//! requeues in-flight jobs and resumes them from their checkpoints,
+//! producing byte-identical result hashes.
+//!
+//! ```no_run
+//! use rem_serve::{ServeConfig, Server};
+//!
+//! let cfg = ServeConfig { listen: "127.0.0.1:0".into(), ..ServeConfig::default() };
+//! let server = Server::start(&cfg).expect("bind and recover");
+//! println!("serving on {}", server.addr());
+//! server.run_to_completion(); // until SIGINT/SIGTERM, then drain
+//! ```
+//!
+//! Control plane:
+//!
+//! | route | purpose |
+//! |---|---|
+//! | `POST /jobs` | submit a scenario TOML (400 invalid, 503 queue full/draining) |
+//! | `GET /jobs`, `GET /jobs/<id>` | job status as JSON |
+//! | `GET /healthz` | liveness + queue counts + recovery counters |
+//! | `GET /metrics` | Prometheus text: service series + the rem-obs registry |
+
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod stats;
+pub mod worker;
+
+pub use queue::{Job, JobQueue, JobState, QueueConfig, QueueCounts, SubmitError, QUEUE_MAGIC};
+pub use server::{ServeConfig, Server};
+pub use stats::ServeStats;
+pub use worker::WorkerConfig;

@@ -1,0 +1,426 @@
+//! The durable job queue behind `rem serve`.
+//!
+//! Jobs are REMSCENARIO1 TOML scenario specs spooled to disk. The
+//! whole queue state lives in one `REMQUEUE1` journal written with the
+//! same atomic write + fsync + FNV-1a checksum discipline as campaign
+//! checkpoints ([`rem_core::write_atomic_checksummed`]), so a `kill
+//! -9` at any instant leaves either the previous state or the next —
+//! never a torn file. The journal is rewritten on every mutation while
+//! the queue lock is held; queue mutations are rare (job lifecycle
+//! edges, not per-trial), so the full rewrite is cheap and keeps
+//! recovery trivial: read one file, done.
+//!
+//! Recovery semantics are at-least-once: a job that was `Running` when
+//! the process died is requeued on open (its attempt was already
+//! counted when it was claimed), unless its attempts are exhausted —
+//! then it is quarantined as a poison job. Trial-level work is *not*
+//! lost either way: each job checkpoints through the campaign
+//! machinery, so a requeued job resumes from its last wave and hashes
+//! identically to an uninterrupted run.
+
+use rem_core::{read_checksummed, write_atomic_checksummed, ExperimentError};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Magic tag of the queue journal file format.
+pub const QUEUE_MAGIC: &str = "REMQUEUE1";
+
+/// Lifecycle of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished cleanly; `result_hash` is set.
+    Done,
+    /// Failed on every allowed attempt (poison job); `error` says why.
+    Quarantined,
+}
+
+/// One submitted campaign.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Monotonic id, assigned at submission.
+    pub id: u64,
+    /// The scenario's name (from the TOML `name` field).
+    pub name: String,
+    /// The full REMSCENARIO1 TOML source the job runs.
+    pub scenario_toml: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Claims so far (a drain-requeue does not consume an attempt).
+    pub attempts: u32,
+    /// `fnv1a64:<16 hex>` digest of the result, once `Done` — the same
+    /// digest `rem compare --scenario <file> --hash` prints.
+    #[serde(default)]
+    pub result_hash: Option<String>,
+    /// Last failure message, for `Quarantined` (or a retried failure).
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// Aggregate state counts, served on `/healthz`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounts {
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs claimed by a worker.
+    pub running: usize,
+    /// Jobs finished cleanly.
+    pub done: usize,
+    /// Poison jobs parked after exhausting their attempts.
+    pub quarantined: usize,
+}
+
+/// Queue sizing and retry policy.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Maximum queued + running jobs; submissions past this are
+    /// rejected (the HTTP listener maps the rejection to 503).
+    pub capacity: usize,
+    /// Claims a job may consume before it is quarantined as poison.
+    pub max_attempts: u32,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self { capacity: 64, max_attempts: 2 }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity — back off and retry later (HTTP 503).
+    Full {
+        /// The configured admission bound that was hit.
+        capacity: usize,
+    },
+    /// The journal write failed; the job was **not** accepted.
+    Persist(ExperimentError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { capacity } => {
+                write!(f, "queue full ({capacity} jobs queued or running)")
+            }
+            SubmitError::Persist(e) => write!(f, "cannot persist queue journal: {e}"),
+        }
+    }
+}
+
+/// The serializable journal body: the whole queue in one document.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct QueueState {
+    next_id: u64,
+    jobs: Vec<Job>,
+}
+
+impl QueueState {
+    fn counts(&self) -> QueueCounts {
+        let mut c = QueueCounts::default();
+        for j in &self.jobs {
+            match j.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Quarantined => c.quarantined += 1,
+            }
+        }
+        c
+    }
+}
+
+/// The durable, bounded, condvar-signalled job queue.
+pub struct JobQueue {
+    inner: Mutex<QueueState>,
+    cv: Condvar,
+    journal: PathBuf,
+    cfg: QueueConfig,
+}
+
+impl JobQueue {
+    /// Opens (or creates) the queue at `journal`. Jobs left `Running`
+    /// by a crashed process are requeued — or quarantined when their
+    /// attempts are spent — and the repaired state is persisted before
+    /// the queue is handed out. Returns the queue plus the number of
+    /// in-flight jobs recovered back to `Queued`.
+    pub fn open(journal: &Path, cfg: QueueConfig) -> Result<(Self, usize), ExperimentError> {
+        let mut state = if journal.exists() {
+            let body = read_checksummed(QUEUE_MAGIC, journal)?;
+            serde_json::from_str::<QueueState>(&body)
+                .map_err(|e| ExperimentError::serde("queue journal", e))?
+        } else {
+            QueueState::default()
+        };
+        let mut recovered = 0usize;
+        for j in &mut state.jobs {
+            if j.state == JobState::Running {
+                if j.attempts >= cfg.max_attempts {
+                    j.state = JobState::Quarantined;
+                    j.error = Some(format!(
+                        "crashed mid-run on attempt {} of {} — quarantined as poison",
+                        j.attempts, cfg.max_attempts
+                    ));
+                } else {
+                    j.state = JobState::Queued;
+                    recovered += 1;
+                }
+            }
+        }
+        Self::persist(journal, &state)?;
+        Ok((Self { inner: Mutex::new(state), cv: Condvar::new(), journal: journal.into(), cfg }, recovered))
+    }
+
+    fn persist(journal: &Path, state: &QueueState) -> Result<(), ExperimentError> {
+        let body = serde_json::to_string(state)
+            .map_err(|e| ExperimentError::serde("queue journal", e))?;
+        write_atomic_checksummed(QUEUE_MAGIC, journal, &body)
+    }
+
+    /// Admits a job, or refuses it when queued + running is at
+    /// capacity. The job is durable (journal fsynced) before its id is
+    /// returned.
+    pub fn submit(&self, name: &str, scenario_toml: &str) -> Result<u64, SubmitError> {
+        let mut s = self.inner.lock().unwrap();
+        let c = s.counts();
+        if c.queued + c.running >= self.cfg.capacity {
+            return Err(SubmitError::Full { capacity: self.cfg.capacity });
+        }
+        let id = s.next_id;
+        s.next_id += 1;
+        s.jobs.push(Job {
+            id,
+            name: name.into(),
+            scenario_toml: scenario_toml.into(),
+            state: JobState::Queued,
+            attempts: 0,
+            result_hash: None,
+            error: None,
+        });
+        if let Err(e) = Self::persist(&self.journal, &s) {
+            s.jobs.pop();
+            s.next_id = id;
+            return Err(SubmitError::Persist(e));
+        }
+        self.cv.notify_one();
+        Ok(id)
+    }
+
+    /// Claims the oldest queued job, marking it `Running` (durably) and
+    /// counting the attempt. Blocks up to `wait` for work; returns
+    /// `None` on timeout so callers can re-check their shutdown flag.
+    pub fn claim(&self, wait: Duration) -> Result<Option<Job>, ExperimentError> {
+        let mut s = self.inner.lock().unwrap();
+        if !s.jobs.iter().any(|j| j.state == JobState::Queued) {
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout_while(s, wait, |s| {
+                    !s.jobs.iter().any(|j| j.state == JobState::Queued)
+                })
+                .unwrap();
+            s = guard;
+        }
+        let Some(j) = s.jobs.iter_mut().find(|j| j.state == JobState::Queued) else {
+            return Ok(None);
+        };
+        j.state = JobState::Running;
+        j.attempts += 1;
+        let job = j.clone();
+        Self::persist(&self.journal, &s)?;
+        Ok(Some(job))
+    }
+
+    /// Records a clean finish with its result digest.
+    pub fn complete(&self, id: u64, result_hash: &str) -> Result<(), ExperimentError> {
+        self.transition(id, |j| {
+            j.state = JobState::Done;
+            j.result_hash = Some(result_hash.into());
+            j.error = None;
+        })
+    }
+
+    /// Records a failed attempt: the job goes back to `Queued` for a
+    /// retry, or to `Quarantined` once its attempts are spent.
+    pub fn fail(&self, id: u64, error: &str) -> Result<(), ExperimentError> {
+        let max = self.cfg.max_attempts;
+        let r = self.transition(id, |j| {
+            j.error = Some(error.into());
+            j.state =
+                if j.attempts >= max { JobState::Quarantined } else { JobState::Queued };
+        });
+        self.cv.notify_one();
+        r
+    }
+
+    /// Returns a drained job to the queue **without** consuming the
+    /// attempt: a graceful shutdown is not a failure, and the job's
+    /// checkpoint means the retry only runs the missing trials.
+    pub fn requeue_interrupted(&self, id: u64) -> Result<(), ExperimentError> {
+        self.transition(id, |j| {
+            j.state = JobState::Queued;
+            j.attempts = j.attempts.saturating_sub(1);
+        })
+    }
+
+    fn transition(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut Job),
+    ) -> Result<(), ExperimentError> {
+        let mut s = self.inner.lock().unwrap();
+        if let Some(j) = s.jobs.iter_mut().find(|j| j.id == id) {
+            f(j);
+        }
+        Self::persist(&self.journal, &s)
+    }
+
+    /// Aggregate state counts.
+    pub fn counts(&self) -> QueueCounts {
+        self.inner.lock().unwrap().counts()
+    }
+
+    /// Every job, submission order.
+    pub fn jobs(&self) -> Vec<Job> {
+        self.inner.lock().unwrap().jobs.clone()
+    }
+
+    /// One job by id.
+    pub fn job(&self, id: u64) -> Option<Job> {
+        self.inner.lock().unwrap().jobs.iter().find(|j| j.id == id).cloned()
+    }
+
+    /// Wakes every waiter (used on drain so idle workers re-check the
+    /// shutdown flag immediately instead of riding out their timeout).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rem-serve-queue-tests");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let p = dir.join(format!("{name}.journal"));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn submit_claim_complete_roundtrip_survives_reopen() {
+        let path = scratch("roundtrip");
+        let cfg = QueueConfig::default();
+        {
+            let (q, recovered) = JobQueue::open(&path, cfg).unwrap();
+            assert_eq!(recovered, 0);
+            let id = q.submit("a", "name = \"a\"").unwrap();
+            let job = q.claim(Duration::from_millis(1)).unwrap().unwrap();
+            assert_eq!(job.id, id);
+            assert_eq!(job.attempts, 1);
+            q.complete(id, "fnv1a64:0000000000000001").unwrap();
+        }
+        let (q, recovered) = JobQueue::open(&path, cfg).unwrap();
+        assert_eq!(recovered, 0);
+        let job = q.job(0).unwrap();
+        assert_eq!(job.state, JobState::Done);
+        assert_eq!(job.result_hash.as_deref(), Some("fnv1a64:0000000000000001"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn running_job_is_requeued_on_crash_recovery() {
+        let path = scratch("crash-recovery");
+        let cfg = QueueConfig { capacity: 8, max_attempts: 2 };
+        {
+            let (q, _) = JobQueue::open(&path, cfg).unwrap();
+            q.submit("a", "x").unwrap();
+            q.claim(Duration::from_millis(1)).unwrap().unwrap();
+            // Process "dies" here: the journal says Running.
+        }
+        let (q, recovered) = JobQueue::open(&path, cfg).unwrap();
+        assert_eq!(recovered, 1);
+        assert_eq!(q.job(0).unwrap().state, JobState::Queued);
+        // Second claim spends the last attempt; a second crash
+        // quarantines the job instead of looping forever.
+        q.claim(Duration::from_millis(1)).unwrap().unwrap();
+        drop(q);
+        let (q, recovered) = JobQueue::open(&path, cfg).unwrap();
+        assert_eq!(recovered, 0);
+        let job = q.job(0).unwrap();
+        assert_eq!(job.state, JobState::Quarantined);
+        assert!(job.error.as_deref().unwrap().contains("poison"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn admission_control_bounds_queued_plus_running() {
+        let path = scratch("admission");
+        let (q, _) = JobQueue::open(&path, QueueConfig { capacity: 2, max_attempts: 2 }).unwrap();
+        q.submit("a", "x").unwrap();
+        q.submit("b", "x").unwrap();
+        match q.submit("c", "x") {
+            Err(SubmitError::Full { capacity: 2 }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Done jobs stop counting against the bound.
+        let job = q.claim(Duration::from_millis(1)).unwrap().unwrap();
+        q.complete(job.id, "fnv1a64:0000000000000000").unwrap();
+        q.submit("c", "x").unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_attempts_retry_then_quarantine() {
+        let path = scratch("retry");
+        let (q, _) = JobQueue::open(&path, QueueConfig { capacity: 8, max_attempts: 2 }).unwrap();
+        let id = q.submit("a", "x").unwrap();
+        let j = q.claim(Duration::from_millis(1)).unwrap().unwrap();
+        q.fail(j.id, "boom").unwrap();
+        assert_eq!(q.job(id).unwrap().state, JobState::Queued, "first failure retries");
+        let j = q.claim(Duration::from_millis(1)).unwrap().unwrap();
+        q.fail(j.id, "boom again").unwrap();
+        let job = q.job(id).unwrap();
+        assert_eq!(job.state, JobState::Quarantined, "attempts spent");
+        assert_eq!(job.error.as_deref(), Some("boom again"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drain_requeue_returns_the_attempt() {
+        let path = scratch("drain");
+        let (q, _) = JobQueue::open(&path, QueueConfig { capacity: 8, max_attempts: 1 }).unwrap();
+        let id = q.submit("a", "x").unwrap();
+        let j = q.claim(Duration::from_millis(1)).unwrap().unwrap();
+        assert_eq!(j.attempts, 1);
+        q.requeue_interrupted(j.id).unwrap();
+        let job = q.job(id).unwrap();
+        assert_eq!(job.state, JobState::Queued);
+        assert_eq!(job.attempts, 0, "a drain is not a failure");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_journal_is_a_typed_error() {
+        let path = scratch("corrupt");
+        let (q, _) = JobQueue::open(&path, QueueConfig::default()).unwrap();
+        q.submit("a", "x").unwrap();
+        drop(q);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match JobQueue::open(&path, QueueConfig::default()) {
+            Err(ExperimentError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {:?}", other.map(|_| ())),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,90 @@
+//! Lock-free service counters, rendered on `/metrics`.
+//!
+//! The service keeps its own atomics instead of recording into the
+//! `rem-obs` registry: the registry is compiled out without the `obs`
+//! feature, but a *service* must always be able to report how many
+//! jobs it lost (none) after a crash. Rendering reuses
+//! [`rem_obs::metrics::render_prometheus`], which is a pure function
+//! and works in every build; when the `obs` feature is on, the
+//! campaign-layer metrics from the registry are appended after the
+//! service's own series (the name prefixes are disjoint, so the
+//! exposition stays well-formed).
+
+use rem_obs::metrics::MetricsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::queue::QueueCounts;
+
+/// Monotonic counters for the life of this service process.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs accepted by `POST /jobs`.
+    pub submitted: AtomicU64,
+    /// Jobs finished cleanly.
+    pub completed: AtomicU64,
+    /// Job attempts that failed (each may still be retried).
+    pub failed_attempts: AtomicU64,
+    /// Jobs parked as poison after exhausting their attempts.
+    pub quarantined: AtomicU64,
+    /// Submissions refused by admission control (HTTP 503).
+    pub rejected: AtomicU64,
+    /// Crashed worker threads respawned by the supervisor.
+    pub worker_restarts: AtomicU64,
+    /// In-flight jobs recovered back to the queue when this process
+    /// opened the journal (the crash-recovery headline number).
+    pub recovered_jobs: AtomicU64,
+    /// Jobs whose heartbeat went stale past the deadline (detection
+    /// only; the job keeps running).
+    pub deadline_overruns: AtomicU64,
+}
+
+impl ServeStats {
+    /// Adds one to a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The service's own metrics as a snapshot: counters above, plus
+    /// queue-level gauges (levels, not totals — a drained queue
+    /// reports depth 0, visibly).
+    pub fn snapshot(&self, counts: &QueueCounts) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let c = |snap: &mut MetricsSnapshot, name: &str, v: &AtomicU64| {
+            snap.counters.insert(name.to_string(), v.load(Ordering::Relaxed));
+        };
+        c(&mut snap, "rem_serve_jobs_submitted_total", &self.submitted);
+        c(&mut snap, "rem_serve_jobs_completed_total", &self.completed);
+        c(&mut snap, "rem_serve_job_attempts_failed_total", &self.failed_attempts);
+        c(&mut snap, "rem_serve_jobs_quarantined_total", &self.quarantined);
+        c(&mut snap, "rem_serve_jobs_rejected_total", &self.rejected);
+        c(&mut snap, "rem_serve_worker_restarts_total", &self.worker_restarts);
+        c(&mut snap, "rem_serve_recovered_jobs_total", &self.recovered_jobs);
+        c(&mut snap, "rem_serve_deadline_overruns_total", &self.deadline_overruns);
+        snap.gauges.insert("rem_serve_queue_depth".to_string(), counts.queued as u64);
+        snap.gauges.insert("rem_serve_jobs_running".to_string(), counts.running as u64);
+        snap.gauges
+            .insert("rem_serve_jobs_quarantined".to_string(), counts.quarantined as u64);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rem_obs::metrics::render_prometheus;
+
+    #[test]
+    fn snapshot_renders_every_series_including_zero_gauges() {
+        let stats = ServeStats::default();
+        ServeStats::inc(&stats.recovered_jobs);
+        let text = render_prometheus(&stats.snapshot(&QueueCounts::default()));
+        assert!(text.contains("# TYPE rem_serve_recovered_jobs_total counter"));
+        assert!(text.contains("rem_serve_recovered_jobs_total 1"));
+        assert!(text.contains("rem_serve_worker_restarts_total 0"));
+        assert!(
+            text.contains("rem_serve_queue_depth 0"),
+            "an empty queue must still report its depth: {text}"
+        );
+        assert!(text.contains("# TYPE rem_serve_jobs_quarantined gauge"));
+    }
+}

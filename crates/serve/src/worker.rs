@@ -1,0 +1,347 @@
+//! The supervised worker pool: claims jobs off the [`JobQueue`], runs
+//! each through the checkpointed campaign machinery, and keeps itself
+//! alive.
+//!
+//! Supervision has three layers, mirroring the trial-level machinery
+//! one level up:
+//!
+//! * **per-trial** — `rem-exec` already catches panicking trials,
+//!   retries them and quarantines persistent offenders;
+//! * **per-job** — a whole-job `catch_unwind` plus the queue's
+//!   bounded-attempt accounting: a job that dies (panic, corrupt
+//!   checkpoint, quarantined trials) is retried from its checkpoint,
+//!   then parked as poison;
+//! * **per-worker** — a supervisor thread heartbeat-watches every
+//!   worker, flags deadline overruns (detection only), and respawns
+//!   crashed worker threads with exponential backoff.
+//!
+//! Every job runs with a cancel hook wired to the drain flag, so a
+//! SIGTERM stops each job at its next checkpoint wave
+//! ([`rem_core::ExperimentError::Interrupted`]), requeues it without
+//! consuming the attempt, and leaves a checkpoint whose resume is
+//! hash-identical to an uninterrupted run.
+
+use crate::queue::JobQueue;
+use crate::signal;
+use crate::stats::ServeStats;
+use rem_core::{fnv1a64, Comparison, ExperimentError, ScenarioSpec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-job execution knobs, fixed at service start.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Worker threads *inside* each job's campaign (`0` = all cores).
+    pub job_threads: usize,
+    /// Trials per checkpoint wave (the drain granularity).
+    pub checkpoint_every: usize,
+    /// Heartbeat staleness (seconds) before the supervisor flags a
+    /// deadline overrun. `0` disables the watchdog.
+    pub job_timeout_s: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self { job_threads: 0, checkpoint_every: 4, job_timeout_s: 0 }
+    }
+}
+
+/// Shared per-slot state the supervisor watches.
+struct Slot {
+    /// Milliseconds since pool start of the last heartbeat.
+    heartbeat_ms: AtomicU64,
+    /// Current job id + 1 (`0` = idle).
+    job: AtomicU64,
+    /// False once the worker thread has exited (cleanly or by panic).
+    alive: AtomicBool,
+    /// Whether the current job was already flagged as overrun.
+    overrun_flagged: AtomicBool,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            heartbeat_ms: AtomicU64::new(0),
+            job: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            overrun_flagged: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The pool: `workers` claim loops plus one supervisor thread.
+pub struct WorkerPool {
+    supervisor: Option<JoinHandle<()>>,
+    drain: Arc<AtomicBool>,
+}
+
+/// Everything a worker loop needs, bundled for respawns.
+struct WorkerCtx {
+    queue: Arc<JobQueue>,
+    stats: Arc<ServeStats>,
+    drain: Arc<AtomicBool>,
+    jobs_dir: PathBuf,
+    cfg: WorkerConfig,
+    epoch: Instant,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` workers plus the supervisor. Workers stop when
+    /// `drain` goes true (or on SIGINT/SIGTERM via [`signal`]); the
+    /// supervisor stops after every worker has exited.
+    pub fn start(
+        queue: Arc<JobQueue>,
+        jobs_dir: &Path,
+        workers: usize,
+        cfg: WorkerConfig,
+        drain: Arc<AtomicBool>,
+        stats: Arc<ServeStats>,
+    ) -> Self {
+        let ctx = Arc::new(WorkerCtx {
+            queue,
+            stats,
+            drain: drain.clone(),
+            jobs_dir: jobs_dir.to_path_buf(),
+            cfg,
+            epoch: Instant::now(),
+        });
+        let n = workers.max(1);
+        let slots: Vec<Arc<Slot>> = (0..n).map(|_| Arc::new(Slot::new())).collect();
+        let mut handles: Vec<Option<JoinHandle<()>>> = slots
+            .iter()
+            .map(|slot| Some(spawn_worker(ctx.clone(), slot.clone())))
+            .collect();
+
+        let sup_ctx = ctx;
+        let supervisor = std::thread::spawn(move || {
+            // Per-slot consecutive-restart count drives the backoff;
+            // a worker that stays alive resets it.
+            let mut restarts = vec![0u32; n];
+            let mut respawn_at: Vec<Option<Instant>> = vec![None; n];
+            loop {
+                let draining = sup_ctx.drain.load(Ordering::SeqCst) || signal::requested();
+                let mut all_done = true;
+                for (i, slot) in slots.iter().enumerate() {
+                    if slot.alive.load(Ordering::SeqCst) {
+                        all_done = false;
+                        restarts[i] = 0;
+                        watch_deadline(&sup_ctx, slot);
+                        continue;
+                    }
+                    if draining {
+                        continue; // exited because we asked it to
+                    }
+                    all_done = false;
+                    // Crashed worker: respawn with exponential backoff
+                    // (100 ms, 200 ms, ... capped at 5 s).
+                    let due = *respawn_at[i].get_or_insert_with(|| {
+                        let shift = restarts[i].min(6);
+                        Instant::now() + Duration::from_millis((100u64 << shift).min(5_000))
+                    });
+                    if Instant::now() >= due {
+                        respawn_at[i] = None;
+                        restarts[i] = restarts[i].saturating_add(1);
+                        ServeStats::inc(&sup_ctx.stats.worker_restarts);
+                        rem_obs::trace::emit(
+                            "serve",
+                            "worker_restarted",
+                            &[("slot", (i as u64).into())],
+                        );
+                        slot.alive.store(true, Ordering::SeqCst);
+                        let h = spawn_worker(sup_ctx.clone(), slot.clone());
+                        if let Some(old) = handles[i].replace(h) {
+                            let _ = old.join(); // reap the dead thread
+                        }
+                    }
+                }
+                if draining && all_done {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            for h in handles.iter_mut().filter_map(Option::take) {
+                let _ = h.join();
+            }
+        });
+
+        Self { supervisor: Some(supervisor), drain }
+    }
+
+    /// Asks every worker to stop at its next wave boundary and blocks
+    /// until the pool (workers + supervisor) has fully exited.
+    pub fn drain_and_join(mut self, queue: &JobQueue) {
+        self.drain.store(true, Ordering::SeqCst);
+        queue.notify_all();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Flags a job whose heartbeat is older than the deadline. Detection
+/// only: the job keeps running (a trial can't be safely killed), but
+/// the overrun is counted, traced, and visible on `/metrics`.
+fn watch_deadline(ctx: &WorkerCtx, slot: &Slot) {
+    if ctx.cfg.job_timeout_s == 0 || slot.job.load(Ordering::SeqCst) == 0 {
+        return;
+    }
+    let now_ms = ctx.epoch.elapsed().as_millis() as u64;
+    let beat = slot.heartbeat_ms.load(Ordering::SeqCst);
+    if now_ms.saturating_sub(beat) > ctx.cfg.job_timeout_s * 1_000
+        && !slot.overrun_flagged.swap(true, Ordering::SeqCst)
+    {
+        let job = slot.job.load(Ordering::SeqCst).saturating_sub(1);
+        ServeStats::inc(&ctx.stats.deadline_overruns);
+        rem_obs::trace::emit("serve", "job_deadline_overrun", &[("job", job.into())]);
+    }
+}
+
+fn spawn_worker(ctx: Arc<WorkerCtx>, slot: Arc<Slot>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // `alive` must drop even if the loop panics.
+        struct AliveGuard(Arc<Slot>);
+        impl Drop for AliveGuard {
+            fn drop(&mut self) {
+                self.0.alive.store(false, Ordering::SeqCst);
+            }
+        }
+        let _guard = AliveGuard(slot.clone());
+        worker_loop(&ctx, &slot);
+    })
+}
+
+fn worker_loop(ctx: &WorkerCtx, slot: &Slot) {
+    loop {
+        if ctx.drain.load(Ordering::SeqCst) || signal::requested() {
+            return;
+        }
+        slot.heartbeat_ms
+            .store(ctx.epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+        let job = match ctx.queue.claim(Duration::from_millis(200)) {
+            Ok(Some(job)) => job,
+            Ok(None) => continue,
+            Err(e) => {
+                // Journal I/O trouble: report and back off rather than
+                // spin (the claim may have marked nothing).
+                rem_obs::trace::emit("serve", "claim_error", &[("error", format!("{e}").into())]);
+                std::thread::sleep(Duration::from_millis(500));
+                continue;
+            }
+        };
+        slot.job.store(job.id + 1, Ordering::SeqCst);
+        slot.overrun_flagged.store(false, Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(ctx, slot, &job.scenario_toml, job.id)
+        }));
+        match outcome {
+            Ok(JobOutcome::Done(hash)) => {
+                let _ = std::fs::remove_file(job_ckpt(&ctx.jobs_dir, job.id));
+                if let Err(e) = ctx.queue.complete(job.id, &hash) {
+                    rem_obs::trace::emit(
+                        "serve",
+                        "complete_error",
+                        &[("job", job.id.into()), ("error", format!("{e}").into())],
+                    );
+                } else {
+                    ServeStats::inc(&ctx.stats.completed);
+                }
+            }
+            Ok(JobOutcome::Interrupted) => {
+                // Drain: the checkpoint stays; the attempt is returned.
+                let _ = ctx.queue.requeue_interrupted(job.id);
+                slot.job.store(0, Ordering::SeqCst);
+                return;
+            }
+            Ok(JobOutcome::Failed(msg)) => record_failure(ctx, job.id, &msg),
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                record_failure(ctx, job.id, &format!("worker panic: {msg}"));
+            }
+        }
+        slot.job.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Marks one failed attempt and bumps the right counters (the queue
+/// decides retry vs quarantine).
+fn record_failure(ctx: &WorkerCtx, id: u64, msg: &str) {
+    ServeStats::inc(&ctx.stats.failed_attempts);
+    let _ = ctx.queue.fail(id, msg);
+    if ctx.queue.job(id).map(|j| j.state) == Some(crate::queue::JobState::Quarantined) {
+        ServeStats::inc(&ctx.stats.quarantined);
+        rem_obs::trace::emit("serve", "job_quarantined", &[("job", id.into())]);
+    }
+}
+
+enum JobOutcome {
+    Done(String),
+    Interrupted,
+    Failed(String),
+}
+
+/// The checkpoint a job resumes from across drains, crashes and
+/// retries.
+pub(crate) fn job_ckpt(jobs_dir: &Path, id: u64) -> PathBuf {
+    jobs_dir.join(format!("job-{id}.ckpt"))
+}
+
+/// Runs one job: parse the scenario, run its paired comparison through
+/// the checkpointed machinery (resuming any existing checkpoint), and
+/// digest the result exactly like `rem compare --scenario f --hash`
+/// does, so service results are directly comparable with one-shot
+/// runs.
+fn run_job(ctx: &WorkerCtx, slot: &Slot, scenario_toml: &str, id: u64) -> JobOutcome {
+    let spec = match ScenarioSpec::from_toml(scenario_toml) {
+        Ok(s) => s,
+        Err(e) => return JobOutcome::Failed(format!("invalid scenario: {e}")),
+    };
+    let campaign = spec.campaign();
+    let chaos = spec.chaos();
+    let mut policy = spec.run_policy();
+    if ctx.cfg.job_threads > 0 {
+        policy.threads = ctx.cfg.job_threads;
+    }
+    policy.checkpoint_every = ctx.cfg.checkpoint_every;
+    let drain = ctx.drain.clone();
+    policy.cancel = Some(Arc::new(move || {
+        drain.load(Ordering::SeqCst) || signal::requested()
+    }));
+
+    let ckpt = job_ckpt(&ctx.jobs_dir, id);
+    let checked = Comparison::run_checkpointed_with(&campaign, &policy, Some(&ckpt), |i, a| {
+        slot.heartbeat_ms
+            .store(ctx.epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+        if let Some(c) = &chaos {
+            c.maybe_panic(i, a);
+        }
+    });
+    match checked {
+        Ok(c) if c.is_clean() => {
+            let json = match serde_json::to_string(&c.comparison) {
+                Ok(j) => j,
+                Err(e) => return JobOutcome::Failed(format!("serialize result: {e}")),
+            };
+            JobOutcome::Done(format!("fnv1a64:{:016x}", fnv1a64(json.as_bytes())))
+        }
+        // Quarantined trials: the checkpoint (with its holes) stays on
+        // disk, so a retry re-runs exactly the faulty trials.
+        Ok(c) => JobOutcome::Failed(
+            ExperimentError::Quarantined { trials: c.quarantined }.to_string(),
+        ),
+        Err(ExperimentError::Interrupted { .. }) => JobOutcome::Interrupted,
+        Err(e) => JobOutcome::Failed(e.to_string()),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -41,7 +41,5 @@ pub use radio::{RadioEnv, ShadowingCfg};
 pub use rem_faults::{FaultConfig, FaultKind, FaultMode, FaultPlan, InjectedFault, OraclePair};
 pub use run::{simulate_run, Plane, ReestablishCfg, RunConfig};
 pub use trace::{SignalingEvent, SignalingTrace};
-#[allow(deprecated)]
-pub use train::simulate_train;
-pub use train::{TrainMetrics, TrainScenario};
+pub use train::{ClientTrial, TrainMetrics, TrainScenario};
 pub use trajectory::{SpeedProfile, Trajectory};

@@ -8,9 +8,7 @@
 //! traces on the deterministic event queue, and reports burst
 //! statistics.
 
-use crate::engine::EventQueue;
 use crate::run::{simulate_run, RunConfig};
-use crate::trace::SignalingEvent;
 use serde::{Deserialize, Serialize};
 
 /// Result of a whole-train replay.
@@ -32,13 +30,33 @@ pub struct TrainMetrics {
     pub handovers: usize,
 }
 
+/// One client's contribution to a whole-train study: the network-side
+/// signaling timestamps (already shifted by the client's car offset)
+/// plus its failure/handover counts.
+///
+/// A `ClientTrial` is a pure function of `(scenario, client index)` and
+/// serializes, so the campaign service checkpoints train studies
+/// client-by-client and [`TrainScenario::merge_trials`] reproduces the
+/// exact [`TrainMetrics`] of an uninterrupted [`TrainScenario::run`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClientTrial {
+    /// Signaling event times (ms), car offset applied.
+    pub event_t_ms: Vec<f64>,
+    /// Failures this client observed.
+    pub failures: usize,
+    /// Handovers this client performed.
+    pub handovers: usize,
+    /// This client's replay duration (ms).
+    pub duration_ms: f64,
+}
+
 /// A whole-train signaling-storm study: `clients` clients spread over
 /// `train_len_m` of train, each replaying the base configuration's
 /// plane, their signaling merged into network-side burst statistics.
 ///
-/// This is the builder-style replacement for the old positional
-/// [`simulate_train`] call. Defaults mirror the CLI: 8 clients over a
-/// 400 m train, a 1 s burst window, all available threads.
+/// Builder-style (the old positional `simulate_train` entry point is
+/// gone). Defaults mirror the CLI: 8 clients over a 400 m train, a
+/// 1 s burst window, all available threads.
 ///
 /// ```
 /// use rem_sim::{DatasetSpec, Plane, RunConfig, TrainScenario};
@@ -99,92 +117,84 @@ impl TrainScenario {
         self
     }
 
-    /// Runs the study and aggregates the burst statistics.
-    ///
-    /// # Panics
-    /// Panics when `clients` is zero.
-    pub fn run(&self) -> TrainMetrics {
-        let Self { base, clients: n_clients, train_len_m, window_ms, threads } = self;
-        let (n_clients, train_len_m, window_ms, threads) =
-            (*n_clients, *train_len_m, *window_ms, *threads);
-        assert!(n_clients > 0);
-        let speed = base.spec.speed_ms();
-        let mut queue: EventQueue<SignalingEvent> = EventQueue::new();
+    /// Replays client `i` (of `self.clients`) and returns its trial:
+    /// seed and fault schedule derive from `(base.seed, i)` alone, and
+    /// the car offset — clients further back cross each boundary later
+    /// — is already applied to the event times. Pure in `(self, i)`.
+    pub fn client_trial(&self, i: usize) -> ClientTrial {
+        let mut cfg = self.base.clone();
+        cfg.record_trace = true;
+        // Same environment, different link/measurement randomness —
+        // and a distinct fault schedule when injection is enabled.
+        cfg.seed = self.base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
+        cfg.client_id = i as u64;
+        let m = simulate_run(&cfg);
+        let speed = self.base.spec.speed_ms();
+        let offset_ms = if speed > 0.0 {
+            (i as f64 / self.clients.max(1) as f64) * self.train_len_m / speed * 1e3
+        } else {
+            0.0
+        };
+        ClientTrial {
+            event_t_ms: m.trace.events.iter().map(|e| e.t_ms() + offset_ms).collect(),
+            failures: m.failures.len(),
+            handovers: m.handovers.len(),
+            duration_ms: m.duration_s * 1e3,
+        }
+    }
+
+    /// Merges per-client trials (canonical client order) into the
+    /// network-side burst statistics. `trials[i]` must be
+    /// `self.client_trial(i)`; the result is then bit-identical to
+    /// [`TrainScenario::run`].
+    pub fn merge_trials(&self, trials: &[ClientTrial]) -> TrainMetrics {
         let mut failures = 0usize;
         let mut handovers = 0usize;
         let mut duration_ms = 0.0f64;
-
-        let runs = rem_exec::par_map(threads, n_clients, |i| {
-            let mut cfg = base.clone();
-            cfg.record_trace = true;
-            // Same environment, different link/measurement randomness —
-            // and a distinct fault schedule when injection is enabled.
-            cfg.seed = base.seed.wrapping_add(1_000_003u64.wrapping_mul(i as u64 + 1));
-            cfg.client_id = i as u64;
-            simulate_run(&cfg)
-        });
-        for (i, m) in runs.into_iter().enumerate() {
-            failures += m.failures.len();
-            handovers += m.handovers.len();
-            duration_ms = duration_ms.max(m.duration_s * 1e3);
-            // Car offset: clients further back cross each point later.
-            let offset_ms = if speed > 0.0 {
-                (i as f64 / n_clients.max(1) as f64) * train_len_m / speed * 1e3
-            } else {
-                0.0
-            };
-            for e in m.trace.events {
-                queue.push(e.t_ms() + offset_ms, e);
-            }
+        let mut times = Vec::with_capacity(trials.iter().map(|t| t.event_t_ms.len()).sum());
+        for t in trials {
+            failures += t.failures;
+            handovers += t.handovers;
+            duration_ms = duration_ms.max(t.duration_ms);
+            times.extend_from_slice(&t.event_t_ms);
         }
 
-        // Drain chronologically and slide the burst window.
-        let mut times = Vec::with_capacity(queue.len());
-        while let Some((t, _)) = queue.pop_due(f64::INFINITY) {
-            times.push(t);
-        }
+        // Chronological order (equal-time order is irrelevant: only the
+        // times enter the window scan), then slide the burst window.
+        times.sort_by(f64::total_cmp);
         let total = times.len();
         let mut peak = 0usize;
         let mut lo = 0usize;
         for hi in 0..total {
-            while times[hi] - times[lo] > window_ms {
+            while times[hi] - times[lo] > self.window_ms {
                 lo += 1;
             }
             peak = peak.max(hi - lo + 1);
         }
         let mean_rate =
             if duration_ms > 0.0 { total as f64 / (duration_ms / 1e3) } else { 0.0 };
-        let peak_rate = peak as f64 / (window_ms / 1e3);
+        let peak_rate = peak as f64 / (self.window_ms / 1e3);
 
         TrainMetrics {
-            n_clients,
+            n_clients: trials.len(),
             total_messages: total,
             mean_rate_per_s: mean_rate,
             peak_rate_per_s: peak_rate,
-            window_ms,
+            window_ms: self.window_ms,
             failures,
             handovers,
         }
     }
-}
 
-/// Simulates `n_clients` clients spread over `train_len_m` of train.
-///
-/// Positional-argument shim kept for one release.
-#[deprecated(since = "0.1.0", note = "use TrainScenario::new(base).with_clients(..).run()")]
-pub fn simulate_train(
-    base: &RunConfig,
-    n_clients: usize,
-    train_len_m: f64,
-    window_ms: f64,
-    threads: usize,
-) -> TrainMetrics {
-    TrainScenario::new(base.clone())
-        .with_clients(n_clients)
-        .with_train_len_m(train_len_m)
-        .with_window_ms(window_ms)
-        .with_threads(threads)
-        .run()
+    /// Runs the study and aggregates the burst statistics.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero.
+    pub fn run(&self) -> TrainMetrics {
+        assert!(self.clients > 0);
+        let trials = rem_exec::par_map(self.threads, self.clients, |i| self.client_trial(i));
+        self.merge_trials(&trials)
+    }
 }
 
 #[cfg(test)]
@@ -243,12 +253,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn positional_shim_matches_builder() {
-        let via_shim = simulate_train(&base(Plane::Legacy), 3, 200.0, 1_000.0, 1);
-        let via_builder = train(Plane::Legacy, 3).run();
-        assert_eq!(via_shim.total_messages, via_builder.total_messages);
-        assert_eq!(via_shim.peak_rate_per_s, via_builder.peak_rate_per_s);
-        assert_eq!(via_shim.failures, via_builder.failures);
+    fn merged_client_trials_match_run_exactly() {
+        let s = train(Plane::Legacy, 4);
+        let trials: Vec<ClientTrial> = (0..4).map(|i| s.client_trial(i)).collect();
+        let merged = s.merge_trials(&trials);
+        let direct = s.run();
+        assert_eq!(merged.total_messages, direct.total_messages);
+        assert_eq!(merged.peak_rate_per_s, direct.peak_rate_per_s);
+        assert_eq!(merged.mean_rate_per_s, direct.mean_rate_per_s);
+        assert_eq!(merged.failures, direct.failures);
+        assert_eq!(merged.handovers, direct.handovers);
+        assert_eq!(merged.n_clients, direct.n_clients);
+    }
+
+    #[test]
+    fn client_trials_are_pure_and_serializable() {
+        let s = train(Plane::Rem, 3);
+        let a = s.client_trial(1);
+        let b = s.client_trial(1);
+        assert_eq!(a.event_t_ms, b.event_t_ms, "client trials are pure in (scenario, i)");
+        assert_eq!(a.failures, b.failures);
+        let json = serde_json::to_string(&a).expect("serialize");
+        let back: ClientTrial = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.event_t_ms, a.event_t_ms);
+        assert_eq!(back.duration_ms, a.duration_ms);
     }
 }

@@ -118,7 +118,7 @@ fn killed_campaign_resumes_bit_identical_at_any_thread_count(
             assert_eq!(ckpt.completed(), kill_after);
             ckpt.save(&path)?;
 
-            let resume_policy = RunPolicy { threads: resume_threads, ..policy };
+            let resume_policy = RunPolicy { threads: resume_threads, ..policy.clone() };
             let (resumed_campaign, resumed) = CampaignSpec::resume(&path, &resume_policy)?;
             assert_eq!(resumed_campaign.seeds, campaign.seeds);
             assert_eq!(resumed.resumed_trials, kill_after);

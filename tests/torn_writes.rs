@@ -1,0 +1,227 @@
+//! Torn-write corruption drills for every `REM*1` durable artifact.
+//!
+//! A power cut or `kill -9` can leave a checkpoint or queue journal
+//! truncated at any byte, and disks can flip bits at rest. Whatever
+//! the damage, loading the artifact must yield a **typed**
+//! [`ExperimentError`] — never a panic, and never silent acceptance of
+//! altered campaign state. (The one legal `Ok` is a flip the format
+//! provably cannot distinguish from the pristine file, e.g. a leading
+//! zero of the checksum turning into trimmed whitespace; in that case
+//! the decoded state must equal the pristine state bit-for-bit.)
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rem_core::{
+    CampaignSpec, Checkpoint, Comparison, DatasetSpec, ExperimentError, RunPolicy,
+};
+use rem_serve::{JobQueue, QueueConfig};
+
+/// Unique scratch path per invocation (proptest cases run many files).
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("rem-torn-write-tests");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("{tag}-{}-{n}", std::process::id()))
+}
+
+/// Bytes of a pristine checkpoint produced by a real (tiny) campaign.
+fn pristine_checkpoint() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = scratch("pristine.ckpt");
+        let campaign =
+            CampaignSpec::new(DatasetSpec::beijing_taiyuan(12.0, 300.0)).with_seeds(&[3]);
+        let policy = RunPolicy { checkpoint_every: 1, ..RunPolicy::default() };
+        Comparison::run_checkpointed(&campaign, &policy, Some(&path))
+            .expect("tiny campaign checkpoints");
+        let bytes = std::fs::read(&path).expect("read pristine checkpoint");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+/// Bytes of a pristine queue journal holding two spooled jobs.
+fn pristine_journal() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = scratch("pristine.journal");
+        let (queue, recovered) =
+            JobQueue::open(&path, QueueConfig::default()).expect("fresh journal opens");
+        assert_eq!(recovered, 0);
+        queue.submit("alpha", "scenario body a").expect("submit alpha");
+        queue.submit("beta", "scenario body b").expect("submit beta");
+        let bytes = std::fs::read(&path).expect("read pristine journal");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+/// Every variant a damaged artifact is allowed to surface as.
+fn is_typed_corruption(e: &ExperimentError) -> bool {
+    matches!(
+        e,
+        ExperimentError::Corrupt { .. }
+            | ExperimentError::ChecksumMismatch { .. }
+            | ExperimentError::Serde { .. }
+            | ExperimentError::Io { .. }
+    )
+}
+
+fn truncated(pristine: &[u8], at: usize) -> Vec<u8> {
+    pristine[..at].to_vec()
+}
+
+fn bit_flipped(pristine: &[u8], at: usize, bit: u8) -> Vec<u8> {
+    let mut bytes = pristine.to_vec();
+    bytes[at] ^= 1 << bit;
+    assert_ne!(bytes[at], pristine[at], "flip must alter the byte");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A checkpoint truncated at any offset is rejected with a typed
+    /// error.
+    #[test]
+    fn truncated_checkpoint_yields_typed_error(frac in 0.0f64..1.0) {
+        let pristine = pristine_checkpoint();
+        let at = ((pristine.len() as f64) * frac) as usize; // < len
+        let path = scratch("trunc.ckpt");
+        std::fs::write(&path, truncated(pristine, at)).unwrap();
+        match Checkpoint::load(&path) {
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "truncation at {at} surfaced untyped error: {e}"
+            ),
+            Ok(_) => prop_assert!(false, "truncation at {at} silently accepted"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A checkpoint with any single bit flipped is either rejected with
+    /// a typed error or decodes to the exact pristine state (header
+    /// flips the format cannot observe).
+    #[test]
+    fn bit_flipped_checkpoint_never_alters_state(frac in 0.0f64..1.0, bit in 0u8..8) {
+        let pristine = pristine_checkpoint();
+        let at = ((pristine.len() as f64) * frac) as usize;
+        let at = at.min(pristine.len() - 1);
+        let path = scratch("flip.ckpt");
+        std::fs::write(&path, bit_flipped(pristine, at, bit)).unwrap();
+
+        let reference_path = scratch("ref.ckpt");
+        std::fs::write(&reference_path, pristine).unwrap();
+        let reference = Checkpoint::load(&reference_path).expect("pristine loads");
+        std::fs::remove_file(&reference_path).unwrap();
+
+        match Checkpoint::load(&path) {
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "flip at {at}.{bit} surfaced untyped error: {e}"
+            ),
+            Ok(c) => prop_assert!(
+                c == reference,
+                "flip at {at}.{bit} accepted but decoded different state"
+            ),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A queue journal truncated at any offset is rejected with a typed
+    /// error — a half-written spool never becomes a half-remembered
+    /// job list.
+    #[test]
+    fn truncated_journal_yields_typed_error(frac in 0.0f64..1.0) {
+        let pristine = pristine_journal();
+        let at = ((pristine.len() as f64) * frac) as usize;
+        let path = scratch("trunc.journal");
+        std::fs::write(&path, truncated(pristine, at)).unwrap();
+        match JobQueue::open(&path, QueueConfig::default()) {
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "truncation at {at} surfaced untyped error: {e}"
+            ),
+            Ok(_) => prop_assert!(false, "truncation at {at} silently accepted"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A queue journal with any single bit flipped either fails typed
+    /// or recovers the exact pristine job list.
+    #[test]
+    fn bit_flipped_journal_never_alters_jobs(frac in 0.0f64..1.0, bit in 0u8..8) {
+        let pristine = pristine_journal();
+        let at = ((pristine.len() as f64) * frac) as usize;
+        let at = at.min(pristine.len() - 1);
+        let path = scratch("flip.journal");
+        std::fs::write(&path, bit_flipped(pristine, at, bit)).unwrap();
+
+        let reference_path = scratch("ref.journal");
+        std::fs::write(&reference_path, pristine).unwrap();
+        let (reference, _) = JobQueue::open(&reference_path, QueueConfig::default())
+            .expect("pristine journal opens");
+        let reference_jobs = reference.jobs();
+        std::fs::remove_file(&reference_path).unwrap();
+
+        match JobQueue::open(&path, QueueConfig::default()) {
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "flip at {at}.{bit} surfaced untyped error: {e}"
+            ),
+            Ok((q, _)) => prop_assert!(
+                q.jobs() == reference_jobs,
+                "flip at {at}.{bit} accepted but recovered different jobs"
+            ),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Deterministic edge cases the fuzz loop should not have to rediscover.
+#[test]
+fn empty_and_cross_magic_artifacts_are_rejected() {
+    // Empty file: no header line at all.
+    let path = scratch("empty.ckpt");
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(Checkpoint::load(&path), Err(ExperimentError::Corrupt { .. })));
+    std::fs::remove_file(&path).unwrap();
+
+    // A checkpoint fed to the queue opener (and vice versa): the magic
+    // says "wrong artifact", not "checksum noise".
+    let path = scratch("cross.journal");
+    std::fs::write(&path, pristine_checkpoint()).unwrap();
+    assert!(matches!(
+        JobQueue::open(&path, QueueConfig::default()),
+        Err(ExperimentError::Corrupt { .. })
+    ));
+    std::fs::remove_file(&path).unwrap();
+
+    let path = scratch("cross.ckpt");
+    std::fs::write(&path, pristine_journal()).unwrap();
+    assert!(matches!(Checkpoint::load(&path), Err(ExperimentError::Corrupt { .. })));
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Truncating exactly at the header/body boundary leaves an empty body
+/// whose digest cannot match: the most likely torn-write shape (header
+/// block flushed, body block lost) is caught as a checksum error.
+#[test]
+fn header_only_artifact_is_a_checksum_error() {
+    let pristine = pristine_checkpoint();
+    let header_end =
+        pristine.iter().position(|&b| b == b'\n').expect("header newline") + 1;
+    let path = scratch("header-only.ckpt");
+    std::fs::write(&path, &pristine[..header_end]).unwrap();
+    match Checkpoint::load(&path) {
+        Err(ExperimentError::ChecksumMismatch { expected, actual, .. }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
