@@ -1,22 +1,32 @@
 //! DSP kernel throughput, machine-readable: times the planned FFT
 //! path against the pre-PR per-call baseline (kept as
-//! `fft_unplanned`/`ifft_unplanned`) plus the SFFT and Viterbi hot
-//! paths, and writes `BENCH_dsp.json` so CI can archive the perf
-//! trajectory.
+//! `fft_unplanned`/`ifft_unplanned`), the SFFT hot path, and the
+//! runtime-dispatched SIMD kernels (Viterbi ACS, QAM soft demap)
+//! against their scalar references, plus the stage-major batched link
+//! pipeline against the per-block baseline, and writes
+//! `BENCH_dsp.json` so CI can archive the perf trajectory.
 //!
 //! Usage: `cargo bench -p rem-bench --bench dsp_json [-- --test]`
 //! (`--test` shrinks iteration counts to a smoke run; the JSON is
 //! written either way). The output lands in the working directory, or
 //! at `$BENCH_DSP_JSON` when set.
+//!
+//! On a CPU without a vector tier (or under `REM_DSP_SIMD=off`) the
+//! "simd" timings fall back to the scalar kernel, so the speedup
+//! columns read ~1.0 — the report's `simd.dispatch` field says which
+//! tier actually ran.
 
 use rem_channel::models::ChannelModel;
 use rem_num::fft::{fft, fft_unplanned};
 use rem_num::rng::{complex_gaussian, rng_from_seed};
+use rem_num::simd::{self, SimdTier};
 use rem_num::{CMatrix, Complex64};
 use rem_phy::convcode;
 use rem_phy::dsp::DspScratch;
 use rem_phy::link::{simulate_block_with, LinkConfig, Waveform};
 use rem_phy::otfs::sfft_into;
+use rem_phy::qam::{self, Modulation};
+use rem_phy::{BatchJob, LinkBatch};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -35,13 +45,14 @@ fn time_us(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let (warmup, iters) = if smoke { (2, 5) } else { (50, 400) };
+    let tier = simd::active_tier();
 
     let mut rng = rng_from_seed(1);
     let x1200: Vec<Complex64> = (0..1200).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
     let x1024: Vec<Complex64> = (0..1024).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
 
-    // The tentpole number: 1200-point Bluestein, planned (cached
-    // twiddles + pre-transformed chirp kernel) vs the per-call baseline.
+    // 1200-point Bluestein, planned (cached twiddles + pre-transformed
+    // chirp kernel, SIMD butterflies) vs the per-call baseline.
     let mut buf = x1200.clone();
     let planned_1200 = time_us(warmup, iters, || {
         buf.copy_from_slice(&x1200);
@@ -72,27 +83,116 @@ fn main() {
         black_box(&out12);
     });
 
-    // Viterbi: flat bit-packed trellis on a full signaling payload.
+    // QAM soft demap: per-symbol LLRs over a full-band 16-QAM grid,
+    // scalar kernel vs the active SIMD tier (same entry point, forced
+    // tier) — the per-block hot path of every receiver.
+    let qam_syms: Vec<Complex64> =
+        (0..4096).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+    let mut llr_buf: Vec<f64> = Vec::with_capacity(4 * qam_syms.len());
+    let qam_scalar = time_us(warmup, iters, || {
+        llr_buf.clear();
+        qam::demodulate_soft_into_with_tier(
+            black_box(&qam_syms),
+            Modulation::Qam16,
+            0.1,
+            &mut llr_buf,
+            SimdTier::Scalar,
+        );
+        black_box(&llr_buf);
+    });
+    let qam_simd = time_us(warmup, iters, || {
+        llr_buf.clear();
+        qam::demodulate_soft_into_with_tier(
+            black_box(&qam_syms),
+            Modulation::Qam16,
+            0.1,
+            &mut llr_buf,
+            tier,
+        );
+        black_box(&llr_buf);
+    });
+
+    // Viterbi: flat bit-packed trellis on a full signaling payload,
+    // scalar ACS vs the vectorised add-compare-select.
     let payload_len = LinkConfig::signaling(Waveform::Otfs).max_payload_bits();
     let payload: Vec<bool> = (0..payload_len).map(|i| i % 3 == 0).collect();
     let coded = convcode::encode(&payload);
     let llrs: Vec<f64> = coded.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
-    let viterbi = time_us(warmup, iters, || {
-        black_box(convcode::decode_soft(black_box(&llrs), payload_len));
+    let mut trellis = convcode::TrellisScratch::new();
+    let viterbi_scalar = time_us(warmup, iters, || {
+        black_box(convcode::decode_soft_with_tier(
+            black_box(&llrs),
+            payload_len,
+            &mut trellis,
+            SimdTier::Scalar,
+        ));
+    });
+    let viterbi_simd = time_us(warmup, iters, || {
+        black_box(convcode::decode_soft_with_tier(
+            black_box(&llrs),
+            payload_len,
+            &mut trellis,
+            tier,
+        ));
     });
 
-    // End-to-end coded block (the Monte-Carlo trial unit).
+    // End-to-end coded block (the Monte-Carlo trial unit), per-block.
     let cfg = LinkConfig::signaling(Waveform::Otfs);
     let ch = ChannelModel::Hst.realize(&mut rng, 97.2, 2.6e9);
     let mut block_rng = rng_from_seed(2);
-    let block = time_us(warmup.min(5), (iters / 4).max(3), || {
+    let block_iters = (iters / 4).max(3);
+    let block = time_us(warmup.min(5), block_iters, || {
         black_box(simulate_block_with(&cfg, &ch, 10.0, &payload, &mut block_rng, &mut ws));
     });
+
+    // The same trial unit through the stage-major batch driver at a
+    // sweep of batch sizes, reported as microseconds per block so the
+    // series is directly comparable to the per-block number above.
+    let mk_jobs = |n: usize| -> Vec<BatchJob> {
+        let mut jrng = rng_from_seed(3);
+        (0..n)
+            .map(|i| BatchJob {
+                ch: ChannelModel::Hst.realize(&mut jrng, 97.2, 2.6e9),
+                payload: payload.clone(),
+                rng: rng_from_seed(100 + i as u64),
+            })
+            .collect()
+    };
+    let clone_jobs = |proto: &[BatchJob]| -> Vec<BatchJob> {
+        proto
+            .iter()
+            .map(|j| BatchJob {
+                ch: j.ch.clone(),
+                payload: j.payload.clone(),
+                rng: j.rng.clone(),
+            })
+            .collect()
+    };
+    let mut lb = LinkBatch::new();
+    let mut batch_series = Vec::new();
+    let mut batched_8 = block;
+    for &bs in &[1usize, 4, 8, 16] {
+        let proto = mk_jobs(bs);
+        let calls = (block_iters / bs).max(3);
+        let per_call = time_us(warmup.min(5).min(calls), calls, || {
+            let mut jobs = clone_jobs(&proto);
+            black_box(lb.run(&cfg, 10.0, &mut jobs, &mut ws));
+        });
+        let per_block = per_call / bs as f64;
+        if bs == 8 {
+            batched_8 = per_block;
+        }
+        batch_series.push(serde_json::json!({ "batch": bs, "us_per_block": per_block }));
+    }
 
     let report = serde_json::json!({
         "bench": "dsp_json",
         "mode": if smoke { "smoke" } else { "full" },
         "iterations": iters,
+        "simd": {
+            "dispatch": tier.name(),
+            "cpu_features": simd::cpu_features(),
+        },
         "kernels": {
             "fft_1200_bluestein": {
                 "planned_us": planned_1200,
@@ -105,17 +205,35 @@ fn main() {
                 "speedup": unplanned_1024 / planned_1024,
             },
             "sfft_12x14_into": { "planned_us": sfft_12x14 },
-            "viterbi_decode_soft": { "flat_trellis_us": viterbi, "payload_bits": payload_len },
-            "otfs_coded_block_12x14": { "us": block },
+            "qam_llr": {
+                "symbols": qam_syms.len(),
+                "modulation": "qam16",
+                "scalar_us": qam_scalar,
+                "simd_us": qam_simd,
+                "speedup": qam_scalar / qam_simd,
+            },
+            "viterbi_decode_soft": {
+                "scalar_us": viterbi_scalar,
+                "simd_us": viterbi_simd,
+                "speedup": viterbi_scalar / viterbi_simd,
+                "payload_bits": payload_len,
+            },
+            "otfs_coded_block_12x14": {
+                "us": block,
+                "batched_us_per_block": batched_8,
+                "batch": 8,
+                "speedup": block / batched_8,
+            },
         },
+        "batch_throughput": batch_series,
     });
 
     let path = std::env::var("BENCH_DSP_JSON").unwrap_or_else(|_| "BENCH_dsp.json".into());
     let pretty = serde_json::to_string_pretty(&report).expect("serialise bench report");
     std::fs::write(&path, &pretty).expect("write BENCH_dsp.json");
     // Provenance manifest beside the artifact (git SHA, plan-cache
-    // mode, iteration counts). No result hash: timings are not
-    // deterministic, only attributable.
+    // mode, SIMD tier, iteration counts). No result hash: timings are
+    // not deterministic, only attributable.
     let spec = serde_json::json!({ "warmup": warmup, "iters": iters, "smoke": smoke });
     let manifest = rem_obs::RunManifest::new("bench:dsp_json", &spec.to_string(), iters);
     let mpath = format!("{path}.manifest.json");
@@ -123,8 +241,9 @@ fn main() {
     println!("{pretty}");
     println!("wrote {path} (+ {mpath})");
     println!(
-        "fft_1200_bluestein: planned {planned_1200:.2} us vs unplanned {unplanned_1200:.2} us \
-         ({:.2}x)",
-        unplanned_1200 / planned_1200
+        "simd dispatch: {} | viterbi {viterbi_scalar:.2} -> {viterbi_simd:.2} us, \
+         qam_llr {qam_scalar:.2} -> {qam_simd:.2} us, \
+         otfs block {block:.2} -> {batched_8:.2} us (batch 8)",
+        tier.name()
     );
 }

@@ -147,6 +147,17 @@ pub fn cmd_obs(rest: Vec<String>) -> Result<(), CliError> {
                 .map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
             let events = rem_obs::trace::parse_jsonl(&body).map_err(ArgError)?;
             print!("{}", rem_obs::summary::summarize(&events));
+            // SIMD/DSP provenance from the sibling manifest, when the
+            // trace has one (traces from older runs or bare files
+            // simply don't print these lines).
+            if let Ok(m) = RunManifest::load(&manifest_path_for(Path::new(file))) {
+                if !m.simd_dispatch.is_empty() {
+                    println!("simd dispatch: {} (cpu: {})", m.simd_dispatch, m.cpu_features);
+                }
+                if !m.plan_cache.is_empty() {
+                    println!("plan cache: {}", m.plan_cache);
+                }
+            }
             Ok(())
         }
         _ => Err(usage()),

@@ -11,7 +11,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` components.
+///
+/// The layout is `#[repr(C)]`, i.e. `re` then `im` with no padding, so a
+/// `&[Complex64]` can be reinterpreted as interleaved `[re, im, re, im,
+/// ...]` doubles — the [`crate::simd`] kernels rely on this.
 #[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -43,6 +43,7 @@
 //! rescale pass).
 
 use crate::complex::Complex64;
+use crate::simd::{self, SimdTier};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -276,7 +277,9 @@ impl Radix2Plan {
     }
 
     /// In-place transform with the cached tables; no scaling either way.
-    fn execute(&self, data: &mut [Complex64], inverse: bool) {
+    /// The butterfly stages run on `tier` (each SIMD stage kernel is
+    /// bit-identical to the scalar loop — see [`crate::simd`]).
+    fn execute(&self, data: &mut [Complex64], inverse: bool, tier: SimdTier) {
         let n = self.n;
         debug_assert_eq!(data.len(), n);
         for &(i, j) in &self.swaps {
@@ -288,18 +291,127 @@ impl Radix2Plan {
         while len <= n {
             let half = len / 2;
             let stage = &tw[off..off + half];
-            let mut start = 0;
-            while start < n {
-                for (k, &w) in stage.iter().enumerate() {
-                    let u = data[start + k];
-                    let v = data[start + k + half] * w;
-                    data[start + k] = u + v;
-                    data[start + k + half] = u - v;
-                }
-                start += len;
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                // Availability is checked by the public entry points.
+                SimdTier::Avx2 => unsafe { butterfly_avx2::radix2_stage(data, len, stage) },
+                #[cfg(target_arch = "aarch64")]
+                SimdTier::Neon => unsafe { butterfly_neon::radix2_stage(data, len, stage) },
+                _ => scalar_stage(data, len, stage),
             }
             off += half;
             len <<= 1;
+        }
+    }
+}
+
+/// One scalar radix-2 stage: butterfly span `len`, `stage` holding the
+/// `len/2` twiddles. This loop is the bit-exact reference the SIMD
+/// stage kernels reproduce.
+fn scalar_stage(data: &mut [Complex64], len: usize, stage: &[Complex64]) {
+    let n = data.len();
+    let half = len / 2;
+    let mut start = 0;
+    while start < n {
+        for (k, &w) in stage.iter().enumerate() {
+            let u = data[start + k];
+            let v = data[start + k + half] * w;
+            data[start + k] = u + v;
+            data[start + k + half] = u - v;
+        }
+        start += len;
+    }
+}
+
+/// AVX2 butterfly stage: two complex butterflies per 256-bit register
+/// over the interleaved `[re, im]` layout (`Complex64` is `repr(C)`).
+///
+/// Lane algebra per element, matching the scalar `u + v*w` / `u - v*w`
+/// exactly: `addsub(v*wr, swap(v)*wi)` yields
+/// `(vr*wr - vi*wi, vi*wr + vr*wi)`; the imaginary part is the scalar
+/// `vr*wi + vi*wr` with the addition operands commuted, which IEEE-754
+/// addition makes bit-identical. No FMA anywhere (the scalar path
+/// compiles to separate mul/add).
+#[cfg(target_arch = "x86_64")]
+mod butterfly_avx2 {
+    use super::Complex64;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn radix2_stage(data: &mut [Complex64], len: usize, stage: &[Complex64]) {
+        let n = data.len();
+        let half = len / 2;
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let twp = stage.as_ptr() as *const f64;
+        let mut start = 0usize;
+        while start < n {
+            let mut k = 0usize;
+            while k + 2 <= half {
+                let ui = 2 * (start + k);
+                let vi = 2 * (start + k + half);
+                let u = _mm256_loadu_pd(ptr.add(ui));
+                let v = _mm256_loadu_pd(ptr.add(vi));
+                let w = _mm256_loadu_pd(twp.add(2 * k));
+                let wr = _mm256_movedup_pd(w); // [wr0, wr0, wr1, wr1]
+                let wi = _mm256_permute_pd::<0b1111>(w); // [wi0, wi0, wi1, wi1]
+                let t1 = _mm256_mul_pd(v, wr); // [vr*wr, vi*wr, ...]
+                let vs = _mm256_permute_pd::<0b0101>(v); // [vi, vr, ...]
+                let t2 = _mm256_mul_pd(vs, wi); // [vi*wi, vr*wi, ...]
+                let vw = _mm256_addsub_pd(t1, t2);
+                _mm256_storeu_pd(ptr.add(ui), _mm256_add_pd(u, vw));
+                _mm256_storeu_pd(ptr.add(vi), _mm256_sub_pd(u, vw));
+                k += 2;
+            }
+            // Remainder: the half == 1 first stage and odd trailing k.
+            while k < half {
+                let u = data[start + k];
+                let v = data[start + k + half] * stage[k];
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                k += 1;
+            }
+            start += len;
+        }
+    }
+}
+
+/// NEON butterfly stage: de-interleaved (`vld2q_f64`) 2-wide re/im
+/// vectors evaluate the scalar complex-multiply expression verbatim,
+/// so it is bit-identical to [`scalar_stage`] by construction.
+#[cfg(target_arch = "aarch64")]
+mod butterfly_neon {
+    use super::Complex64;
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn radix2_stage(data: &mut [Complex64], len: usize, stage: &[Complex64]) {
+        let n = data.len();
+        let half = len / 2;
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let twp = stage.as_ptr() as *const f64;
+        let mut start = 0usize;
+        while start < n {
+            let mut k = 0usize;
+            while k + 2 <= half {
+                let ui = 2 * (start + k);
+                let vi = 2 * (start + k + half);
+                let u = vld2q_f64(ptr.add(ui)); // u.0 = re lanes, u.1 = im lanes
+                let v = vld2q_f64(ptr.add(vi));
+                let w = vld2q_f64(twp.add(2 * k));
+                let re = vsubq_f64(vmulq_f64(v.0, w.0), vmulq_f64(v.1, w.1));
+                let im = vaddq_f64(vmulq_f64(v.0, w.1), vmulq_f64(v.1, w.0));
+                vst2q_f64(ptr.add(ui), float64x2x2_t(vaddq_f64(u.0, re), vaddq_f64(u.1, im)));
+                vst2q_f64(ptr.add(vi), float64x2x2_t(vsubq_f64(u.0, re), vsubq_f64(u.1, im)));
+                k += 2;
+            }
+            while k < half {
+                let u = data[start + k];
+                let v = data[start + k + half] * stage[k];
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                k += 1;
+            }
+            start += len;
         }
     }
 }
@@ -347,7 +459,7 @@ impl BluesteinPlan {
                 b[k] = v;
                 b[m - k] = v;
             }
-            inner.execute(&mut b, false);
+            inner.execute(&mut b, false, simd::active_tier());
             b
         };
         let bfft_fwd = kernel(&chirp_fwd);
@@ -355,7 +467,13 @@ impl BluesteinPlan {
         Self { m, inner, chirp_fwd, chirp_inv, bfft_fwd, bfft_inv }
     }
 
-    fn execute(&self, data: &mut [Complex64], inverse: bool, scratch: &mut FftScratch) {
+    fn execute(
+        &self,
+        data: &mut [Complex64],
+        inverse: bool,
+        scratch: &mut FftScratch,
+        tier: SimdTier,
+    ) {
         let n = data.len();
         let m = self.m;
         let (chirp, bfft) = if inverse {
@@ -370,11 +488,9 @@ impl BluesteinPlan {
         for z in &mut a[n..] {
             *z = Complex64::ZERO;
         }
-        self.inner.execute(a, false);
-        for (x, y) in a.iter_mut().zip(bfft.iter()) {
-            *x *= *y;
-        }
-        self.inner.execute(a, true);
+        self.inner.execute(a, false, tier);
+        simd::cmul_in_place_with_tier(a, bfft, tier);
+        self.inner.execute(a, true, tier);
         let scale = 1.0 / m as f64;
         for (k, out) in data.iter_mut().enumerate() {
             *out = a[k].scale(scale) * chirp[k];
@@ -415,12 +531,12 @@ impl FftPlan {
         }
     }
 
-    /// In-place forward transform (no scaling).
+    /// In-place forward transform (no scaling), on the active SIMD tier.
     ///
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn forward(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
-        self.execute(data, false, scratch);
+        self.execute(data, false, scratch, simd::active_tier());
     }
 
     /// In-place inverse transform with the `1/N` scaling, the inverse of
@@ -429,13 +545,8 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn inverse(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
-        self.execute(data, true, scratch);
-        if self.n > 1 {
-            let s = 1.0 / self.n as f64;
-            for z in data.iter_mut() {
-                *z = z.scale(s);
-            }
-        }
+        self.execute(data, true, scratch, simd::active_tier());
+        self.normalize(data);
     }
 
     /// In-place inverse transform **without** the `1/N` scaling: the raw
@@ -444,16 +555,67 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn inverse_unnormalized(&self, data: &mut [Complex64], scratch: &mut FftScratch) {
-        self.execute(data, true, scratch);
+        self.execute(data, true, scratch, simd::active_tier());
     }
 
-    fn execute(&self, data: &mut [Complex64], inverse: bool, scratch: &mut FftScratch) {
+    /// [`forward`](Self::forward) on an explicit SIMD tier (scalar
+    /// fallback when the tier is unavailable on this CPU). Every tier
+    /// produces bit-identical output; the equivalence tests and the
+    /// `dsp_json` benchmark use this to compare tiers in one process,
+    /// since [`crate::simd::active_tier`] is resolved only once.
+    pub fn forward_with_tier(
+        &self,
+        data: &mut [Complex64],
+        scratch: &mut FftScratch,
+        tier: SimdTier,
+    ) {
+        self.execute(data, false, scratch, resolve_tier(tier));
+    }
+
+    /// [`inverse`](Self::inverse) on an explicit SIMD tier; see
+    /// [`forward_with_tier`](Self::forward_with_tier).
+    pub fn inverse_with_tier(
+        &self,
+        data: &mut [Complex64],
+        scratch: &mut FftScratch,
+        tier: SimdTier,
+    ) {
+        self.execute(data, true, scratch, resolve_tier(tier));
+        self.normalize(data);
+    }
+
+    fn normalize(&self, data: &mut [Complex64]) {
+        if self.n > 1 {
+            let s = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(s);
+            }
+        }
+    }
+
+    fn execute(
+        &self,
+        data: &mut [Complex64],
+        inverse: bool,
+        scratch: &mut FftScratch,
+        tier: SimdTier,
+    ) {
         assert_eq!(data.len(), self.n, "plan length mismatch");
         match &self.kind {
             PlanKind::Trivial => {}
-            PlanKind::Radix2(p) => p.execute(data, inverse),
-            PlanKind::Bluestein(p) => p.execute(data, inverse, scratch),
+            PlanKind::Radix2(p) => p.execute(data, inverse, tier),
+            PlanKind::Bluestein(p) => p.execute(data, inverse, scratch, tier),
         }
+    }
+}
+
+/// `tier` if the running CPU can execute it, otherwise scalar — the
+/// fallback rule every `*_with_tier` entry point applies.
+fn resolve_tier(tier: SimdTier) -> SimdTier {
+    if tier.is_available() {
+        tier
+    } else {
+        SimdTier::Scalar
     }
 }
 
@@ -750,6 +912,53 @@ mod tests {
             ifft(&mut scaled);
             for (r, s) in raw.iter().zip(&scaled) {
                 assert!(r.dist(s.scale(n as f64)) < 1e-9 * (1.0 + r.abs()), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tiers_are_bit_identical_to_scalar() {
+        // Sweep every lane-remainder length around the widest tier
+        // (1..=4*lanes+3) plus the LTE grid sizes the link simulator
+        // actually transforms. Unavailable tiers fall back to scalar,
+        // so this test is meaningful on any machine and exhaustive on
+        // CPUs with the tier.
+        let mut scratch = FftScratch::new();
+        for tier in [SimdTier::Avx2, SimdTier::Neon] {
+            for n in (1..=19usize).chain([64, 72, 128, 600, 1024, 1200]) {
+                let x = ramp(n);
+                let plan = FftPlan::new(n);
+
+                let mut fast = x.clone();
+                plan.forward_with_tier(&mut fast, &mut scratch, tier);
+                let mut reference = x.clone();
+                plan.forward_with_tier(&mut reference, &mut scratch, SimdTier::Scalar);
+                assert_eq!(fast, reference, "forward tier={} n={n}", tier.name());
+
+                let mut fast = x.clone();
+                plan.inverse_with_tier(&mut fast, &mut scratch, tier);
+                let mut reference = x.clone();
+                plan.inverse_with_tier(&mut reference, &mut scratch, SimdTier::Scalar);
+                assert_eq!(fast, reference, "inverse tier={} n={n}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tiers_are_bit_identical_on_unaligned_slices() {
+        // Offset the data by one element so the kernel's loads start
+        // 16 bytes off any 32-byte boundary; loadu must not care.
+        let mut scratch = FftScratch::new();
+        for tier in [SimdTier::Avx2, SimdTier::Neon] {
+            for n in [8usize, 12, 16, 600, 1024] {
+                let backing = ramp(n + 1);
+                let plan = FftPlan::new(n);
+
+                let mut fast = backing.clone();
+                plan.forward_with_tier(&mut fast[1..], &mut scratch, tier);
+                let mut reference = backing.clone();
+                plan.forward_with_tier(&mut reference[1..], &mut scratch, SimdTier::Scalar);
+                assert_eq!(fast, reference, "unaligned tier={} n={n}", tier.name());
             }
         }
     }

@@ -34,6 +34,7 @@ pub mod fft;
 pub mod health;
 pub mod matrix;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod svd;
 
@@ -42,4 +43,5 @@ pub use fft::{FftPlan, FftPlanner, FftScratch};
 pub use health::DegradedStats;
 pub use matrix::CMatrix;
 pub use rng::SimRng;
+pub use simd::SimdTier;
 pub use svd::{svd, svd_checked, svd_monitored, Svd, SvdError, SvdOptions, SvdReport};

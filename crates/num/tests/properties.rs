@@ -201,4 +201,55 @@ proptest! {
             prop_assert!(w[1].1 >= w[0].1);
         }
     }
+
+    // SIMD tier equivalence (contract in `rem_num::simd`): the
+    // vectorised butterflies and the Bluestein pointwise product must
+    // be bit-identical to the scalar reference on arbitrary signals —
+    // all lengths (radix-2 and Bluestein branches, lane remainders)
+    // and unaligned slice starts. On a CPU without a vector tier,
+    // `active_tier()` is `Scalar` and the property holds trivially.
+
+    #[test]
+    fn fft_plan_simd_tier_is_bit_identical_to_scalar(
+        entries in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..200),
+    ) {
+        let x: Vec<Complex64> = entries.iter().map(|&(a, b)| c64(a, b)).collect();
+        let plan = FftPlan::new(x.len());
+        let mut scratch = FftScratch::new();
+        let tier = rem_num::simd::active_tier();
+
+        let mut reference = x.clone();
+        plan.forward_with_tier(&mut reference, &mut scratch, rem_num::simd::SimdTier::Scalar);
+        let mut fast = x.clone();
+        plan.forward_with_tier(&mut fast, &mut scratch, tier);
+        prop_assert_eq!(&reference, &fast);
+
+        plan.inverse_with_tier(&mut reference, &mut scratch, rem_num::simd::SimdTier::Scalar);
+        plan.inverse_with_tier(&mut fast, &mut scratch, tier);
+        prop_assert_eq!(reference, fast);
+    }
+
+    #[test]
+    fn cmul_simd_is_bit_identical_on_unaligned_slices(
+        entries in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..80),
+        skip in 0usize..3,
+    ) {
+        let a: Vec<Complex64> = entries.iter().map(|&(p, q)| c64(p, q)).collect();
+        let b: Vec<Complex64> = entries.iter().map(|&(p, q)| c64(q, -p)).collect();
+        let lo = skip.min(a.len());
+        let mut reference = a[lo..].to_vec();
+        rem_num::simd::cmul_in_place_with_tier(
+            &mut reference,
+            &b[lo..],
+            rem_num::simd::SimdTier::Scalar,
+        );
+        // Multiply inside the original (possibly unaligned) slice.
+        let mut fast = a.clone();
+        rem_num::simd::cmul_in_place_with_tier(
+            &mut fast[lo..],
+            &b[lo..],
+            rem_num::simd::active_tier(),
+        );
+        prop_assert_eq!(reference, fast[lo..].to_vec());
+    }
 }

@@ -55,6 +55,15 @@ pub struct RunManifest {
     /// DSP plan-cache mode (`REM_DSP_PLAN`, `"on"` when unset).
     #[serde(default)]
     pub plan_cache: String,
+    /// Active SIMD dispatch tier of the DSP kernels (`"scalar"`,
+    /// `"avx2"`, `"neon"`). Provenance only: every tier is bit-exact
+    /// against the scalar reference, so the hash never depends on it.
+    #[serde(default)]
+    pub simd_dispatch: String,
+    /// Vector features the CPU exposed at run time (e.g.
+    /// `"avx2,fma,sse4.2"`), independent of the dispatch override.
+    #[serde(default)]
+    pub cpu_features: String,
     /// `git rev-parse HEAD` at run time, when available.
     #[serde(default)]
     pub git_sha: Option<String>,
@@ -90,6 +99,8 @@ impl RunManifest {
             checkpoint_every: 0,
             chaos: None,
             plan_cache: std::env::var("REM_DSP_PLAN").unwrap_or_else(|_| "on".to_string()),
+            simd_dispatch: rem_num::simd::active_tier().name().to_string(),
+            cpu_features: rem_num::simd::cpu_features(),
             git_sha: git_sha(),
             obs_enabled: crate::compiled_in(),
             result_hash: None,
@@ -212,5 +223,17 @@ mod tests {
         assert_eq!(m.format, MANIFEST_FORMAT);
         assert!(!m.plan_cache.is_empty());
         assert_eq!(m.obs_enabled, crate::compiled_in());
+        // SIMD provenance: the active tier name and the CPU feature
+        // list are always captured (both non-empty on every platform).
+        assert_eq!(m.simd_dispatch, rem_num::simd::active_tier().name());
+        assert!(!m.cpu_features.is_empty());
+    }
+
+    #[test]
+    fn manifests_without_simd_provenance_still_load() {
+        let body = r#"{"format":"REMMANIFEST1","kind":"bler","spec_json":"{}","n_trials":4}"#;
+        let m: RunManifest = serde_json::from_str(body).expect("parse");
+        assert_eq!(m.simd_dispatch, "");
+        assert_eq!(m.cpu_features, "");
     }
 }

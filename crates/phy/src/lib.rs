@@ -26,6 +26,7 @@
 //!            scenario.with_threads(4).outcomes());
 //! ```
 
+pub mod batch;
 pub mod chanest;
 pub mod convcode;
 pub mod crc;
@@ -40,6 +41,7 @@ pub mod qam;
 pub mod scfdma;
 pub mod scheduler;
 
+pub use batch::{BatchJob, LinkBatch};
 pub use dsp::DspScratch;
 pub use link::{simulate_block, simulate_block_with, BlerScenario, BlockOutcome, LinkConfig, Waveform};
 #[allow(deprecated)]

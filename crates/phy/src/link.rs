@@ -20,7 +20,7 @@ use crate::dsp::{with_thread_scratch, DspScratch};
 use crate::interleaver::BlockInterleaver;
 use crate::ofdm::{mmse_equalize, otfs_effective_sinr, slot_sinrs, tf_channel, transmit, zf_equalize};
 use crate::otfs::{otfs_demodulate_into, otfs_modulate_into};
-use crate::qam::{demodulate_soft_into, modulate, Modulation};
+use crate::qam::{demodulate_soft_per_symbol_into, modulate, Modulation};
 use rand::Rng;
 use rem_channel::models::ChannelModel;
 use rem_channel::noise::ici_relative_power;
@@ -291,6 +291,13 @@ pub fn simulate_block_harq_with(
 /// One transmission of an (already padded) coded block: interleave,
 /// map, run the channel, equalise per the CSI model, demap, and return
 /// the *deinterleaved* LLRs plus the effective SINR (linear).
+///
+/// Composed from the three stage functions below so the batched driver
+/// ([`crate::batch::LinkBatch`]) can run many blocks through each stage
+/// in lockstep while staying bit-identical to this per-block path: the
+/// stages are called in the same per-block order with the same
+/// per-block RNG, only the interleaving *across* independent blocks
+/// changes.
 fn transmit_and_demap(
     cfg: &LinkConfig,
     ch: &MultipathChannel,
@@ -300,26 +307,72 @@ fn transmit_and_demap(
     rng: &mut SimRng,
     ws: &mut DspScratch,
 ) -> (Vec<f64>, f64) {
-    let noise_var = db_to_lin(-snr_db);
-    let grid = &cfg.grid;
-    let cap_bits = cfg.capacity_bits();
-    debug_assert_eq!(padded_coded_bits.len(), cap_bits);
+    let tx_syms = map_block(cfg, padded_coded_bits, il);
+    let eq = propagate_and_equalize(cfg, ch, snr_db, &tx_syms, rng, ws);
+    demap_and_deinterleave(cfg, &eq, il, ws)
+}
 
+/// Output of the propagation stage ([`propagate_and_equalize`]): either
+/// an equalised symbol grid still to be soft-demapped, or — for the
+/// message-passing OTFS receiver, whose detector emits bit beliefs
+/// directly — the interleaved LLRs themselves.
+pub(crate) enum Equalized {
+    /// Equalised symbols plus the per-symbol noise variances the
+    /// demapper should assume.
+    Grid {
+        /// Equalised symbol grid.
+        eq_syms: CMatrix,
+        /// Receiver-believed post-equalisation noise variance per slot.
+        noise_vars: Vec<f64>,
+        /// Effective SINR (linear).
+        eff_sinr: f64,
+    },
+    /// Detector-produced interleaved LLRs (no demap stage needed).
+    Llrs {
+        /// Interleaved coded-bit LLRs.
+        llrs: Vec<f64>,
+        /// Effective SINR (linear).
+        eff_sinr: f64,
+    },
+}
+
+/// Stage 1 — map: interleave the padded coded bits and modulate them
+/// onto the resource grid.
+pub(crate) fn map_block(
+    cfg: &LinkConfig,
+    padded_coded_bits: &[bool],
+    il: &BlockInterleaver,
+) -> CMatrix {
+    debug_assert_eq!(padded_coded_bits.len(), cfg.capacity_bits());
     let interleaved = il.interleave(padded_coded_bits);
     let symbols = modulate(&interleaved, cfg.modulation);
     debug_assert_eq!(symbols.len(), cfg.capacity_symbols());
-    let tx_syms = CMatrix::from_vec(grid.m, grid.n, symbols);
+    CMatrix::from_vec(cfg.grid.m, cfg.grid.n, symbols)
+}
 
-    // Channel: true gains drive propagation; the receiver equalises
-    // with whatever its CSI model provides.
+/// Stage 2 — propagate: realize the channel pass (true gains drive
+/// propagation, the receiver equalises with whatever its CSI model
+/// provides) and equalise per the configured waveform/receiver.
+pub(crate) fn propagate_and_equalize(
+    cfg: &LinkConfig,
+    ch: &MultipathChannel,
+    snr_db: f64,
+    tx_syms: &CMatrix,
+    rng: &mut SimRng,
+    ws: &mut DspScratch,
+) -> Equalized {
+    let noise_var = db_to_lin(-snr_db);
+    let grid = &cfg.grid;
+    let cap_bits = cfg.capacity_bits();
+
     let gains = tf_channel(grid, ch);
     let est = estimated_gains(&gains, cfg.csi);
     let sinrs = slot_sinrs(&gains, grid, ch, noise_var);
     let ici_rel = ici_relative_power(ch.max_doppler_hz(), grid.t_sym);
 
-    let (eq_syms, llr_noise_vars, eff_sinr) = match cfg.waveform {
+    match cfg.waveform {
         Waveform::Ofdm => {
-            let rx = transmit(&tx_syms, &gains, grid, ch, noise_var, rng);
+            let rx = transmit(tx_syms, &gains, grid, ch, noise_var, rng);
             let eq = zf_equalize(&rx, &est);
             // Post-ZF noise per slot as the *receiver* believes it:
             // (thermal + ICI) / |h_est|^2. CSI aging errors are invisible
@@ -337,7 +390,7 @@ fn transmit_and_demap(
                 })
                 .collect();
             let mean_sinr = rem_num::stats::mean(&sinrs);
-            (eq, nvs, mean_sinr)
+            Equalized::Grid { eq_syms: eq, noise_vars: nvs, eff_sinr: mean_sinr }
         }
         Waveform::Otfs if cfg.otfs_receiver == OtfsReceiver::MessagePassing => {
             // Delay-Doppler message passing: demodulate the raw grid,
@@ -348,7 +401,7 @@ fn transmit_and_demap(
             use crate::otfs::isfft_into;
 
             let mut tx_tf = CMatrix::zeros(grid.m, grid.n);
-            otfs_modulate_into(&tx_syms, &mut tx_tf, ws);
+            otfs_modulate_into(tx_syms, &mut tx_tf, ws);
             let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
             // Received DD grid (unitary demod) and the channel's DD taps.
             let mut y_dd = CMatrix::zeros(grid.m, grid.n);
@@ -362,13 +415,11 @@ fn transmit_and_demap(
             debug_assert_eq!(llrs.len(), cap_bits);
             let eff = otfs_effective_sinr(&sinrs);
             spot_check_stage(&y_dd);
-            let mut dellrs = il.deinterleave(&llrs);
-            sanitize_llrs(&mut dellrs);
-            return (dellrs, eff);
+            Equalized::Llrs { llrs, eff_sinr: eff }
         }
         Waveform::Otfs => {
             let mut tx_tf = CMatrix::zeros(grid.m, grid.n);
-            otfs_modulate_into(&tx_syms, &mut tx_tf, ws);
+            otfs_modulate_into(tx_syms, &mut tx_tf, ws);
             let rx = transmit(&tx_tf, &gains, grid, ch, noise_var, rng);
             let eq_tf = mmse_equalize(&rx, &est, noise_var);
             // MMSE bias: each slot is scaled by beta = |h|^2/(|h|^2+nv);
@@ -387,24 +438,41 @@ fn transmit_and_demap(
             let eff = otfs_effective_sinr(&sinrs);
             let nv_eff = if eff > 0.0 { 1.0 / eff } else { 1e30 };
             let nvs = vec![nv_eff; cfg.capacity_symbols()];
-            (dd, nvs, eff)
+            Equalized::Grid { eq_syms: dd, noise_vars: nvs, eff_sinr: eff }
         }
-    };
-
-    spot_check_stage(&eq_syms);
-
-    // Demap with per-symbol noise variances, appending into the reused
-    // LLR buffer (no per-symbol Vec).
-    ws.llrs.clear();
-    for (i, sym) in eq_syms.as_slice().iter().enumerate() {
-        let nv = llr_noise_vars[i].max(1e-12);
-        demodulate_soft_into(std::slice::from_ref(sym), cfg.modulation, nv, &mut ws.llrs);
     }
-    debug_assert_eq!(ws.llrs.len(), cap_bits);
+}
 
-    let mut dellrs = il.deinterleave(&ws.llrs);
-    sanitize_llrs(&mut dellrs);
-    (dellrs, eff_sinr)
+/// Stage 3 — demap: soft-demap the equalised grid (one SIMD-capable
+/// call with per-symbol noise variances), deinterleave and sanitize the
+/// LLRs. Detector-produced LLRs skip straight to deinterleaving.
+pub(crate) fn demap_and_deinterleave(
+    cfg: &LinkConfig,
+    eq: &Equalized,
+    il: &BlockInterleaver,
+    ws: &mut DspScratch,
+) -> (Vec<f64>, f64) {
+    match eq {
+        Equalized::Llrs { llrs, eff_sinr } => {
+            let mut dellrs = il.deinterleave(llrs);
+            sanitize_llrs(&mut dellrs);
+            (dellrs, *eff_sinr)
+        }
+        Equalized::Grid { eq_syms, noise_vars, eff_sinr } => {
+            spot_check_stage(eq_syms);
+            ws.llrs.clear();
+            demodulate_soft_per_symbol_into(
+                eq_syms.as_slice(),
+                cfg.modulation,
+                noise_vars,
+                &mut ws.llrs,
+            );
+            debug_assert_eq!(ws.llrs.len(), cfg.capacity_bits());
+            let mut dellrs = il.deinterleave(&ws.llrs);
+            sanitize_llrs(&mut dellrs);
+            (dellrs, *eff_sinr)
+        }
+    }
 }
 
 /// Applies the CSI model to the true gains: what the receiver's
@@ -454,6 +522,24 @@ pub struct BlerScenario {
     pub seed: u64,
     /// Worker threads (`0` = all available hardware threads).
     pub threads: usize,
+    /// Blocks per stage-major batch: each worker pushes this many
+    /// trials through the coded pipeline in lockstep via
+    /// [`crate::batch::LinkBatch`] (`0`/`1` = the per-trial path).
+    /// Outcomes are bit-identical for every batch size — trials carry
+    /// their own RNG streams, so batching reorders only work *across*
+    /// independent blocks, never within one. Absent in older serialized
+    /// scenarios; defaults to [`DEFAULT_BATCH`].
+    #[serde(default = "default_batch")]
+    pub batch: usize,
+}
+
+/// Default [`BlerScenario::batch`] size: big enough to amortise
+/// per-stage dispatch and keep each stage's code hot in the i-cache,
+/// small enough that a worker's tail imbalance stays negligible.
+pub const DEFAULT_BATCH: usize = 8;
+
+fn default_batch() -> usize {
+    DEFAULT_BATCH
 }
 
 impl BlerScenario {
@@ -470,6 +556,7 @@ impl BlerScenario {
             blocks: 200,
             seed: 1,
             threads: 0,
+            batch: DEFAULT_BATCH,
         }
     }
 
@@ -521,6 +608,24 @@ impl BlerScenario {
         self
     }
 
+    /// Sets the stage-major batch size (`0`/`1` = per-trial path).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Materialises trial `index`'s independent inputs on its derived
+    /// RNG stream: the channel realization, the random payload, and the
+    /// stream's continuation (which the pipeline draws noise from).
+    /// This is the exact draw prefix of [`trial_with`](Self::trial_with),
+    /// shared with the batched path so both consume identical streams.
+    fn job(&self, index: usize) -> crate::batch::BatchJob {
+        let mut rng = rem_num::rng::child_rng(self.seed, &format!("bler-trial-{index}"));
+        let ch = self.model.realize(&mut rng, self.speed_ms, self.carrier_hz);
+        let payload: Vec<bool> = (0..self.cfg.max_payload_bits()).map(|_| rng.gen()).collect();
+        crate::batch::BatchJob { ch, payload, rng }
+    }
+
     /// Runs trial `index` on its own derived RNG stream: realize the
     /// channel, draw a random payload, push the block through the full
     /// coded pipeline. Depends only on `(self, index)` — never on which
@@ -533,20 +638,38 @@ impl BlerScenario {
     /// per-worker state of [`outcomes`](Self::outcomes)). The scratch
     /// is a pure cache: the outcome depends only on `(self, index)`.
     pub fn trial_with(&self, index: usize, ws: &mut DspScratch) -> BlockOutcome {
-        let mut rng = rem_num::rng::child_rng(self.seed, &format!("bler-trial-{index}"));
-        let ch = self.model.realize(&mut rng, self.speed_ms, self.carrier_hz);
-        let payload: Vec<bool> = (0..self.cfg.max_payload_bits()).map(|_| rng.gen()).collect();
-        simulate_block_with(&self.cfg, &ch, self.snr_db, &payload, &mut rng, ws)
+        let mut job = self.job(index);
+        simulate_block_with(&self.cfg, &job.ch, self.snr_db, &job.payload, &mut job.rng, ws)
     }
 
     /// All per-block outcomes in canonical trial order, computed on
-    /// `self.threads` workers. Bit-identical for every thread count:
-    /// each worker builds one [`DspScratch`] (plans, trellis, buffers)
-    /// and reuses it across every trial it steals.
+    /// `self.threads` workers. Bit-identical for every thread count
+    /// *and* batch size: each worker builds one [`DspScratch`] (plans,
+    /// trellis, buffers) plus one [`crate::batch::LinkBatch`] and
+    /// reuses them across every trial chunk it steals.
     pub fn outcomes(&self) -> Vec<BlockOutcome> {
-        rem_exec::par_map_with(self.threads, self.blocks, DspScratch::new, |ws, i| {
-            self.trial_with(i, ws)
-        })
+        let batch = self.batch.max(1);
+        if batch == 1 || self.blocks <= 1 {
+            return rem_exec::par_map_with(self.threads, self.blocks, DspScratch::new, |ws, i| {
+                self.trial_with(i, ws)
+            });
+        }
+        // Stage-major path: workers steal whole chunks of consecutive
+        // trials and run them through the pipeline in lockstep.
+        let chunks = self.blocks.div_ceil(batch);
+        let per_chunk = rem_exec::par_map_with(
+            self.threads,
+            chunks,
+            || (crate::batch::LinkBatch::new(), DspScratch::new()),
+            |(lb, ws), c| {
+                let start = c * batch;
+                let end = ((c + 1) * batch).min(self.blocks);
+                let mut jobs: Vec<crate::batch::BatchJob> =
+                    (start..end).map(|i| self.job(i)).collect();
+                lb.run(&self.cfg, self.snr_db, &mut jobs, ws)
+            },
+        );
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Monte-Carlo BLER: the fraction of trials whose CRC failed.
@@ -691,6 +814,51 @@ mod tests {
             scenario.with_threads(1).run(),
             scenario.with_threads(4).run()
         );
+    }
+
+    #[test]
+    fn batched_outcomes_match_per_trial_path() {
+        // 13 blocks with batch 5 exercises a ragged tail chunk; the
+        // batched pipeline must reproduce the per-trial path exactly.
+        let scenario = BlerScenario::signaling(Waveform::Otfs, ChannelModel::Hst)
+            .with_snr_db(3.0)
+            .with_blocks(13)
+            .with_seed(33);
+        let per_trial = scenario.with_batch(1).outcomes();
+        for batch in [2, 5, 13, 64] {
+            assert_eq!(scenario.with_batch(batch).outcomes(), per_trial, "batch={batch}");
+        }
+        for (i, out) in per_trial.iter().enumerate() {
+            assert_eq!(*out, scenario.trial(i), "trial {i}");
+        }
+    }
+
+    #[test]
+    fn batched_scenario_is_thread_count_invariant() {
+        let scenario = BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Eva)
+            .with_snr_db(2.0)
+            .with_blocks(18)
+            .with_seed(44)
+            .with_batch(4);
+        assert_eq!(
+            scenario.with_threads(1).outcomes(),
+            scenario.with_threads(4).outcomes()
+        );
+    }
+
+    #[test]
+    fn scenario_deserializes_without_batch_field() {
+        // Older checkpoints/manifests serialized scenarios before the
+        // `batch` field existed; they must keep loading (and get the
+        // default batch size).
+        let mut json = serde_json::to_string(
+            &BlerScenario::signaling(Waveform::Ofdm, ChannelModel::Hst).with_batch(DEFAULT_BATCH),
+        )
+        .unwrap();
+        json = json.replace(&format!(",\"batch\":{DEFAULT_BATCH}"), "");
+        assert!(!json.contains("batch"), "field not stripped: {json}");
+        let parsed: BlerScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.batch, DEFAULT_BATCH);
     }
 
     #[test]

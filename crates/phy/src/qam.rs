@@ -5,6 +5,7 @@
 //! (max-log approximation) for the soft-decision Viterbi decoder.
 //! Constellations are normalised to unit average energy.
 
+use rem_num::simd::{self, SimdTier};
 use rem_num::{c64, Complex64};
 use serde::{Deserialize, Serialize};
 
@@ -121,23 +122,112 @@ pub fn demodulate_soft(symbols: &[Complex64], m: Modulation, noise_var: f64) -> 
 }
 
 /// [`demodulate_soft`] appending into a caller-provided buffer, for hot
-/// loops that demap per-symbol with varying noise variances without a
-/// fresh `Vec` per call.
+/// loops that demap without a fresh `Vec` per call. Runs on the active
+/// SIMD tier (bit-identical to the scalar path, see [`rem_num::simd`]).
 pub fn demodulate_soft_into(
     symbols: &[Complex64],
     m: Modulation,
     noise_var: f64,
     out: &mut Vec<f64>,
 ) {
+    demod_dispatch(symbols, m, NvSrc::Uniform(noise_var), out, simd::active_tier());
+}
+
+/// [`demodulate_soft_into`] with one noise variance **per symbol** —
+/// the OFDM receiver's case, where each resource element sees its own
+/// post-equalisation noise level. Appends `bits_per_symbol` LLRs per
+/// symbol. Each variance is clamped to `>= 1e-12`.
+///
+/// # Panics
+/// Panics if `noise_vars.len() != symbols.len()`.
+pub fn demodulate_soft_per_symbol_into(
+    symbols: &[Complex64],
+    m: Modulation,
+    noise_vars: &[f64],
+    out: &mut Vec<f64>,
+) {
+    demod_dispatch(symbols, m, NvSrc::PerSymbol(noise_vars), out, simd::active_tier());
+}
+
+/// [`demodulate_soft_into`] on an explicit SIMD tier (scalar fallback
+/// when unavailable); for equivalence tests and the `dsp_json` bench.
+pub fn demodulate_soft_into_with_tier(
+    symbols: &[Complex64],
+    m: Modulation,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+    tier: SimdTier,
+) {
+    demod_dispatch(symbols, m, NvSrc::Uniform(noise_var), out, tier);
+}
+
+/// [`demodulate_soft_per_symbol_into`] on an explicit SIMD tier.
+pub fn demodulate_soft_per_symbol_into_with_tier(
+    symbols: &[Complex64],
+    m: Modulation,
+    noise_vars: &[f64],
+    out: &mut Vec<f64>,
+    tier: SimdTier,
+) {
+    demod_dispatch(symbols, m, NvSrc::PerSymbol(noise_vars), out, tier);
+}
+
+/// Where the demapper takes its noise variance from.
+#[derive(Clone, Copy)]
+enum NvSrc<'a> {
+    /// One variance for the whole slice.
+    Uniform(f64),
+    /// One variance per symbol (same length as the symbol slice).
+    PerSymbol(&'a [f64]),
+}
+
+fn demod_dispatch(
+    symbols: &[Complex64],
+    m: Modulation,
+    nv: NvSrc,
+    out: &mut Vec<f64>,
+    tier: SimdTier,
+) {
+    if let NvSrc::PerSymbol(vs) = nv {
+        assert_eq!(vs.len(), symbols.len(), "one noise variance per symbol");
+    }
     let bps = m.bits_per_symbol();
     let half = bps / 2;
     let levels = m.levels();
     let s = m.scale();
-    let nv = noise_var.max(1e-12);
-    out.reserve(symbols.len() * bps);
-    for &sym in symbols {
-        axis_llrs(sym.re / s, levels, half, s, nv, out);
-        axis_llrs(sym.im / s, levels, half, s, nv, out);
+    let tier = if tier.is_available() { tier } else { SimdTier::Scalar };
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => {
+            let base = out.len();
+            out.resize(base + symbols.len() * bps, 0.0);
+            unsafe { demod_avx2(symbols, levels, half, bps, s, nv, &mut out[base..]) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => {
+            let base = out.len();
+            out.resize(base + symbols.len() * bps, 0.0);
+            unsafe { demod_neon(symbols, levels, half, bps, s, nv, &mut out[base..]) };
+        }
+        _ => {
+            out.reserve(symbols.len() * bps);
+            match nv {
+                NvSrc::Uniform(v) => {
+                    let nv = v.max(1e-12);
+                    for &sym in symbols {
+                        axis_llrs(sym.re / s, levels, half, s, nv, out);
+                        axis_llrs(sym.im / s, levels, half, s, nv, out);
+                    }
+                }
+                NvSrc::PerSymbol(vs) => {
+                    for (&sym, &v) in symbols.iter().zip(vs) {
+                        let nv = v.max(1e-12);
+                        axis_llrs(sym.re / s, levels, half, s, nv, out);
+                        axis_llrs(sym.im / s, levels, half, s, nv, out);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -159,6 +249,167 @@ fn axis_llrs(y: f64, levels: &[f64], nbits: usize, s: f64, nv: f64, out: &mut Ve
         }
         out.push((d1 - d0) * s * s / nv);
     }
+}
+
+/// [`axis_llrs`] writing by index instead of pushing — used by the SIMD
+/// kernels for their scalar remainder symbol. Arithmetic is verbatim
+/// [`axis_llrs`], so outputs are bit-identical.
+#[allow(dead_code)] // only referenced from arch-gated kernels
+fn axis_llrs_into(y: f64, levels: &[f64], nbits: usize, s: f64, nv: f64, dst: &mut [f64]) {
+    for (bit, slot) in dst.iter_mut().enumerate().take(nbits) {
+        let mut d0 = f64::INFINITY;
+        let mut d1 = f64::INFINITY;
+        for (idx, &lv) in levels.iter().enumerate() {
+            let gray = idx ^ (idx >> 1);
+            let b = (gray >> (nbits - 1 - bit)) & 1;
+            let d = (y - lv) * (y - lv);
+            if b == 0 {
+                d0 = d0.min(d);
+            } else {
+                d1 = d1.min(d);
+            }
+        }
+        *slot = (d1 - d0) * s * s / nv;
+    }
+}
+
+/// AVX2 soft demapper: two symbols per 256-bit register, lanes
+/// `[I0, Q0, I1, Q1]` over the interleaved `repr(C)` symbol layout.
+///
+/// Every lane performs exactly the scalar [`axis_llrs`] operations in
+/// order — `y = axis / s` (a real division, not a reciprocal multiply),
+/// per-bit min over levels in level order, `((d1 - d0) * s) * s / nv` —
+/// so finite outputs are bit-identical to the scalar path.
+/// (`_mm256_min_pd`/`_mm256_max_pd` differ from `f64::min`/`f64::max`
+/// only when an operand is NaN, which here requires a NaN input symbol;
+/// the link pipeline sanitizes non-finite LLRs either way.)
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn demod_avx2(
+    symbols: &[Complex64],
+    levels: &[f64],
+    half: usize,
+    bps: usize,
+    s: f64,
+    nv: NvSrc,
+    dst: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = symbols.len();
+    let pairs = n / 2;
+    let sp = symbols.as_ptr() as *const f64;
+    let sv = _mm256_set1_pd(s);
+    let eps = _mm256_set1_pd(1e-12);
+    let inf = _mm256_set1_pd(f64::INFINITY);
+    let uniform_nv = match nv {
+        NvSrc::Uniform(v) => _mm256_max_pd(_mm256_set1_pd(v), eps),
+        NvSrc::PerSymbol(_) => eps,
+    };
+    for p in 0..pairs {
+        let y = _mm256_div_pd(_mm256_loadu_pd(sp.add(4 * p)), sv);
+        let nvv = match nv {
+            NvSrc::Uniform(_) => uniform_nv,
+            NvSrc::PerSymbol(vs) => {
+                let (v0, v1) = (vs[2 * p], vs[2 * p + 1]);
+                _mm256_max_pd(_mm256_set_pd(v1, v1, v0, v0), eps)
+            }
+        };
+        for bit in 0..half {
+            let mut d0 = inf;
+            let mut d1 = inf;
+            for (idx, &lv) in levels.iter().enumerate() {
+                let diff = _mm256_sub_pd(y, _mm256_set1_pd(lv));
+                let d = _mm256_mul_pd(diff, diff);
+                let gray = idx ^ (idx >> 1);
+                if (gray >> (half - 1 - bit)) & 1 == 0 {
+                    d0 = _mm256_min_pd(d0, d);
+                } else {
+                    d1 = _mm256_min_pd(d1, d);
+                }
+            }
+            let llr = _mm256_div_pd(
+                _mm256_mul_pd(_mm256_mul_pd(_mm256_sub_pd(d1, d0), sv), sv),
+                nvv,
+            );
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), llr);
+            let o = 2 * p * bps;
+            dst[o + bit] = lanes[0];
+            dst[o + half + bit] = lanes[1];
+            dst[o + bps + bit] = lanes[2];
+            dst[o + bps + half + bit] = lanes[3];
+        }
+    }
+    if n % 2 == 1 {
+        demod_tail(symbols, levels, half, bps, s, nv, dst, n - 1);
+    }
+}
+
+/// NEON soft demapper: one symbol per 128-bit register, lanes
+/// `[I, Q]`; same verbatim-scalar arithmetic as the AVX2 kernel.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn demod_neon(
+    symbols: &[Complex64],
+    levels: &[f64],
+    half: usize,
+    bps: usize,
+    s: f64,
+    nv: NvSrc,
+    dst: &mut [f64],
+) {
+    use std::arch::aarch64::*;
+    let sp = symbols.as_ptr() as *const f64;
+    let sv = vdupq_n_f64(s);
+    for i in 0..symbols.len() {
+        let y = vdivq_f64(vld1q_f64(sp.add(2 * i)), sv);
+        let nvi = match nv {
+            NvSrc::Uniform(v) => v.max(1e-12),
+            NvSrc::PerSymbol(vs) => vs[i].max(1e-12),
+        };
+        let nvv = vdupq_n_f64(nvi);
+        for bit in 0..half {
+            let mut d0 = vdupq_n_f64(f64::INFINITY);
+            let mut d1 = vdupq_n_f64(f64::INFINITY);
+            for (idx, &lv) in levels.iter().enumerate() {
+                let diff = vsubq_f64(y, vdupq_n_f64(lv));
+                let d = vmulq_f64(diff, diff);
+                let gray = idx ^ (idx >> 1);
+                if (gray >> (half - 1 - bit)) & 1 == 0 {
+                    d0 = vminq_f64(d0, d);
+                } else {
+                    d1 = vminq_f64(d1, d);
+                }
+            }
+            let llr = vdivq_f64(vmulq_f64(vmulq_f64(vsubq_f64(d1, d0), sv), sv), nvv);
+            dst[i * bps + bit] = vgetq_lane_f64::<0>(llr);
+            dst[i * bps + half + bit] = vgetq_lane_f64::<1>(llr);
+        }
+    }
+}
+
+/// Scalar demap of the single symbol at `i`, writing into `dst` — the
+/// odd-length remainder of the SIMD kernels.
+#[allow(dead_code)] // only referenced from arch-gated kernels
+#[allow(clippy::too_many_arguments)]
+fn demod_tail(
+    symbols: &[Complex64],
+    levels: &[f64],
+    half: usize,
+    bps: usize,
+    s: f64,
+    nv: NvSrc,
+    dst: &mut [f64],
+    i: usize,
+) {
+    let sym = symbols[i];
+    let nvi = match nv {
+        NvSrc::Uniform(v) => v.max(1e-12),
+        NvSrc::PerSymbol(vs) => vs[i].max(1e-12),
+    };
+    let o = i * bps;
+    axis_llrs_into(sym.re / s, levels, half, s, nvi, &mut dst[o..o + half]);
+    axis_llrs_into(sym.im / s, levels, half, s, nvi, &mut dst[o + half..o + bps]);
 }
 
 fn nearest_level(y: f64, levels: &[f64]) -> usize {
@@ -284,6 +535,98 @@ mod tests {
         let errs = bits.iter().zip(&back).filter(|(a, b)| a != b).count();
         // Uncoded QPSK at 10 dB: BER ~ 8e-4 over 2000 bits (expect a few).
         assert!(errs < 20, "errs={errs}");
+    }
+}
+
+#[cfg(test)]
+mod simd_tests {
+    use super::*;
+    use rem_num::simd::SimdTier;
+
+    /// Deterministic "noisy" symbols without drawing from `rand`: a
+    /// coarse lattice walk across and beyond the constellation.
+    fn test_symbols(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                c64(0.37 * t - 0.11 * t * t % 3.0, 1.9 - 0.53 * t % 4.0)
+            })
+            .collect()
+    }
+
+    fn nvs(n: usize) -> Vec<f64> {
+        // Includes zero and sub-clamp values to exercise the 1e-12 floor.
+        (0..n).map(|i| [0.5, 0.01, 0.0, 1e-15, 2.0][i % 5]).collect()
+    }
+
+    #[test]
+    fn tiers_match_scalar_for_all_remainders_and_modulations() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            for tier in [SimdTier::Avx2, SimdTier::Neon] {
+                for n in 0..=11usize {
+                    let syms = test_symbols(n);
+                    let mut want = vec![-1.0; 3]; // non-empty prefix: appends only
+                    demodulate_soft_into_with_tier(&syms, m, 0.2, &mut want, SimdTier::Scalar);
+                    let mut got = vec![-1.0; 3];
+                    demodulate_soft_into_with_tier(&syms, m, 0.2, &mut got, tier);
+                    assert_eq!(got, want, "{m:?} uniform tier={} n={n}", tier.name());
+
+                    let vars = nvs(n);
+                    let mut want = Vec::new();
+                    demodulate_soft_per_symbol_into_with_tier(
+                        &syms,
+                        m,
+                        &vars,
+                        &mut want,
+                        SimdTier::Scalar,
+                    );
+                    let mut got = Vec::new();
+                    demodulate_soft_per_symbol_into_with_tier(&syms, m, &vars, &mut got, tier);
+                    assert_eq!(got, want, "{m:?} per-symbol tier={} n={n}", tier.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_match_scalar_on_unaligned_slices() {
+        let backing = test_symbols(33);
+        let vars = nvs(33);
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            for tier in [SimdTier::Avx2, SimdTier::Neon] {
+                for off in 1..=3usize {
+                    let mut want = Vec::new();
+                    demodulate_soft_per_symbol_into_with_tier(
+                        &backing[off..],
+                        m,
+                        &vars[off..],
+                        &mut want,
+                        SimdTier::Scalar,
+                    );
+                    let mut got = Vec::new();
+                    demodulate_soft_per_symbol_into_with_tier(
+                        &backing[off..],
+                        m,
+                        &vars[off..],
+                        &mut got,
+                        tier,
+                    );
+                    assert_eq!(got, want, "{m:?} tier={} off={off}", tier.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_symbol_with_uniform_vars_equals_uniform_entry() {
+        let syms = test_symbols(24);
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let mut a = Vec::new();
+            demodulate_soft_into(&syms, m, 0.3, &mut a);
+            let mut b = Vec::new();
+            demodulate_soft_per_symbol_into(&syms, m, &[0.3; 24], &mut b);
+            assert_eq!(a, b, "{m:?}");
+        }
     }
 }
 

@@ -1,13 +1,14 @@
 //! Property-based tests for the PHY pipeline.
 
 use proptest::prelude::*;
+use rem_num::simd::{self, SimdTier};
 use rem_num::{c64, CMatrix};
 use rem_phy::convcode;
 use rem_phy::crc::{attach_crc, check_crc};
 use rem_phy::dsp::DspScratch;
 use rem_phy::interleaver::BlockInterleaver;
 use rem_phy::otfs::{isfft, isfft_into, otfs_demodulate, otfs_modulate, sfft, sfft_into};
-use rem_phy::qam::{demodulate_hard, modulate, Modulation};
+use rem_phy::qam::{demodulate_hard, demodulate_soft_into_with_tier, modulate, Modulation};
 
 /// Strategy: a complex matrix with 1..=8 rows and at least one column.
 fn small_matrix() -> impl Strategy<Value = CMatrix> {
@@ -149,5 +150,62 @@ proptest! {
         prop_assert!((tx.frobenius_norm() - m.frobenius_norm()).abs() < 1e-7 * m.frobenius_norm().max(1e-12));
         let back = otfs_demodulate(&tx);
         prop_assert!(back.frobenius_dist(&m) < 1e-7 * m.frobenius_norm().max(1.0));
+    }
+}
+
+// SIMD tier equivalence: every vectorised kernel must be bit-identical
+// to the scalar reference on arbitrary inputs — including remainder
+// lengths that don't fill a vector lane, unaligned slice starts, and
+// the LTE payload sizes — per the contract in [`rem_num::simd`]. On a
+// CPU without a vector tier `active_tier()` is `Scalar` and these
+// degenerate to scalar-vs-scalar, which is still a valid (if trivial)
+// instance of the property.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn qam_soft_demap_simd_is_bit_identical_to_scalar(
+        entries in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 0..97),
+        m in prop_oneof![Just(Modulation::Qpsk), Just(Modulation::Qam16), Just(Modulation::Qam64)],
+        noise_var in 1e-6f64..10.0,
+        skip in 0usize..4,
+    ) {
+        let syms: Vec<_> = entries.iter().map(|&(a, b)| c64(a, b)).collect();
+        // `skip` shifts the slice start so the kernel also sees
+        // unaligned heads, not just Vec-aligned base pointers.
+        let syms = &syms[skip.min(syms.len())..];
+        let (mut scalar, mut fast) = (Vec::new(), Vec::new());
+        demodulate_soft_into_with_tier(syms, m, noise_var, &mut scalar, SimdTier::Scalar);
+        demodulate_soft_into_with_tier(syms, m, noise_var, &mut fast, simd::active_tier());
+        prop_assert_eq!(scalar.len(), fast.len());
+        for (i, (a, b)) in scalar.iter().zip(&fast).enumerate() {
+            prop_assert!(a.to_bits() == b.to_bits(), "LLR {} differs: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn viterbi_simd_is_bit_identical_to_scalar(
+        payload in proptest::collection::vec(any::<bool>(), 0..300),
+        noise in proptest::collection::vec(-2.0f64..2.0, 0..32),
+    ) {
+        // Payload lengths sweep through every lane-remainder case and
+        // past the LTE signaling payload (296 bits); the cyclic noise
+        // pattern perturbs the LLRs enough to exercise real ACS ties.
+        let coded = convcode::encode(&payload);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let base = if b { -1.0 } else { 1.0 };
+                base + if noise.is_empty() { 0.0 } else { noise[i % noise.len()] }
+            })
+            .collect();
+        let mut ws_a = convcode::TrellisScratch::new();
+        let mut ws_b = convcode::TrellisScratch::new();
+        let scalar =
+            convcode::decode_soft_with_tier(&llrs, payload.len(), &mut ws_a, SimdTier::Scalar);
+        let fast =
+            convcode::decode_soft_with_tier(&llrs, payload.len(), &mut ws_b, simd::active_tier());
+        prop_assert_eq!(scalar, fast);
     }
 }
