@@ -8,6 +8,7 @@
 //! rem bler    --model hst --speed 350 --snr 6 --blocks 200
 //! rem train   --clients 8 --dataset bs --speed 300
 //! rem faults  --dataset bt --plane legacy --seeds 3 --verify 2
+//! rem net     study --seeds 3 --hash --json BENCH_net.json
 //! rem scenario validate scenarios/
 //! ```
 
@@ -74,6 +75,7 @@ fn main() {
         // the whole-train study.
         "train" | "storm" => cmd_train(rest),
         "faults" => cmd_faults(rest),
+        "net" => cmd_net(rest),
         "serve" => serve::cmd_serve(rest),
         "scenario" => cmd_scenario(rest),
         "obs" => obs::cmd_obs(rest),
@@ -334,6 +336,21 @@ COMMANDS:
               --rate-scale <x>     (default 1.0; scales all fault rates)
               --verify <n>         also re-run on 1 vs <n> threads and
                                    require bit-identical metrics
+  net       Transport stall study (Fig 9) across the cellular link
+            pathology taxonomy: bufferbloat, jitter spikes, silent NAT
+            rebinds and handover outage bursts, each replayed under
+            reno, frto and rem-informed recovery. Stalls are classified
+            by cause and checked against the injected ground truth;
+            exits non-zero on any unjustified stall or recovery.
+              study                study subcommand (required)
+              --seeds <n>          (default 3)
+              --window-ms <ms>     transfer window (default 60000)
+              --loss <p>           base loss probability (default 0.003)
+              --aggressive         high-rate pathology mix
+              --json <file>        write the full report (BENCH_net.json)
+              --verify <n>         also re-run on 1 vs <n> threads and
+                                   require bit-identical reports
+              --scenario <file>    pathology mix from the [net] section
   serve     Resident campaign service: a durable job queue (REMQUEUE1
             journal under --spool), a supervised worker pool running
             each job through the checkpointed campaign machinery, and
@@ -864,6 +881,204 @@ fn cmd_faults(rest: Vec<String>) -> Result<(), CliError> {
     }
     if !mismatches.is_empty() {
         eprintln!("error: fault oracle found misclassified failures");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `rem net study` — the Fig-9-style transport stall study: every
+/// recovery policy (reno, frto, rem-informed) replays every pathology
+/// scenario of the cellular-link fault taxonomy over the same
+/// handover-outage baseline; stalls are classified by cause, bucketed
+/// into duration histograms, and checked against the injected ground
+/// truth. Runs under the same crash-safety machinery as the other
+/// campaigns, so `--checkpoint`/`--resume`/`--hash`/chaos behave
+/// exactly like `rem compare`.
+fn cmd_net(rest: Vec<String>) -> Result<(), CliError> {
+    use rem_core::rem_faults::{NetFaultConfig, NetFaultKind};
+    use rem_core::{run_net_study, run_net_study_with, NetPolicy, NetStudySpec};
+
+    let a = Args::parse(rest)?;
+    let common = CommonArgs::parse(&a)?;
+    match a.positional().first().map(String::as_str) {
+        Some("study") => {}
+        _ => {
+            return Err(ArgError(
+                "usage: rem net study [--scenario <file>] [--aggressive] [--seeds <n>] \
+                 [--window-ms <ms>] [--loss <p>] [--json <file>] [--verify <n>] \
+                 (see `rem help`)"
+                    .to_string(),
+            )
+            .into())
+        }
+    }
+    let scn = scenario_from(&a, &common)?;
+    let (mut policy, chaos) = match &scn {
+        Some(s) => (s.run_policy(), s.chaos()),
+        None => (common.run_policy(), common.chaos()),
+    };
+    // Spec precedence: stock defaults, `--aggressive`, the scenario's
+    // `[net]` section, then explicit flags.
+    let mut spec = NetStudySpec::default();
+    if a.flag("aggressive") {
+        spec.faults = NetFaultConfig::aggressive();
+    }
+    match &scn {
+        Some(s) => match s.net_study_spec() {
+            Some(ns) => spec = ns,
+            // A scenario without `[net]` still provides its seeds.
+            None => spec.seeds = s.run.seeds.clone(),
+        },
+        None => {
+            if let Some(n) = common.seeds {
+                spec.seeds = (1..=n as u64).collect();
+            }
+        }
+    }
+    if let Some(v) = a.num_opt("window-ms")? {
+        spec.window_ms = v;
+    }
+    if let Some(v) = a.num_opt("loss")? {
+        spec.loss_prob = v;
+    }
+    spec.validate().map_err(ArgError)?;
+    let session = ObsSession::begin(&common);
+
+    println!(
+        "net stall study: {} policies x {} pathologies x {} seeds, {:.0} s window",
+        NetPolicy::all().len(),
+        NetFaultKind::all().len(),
+        spec.seeds.len(),
+        spec.window_ms / 1e3,
+    );
+    let ckpt = common.ckpt_path();
+    arm_graceful_shutdown(&mut policy, ckpt.as_deref());
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
+    let checked = checkpointed(&session, &policy, &chaos, scn_fp.clone(), ckpt.as_deref(), || {
+        match &chaos {
+            Some(c) => run_net_study_with(&spec, &policy, ckpt.as_deref(), |i, at| {
+                c.maybe_panic(i, at)
+            }),
+            None => run_net_study(&spec, &policy, ckpt.as_deref()),
+        }
+    })?;
+    let report = &checked.report;
+
+    println!(
+        "\n{:<13} {:<16} {:>10} {:>7} {:>12} {:>7}",
+        "policy", "pathology", "stall ms", "stalls", "acked bytes", "oracle"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<13} {:<16} {:>10.0} {:>7} {:>12} {:>7}",
+            c.policy.label(),
+            c.pathology.label(),
+            c.total_stall_ms,
+            c.stalls,
+            c.total_acked_bytes,
+            if c.oracle_mismatches == 0 { "ok".to_string() } else { c.oracle_mismatches.to_string() },
+        );
+    }
+
+    println!("\nstall duration histogram (count per bucket):");
+    println!(
+        "{:<13} {:<16} {:>6} {:>6} {:>6} {:>7} {:>6}",
+        "policy", "pathology", "1-2s", "2-4s", "4-8s", "8-16s", "16s+"
+    );
+    for c in &report.cells {
+        let h = &c.histogram;
+        println!(
+            "{:<13} {:<16} {:>6} {:>6} {:>6} {:>7} {:>6}",
+            c.policy.label(),
+            c.pathology.label(),
+            h[0],
+            h[1],
+            h[2],
+            h[3],
+            h[4]
+        );
+    }
+
+    println!("\nrecovery machinery (summed over pathologies):");
+    for p in NetPolicy::all() {
+        let cells: Vec<_> =
+            report.cells.iter().filter(|c| c.policy == p).collect();
+        println!(
+            "  {:<13} spurious RTO {}/{} undone, {} reconnects, {:.0} ms frozen",
+            p.label(),
+            cells.iter().map(|c| c.spurious_rto_undone).sum::<u64>(),
+            cells.iter().map(|c| c.spurious_rto_detected).sum::<u64>(),
+            cells.iter().map(|c| c.reconnects).sum::<u64>(),
+            cells.iter().map(|c| c.frozen_ms).sum::<f64>(),
+        );
+    }
+
+    let wins = report.stall_wins(NetPolicy::RemInformed, NetPolicy::Reno);
+    println!(
+        "\nrem-informed stalls less than reno on {}/{} pathologies ({})",
+        wins.len(),
+        NetFaultKind::all().len(),
+        wins.iter().map(|k| k.label()).collect::<Vec<_>>().join(", "),
+    );
+
+    let verify = a.int_or("verify", 0)? as usize;
+    if verify > 0 {
+        let serial =
+            run_net_study(&spec, &RunPolicy { threads: 1, ..Default::default() }, None)?
+                .into_result()?;
+        let parallel =
+            run_net_study(&spec, &RunPolicy { threads: verify, ..Default::default() }, None)?
+                .into_result()?;
+        if serial.to_json_pretty(&spec) != parallel.to_json_pretty(&spec) {
+            eprintln!("error: 1-thread and {verify}-thread studies diverged");
+            std::process::exit(1);
+        }
+        println!("\nverified: 1-thread and {verify}-thread studies are bit-identical");
+    }
+
+    let json = report.to_json_pretty(&spec);
+    if let Some(path) = a.get("json") {
+        std::fs::write(path, &json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    if common.hash {
+        println!("hash: {}", obs::hash_string(&json));
+    }
+    print_supervision(
+        checked.retries,
+        checked.resumed_trials,
+        &checked.quarantined,
+        &checked.overruns,
+        &checked.health,
+    );
+    if session.wants_manifest(ckpt.as_deref()) {
+        let hash = checked.is_clean().then(|| obs::hash_string(&json));
+        let mut manifest = obs::campaign_manifest(
+            "net",
+            &rem_core::net_study_fingerprint(&spec),
+            spec.n_trials(),
+            &policy,
+            &chaos,
+            hash,
+            scn_fp,
+        )?;
+        manifest.net = serde_json::from_str(&format!(
+            "{{\"policies\": {}, \"pathologies\": {}, \"stall_gap_ms\": {}, \
+             \"oracle_slack_ms\": {}, \"window_ms\": {}}}",
+            NetPolicy::all().len(),
+            NetFaultKind::all().len(),
+            rem_core::NET_STALL_GAP_MS,
+            rem_core::NET_ORACLE_SLACK_MS,
+            spec.window_ms,
+        ))
+        .ok();
+        session.finish(&manifest, ckpt.as_deref())?;
+    }
+    if !checked.is_clean() {
+        return Err(ExperimentError::Quarantined { trials: checked.quarantined.clone() }.into());
+    }
+    if report.oracle_mismatches() > 0 {
+        eprintln!("error: stall oracle found unjustified stalls or recoveries");
         std::process::exit(1);
     }
     Ok(())

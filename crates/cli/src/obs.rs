@@ -266,9 +266,18 @@ pub fn cmd_rerun(rest: Vec<String>) -> Result<(), CliError> {
             serde_json::to_string(&metrics)
                 .map_err(|e| ArgError(format!("serialize metrics: {e}")))?
         }
+        "net" => {
+            let spec: rem_core::NetStudySpec =
+                serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                    ArgError(format!("manifest spec_json is not a net study fingerprint: {e}"))
+                })?;
+            let checked = rem_core::run_net_study(&spec, &policy, None)?;
+            let report = checked.into_result()?;
+            report.to_json_pretty(&spec)
+        }
         other => {
             return Err(ArgError(format!(
-                "cannot rerun kind '{other}' (supported: compare, aggregate, bler, train)"
+                "cannot rerun kind '{other}' (supported: compare, aggregate, bler, train, net)"
             ))
             .into())
         }

@@ -423,8 +423,16 @@ where
             match outcome {
                 TrialOutcome::Ok((v, d)) => {
                     stats.merge(&d);
-                    let record = serde_json::to_string(&(&v, &d))
-                        .map_err(|e| ExperimentError::serde(format!("trial {index}"), e))?;
+                    // Encoding a record costs a full serialization per
+                    // trial; skip it when there is no checkpoint file
+                    // to write. The placeholder keeps `completed()`
+                    // accurate and is never saved or decoded.
+                    let record = if path.is_some() {
+                        serde_json::to_string(&(&v, &d))
+                            .map_err(|e| ExperimentError::serde(format!("trial {index}"), e))?
+                    } else {
+                        String::new()
+                    };
                     ckpt.record(index, record);
                     values[index] = Some(v);
                 }

@@ -64,6 +64,9 @@ pub enum ExperimentError {
     /// as a usage error (exit 2): the invocation, not the campaign,
     /// was wrong.
     Scenario(crate::scenario::ScenarioError),
+    /// A study/campaign specification failed validation before any
+    /// trial ran (also a usage error: exit 2).
+    Config(String),
     /// The campaign was cancelled at a wave boundary (SIGINT/SIGTERM
     /// or a service drain). Completed work is already checkpointed; a
     /// resume finishes the remaining trials with an identical hash.
@@ -106,6 +109,7 @@ impl std::fmt::Display for ExperimentError {
                 Ok(())
             }
             ExperimentError::Scenario(e) => write!(f, "{e}"),
+            ExperimentError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ExperimentError::Interrupted { completed, total } => write!(
                 f,
                 "interrupted after {completed}/{total} trials; completed work is \

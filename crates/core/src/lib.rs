@@ -40,6 +40,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod experiment;
+pub mod net_study;
 pub mod report;
 pub mod scenario;
 pub mod tcp_coupling;
@@ -52,6 +53,11 @@ pub use error::ExperimentError;
 pub use experiment::{
     merge, run_train_checkpointed, train_fingerprint, CampaignSpec, CheckedAggregate,
     CheckedComparison, CheckedTrain, Comparison, DEFAULT_ROUTE_KM, DEFAULT_SEEDS,
+};
+pub use net_study::{
+    net_study_fingerprint, run_net_study, run_net_study_with, run_net_trial, CheckedNetStudy,
+    NetCell, NetPolicy, NetStudyReport, NetStudySpec, NetTrialResult, NET_ORACLE_SLACK_MS,
+    NET_STALL_GAP_MS,
 };
 pub use report::{ExperimentReport, ReportRow};
 pub use scenario::{ScenarioError, ScenarioSpec, SCENARIO_FORMAT};

@@ -33,7 +33,7 @@ mod toml;
 use crate::checkpoint::{fnv1a64, RunPolicy};
 use crate::experiment::CampaignSpec;
 use rem_channel::models::ChannelModel;
-use rem_faults::{ChaosConfig, FaultConfig};
+use rem_faults::{ChaosConfig, FaultConfig, NetFaultConfig};
 use rem_mobility::Earfcn;
 use rem_phy::link::{BlerScenario, Waveform};
 use rem_sim::deployment::CarrierPlan;
@@ -368,6 +368,57 @@ impl FaultsSpec {
     }
 }
 
+/// `[net]` — transport-pathology mix riding on [`NetFaultConfig`], the
+/// fault schedule of the `rem net` stall study. The section's
+/// *presence* enables the study; every field defaults to the stock
+/// [`NetFaultConfig::default`] value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetSpec {
+    /// Bufferbloat episodes per minute.
+    pub bloat_per_min: Option<f64>,
+    /// Bufferbloat episode width (ms).
+    pub bloat_ms: Option<f64>,
+    /// Bottleneck drain rate inside a bloat episode (packets/ms).
+    pub bloat_drain_pkts_per_ms: Option<f64>,
+    /// Bottleneck queue capacity (packets).
+    pub bloat_queue_pkts: Option<f64>,
+    /// Cross-traffic backlog at episode onset (packets).
+    pub bloat_standing_pkts: Option<f64>,
+    /// Jitter episodes per minute.
+    pub jitter_per_min: Option<f64>,
+    /// Jitter episode width (ms).
+    pub jitter_ms: Option<f64>,
+    /// Maximum per-packet delay spike inside a jitter episode (ms).
+    pub jitter_spike_ms: Option<f64>,
+    /// Silent NAT rebind events per minute.
+    pub rebind_per_min: Option<f64>,
+    /// Handover-aligned outage bursts per minute.
+    pub outage_per_min: Option<f64>,
+    /// Outage burst width (ms).
+    pub outage_ms: Option<f64>,
+    /// Transfer window of one study trial (ms).
+    pub window_ms: Option<f64>,
+    /// Base random-loss probability of the study link.
+    pub loss_prob: Option<f64>,
+}
+
+impl NetSpec {
+    /// The concrete [`NetFaultConfig`]: stock defaults with this
+    /// section's overrides applied.
+    pub fn to_config(&self) -> NetFaultConfig {
+        let mut c = NetFaultConfig::default();
+        macro_rules! ov {
+            ($($f:ident),*) => { $( if let Some(v) = self.$f { c.$f = v; } )* };
+        }
+        ov!(
+            bloat_per_min, bloat_ms, bloat_drain_pkts_per_ms, bloat_queue_pkts,
+            bloat_standing_pkts, jitter_per_min, jitter_ms, jitter_spike_ms,
+            rebind_per_min, outage_per_min, outage_ms
+        );
+        c
+    }
+}
+
 /// `[run]` — trial counts, worker threads and crash-safety knobs.
 /// Defaults mirror the CLI's flag defaults so a scenario only states
 /// what it changes.
@@ -446,6 +497,9 @@ pub struct ScenarioSpec {
     pub link: LinkSpec,
     /// Fault schedule; `None` replays the clean environment.
     pub faults: Option<FaultsSpec>,
+    /// Transport-pathology mix; `None` leaves `rem net` on its stock
+    /// schedule.
+    pub net: Option<NetSpec>,
     /// Run policy.
     pub run: RunSpec,
     /// Whole-train study parameters.
@@ -474,6 +528,7 @@ impl ScenarioSpec {
             policy: PolicySpec::default(),
             link: LinkSpec::default(),
             faults: None,
+            net: None,
             run: RunSpec::default(),
             train: TrainSpec::default(),
         }
@@ -539,6 +594,10 @@ impl ScenarioSpec {
             Some(mut t) => Some(read_faults(&mut t)?),
             None => None,
         };
+        let net = match take_table(&mut doc, "net")? {
+            Some(mut t) => Some(read_net(&mut t)?),
+            None => None,
+        };
         let run = match take_table(&mut doc, "run")? {
             Some(mut t) => read_run(&mut t)?,
             None => RunSpec::default(),
@@ -552,7 +611,7 @@ impl ScenarioSpec {
         }
 
         let spec =
-            Self { name, trajectory, cells, channel, policy, link, faults, run, train };
+            Self { name, trajectory, cells, channel, policy, link, faults, net, run, train };
         spec.validate()?;
         Ok(spec)
     }
@@ -688,6 +747,23 @@ impl ScenarioSpec {
             kv_of(&mut s, "burst_loss_prob", fs.burst_loss_prob);
         }
 
+        if let Some(ns) = &self.net {
+            s.push_str("\n[net]\n");
+            kv_of(&mut s, "bloat_per_min", ns.bloat_per_min);
+            kv_of(&mut s, "bloat_ms", ns.bloat_ms);
+            kv_of(&mut s, "bloat_drain_pkts_per_ms", ns.bloat_drain_pkts_per_ms);
+            kv_of(&mut s, "bloat_queue_pkts", ns.bloat_queue_pkts);
+            kv_of(&mut s, "bloat_standing_pkts", ns.bloat_standing_pkts);
+            kv_of(&mut s, "jitter_per_min", ns.jitter_per_min);
+            kv_of(&mut s, "jitter_ms", ns.jitter_ms);
+            kv_of(&mut s, "jitter_spike_ms", ns.jitter_spike_ms);
+            kv_of(&mut s, "rebind_per_min", ns.rebind_per_min);
+            kv_of(&mut s, "outage_per_min", ns.outage_per_min);
+            kv_of(&mut s, "outage_ms", ns.outage_ms);
+            kv_of(&mut s, "window_ms", ns.window_ms);
+            kv_of(&mut s, "loss_prob", ns.loss_prob);
+        }
+
         s.push_str("\n[run]\n");
         let seeds: Vec<String> = self.run.seeds.iter().map(|v| v.to_string()).collect();
         s.push_str(&format!("seeds = [{}]\n", seeds.join(", ")));
@@ -788,6 +864,21 @@ impl ScenarioSpec {
                 reason,
             })?;
         }
+        if let Some(ns) = &self.net {
+            if let Some(v) = ns.window_ms {
+                pos("net.window_ms", v)?;
+            }
+            if let Some(p) = ns.loss_prob {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(range("net.loss_prob", p, "must be a probability in [0, 1]"));
+                }
+            }
+            ns.to_config().validate().map_err(|reason| ScenarioError::OutOfRange {
+                path: "net".into(),
+                value: "<derived net fault config>".into(),
+                reason,
+            })?;
+        }
         Ok(())
     }
 
@@ -866,6 +957,20 @@ impl ScenarioSpec {
     /// The fault configuration, when the scenario schedules faults.
     pub fn fault_config(&self) -> Option<FaultConfig> {
         self.faults.as_ref().map(FaultsSpec::to_config)
+    }
+
+    /// The `rem net` stall-study spec, when the scenario has a `[net]`
+    /// section: pathology mix from the section, seeds from `[run]`.
+    pub fn net_study_spec(&self) -> Option<crate::net_study::NetStudySpec> {
+        self.net.as_ref().map(|n| {
+            let d = crate::net_study::NetStudySpec::default();
+            crate::net_study::NetStudySpec {
+                faults: n.to_config(),
+                seeds: self.run.seeds.clone(),
+                window_ms: n.window_ms.unwrap_or(d.window_ms),
+                loss_prob: n.loss_prob.unwrap_or(d.loss_prob),
+            }
+        })
     }
 
     /// The [`CampaignSpec`] this scenario describes: derived dataset,
@@ -1247,6 +1352,26 @@ fn read_faults(t: &mut Tbl) -> Result<FaultsSpec, ScenarioError> {
     Ok(spec)
 }
 
+fn read_net(t: &mut Tbl) -> Result<NetSpec, ScenarioError> {
+    let spec = NetSpec {
+        bloat_per_min: t.f64_opt("bloat_per_min")?,
+        bloat_ms: t.f64_opt("bloat_ms")?,
+        bloat_drain_pkts_per_ms: t.f64_opt("bloat_drain_pkts_per_ms")?,
+        bloat_queue_pkts: t.f64_opt("bloat_queue_pkts")?,
+        bloat_standing_pkts: t.f64_opt("bloat_standing_pkts")?,
+        jitter_per_min: t.f64_opt("jitter_per_min")?,
+        jitter_ms: t.f64_opt("jitter_ms")?,
+        jitter_spike_ms: t.f64_opt("jitter_spike_ms")?,
+        rebind_per_min: t.f64_opt("rebind_per_min")?,
+        outage_per_min: t.f64_opt("outage_per_min")?,
+        outage_ms: t.f64_opt("outage_ms")?,
+        window_ms: t.f64_opt("window_ms")?,
+        loss_prob: t.f64_opt("loss_prob")?,
+    };
+    t.done()?;
+    Ok(spec)
+}
+
 fn read_run(t: &mut Tbl) -> Result<RunSpec, ScenarioError> {
     let defaults = RunSpec::default();
     let seeds = match t.map.remove("seeds") {
@@ -1364,6 +1489,13 @@ mod tests {
             hole_ms: Some(9_000.0),
             ..FaultsSpec::default()
         });
+        spec.net = Some(NetSpec {
+            bloat_per_min: Some(0.9),
+            rebind_per_min: Some(0.3),
+            window_ms: Some(45_000.0),
+            loss_prob: Some(0.004),
+            ..NetSpec::default()
+        });
         spec.run.seeds = vec![3, 5, 8];
         spec.run.trial_timeout_ms = Some(30_000);
         spec.run.chaos_panic_rate = 0.25;
@@ -1407,6 +1539,42 @@ mod tests {
         let e = ScenarioSpec::from_toml(&doc).unwrap_err();
         assert_eq!(e, ScenarioError::Unknown { path: "cells.site_spcing_m".into() });
         assert!(e.to_string().contains("cells.site_spcing_m"), "{e}");
+    }
+
+    #[test]
+    fn net_section_overlays_stock_pathologies_and_validates_with_paths() {
+        let doc = format!(
+            "{MINIMAL}\n[net]\nrebind_per_min = 0.5\nwindow_ms = 30000.0\n"
+        );
+        let spec = ScenarioSpec::from_toml(&doc).unwrap();
+        let study = spec.net_study_spec().expect("[net] present");
+        assert_eq!(study.faults.rebind_per_min, 0.5);
+        // Untouched knobs keep the stock schedule.
+        assert_eq!(study.faults.bloat_per_min, NetFaultConfig::default().bloat_per_min);
+        assert_eq!(study.window_ms, 30_000.0);
+        assert_eq!(study.seeds, spec.run.seeds);
+
+        // Unknown keys are rejected with their dotted path.
+        let doc = format!("{MINIMAL}\n[net]\nrebinds_per_min = 0.5\n");
+        let e = ScenarioSpec::from_toml(&doc).unwrap_err();
+        assert_eq!(e, ScenarioError::Unknown { path: "net.rebinds_per_min".into() });
+
+        // Out-of-range values carry dotted paths too.
+        let doc = format!("{MINIMAL}\n[net]\nloss_prob = 1.5\n");
+        let e = ScenarioSpec::from_toml(&doc).unwrap_err();
+        assert!(
+            matches!(&e, ScenarioError::OutOfRange { path, .. } if path == "net.loss_prob"),
+            "{e:?}"
+        );
+        let doc = format!("{MINIMAL}\n[net]\nbloat_per_min = -1.0\n");
+        let e = ScenarioSpec::from_toml(&doc).unwrap_err();
+        assert!(
+            matches!(&e, ScenarioError::OutOfRange { path, .. } if path == "net"),
+            "{e:?}"
+        );
+
+        // No [net] section: no study.
+        assert!(ScenarioSpec::from_toml(MINIMAL).unwrap().net_study_spec().is_none());
     }
 
     #[test]

@@ -36,8 +36,10 @@ use rem_num::rng::{child_rng, exponential};
 use serde::{Deserialize, Serialize};
 
 pub mod chaos;
+pub mod net;
 
 pub use chaos::ChaosConfig;
+pub use net::{NetFaultConfig, NetFaultEvent, NetFaultKind, NetFaultPlan, NetOracleMismatch};
 
 /// One injectable fault class (the Table 2 taxonomy, plus X2 loss
 /// which manifests as command loss).

@@ -1,0 +1,509 @@
+//! Sender-side transport resilience: spurious-timeout undo, zombie
+//! re-establishment and REM-forecast-informed outage handling.
+//!
+//! The pathologies in [`crate::tcp::LinkModel`] (bufferbloat queues,
+//! jitter spikes, NAT rebinds, radio outages) defeat a loss-based
+//! sender in three distinct ways: queuing delay fires the RTO although
+//! nothing was lost, a NAT rebind silently kills the flow while the
+//! sender keeps retransmitting into a dead binding, and a radio outage
+//! triggers exponential backoff that outlives the outage itself
+//! (the paper's Fig 9). [`ResilienceConfig`] turns on the three
+//! countermeasures:
+//!
+//! * **Spurious-timeout undo** (`frto`) — Eifel/F-RTO style: when an
+//!   ack that acknowledges an *original* (never-retransmitted)
+//!   transmission arrives after an RTO fired, the timeout was spurious;
+//!   the pre-collapse `cwnd`/`ssthresh` are restored and go-back-N is
+//!   cancelled.
+//! * **Zombie detection** (`zombie_rtos`) — after that many
+//!   consecutive RTO expiries with zero forward progress the sender
+//!   assumes its binding is dead, re-establishes (one RTT handshake,
+//!   fresh NAT binding), and spaces further attempts with a *bounded*
+//!   backoff instead of the unbounded RTO doubling.
+//! * **REM-informed freezing** ([`RemForecast`]) — across a predicted
+//!   outage window the sender freezes `cwnd`, suppresses RTO backoff
+//!   and resumes with an immediate probe when the window closes.
+//!   Stale or absent forecasts degrade gracefully to vanilla behaviour
+//!   and record a [`rem_num::health::DegradedStats`] entry.
+//!
+//! Every recovery action is logged in [`NetStats`] with a timestamp so
+//! the fault oracle can check it against the injected ground truth,
+//! and [`classify_stalls`] attributes each goodput stall to its cause.
+
+use serde::{Deserialize, Serialize};
+
+/// A predicted radio-outage window, as issued by the REM plane's SNR
+/// forecaster.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForecastWindow {
+    /// Predicted outage start (ms).
+    pub start_ms: f64,
+    /// Predicted outage end (ms).
+    pub end_ms: f64,
+}
+
+/// An SNR-forecast feed for the resilience shim: predicted outage
+/// windows plus the freshness contract that gates how far ahead the
+/// sender may trust them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RemForecast {
+    /// Predicted outage windows, in ms on the replay clock.
+    pub windows: Vec<ForecastWindow>,
+    /// When the forecast was issued (ms on the replay clock).
+    pub issued_at_ms: f64,
+    /// Maximum lead time a window may have past `issued_at_ms` and
+    /// still be trusted; windows starting later are *stale* — the
+    /// sender falls back to vanilla behaviour for them and records a
+    /// degradation.
+    pub freshness_ms: f64,
+}
+
+impl RemForecast {
+    /// Whether a window is within the freshness contract.
+    pub fn is_fresh(&self, w: &ForecastWindow) -> bool {
+        w.start_ms - self.issued_at_ms <= self.freshness_ms
+    }
+}
+
+/// Sender-side resilience switches. [`ResilienceConfig::vanilla`]
+/// (every switch off) reproduces the historical loss-based sender
+/// bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Eifel/F-RTO-style spurious-timeout detection and undo.
+    pub frto: bool,
+    /// Consecutive zero-progress RTO expiries before the sender
+    /// declares the connection a zombie and re-establishes; `0`
+    /// disables zombie detection.
+    pub zombie_rtos: u32,
+    /// Initial spacing of re-establishment attempts (ms).
+    pub reconnect_backoff_ms: f64,
+    /// Cap on the re-establishment backoff (ms) — attempts never
+    /// space out further than this, unlike the unbounded RTO ladder.
+    pub reconnect_backoff_max_ms: f64,
+    /// REM SNR-forecast feed; `None` runs without prediction.
+    pub forecast: Option<RemForecast>,
+}
+
+impl ResilienceConfig {
+    /// Every countermeasure off: the historical loss-based sender.
+    pub fn vanilla() -> Self {
+        Self {
+            frto: false,
+            zombie_rtos: 0,
+            reconnect_backoff_ms: 500.0,
+            reconnect_backoff_max_ms: 4_000.0,
+            forecast: None,
+        }
+    }
+
+    /// F-RTO spurious-timeout undo plus zombie re-establishment, no
+    /// forecast. Four zero-progress RTOs (~3 s of silence at the
+    /// 200 ms floor) distinguish a dead binding from a delay spike: a
+    /// full bufferbloat queue stays under that, a NAT rebind never
+    /// recovers without re-establishing.
+    pub fn frto() -> Self {
+        Self { frto: true, zombie_rtos: 4, ..Self::vanilla() }
+    }
+
+    /// The full REM-informed shim: F-RTO + zombie recovery + forecast
+    /// freezing.
+    pub fn rem_informed(forecast: RemForecast) -> Self {
+        Self { forecast: Some(forecast), ..Self::frto() }
+    }
+
+    /// Checks the knobs for values the replay cannot handle.
+    pub fn validate(&self) -> Result<(), crate::tcp::TcpError> {
+        let bad = |why: String| Err(crate::tcp::TcpError::InvalidConfig(why));
+        if !(self.reconnect_backoff_ms.is_finite() && self.reconnect_backoff_ms > 0.0) {
+            return bad("reconnect_backoff_ms must be finite and positive".into());
+        }
+        if !(self.reconnect_backoff_max_ms.is_finite()
+            && self.reconnect_backoff_max_ms >= self.reconnect_backoff_ms)
+        {
+            return bad("reconnect_backoff_max_ms must be >= reconnect_backoff_ms".into());
+        }
+        if let Some(fc) = &self.forecast {
+            if !(fc.issued_at_ms.is_finite() && fc.freshness_ms.is_finite()) {
+                return bad("forecast issued_at_ms/freshness_ms must be finite".into());
+            }
+            for w in &fc.windows {
+                if !(w.start_ms.is_finite() && w.end_ms.is_finite() && w.start_ms <= w.end_ms) {
+                    return bad(format!(
+                        "forecast window [{}, {}] is malformed",
+                        w.start_ms, w.end_ms
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self::vanilla()
+    }
+}
+
+/// A recovery action the resilient sender took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryKind {
+    /// A spurious RTO was detected and its cwnd collapse undone.
+    SpuriousRtoUndo,
+    /// The zombie detector re-established the connection.
+    Reconnect,
+    /// The sender froze across a forecast outage window.
+    ForecastFreeze,
+}
+
+/// One timestamped recovery action, scored against the fault oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// When the action was taken (ms).
+    pub t_ms: f64,
+    /// What the sender did.
+    pub kind: RecoveryKind,
+}
+
+/// Resilience outcome counters of one transfer, kept on
+/// [`crate::tcp::TcpTrace`]. Absent in traces serialized before the
+/// resilience layer existed (every field defaults to zero).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Spurious RTOs detected (an original-transmission ack arrived
+    /// after the timer fired).
+    #[serde(default)]
+    pub spurious_rto_detected: u64,
+    /// Spurious RTOs whose cwnd collapse was actually undone.
+    #[serde(default)]
+    pub spurious_rto_undone: u64,
+    /// Zombie re-establishments performed.
+    #[serde(default)]
+    pub reconnects: u64,
+    /// Time spent frozen across forecast outage windows (ms).
+    #[serde(default)]
+    pub frozen_ms: f64,
+    /// Forecast windows the sender trusted and froze across.
+    #[serde(default)]
+    pub forecast_windows_used: u64,
+    /// Forecast windows rejected as stale (vanilla fallback).
+    #[serde(default)]
+    pub forecast_windows_stale: u64,
+    /// Packets tail-dropped by a full bufferbloat queue.
+    #[serde(default)]
+    pub queue_overflow_drops: u64,
+    /// Packets (or acks) silently eaten by a dead NAT binding.
+    #[serde(default)]
+    pub rebind_drops: u64,
+    /// Timestamped recovery actions, for the ground-truth oracle.
+    #[serde(default)]
+    pub recovery_events: Vec<RecoveryEvent>,
+}
+
+impl NetStats {
+    /// Adds another transfer's counters into this one (recovery events
+    /// are concatenated in order).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.spurious_rto_detected += other.spurious_rto_detected;
+        self.spurious_rto_undone += other.spurious_rto_undone;
+        self.reconnects += other.reconnects;
+        self.frozen_ms += other.frozen_ms;
+        self.forecast_windows_used += other.forecast_windows_used;
+        self.forecast_windows_stale += other.forecast_windows_stale;
+        self.queue_overflow_drops += other.queue_overflow_drops;
+        self.rebind_drops += other.rebind_drops;
+        self.recovery_events.extend(other.recovery_events.iter().copied());
+    }
+}
+
+/// Why a stall happened — the Fig-9-style taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StallCause {
+    /// The radio was down (handover failure / coverage hole / tunnel).
+    HandoverOutage,
+    /// The NAT binding was dead and the sender had not re-established.
+    NatRebind,
+    /// A bufferbloat episode was inflating queuing delay.
+    Bufferbloat,
+    /// Nothing was wrong with the path: pure RTO backoff overshoot.
+    RtoBackoff,
+}
+
+impl StallCause {
+    /// Stable lowercase label (metric names, report rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallCause::HandoverOutage => "handover-outage",
+            StallCause::NatRebind => "nat-rebind",
+            StallCause::Bufferbloat => "bufferbloat",
+            StallCause::RtoBackoff => "rto-backoff",
+        }
+    }
+
+    /// Every cause, in classifier-priority order.
+    pub fn all() -> [StallCause; 4] {
+        [
+            StallCause::HandoverOutage,
+            StallCause::NatRebind,
+            StallCause::Bufferbloat,
+            StallCause::RtoBackoff,
+        ]
+    }
+}
+
+/// Stall time split by cause (ms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CauseBreakdown {
+    /// Time the radio was genuinely down.
+    pub handover_outage_ms: f64,
+    /// Time the NAT binding was dead.
+    pub nat_rebind_ms: f64,
+    /// Time a bufferbloat episode was active.
+    pub bufferbloat_ms: f64,
+    /// Residual: the path was fine, only the timer was backed off.
+    pub rto_backoff_ms: f64,
+}
+
+impl CauseBreakdown {
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &CauseBreakdown) {
+        self.handover_outage_ms += other.handover_outage_ms;
+        self.nat_rebind_ms += other.nat_rebind_ms;
+        self.bufferbloat_ms += other.bufferbloat_ms;
+        self.rto_backoff_ms += other.rto_backoff_ms;
+    }
+
+    /// Total attributed stall time (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.handover_outage_ms + self.nat_rebind_ms + self.bufferbloat_ms + self.rto_backoff_ms
+    }
+
+    fn slot(&mut self, cause: StallCause) -> &mut f64 {
+        match cause {
+            StallCause::HandoverOutage => &mut self.handover_outage_ms,
+            StallCause::NatRebind => &mut self.nat_rebind_ms,
+            StallCause::Bufferbloat => &mut self.bufferbloat_ms,
+            StallCause::RtoBackoff => &mut self.rto_backoff_ms,
+        }
+    }
+
+    /// The per-cause stall time (ms).
+    pub fn get(&self, cause: StallCause) -> f64 {
+        match cause {
+            StallCause::HandoverOutage => self.handover_outage_ms,
+            StallCause::NatRebind => self.nat_rebind_ms,
+            StallCause::Bufferbloat => self.bufferbloat_ms,
+            StallCause::RtoBackoff => self.rto_backoff_ms,
+        }
+    }
+}
+
+/// One stall, attributed: its dominant cause plus the full per-cause
+/// split of its duration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedStall {
+    /// Stall start (ms).
+    pub start_ms: f64,
+    /// Stall end (ms).
+    pub end_ms: f64,
+    /// The cause covering the largest share of the stall (ties broken
+    /// in [`StallCause::all`] order).
+    pub cause: StallCause,
+    /// Millisecond-granular attribution of the whole stall.
+    pub breakdown: CauseBreakdown,
+}
+
+impl ClassifiedStall {
+    /// Stall duration (ms).
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Attributes every goodput stall of `trace` (gaps longer than
+/// `min_gap_ms`) to the fault taxonomy, millisecond by millisecond:
+/// radio outage beats a dead NAT binding beats bufferbloat; whatever
+/// remains is RTO-backoff overshoot — the Fig 9 phenomenon where the
+/// stall outlives the fault.
+///
+/// NAT-binding liveness is reconstructed from the link's rebind times
+/// and the trace's [`RecoveryKind::Reconnect`] events: a binding dies
+/// at each rebind and revives at the next later reconnect (never, for
+/// a vanilla sender).
+pub fn classify_stalls(
+    trace: &crate::tcp::TcpTrace,
+    link: &crate::tcp::LinkModel,
+    min_gap_ms: f64,
+) -> Vec<ClassifiedStall> {
+    let reconnects: Vec<f64> = trace
+        .net
+        .recovery_events
+        .iter()
+        .filter(|e| e.kind == RecoveryKind::Reconnect)
+        .map(|e| e.t_ms)
+        .collect();
+    let binding_dead = |t: f64| {
+        link.rebinds.iter().any(|r| {
+            r.t_ms <= t && !reconnects.iter().any(|&rc| rc > r.t_ms && rc <= t)
+        })
+    };
+    trace
+        .stall_periods(min_gap_ms)
+        .into_iter()
+        .map(|(start_ms, end_ms)| {
+            let mut breakdown = CauseBreakdown::default();
+            let mut t = start_ms;
+            while t < end_ms {
+                let step = 1.0f64.min(end_ms - t);
+                let cause = if link.is_down(t) {
+                    StallCause::HandoverOutage
+                } else if binding_dead(t) {
+                    StallCause::NatRebind
+                } else if link.bloat_at(t).is_some() {
+                    StallCause::Bufferbloat
+                } else {
+                    StallCause::RtoBackoff
+                };
+                *breakdown.slot(cause) += step;
+                t += step;
+            }
+            // Dominant cause; ties go to the first in priority order
+            // (reverse scan with >= leaves the highest-priority max).
+            let mut cause = StallCause::RtoBackoff;
+            for c in StallCause::all().into_iter().rev() {
+                if breakdown.get(c) >= breakdown.get(cause) {
+                    cause = c;
+                }
+            }
+            ClassifiedStall { start_ms, end_ms, cause, breakdown }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{LinkModel, NatRebind, Outage, TcpTrace};
+
+    fn trace_with_gap(gap: (f64, f64), horizon: f64) -> TcpTrace {
+        // Dense acks everywhere except the gap, so the only stall
+        // longer than the test threshold is the gap itself.
+        let mut ack_timeline = Vec::new();
+        let mut total = 0u64;
+        let mut t = 0.0;
+        while t < horizon {
+            if t <= gap.0 || t >= gap.1 {
+                total += 100;
+                ack_timeline.push((t, total));
+            }
+            t += 500.0;
+        }
+        TcpTrace {
+            ack_timeline,
+            rto_events: vec![],
+            total_acked_bytes: total,
+            duration_ms: horizon,
+            net: NetStats::default(),
+        }
+    }
+
+    #[test]
+    fn outage_dominated_stall_is_attributed_to_the_outage() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 2_000.0, end_ms: 4_000.0 }],
+            ..Default::default()
+        };
+        let trace = trace_with_gap((1_900.0, 4_500.0), 10_000.0);
+        let stalls = classify_stalls(&trace, &link, 1_000.0);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::HandoverOutage);
+        assert!(stalls[0].breakdown.handover_outage_ms >= 1_999.0);
+        assert!(stalls[0].breakdown.rto_backoff_ms > 0.0, "overshoot share missing");
+    }
+
+    #[test]
+    fn dead_binding_beats_bufferbloat_and_backoff() {
+        let link = LinkModel {
+            rebinds: vec![NatRebind { t_ms: 3_000.0 }],
+            ..Default::default()
+        };
+        let trace = trace_with_gap((2_900.0, 9_000.0), 10_000.0);
+        let stalls = classify_stalls(&trace, &link, 1_000.0);
+        assert_eq!(stalls[0].cause, StallCause::NatRebind);
+        // Binding never revives without a reconnect event.
+        assert!(stalls[0].breakdown.nat_rebind_ms >= 5_999.0);
+    }
+
+    #[test]
+    fn reconnect_revives_the_binding_for_classification() {
+        let link = LinkModel {
+            rebinds: vec![NatRebind { t_ms: 3_000.0 }],
+            ..Default::default()
+        };
+        let mut trace = trace_with_gap((2_900.0, 9_000.0), 10_000.0);
+        trace.net.recovery_events =
+            vec![RecoveryEvent { t_ms: 5_000.0, kind: RecoveryKind::Reconnect }];
+        let stalls = classify_stalls(&trace, &link, 1_000.0);
+        // Dead from 3000 to 5000, backoff after.
+        let b = &stalls[0].breakdown;
+        assert!((b.nat_rebind_ms - 2_000.0).abs() < 2.0, "{b:?}");
+        assert!(b.rto_backoff_ms > 3_000.0, "{b:?}");
+    }
+
+    #[test]
+    fn clean_link_stall_is_pure_backoff() {
+        let trace = trace_with_gap((2_000.0, 5_000.0), 10_000.0);
+        let stalls = classify_stalls(&trace, &LinkModel::default(), 1_000.0);
+        assert_eq!(stalls[0].cause, StallCause::RtoBackoff);
+        assert!((stalls[0].breakdown.total_ms() - stalls[0].duration_ms()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vanilla_config_validates_and_is_default() {
+        assert_eq!(ResilienceConfig::default(), ResilienceConfig::vanilla());
+        assert!(ResilienceConfig::vanilla().validate().is_ok());
+        assert!(ResilienceConfig::frto().validate().is_ok());
+        let bad = ResilienceConfig { reconnect_backoff_ms: -1.0, ..ResilienceConfig::vanilla() };
+        assert!(bad.validate().is_err());
+        let bad = ResilienceConfig {
+            forecast: Some(RemForecast {
+                windows: vec![ForecastWindow { start_ms: 5.0, end_ms: 1.0 }],
+                issued_at_ms: 0.0,
+                freshness_ms: 1e9,
+            }),
+            ..ResilienceConfig::vanilla()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn forecast_freshness_contract() {
+        let fc = RemForecast {
+            windows: vec![
+                ForecastWindow { start_ms: 10_000.0, end_ms: 12_000.0 },
+                ForecastWindow { start_ms: 50_000.0, end_ms: 52_000.0 },
+            ],
+            issued_at_ms: 0.0,
+            freshness_ms: 30_000.0,
+        };
+        assert!(fc.is_fresh(&fc.windows[0]));
+        assert!(!fc.is_fresh(&fc.windows[1]));
+    }
+
+    #[test]
+    fn net_stats_merge_and_serde_default() {
+        let mut a = NetStats { spurious_rto_detected: 1, ..Default::default() };
+        let b = NetStats {
+            reconnects: 2,
+            frozen_ms: 100.0,
+            recovery_events: vec![RecoveryEvent { t_ms: 1.0, kind: RecoveryKind::Reconnect }],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reconnects, 2);
+        assert_eq!(a.recovery_events.len(), 1);
+        let sparse: NetStats = serde_json::from_str("{}").expect("all fields default");
+        assert_eq!(sparse, NetStats::default());
+    }
+}

@@ -11,9 +11,24 @@
 //! * RTO per RFC 6298 (SRTT/RTTVAR smoothing, Karn's algorithm, binary
 //!   exponential backoff, min/max clamps);
 //! * the link drops every packet while an outage is active, plus i.i.d.
-//!   random loss otherwise, and enforces a rate cap.
+//!   random loss otherwise, and enforces a rate cap;
+//! * cellular link pathologies: a finite bottleneck queue whose
+//!   queuing delay inflates the RTT ([`BloatEpisode`]), delay-jitter
+//!   spikes ([`JitterEpisode`]) and NAT rebinds that silently kill the
+//!   flow ([`NatRebind`]) — all seeded and RNG-isolated (the jitter
+//!   stream derives from [`LinkModel::pathology_seed`], never from the
+//!   loss-coin stream, so adding a pathology cannot perturb the
+//!   legacy replay).
+//!
+//! Sender-side countermeasures (spurious-RTO undo, zombie
+//! re-establishment, REM-forecast freezing) live in
+//! [`crate::resilience`] and are driven through
+//! [`try_simulate_transfer_resilient`]; the plain entry points run
+//! the vanilla loss-based sender bit-identically to before.
 
+use crate::resilience::{NetStats, RecoveryEvent, RecoveryKind, ResilienceConfig};
 use rand::Rng;
+use rem_num::rng::child_rng;
 use rem_num::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -158,6 +173,78 @@ impl LossEpisode {
     }
 }
 
+/// A bufferbloat episode: while active, every packet passes through a
+/// finite bottleneck queue that services one packet per
+/// `1 / drain_pkts_per_ms` ms. Backlog inflates the delivery delay
+/// (and hence the measured RTT) deterministically — no RNG is
+/// involved — and a packet arriving to a full queue (`queue_pkts`
+/// packets of backlog) is tail-dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BloatEpisode {
+    /// Start (ms).
+    pub start_ms: f64,
+    /// End (ms).
+    pub end_ms: f64,
+    /// Bottleneck service rate while the episode is active
+    /// (packets per ms; well below the link capacity).
+    pub drain_pkts_per_ms: f64,
+    /// Queue capacity in packets; beyond it packets are tail-dropped.
+    pub queue_pkts: f64,
+    /// Cross-traffic backlog already sitting in the queue when the
+    /// episode starts. This is what makes bufferbloat *spike* the RTT
+    /// instead of ramping it: the first own packet of the episode
+    /// waits behind the standing queue, so delay jumps by
+    /// `standing_pkts / drain_pkts_per_ms` in one RTT — far past the
+    /// sender's adapted RTO. Absent in links serialized before this
+    /// field existed (defaults to an empty queue).
+    #[serde(default)]
+    pub standing_pkts: f64,
+}
+
+impl BloatEpisode {
+    /// Whether `t` falls inside the episode.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_ms && t < self.end_ms
+    }
+
+    /// Worst-case queuing delay of the full queue (ms).
+    pub fn max_queue_delay_ms(&self) -> f64 {
+        self.queue_pkts / self.drain_pkts_per_ms
+    }
+}
+
+/// A delay-jitter episode: packets sent while it is active pick up an
+/// extra one-way delay drawn uniformly from `[0, spike_ms]` — from the
+/// isolated pathology RNG stream, never the loss-coin stream.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JitterEpisode {
+    /// Start (ms).
+    pub start_ms: f64,
+    /// End (ms).
+    pub end_ms: f64,
+    /// Maximum extra one-way delay (ms).
+    pub spike_ms: f64,
+}
+
+impl JitterEpisode {
+    /// Whether `t` falls inside the episode.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_ms && t < self.end_ms
+    }
+}
+
+/// A NAT rebind: at `t_ms` the middlebox drops the flow's binding
+/// without signalling either end. Every packet and ack crossing the
+/// NAT afterwards is silently eaten until the sender re-establishes
+/// (which a vanilla sender never does — the "zombie connection" from
+/// the CGNAT campaign journals: the socket reports healthy while every
+/// send vanishes).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NatRebind {
+    /// When the binding dies (ms).
+    pub t_ms: f64,
+}
+
 /// The path model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinkModel {
@@ -173,6 +260,21 @@ pub struct LinkModel {
     /// serialized links from before this field existed.
     #[serde(default)]
     pub episodes: Vec<LossEpisode>,
+    /// Bufferbloat episodes (finite bottleneck queue). Absent in links
+    /// serialized before the pathology layer existed.
+    #[serde(default)]
+    pub bloat: Vec<BloatEpisode>,
+    /// Delay-jitter spike episodes.
+    #[serde(default)]
+    pub jitter: Vec<JitterEpisode>,
+    /// NAT rebind events.
+    #[serde(default)]
+    pub rebinds: Vec<NatRebind>,
+    /// Seed of the isolated pathology RNG stream (jitter draws). Kept
+    /// separate from the replay RNG so fault plans never perturb the
+    /// loss-coin sequence.
+    #[serde(default)]
+    pub pathology_seed: u64,
 }
 
 impl Default for LinkModel {
@@ -183,13 +285,35 @@ impl Default for LinkModel {
             loss_prob: 0.0,
             outages: vec![],
             episodes: vec![],
+            bloat: vec![],
+            jitter: vec![],
+            rebinds: vec![],
+            pathology_seed: 0,
         }
     }
 }
 
 impl LinkModel {
-    fn is_down(&self, t: f64) -> bool {
+    /// Whether a radio outage is active at `t`.
+    pub fn is_down(&self, t: f64) -> bool {
         self.outages.iter().any(|o| o.contains(t))
+    }
+
+    /// The bufferbloat episode active at `t`, if any.
+    pub fn bloat_at(&self, t: f64) -> Option<&BloatEpisode> {
+        self.bloat.iter().find(|b| b.contains(t))
+    }
+
+    /// The jitter episode active at `t`, if any.
+    pub fn jitter_at(&self, t: f64) -> Option<&JitterEpisode> {
+        self.jitter.iter().find(|j| j.contains(t))
+    }
+
+    /// The NAT binding epoch at `t`: the number of rebinds that have
+    /// happened. A packet crossing the NAT is delivered only when the
+    /// epoch it was sent under is still current.
+    pub fn rebind_epoch_at(&self, t: f64) -> usize {
+        self.rebinds.iter().filter(|r| r.t_ms <= t).count()
     }
 
     /// Effective loss probability at `t`: the base rate, raised by any
@@ -226,6 +350,33 @@ impl LinkModel {
                 return bad(format!("episode loss_prob {} outside [0, 1]", e.loss_prob));
             }
         }
+        for b in &self.bloat {
+            if !(b.start_ms.is_finite() && b.end_ms.is_finite() && b.start_ms <= b.end_ms) {
+                return bad(format!("bloat episode [{}, {}] is malformed", b.start_ms, b.end_ms));
+            }
+            if !(b.drain_pkts_per_ms.is_finite() && b.drain_pkts_per_ms > 0.0) {
+                return bad("bloat drain_pkts_per_ms must be finite and positive".into());
+            }
+            if !(b.queue_pkts.is_finite() && b.queue_pkts >= 1.0) {
+                return bad("bloat queue_pkts must be finite and >= 1".into());
+            }
+            if !(b.standing_pkts.is_finite() && b.standing_pkts >= 0.0) {
+                return bad("bloat standing_pkts must be finite and >= 0".into());
+            }
+        }
+        for j in &self.jitter {
+            if !(j.start_ms.is_finite() && j.end_ms.is_finite() && j.start_ms <= j.end_ms) {
+                return bad(format!("jitter episode [{}, {}] is malformed", j.start_ms, j.end_ms));
+            }
+            if !(j.spike_ms.is_finite() && j.spike_ms >= 0.0) {
+                return bad("jitter spike_ms must be finite and non-negative".into());
+            }
+        }
+        for r in &self.rebinds {
+            if !(r.t_ms.is_finite() && r.t_ms >= 0.0) {
+                return bad(format!("rebind at {} must be finite and non-negative", r.t_ms));
+            }
+        }
         Ok(())
     }
 }
@@ -244,6 +395,10 @@ pub struct TcpTrace {
     pub total_acked_bytes: u64,
     /// Simulation horizon (ms).
     pub duration_ms: f64,
+    /// Resilience outcome counters (recovery actions, pathology drops).
+    /// Zero/empty for traces from before the resilience layer existed.
+    #[serde(default)]
+    pub net: NetStats,
 }
 
 impl TcpTrace {
@@ -323,14 +478,43 @@ pub fn simulate_transfer(
 
 /// Validating front door to [`simulate_transfer`]: rejects malformed
 /// configs and links with a [`TcpError`] rather than producing NaN
-/// timers or panicking mid-replay.
+/// timers or panicking mid-replay. Runs the vanilla loss-based sender.
 pub fn try_simulate_transfer(
     cfg: &TcpConfig,
     link: &LinkModel,
     duration_ms: f64,
     rng: &mut SimRng,
 ) -> Result<TcpTrace, TcpError> {
+    try_simulate_transfer_resilient(cfg, &ResilienceConfig::vanilla(), link, duration_ms, rng)
+}
+
+/// [`try_simulate_transfer_resilient`] that panics on malformed input.
+pub fn simulate_transfer_resilient(
+    cfg: &TcpConfig,
+    res: &ResilienceConfig,
+    link: &LinkModel,
+    duration_ms: f64,
+    rng: &mut SimRng,
+) -> TcpTrace {
+    match try_simulate_transfer_resilient(cfg, res, link, duration_ms, rng) {
+        Ok(trace) => trace,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Simulates a bulk transfer with the given sender-side resilience
+/// switches. With [`ResilienceConfig::vanilla`] and a pathology-free
+/// link this is bit-identical (same RNG draw sequence, same trace) to
+/// the historical [`try_simulate_transfer`].
+pub fn try_simulate_transfer_resilient(
+    cfg: &TcpConfig,
+    res: &ResilienceConfig,
+    link: &LinkModel,
+    duration_ms: f64,
+    rng: &mut SimRng,
+) -> Result<TcpTrace, TcpError> {
     cfg.validate()?;
+    res.validate()?;
     link.validate()?;
     if !(duration_ms.is_finite() && duration_ms >= 0.0) {
         return Err(TcpError::InvalidLink(format!(
@@ -338,6 +522,26 @@ pub fn try_simulate_transfer(
         )));
     }
     let owd = link.rtt_ms / 2.0;
+    // Jitter draws come from this isolated stream: creating it never
+    // touches `rng`, and links without jitter episodes never draw from
+    // it, so pathology-free replays keep their historical sequences.
+    let mut path_rng = child_rng(link.pathology_seed, "net/pathology");
+    let mut path = PathState { q_busy_until: 0.0, sender_epoch: 0 };
+    let mut net = NetStats::default();
+
+    // Trusted forecast windows; stale ones degrade to vanilla handling
+    // and leave a mark in the numerical-health ledger.
+    let mut freeze_windows: Vec<(f64, f64)> = Vec::new();
+    if let Some(fc) = &res.forecast {
+        for w in &fc.windows {
+            if fc.is_fresh(w) {
+                freeze_windows.push((w.start_ms, w.end_ms));
+            } else {
+                net.forecast_windows_stale += 1;
+                rem_num::health::record(|d| d.forecast_fallbacks += 1);
+            }
+        }
+    }
 
     // Sender state.
     let mut cwnd = cfg.init_cwnd;
@@ -359,6 +563,16 @@ pub fn try_simulate_transfer(
     let mut w_max = cfg.init_cwnd;
     let mut cubic_epoch: Option<f64> = None;
     let mut cubic_k = 0.0f64;
+    // Resilience state: the pre-collapse (cwnd, ssthresh) saved at the
+    // first RTO of a backoff run (for the spurious-timeout undo), the
+    // zero-progress RTO counter feeding the zombie detector, the
+    // in-progress re-establishment handshake, its bounded backoff, and
+    // which forecast window (if any) the sender is frozen across.
+    let mut spurious_save: Option<(f64, f64)> = None;
+    let mut consecutive_rtos = 0u32;
+    let mut reconnect_until: Option<f64> = None;
+    let mut reconnect_backoff = res.reconnect_backoff_ms;
+    let mut frozen_since: Option<f64> = None;
 
     // Receiver state.
     let mut rcv_next: u64 = 0;
@@ -366,16 +580,20 @@ pub fn try_simulate_transfer(
 
     // Packets in flight: seq -> metadata. Ack events: time -> acks.
     let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
-    // Scheduled deliveries at the receiver: (arrival time, seq).
-    let mut deliveries: BTreeMap<u64, Vec<u64>> = BTreeMap::new(); // key: time in us
-    // Scheduled ack arrivals at the sender: (time_us, cumulative ack, is_dup).
-    let mut acks: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
+    // Scheduled deliveries at the receiver:
+    // arrival time (us) -> (seq, was_retransmit, NAT epoch at send).
+    let mut deliveries: BTreeMap<u64, Vec<(u64, bool, usize)>> = BTreeMap::new();
+    // Scheduled ack arrivals at the sender:
+    // time (us) -> (cumulative ack, is_dup, acks_a_retransmit, NAT epoch).
+    #[allow(clippy::type_complexity)]
+    let mut acks: BTreeMap<u64, Vec<(u64, bool, bool, usize)>> = BTreeMap::new();
 
     let mut trace = TcpTrace {
         ack_timeline: Vec::new(),
         rto_events: Vec::new(),
         total_acked_bytes: 0,
         duration_ms,
+        net: NetStats::default(),
     };
 
     let to_us = |t: f64| (t * 1000.0).round() as u64;
@@ -385,10 +603,53 @@ pub fn try_simulate_transfer(
     while now < duration_ms {
         let now_us = to_us(now);
 
+        // Forecast freeze bookkeeping: entering a trusted window logs
+        // the action and freezes the congestion state; leaving it
+        // probes immediately instead of waiting out a backed-off timer.
+        let freeze = freeze_windows.iter().copied().find(|&(s, e)| now >= s && now < e);
+        match (freeze, frozen_since) {
+            (Some((s, _)), since) if since != Some(s) => {
+                frozen_since = Some(s);
+                net.forecast_windows_used += 1;
+                net.recovery_events
+                    .push(RecoveryEvent { t_ms: now, kind: RecoveryKind::ForecastFreeze });
+            }
+            (None, Some(_)) => {
+                frozen_since = None;
+                // The predicted outage is over: resume with an
+                // immediate probe retransmit, timer un-backed-off.
+                if snd_una < next_seq {
+                    let arrival =
+                        transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
+                    inflight
+                        .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                    if let Some(t_exit) = arrival {
+                        deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                            snd_una,
+                            true,
+                            link.rebind_epoch_at(now),
+                        ));
+                    }
+                    rto_deadline = Some(now + rto);
+                }
+            }
+            _ => {}
+        }
+        let frozen = frozen_since.is_some();
+        if frozen {
+            net.frozen_ms += tick_ms;
+        }
+
         // 1. Receiver: process packet deliveries up to now.
         let due: Vec<u64> = deliveries.range(..=now_us).map(|(&k, _)| k).collect();
         for k in due {
-            for seq in deliveries.remove(&k).unwrap_or_default() {
+            for (seq, was_retx, epoch) in deliveries.remove(&k).unwrap_or_default() {
+                // A rebind between send and arrival eats the packet at
+                // the NAT.
+                if link.rebind_epoch_at(now) != epoch {
+                    net.rebind_drops += 1;
+                    continue;
+                }
                 let is_dup_ack;
                 if seq == rcv_next {
                     rcv_next += 1;
@@ -404,16 +665,26 @@ pub fn try_simulate_transfer(
                     is_dup_ack = false;
                 }
                 // Ack travels back; acks are never lost here beyond the
-                // link state at send time (one loss coin per packet).
+                // link state at send time (one loss coin per packet),
+                // but a rebind while the ack is in flight eats it.
                 let back = to_us(now + owd);
-                acks.entry(back).or_default().push((rcv_next, is_dup_ack));
+                acks.entry(back).or_default().push((
+                    rcv_next,
+                    is_dup_ack,
+                    was_retx,
+                    link.rebind_epoch_at(now),
+                ));
             }
         }
 
         // 2. Sender: process ack arrivals.
         let due: Vec<u64> = acks.range(..=now_us).map(|(&k, _)| k).collect();
         for k in due {
-            for (cum, is_dup) in acks.remove(&k).unwrap_or_default() {
+            for (cum, is_dup, acks_retx, epoch) in acks.remove(&k).unwrap_or_default() {
+                if link.rebind_epoch_at(now) != epoch {
+                    net.rebind_drops += 1;
+                    continue;
+                }
                 if cum > snd_una {
                     // New data acked.
                     let newly = cum - snd_una;
@@ -443,51 +714,94 @@ pub fn try_simulate_transfer(
                     snd_una = cum;
                     backoff = 1.0;
                     dup_acks = 0;
-                    // Congestion control.
-                    if cwnd < ssthresh {
-                        cwnd += newly as f64; // slow start
-                    } else {
-                        match cfg.congestion {
-                            CongestionControl::Reno => {
-                                cwnd += newly as f64 / cwnd;
+                    consecutive_rtos = 0;
+                    reconnect_backoff = res.reconnect_backoff_ms;
+                    // Spurious-timeout detection (Eifel/F-RTO style):
+                    // an ack for an *original* transmission arriving
+                    // while an RTO collapse is outstanding proves the
+                    // timer fired although nothing was lost — undo the
+                    // collapse. An ack for the retransmission instead
+                    // validates the timeout. Go-back-N stays armed
+                    // either way: any real holes (e.g. tail drops at
+                    // a bloated queue) still repair on partial acks
+                    // instead of waiting out a delay-inflated RTO.
+                    if let Some((saved_cwnd, saved_ssthresh)) = spurious_save {
+                        if res.frto && !acks_retx {
+                            net.spurious_rto_detected += 1;
+                            if saved_cwnd > cwnd {
+                                // RFC 4015-style cautious restore: resume at
+                                // the saved slow-start threshold (at least half
+                                // the saved window) instead of the full saved
+                                // cwnd -- the spurious timeout was triggered by
+                                // queuing delay, so the bottleneck is likely
+                                // still congested and a full-window burst would
+                                // overflow it.
+                                cwnd = saved_ssthresh.max(saved_cwnd / 2.0).min(cfg.rwnd);
+                                ssthresh = saved_ssthresh;
+                                net.spurious_rto_undone += 1;
+                                net.recovery_events.push(RecoveryEvent {
+                                    t_ms: now,
+                                    kind: RecoveryKind::SpuriousRtoUndo,
+                                });
                             }
-                            CongestionControl::Cubic => {
-                                // W(t) = C (t - K)^3 + W_max, t since the
-                                // loss epoch started.
-                                let epoch = *cubic_epoch.get_or_insert(now);
-                                let t_s = (now - epoch) / 1e3;
-                                let target =
-                                    CUBIC_C * (t_s - cubic_k).powi(3) + w_max;
-                                if target > cwnd {
-                                    cwnd += (target - cwnd).min(newly as f64);
-                                } else {
-                                    // TCP-friendly floor: grow at least
-                                    // like Reno.
-                                    cwnd += 0.5 * newly as f64 / cwnd;
+                        }
+                        spurious_save = None;
+                    }
+                    // Congestion control (held still across a forecast
+                    // freeze: predicted-outage stragglers must not move
+                    // the window either way).
+                    if !frozen {
+                        if cwnd < ssthresh {
+                            cwnd += newly as f64; // slow start
+                        } else {
+                            match cfg.congestion {
+                                CongestionControl::Reno => {
+                                    cwnd += newly as f64 / cwnd;
+                                }
+                                CongestionControl::Cubic => {
+                                    // W(t) = C (t - K)^3 + W_max, t since the
+                                    // loss epoch started.
+                                    let epoch = *cubic_epoch.get_or_insert(now);
+                                    let t_s = (now - epoch) / 1e3;
+                                    let target =
+                                        CUBIC_C * (t_s - cubic_k).powi(3) + w_max;
+                                    if target > cwnd {
+                                        cwnd += (target - cwnd).min(newly as f64);
+                                    } else {
+                                        // TCP-friendly floor: grow at least
+                                        // like Reno.
+                                        cwnd += 0.5 * newly as f64 / cwnd;
+                                    }
                                 }
                             }
                         }
+                        cwnd = cwnd.min(cfg.rwnd);
                     }
-                    cwnd = cwnd.min(cfg.rwnd);
                     trace.total_acked_bytes = snd_una * cfg.mss_bytes;
                     trace.ack_timeline.push((now, trace.total_acked_bytes));
                     // Go-back-N after an RTO: segments up to the loss
                     // horizon were (likely) lost with the window;
                     // retransmit the next hole immediately on each
                     // partial ack instead of waiting one RTO per segment.
-                    if snd_una < rto_recover_until && inflight.contains_key(&snd_una) {
-                        let lost = !link_delivers(link, now, rng);
+                    if !frozen && snd_una < rto_recover_until && inflight.contains_key(&snd_una)
+                    {
+                        let arrival =
+                            transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
                         inflight
                             .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
-                        if !lost {
-                            deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                        if let Some(t_exit) = arrival {
+                            deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                                snd_una,
+                                true,
+                                link.rebind_epoch_at(now),
+                            ));
                         }
                     }
                     rto_deadline =
                         if inflight.is_empty() { None } else { Some(now + rto * backoff) };
                 } else if is_dup && cum == snd_una {
                     dup_acks += 1;
-                    if dup_acks == 3 && snd_una >= recover_seq {
+                    if dup_acks == 3 && snd_una >= recover_seq && !frozen {
                         // Fast retransmit: multiplicative decrease
                         // (Reno halves; CUBIC reduces to beta*cwnd and
                         // re-anchors the cubic curve).
@@ -504,11 +818,16 @@ pub fn try_simulate_transfer(
                         }
                         cwnd = ssthresh;
                         recover_seq = next_seq;
-                        let lost = !link_delivers(link, now, rng);
+                        let arrival =
+                            transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
                         inflight
                             .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
-                        if !lost {
-                            deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                        if let Some(t_exit) = arrival {
+                            deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                                snd_una,
+                                true,
+                                link.rebind_epoch_at(now),
+                            ));
                         }
                         rto_deadline = Some(now + rto * backoff);
                     }
@@ -519,60 +838,183 @@ pub fn try_simulate_transfer(
         // 3. RTO expiry.
         if let Some(deadline) = rto_deadline {
             if now >= deadline && snd_una < next_seq {
-                backoff = (backoff * 2.0).min(cfg.rto_max_ms / rto);
-                trace.rto_events.push((now, (rto * backoff).min(cfg.rto_max_ms)));
-                ssthresh = match cfg.congestion {
-                    CongestionControl::Reno => (cwnd / 2.0).max(2.0),
-                    CongestionControl::Cubic => {
-                        w_max = cwnd.max(w_max * CUBIC_BETA);
-                        cubic_k = (w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
-                        cubic_epoch = None;
-                        (cwnd * CUBIC_BETA).max(2.0)
+                if let Some((_, freeze_end)) = freeze {
+                    // Forecast says the radio is out: the timeout is
+                    // expected, not congestion. Defer the timer to the
+                    // window end without backing off or collapsing.
+                    rto_deadline = Some(freeze_end);
+                } else if res.zombie_rtos > 0 && consecutive_rtos + 1 >= res.zombie_rtos {
+                    // Zombie connection: repeated zero-progress RTOs
+                    // mean the path silently died (NAT rebind). Tear
+                    // down and re-establish on the current binding
+                    // instead of backing off forever.
+                    net.reconnects += 1;
+                    net.recovery_events
+                        .push(RecoveryEvent { t_ms: now, kind: RecoveryKind::Reconnect });
+                    path.sender_epoch = link.rebind_epoch_at(now);
+                    cwnd = cfg.init_cwnd.min(cfg.rwnd);
+                    dup_acks = 0;
+                    backoff = 1.0;
+                    rto_recover_until = next_seq;
+                    spurious_save = None;
+                    consecutive_rtos = 0;
+                    reconnect_until = Some(now + link.rtt_ms);
+                    rto_deadline = None;
+                } else {
+                    consecutive_rtos += 1;
+                    // The pre-collapse state, captured at the *first*
+                    // timeout of a backoff run so a later original-ack
+                    // can prove the whole run spurious.
+                    if res.frto {
+                        spurious_save.get_or_insert((cwnd, ssthresh));
                     }
-                };
-                cwnd = 1.0;
-                dup_acks = 0;
-                rto_recover_until = next_seq;
-                // Retransmit the lowest unacked segment.
-                let lost = !link_delivers(link, now, rng);
-                inflight
-                    .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
-                if !lost {
-                    deliveries.entry(to_us(now + owd)).or_default().push(snd_una);
+                    backoff = (backoff * 2.0).min(cfg.rto_max_ms / rto);
+                    trace.rto_events.push((now, (rto * backoff).min(cfg.rto_max_ms)));
+                    ssthresh = match cfg.congestion {
+                        CongestionControl::Reno => (cwnd / 2.0).max(2.0),
+                        CongestionControl::Cubic => {
+                            w_max = cwnd.max(w_max * CUBIC_BETA);
+                            cubic_k = (w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                            cubic_epoch = None;
+                            (cwnd * CUBIC_BETA).max(2.0)
+                        }
+                    };
+                    cwnd = 1.0;
+                    dup_acks = 0;
+                    rto_recover_until = next_seq;
+                    // Retransmit the lowest unacked segment.
+                    let arrival = transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
+                    inflight
+                        .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                    if let Some(t_exit) = arrival {
+                        deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                            snd_una,
+                            true,
+                            link.rebind_epoch_at(now),
+                        ));
+                    }
+                    rto_deadline = Some(now + (rto * backoff).min(cfg.rto_max_ms));
                 }
-                rto_deadline = Some(now + (rto * backoff).min(cfg.rto_max_ms));
+            }
+        }
+
+        // 3b. Re-establishment handshake completion: one RTT after the
+        // zombie teardown the new binding is live; probe immediately.
+        if let Some(rc) = reconnect_until {
+            if now >= rc {
+                reconnect_until = None;
+                if snd_una < next_seq {
+                    let arrival = transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
+                    inflight
+                        .insert(snd_una, InFlight { sent_at_ms: now, retransmitted: true });
+                    if let Some(t_exit) = arrival {
+                        deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                            snd_una,
+                            true,
+                            link.rebind_epoch_at(now),
+                        ));
+                    }
+                    // If the probe dies too the next attempt waits out
+                    // the bounded reconnect backoff, not 2^n RTOs.
+                    rto_deadline = Some(now + rto.max(reconnect_backoff));
+                }
+                reconnect_backoff =
+                    (reconnect_backoff * 2.0).min(res.reconnect_backoff_max_ms);
             }
         }
 
         // 4. Send new data up to cwnd and capacity.
-        let mut budget = (link.capacity_pkts_per_ms * tick_ms) as u64;
-        while budget > 0 && (next_seq - snd_una) < cwnd as u64 {
-            let lost = !link_delivers(link, now, rng);
-            inflight.insert(next_seq, InFlight { sent_at_ms: now, retransmitted: false });
-            if !lost {
-                deliveries.entry(to_us(now + owd)).or_default().push(next_seq);
+        if !frozen && reconnect_until.is_none() {
+            let mut budget = (link.capacity_pkts_per_ms * tick_ms) as u64;
+            while budget > 0 && (next_seq - snd_una) < cwnd as u64 {
+                let arrival = transmit(link, now, &mut path, &mut net, rng, &mut path_rng);
+                inflight.insert(next_seq, InFlight { sent_at_ms: now, retransmitted: false });
+                if let Some(t_exit) = arrival {
+                    deliveries.entry(to_us(t_exit + owd)).or_default().push((
+                        next_seq,
+                        false,
+                        link.rebind_epoch_at(now),
+                    ));
+                }
+                if rto_deadline.is_none() {
+                    rto_deadline = Some(now + rto * backoff);
+                }
+                next_seq += 1;
+                budget -= 1;
             }
-            if rto_deadline.is_none() {
-                rto_deadline = Some(now + rto * backoff);
-            }
-            next_seq += 1;
-            budget -= 1;
         }
 
         now += tick_ms;
     }
+    trace.net = net;
     Ok(trace)
 }
 
-fn link_delivers(link: &LinkModel, t: f64, rng: &mut SimRng) -> bool {
+/// Sender-side path state threaded through [`transmit`]: the virtual
+/// bottleneck-queue horizon and the NAT binding epoch the sender last
+/// (re-)established on.
+struct PathState {
+    q_busy_until: f64,
+    sender_epoch: usize,
+}
+
+/// Push one packet into the path at time `t`. Returns the time the
+/// packet *exits* the bottleneck (caller adds the propagation OWD), or
+/// `None` if the path ate it (dead NAT binding, outage, queue
+/// overflow, or the random-loss coin).
+///
+/// RNG discipline: the main `rng` is consumed *only* for the loss coin
+/// and only when `loss_prob_at > 0` — exactly the legacy sequence — so
+/// pathology-free replays stay bit-identical to the historical model.
+/// Jitter draws come from the isolated `path_rng` stream.
+fn transmit(
+    link: &LinkModel,
+    t: f64,
+    path: &mut PathState,
+    net: &mut NetStats,
+    rng: &mut SimRng,
+    path_rng: &mut SimRng,
+) -> Option<f64> {
+    // A NAT rebind invalidated the 5-tuple: every send on the old
+    // binding is silently eaten. No RNG consumed.
+    if link.rebind_epoch_at(t) != path.sender_epoch {
+        net.rebind_drops += 1;
+        return None;
+    }
     if link.is_down(t) {
-        return false;
+        return None;
+    }
+    // Bufferbloat: a finite FIFO drains at `drain_pkts_per_ms`; the
+    // packet waits behind everything already queued, or tail-drops if
+    // the backlog exceeds the buffer.
+    let mut extra = 0.0;
+    if let Some(b) = link.bloat_at(t) {
+        let service_ms = 1.0 / b.drain_pkts_per_ms;
+        // Cross-traffic standing queue: at episode onset the buffer
+        // already holds `standing_pkts` worth of someone else's
+        // packets, and it drains from there.
+        let standing_horizon = b.start_ms + b.standing_pkts * service_ms;
+        if path.q_busy_until < standing_horizon {
+            path.q_busy_until = standing_horizon;
+        }
+        let service_start = t.max(path.q_busy_until);
+        if service_start - t >= b.queue_pkts as f64 * service_ms {
+            net.queue_overflow_drops += 1;
+            return None;
+        }
+        path.q_busy_until = service_start + service_ms;
+        extra += path.q_busy_until - t;
     }
     let p = link.loss_prob_at(t);
-    if p > 0.0 {
-        return rng.gen::<f64>() >= p;
+    if p > 0.0 && rng.gen::<f64>() < p {
+        return None;
     }
-    true
+    if let Some(j) = link.jitter_at(t) {
+        if j.spike_ms > 0.0 {
+            extra += path_rng.gen::<f64>() * j.spike_ms;
+        }
+    }
+    Some(t + extra)
 }
 
 #[cfg(test)]
@@ -888,5 +1330,202 @@ mod cubic_tests {
         let a = run_cc(CongestionControl::Cubic, &link, 4_000.0, 4);
         let b = run_cc(CongestionControl::Cubic, &link, 4_000.0, 4);
         assert_eq!(a.total_acked_bytes, b.total_acked_bytes);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::resilience::{ForecastWindow, RemForecast, ResilienceConfig};
+    use rem_num::rng::rng_from_seed;
+
+    fn run_res(res: &ResilienceConfig, link: &LinkModel, ms: f64, seed: u64) -> TcpTrace {
+        simulate_transfer_resilient(
+            &TcpConfig::default(),
+            res,
+            link,
+            ms,
+            &mut rng_from_seed(seed),
+        )
+    }
+
+    fn bloated() -> LinkModel {
+        LinkModel {
+            bloat: vec![BloatEpisode {
+                start_ms: 2_000.0,
+                end_ms: 8_000.0,
+                drain_pkts_per_ms: 0.05,
+                queue_pkts: 120.0,
+                standing_pkts: 100.0,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vanilla_resilient_matches_legacy_bit_for_bit() {
+        let link = LinkModel {
+            loss_prob: 0.02,
+            outages: vec![Outage { start_ms: 3_000.0, end_ms: 4_500.0 }],
+            episodes: vec![LossEpisode { start_ms: 6_000.0, end_ms: 7_000.0, loss_prob: 0.3 }],
+            ..Default::default()
+        };
+        for seed in [1u64, 9, 77] {
+            let legacy = simulate_transfer(
+                &TcpConfig::default(),
+                &link,
+                10_000.0,
+                &mut rng_from_seed(seed),
+            );
+            let resilient = run_res(&ResilienceConfig::vanilla(), &link, 10_000.0, seed);
+            assert_eq!(legacy.ack_timeline, resilient.ack_timeline, "seed {seed}");
+            assert_eq!(legacy.rto_events, resilient.rto_events, "seed {seed}");
+            assert_eq!(legacy.total_acked_bytes, resilient.total_acked_bytes);
+        }
+    }
+
+    #[test]
+    fn bufferbloat_fires_spurious_rtos_and_frto_undoes_them() {
+        let link = bloated();
+        let vanilla = run_res(&ResilienceConfig::vanilla(), &link, 12_000.0, 3);
+        let frto = run_res(&ResilienceConfig::frto(), &link, 12_000.0, 3);
+        // Queuing delay, not loss, fired the timer: no packet was
+        // dropped (queue of 120 never overflows a <=512-segment
+        // window at this drain rate before the timer fires).
+        assert!(!vanilla.rto_events.is_empty(), "bloat should trigger RTOs");
+        assert!(frto.net.spurious_rto_detected > 0, "{:?}", frto.net);
+        assert!(frto.net.spurious_rto_undone > 0);
+        assert!(
+            frto.total_acked_bytes >= vanilla.total_acked_bytes,
+            "undoing bogus collapses must not lose goodput: {} < {}",
+            frto.total_acked_bytes,
+            vanilla.total_acked_bytes
+        );
+    }
+
+    #[test]
+    fn nat_rebind_zombies_vanilla_but_recovery_reconnects() {
+        let link = LinkModel { rebinds: vec![NatRebind { t_ms: 3_000.0 }], ..Default::default() };
+        let vanilla = run_res(&ResilienceConfig::vanilla(), &link, 20_000.0, 5);
+        let frto = run_res(&ResilienceConfig::frto(), &link, 20_000.0, 5);
+        // The vanilla sender never makes progress after the rebind —
+        // every retransmission dies at the NAT.
+        let vanilla_after = vanilla
+            .ack_timeline
+            .iter()
+            .filter(|(t, _)| *t > 4_000.0)
+            .count();
+        assert_eq!(vanilla_after, 0, "vanilla sender should zombie after the rebind");
+        assert!(vanilla.net.rebind_drops > 0);
+        assert!(frto.net.reconnects >= 1, "{:?}", frto.net);
+        assert!(
+            frto.total_acked_bytes > 2 * vanilla.total_acked_bytes,
+            "reconnect should restore goodput: {} vs {}",
+            frto.total_acked_bytes,
+            vanilla.total_acked_bytes
+        );
+    }
+
+    #[test]
+    fn rebind_at_time_zero_is_survivable() {
+        let link = LinkModel { rebinds: vec![NatRebind { t_ms: 0.0 }], ..Default::default() };
+        // Vanilla: every send from t=0 dies; the run must still
+        // terminate (acceptance: no infinite loop, no panic).
+        let vanilla = run_res(&ResilienceConfig::vanilla(), &link, 20_000.0, 2);
+        assert_eq!(vanilla.total_acked_bytes, 0);
+        // The zombie detector re-establishes onto the post-rebind
+        // binding and completes the transfer. With no RTT sample the
+        // ladder starts at the 1 s conservative RTO, so the fourth
+        // zero-progress expiry lands at ~15 s.
+        let frto = run_res(&ResilienceConfig::frto(), &link, 20_000.0, 2);
+        assert!(frto.net.reconnects >= 1);
+        assert!(frto.total_acked_bytes > 100_000, "bytes={}", frto.total_acked_bytes);
+    }
+
+    #[test]
+    fn forecast_freeze_cuts_outage_stall() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 3_000.0, end_ms: 5_500.0 }],
+            ..Default::default()
+        };
+        let forecast = RemForecast {
+            windows: vec![ForecastWindow { start_ms: 3_000.0, end_ms: 5_500.0 }],
+            issued_at_ms: 0.0,
+            freshness_ms: 10_000.0,
+        };
+        let vanilla = run_res(&ResilienceConfig::vanilla(), &link, 15_000.0, 4);
+        let informed =
+            run_res(&ResilienceConfig::rem_informed(forecast), &link, 15_000.0, 4);
+        assert_eq!(informed.net.forecast_windows_used, 1);
+        assert!(informed.net.frozen_ms > 2_000.0);
+        assert!(
+            informed.total_stall_ms(1_000.0) < vanilla.total_stall_ms(1_000.0),
+            "freeze should cut the stall: {} vs {}",
+            informed.total_stall_ms(1_000.0),
+            vanilla.total_stall_ms(1_000.0)
+        );
+        assert!(informed.total_acked_bytes > vanilla.total_acked_bytes);
+    }
+
+    #[test]
+    fn stale_forecast_degrades_to_vanilla_and_records_it() {
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 3_000.0, end_ms: 5_500.0 }],
+            ..Default::default()
+        };
+        let forecast = RemForecast {
+            windows: vec![ForecastWindow { start_ms: 3_000.0, end_ms: 5_500.0 }],
+            issued_at_ms: 0.0,
+            freshness_ms: 1_000.0, // window starts past the trust horizon
+        };
+        let _ = rem_num::health::take_thread_stats();
+        let mut cfg = ResilienceConfig::rem_informed(forecast);
+        cfg.frto = false;
+        cfg.zombie_rtos = 0;
+        let stale = run_res(&cfg, &link, 15_000.0, 4);
+        let health = rem_num::health::take_thread_stats();
+        let vanilla = run_res(&ResilienceConfig::vanilla(), &link, 15_000.0, 4);
+        assert_eq!(stale.net.forecast_windows_stale, 1);
+        assert_eq!(stale.net.forecast_windows_used, 0);
+        assert_eq!(health.forecast_fallbacks, 1);
+        // Behaviour is exactly vanilla: same timeline, same timers.
+        assert_eq!(stale.ack_timeline, vanilla.ack_timeline);
+        assert_eq!(stale.rto_events, vanilla.rto_events);
+    }
+
+    #[test]
+    fn jitter_episodes_are_deterministic_and_isolated() {
+        let jittery = LinkModel {
+            jitter: vec![JitterEpisode { start_ms: 1_000.0, end_ms: 6_000.0, spike_ms: 900.0 }],
+            pathology_seed: 11,
+            ..Default::default()
+        };
+        let a = run_res(&ResilienceConfig::vanilla(), &jittery, 10_000.0, 6);
+        let b = run_res(&ResilienceConfig::vanilla(), &jittery, 10_000.0, 6);
+        assert_eq!(a.ack_timeline, b.ack_timeline);
+        // Jitter slows the transfer relative to the clean link.
+        let clean = run_res(&ResilienceConfig::vanilla(), &LinkModel::default(), 10_000.0, 6);
+        assert!(a.total_acked_bytes < clean.total_acked_bytes);
+        // A different pathology seed reshuffles the spikes without
+        // touching the main RNG stream.
+        let reseeded = LinkModel { pathology_seed: 12, ..jittery.clone() };
+        let c = run_res(&ResilienceConfig::vanilla(), &reseeded, 10_000.0, 6);
+        assert_ne!(a.ack_timeline, c.ack_timeline);
+    }
+
+    #[test]
+    fn queue_overflow_drops_are_counted() {
+        let link = LinkModel {
+            bloat: vec![BloatEpisode {
+                start_ms: 1_000.0,
+                end_ms: 9_000.0,
+                drain_pkts_per_ms: 0.02,
+                queue_pkts: 5.0,
+                standing_pkts: 0.0,
+            }],
+            ..Default::default()
+        };
+        let t = run_res(&ResilienceConfig::vanilla(), &link, 10_000.0, 8);
+        assert!(t.net.queue_overflow_drops > 0, "{:?}", t.net);
     }
 }

@@ -1,8 +1,40 @@
 //! Property-based tests for the miniature TCP.
 
 use proptest::prelude::*;
-use rem_net::{simulate_transfer, LinkModel, Outage, TcpConfig};
+use rem_net::{
+    simulate_transfer, simulate_transfer_resilient, ForecastWindow, LinkModel, NatRebind, Outage,
+    RemForecast, ResilienceConfig, TcpConfig, TcpTrace,
+};
 use rem_num::rng::rng_from_seed;
+
+/// The invariants every edge configuration must uphold: the replay
+/// returned at all (terminated), and the cumulative-ack timeline is
+/// monotone in both time and bytes.
+fn assert_sane(t: &TcpTrace, horizon_ms: f64) {
+    for w in t.ack_timeline.windows(2) {
+        assert!(w[1].0 >= w[0].0, "ack time went backwards");
+        assert!(w[1].1 >= w[0].1, "cumulative ack shrank");
+    }
+    assert!(t.total_stall_ms(500.0) <= horizon_ms + 1e-9);
+}
+
+/// Runs one edge configuration under all three recovery policies.
+fn run_all_policies(cfg: &TcpConfig, link: &LinkModel, horizon_ms: f64, seed: u64) {
+    let forecast = RemForecast {
+        windows: vec![ForecastWindow { start_ms: 0.25 * horizon_ms, end_ms: 0.5 * horizon_ms }],
+        issued_at_ms: 0.0,
+        freshness_ms: horizon_ms,
+    };
+    for res in [
+        ResilienceConfig::vanilla(),
+        ResilienceConfig::frto(),
+        ResilienceConfig::rem_informed(forecast),
+    ] {
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer_resilient(cfg, &res, link, horizon_ms, &mut rng);
+        assert_sane(&t, horizon_ms);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -58,5 +90,71 @@ proptest! {
             &mut r2,
         );
         prop_assert!(lossy.total_acked_bytes <= clean.total_acked_bytes);
+    }
+
+    /// Zero random loss on a clean link: the transfer proceeds and the
+    /// invariants hold under every recovery policy.
+    #[test]
+    fn edge_zero_loss(seed in 0u64..50) {
+        let link = LinkModel { loss_prob: 0.0, ..Default::default() };
+        run_all_policies(&TcpConfig::default(), &link, 5_000.0, seed);
+    }
+
+    /// Total loss: every packet drops, nothing is ever acked, and the
+    /// replay still terminates instead of spinning on retransmits.
+    #[test]
+    fn edge_total_loss(seed in 0u64..50) {
+        let link = LinkModel { loss_prob: 1.0, ..Default::default() };
+        let cfg = TcpConfig::default();
+        run_all_policies(&cfg, &link, 10_000.0, seed);
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer(&cfg, &link, 10_000.0, &mut rng);
+        prop_assert_eq!(t.total_acked_bytes, 0);
+    }
+
+    /// A degenerate RTO band (`rto_min == rto_max`): backoff cannot
+    /// grow, so a long outage produces a dense RTO train — the replay
+    /// must still terminate with every RTO pinned to the band.
+    #[test]
+    fn edge_pinned_rto(rto in 200.0f64..2_000.0, seed in 0u64..50) {
+        let cfg = TcpConfig { rto_min_ms: rto, rto_max_ms: rto, ..Default::default() };
+        let link = LinkModel {
+            outages: vec![Outage { start_ms: 1_000.0, end_ms: 6_000.0 }],
+            ..Default::default()
+        };
+        run_all_policies(&cfg, &link, 12_000.0, seed);
+        let mut rng = rng_from_seed(seed);
+        let t = simulate_transfer(&cfg, &link, 12_000.0, &mut rng);
+        for (_, r) in &t.rto_events {
+            prop_assert!((r - rto).abs() < 1e-9);
+        }
+    }
+
+    /// One-segment receive window: the sender is permanently
+    /// ack-clocked at a single packet in flight.
+    #[test]
+    fn edge_one_segment_window(loss in 0.0f64..0.3, seed in 0u64..50) {
+        let cfg = TcpConfig { rwnd: 1.0, init_cwnd: 1.0, ..Default::default() };
+        let link = LinkModel { loss_prob: loss, ..Default::default() };
+        run_all_policies(&cfg, &link, 5_000.0, seed);
+    }
+
+    /// NAT rebind at t = 0: the binding is dead before the first
+    /// packet leaves. Vanilla senders black-hole forever (and must
+    /// still terminate); the zombie detector's reconnect is the only
+    /// way any byte gets through.
+    #[test]
+    fn edge_rebind_at_zero(seed in 0u64..50) {
+        let link = LinkModel { rebinds: vec![NatRebind { t_ms: 0.0 }], ..Default::default() };
+        let cfg = TcpConfig::default();
+        run_all_policies(&cfg, &link, 25_000.0, seed);
+        let mut rng = rng_from_seed(seed);
+        let dead = simulate_transfer(&cfg, &link, 25_000.0, &mut rng);
+        prop_assert_eq!(dead.total_acked_bytes, 0);
+        let mut rng = rng_from_seed(seed);
+        let revived =
+            simulate_transfer_resilient(&cfg, &ResilienceConfig::frto(), &link, 25_000.0, &mut rng);
+        prop_assert!(revived.total_acked_bytes > 0);
+        prop_assert!(revived.net.reconnects > 0);
     }
 }

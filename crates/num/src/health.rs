@@ -84,6 +84,10 @@ pub struct DegradedStats {
     /// Cross-band predictions replaced by the last good estimate.
     #[serde(default)]
     pub estimator_fallbacks: u64,
+    /// REM forecasts found absent/stale by the transport resilience
+    /// shim, which fell back to vanilla loss-based recovery.
+    #[serde(default)]
+    pub forecast_fallbacks: u64,
 }
 
 impl DegradedStats {
@@ -93,6 +97,7 @@ impl DegradedStats {
         self.non_finite_llr += other.non_finite_llr;
         self.non_finite_stage += other.non_finite_stage;
         self.estimator_fallbacks += other.estimator_fallbacks;
+        self.forecast_fallbacks += other.forecast_fallbacks;
     }
 
     /// Total events of any kind.
@@ -101,6 +106,7 @@ impl DegradedStats {
             + self.non_finite_llr
             + self.non_finite_stage
             + self.estimator_fallbacks
+            + self.forecast_fallbacks
     }
 
     /// True when nothing degraded.
@@ -114,11 +120,12 @@ impl std::fmt::Display for DegradedStats {
         write!(
             f,
             "svd-non-converged {}, non-finite LLRs {}, non-finite stages {}, \
-             estimator fallbacks {}",
+             estimator fallbacks {}, forecast fallbacks {}",
             self.svd_non_converged,
             self.non_finite_llr,
             self.non_finite_stage,
-            self.estimator_fallbacks
+            self.estimator_fallbacks,
+            self.forecast_fallbacks
         )
     }
 }
@@ -129,6 +136,7 @@ thread_local! {
         non_finite_llr: 0,
         non_finite_stage: 0,
         estimator_fallbacks: 0,
+        forecast_fallbacks: 0,
     }) };
 }
 

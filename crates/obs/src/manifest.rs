@@ -81,6 +81,12 @@ pub struct RunManifest {
     /// replays scenario runs without the scenario file present.
     #[serde(default)]
     pub scenario: Option<String>,
+    /// Net stall-study summary (study dimensions, stall gap, oracle
+    /// slack) when the run was a `rem net` study. Provenance only: the
+    /// study identity stays in `spec_json`, so `rem rerun` replays the
+    /// stall study hash-identically from that alone.
+    #[serde(default)]
+    pub net: Option<serde_json::Value>,
 }
 
 impl RunManifest {
@@ -105,6 +111,7 @@ impl RunManifest {
             obs_enabled: crate::compiled_in(),
             result_hash: None,
             scenario: None,
+            net: None,
         }
     }
 
@@ -215,6 +222,7 @@ mod tests {
         assert!(m.result_hash.is_none());
         assert!(m.chaos.is_none());
         assert!(m.scenario.is_none());
+        assert!(m.net.is_none());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Transport-resilience integration: the `rem net` stall study wired
+//! end to end — scenario `[net]` sections driving `NetStudySpec`,
+//! thread-count-invariant reports, the ground-truth stall oracle, and
+//! the headline claim that the REM-informed shim beats Reno across the
+//! fault taxonomy.
+
+use rem_core::{run_net_study, NetPolicy, NetStudySpec, RunPolicy, ScenarioSpec};
+use rem_faults::{NetFaultConfig, NetFaultKind};
+
+/// A small-but-live spec: aggressive pathology rates over a window
+/// long enough that every fault kind actually fires.
+fn live_spec() -> NetStudySpec {
+    NetStudySpec {
+        faults: NetFaultConfig::aggressive(),
+        seeds: vec![1, 2],
+        window_ms: 60_000.0,
+        loss_prob: 0.003,
+    }
+}
+
+#[test]
+fn study_is_deterministic_across_thread_counts() {
+    let spec = live_spec();
+    let one = RunPolicy { threads: 1, ..RunPolicy::default() };
+    let four = RunPolicy { threads: 4, ..RunPolicy::default() };
+    let a = run_net_study(&spec, &one, None).unwrap().into_result().unwrap();
+    let b = run_net_study(&spec, &four, None).unwrap().into_result().unwrap();
+    assert_eq!(a, b, "net study diverged between 1 and 4 threads");
+    assert_eq!(
+        a.to_json_pretty(&spec),
+        b.to_json_pretty(&spec),
+        "rendered report diverged between thread counts"
+    );
+}
+
+#[test]
+fn oracle_is_clean_and_rem_informed_beats_reno_everywhere() {
+    let spec = live_spec();
+    let report = run_net_study(&spec, &RunPolicy::default(), None)
+        .unwrap()
+        .into_result()
+        .unwrap();
+    assert_eq!(report.oracle_mismatches(), 0, "stall oracle flagged unjustified claims");
+    let wins = report.stall_wins(NetPolicy::RemInformed, NetPolicy::Reno);
+    assert_eq!(
+        wins.len(),
+        4,
+        "REM-informed must out-stall Reno on every pathology, won only {wins:?}"
+    );
+}
+
+#[test]
+fn scenario_net_section_parameterizes_the_study() {
+    let toml = r#"
+format = "REMSCENARIO1"
+name = "net-integration"
+
+[trajectory]
+speed_kmh = 60
+route_km = 5
+
+[cells]
+family = "la"
+
+[net]
+rebind_per_min = 0.9
+outage_per_min = 1.1
+outage_ms = 2500
+window_ms = 45000
+loss_prob = 0.004
+
+[run]
+seeds = 2
+"#;
+    let spec = ScenarioSpec::from_toml(toml).expect("scenario parses");
+    spec.validate().expect("scenario validates");
+    let study = spec.net_study_spec().expect("[net] section yields a study spec");
+    assert_eq!(study.faults.rebind_per_min, 0.9);
+    assert_eq!(study.faults.outage_per_min, 1.1);
+    assert_eq!(study.faults.outage_ms, 2500.0);
+    assert_eq!(study.window_ms, 45_000.0);
+    assert_eq!(study.loss_prob, 0.004);
+    assert_eq!(study.seeds, vec![1, 2]);
+    // Unset knobs keep the stock pathology mix.
+    assert_eq!(study.faults.bloat_per_min, NetFaultConfig::default().bloat_per_min);
+
+    // The overlaid spec is actually runnable end to end.
+    study.validate().expect("overlaid study spec validates");
+    let trial = rem_core::run_net_trial(&study, NetPolicy::Frto, NetFaultKind::NatRebind, 1);
+    assert!(trial.total_acked_bytes > 0, "no bytes moved under the scenario mix");
+}
+
+#[test]
+fn pathology_isolation_keeps_the_outage_baseline() {
+    let spec = live_spec();
+    for kind in NetFaultKind::all() {
+        // Every pathology scenario keeps the handover-outage baseline
+        // so stall deltas are attributable to the pathology itself.
+        let cfg = spec.pathology_config(kind);
+        assert_eq!(cfg.outage_per_min, spec.faults.outage_per_min, "kind {kind:?}");
+        assert_eq!(cfg.outage_ms, spec.faults.outage_ms, "kind {kind:?}");
+    }
+    // And each non-baseline pathology is exclusive to its own scenario.
+    let bloat = spec.pathology_config(NetFaultKind::Bufferbloat);
+    assert_eq!(bloat.rebind_per_min, 0.0);
+    assert_eq!(bloat.jitter_per_min, 0.0);
+    assert!(bloat.bloat_per_min > 0.0);
+    let rebind = spec.pathology_config(NetFaultKind::NatRebind);
+    assert!(rebind.rebind_per_min > 0.0);
+    assert_eq!(rebind.bloat_per_min, 0.0);
+}
+
+#[test]
+fn fingerprint_round_trips_through_serde_json() {
+    // `rem rerun` deserializes the manifest's spec_json with real
+    // serde_json; the hand-rolled canonical writer must stay parseable.
+    let spec = live_spec();
+    let json = spec.to_canonical_json();
+    let back: NetStudySpec = serde_json::from_str(&json).expect("fingerprint parses");
+    assert_eq!(back, spec);
+}
