@@ -1,0 +1,195 @@
+//! Fleet-scale mobility throughput, machine-readable: runs the
+//! `rem-fleet` sharded corridor engine on a headline workload (10^4
+//! trains / 10^6 UE contexts) across a shard-count series and writes
+//! `BENCH_fleet.json` with trains/sec, UE-events/sec and the shard
+//! scaling curve, so CI can archive the fleet engine's perf trajectory
+//! next to the DSP numbers.
+//!
+//! Two throughput bases are reported per series point and labelled as
+//! such in the JSON:
+//!
+//! * `wall_s` — end-to-end wall time on *this* host. On a single-core
+//!   CI runner every shard executes serially, so wall time cannot show
+//!   parallel speedup.
+//! * `critical_path_s` — sum over epochs of the *maximum* per-shard
+//!   advance time, measured inside the engine: the time a host with
+//!   `>= shards` cores would spend in the parallel phase. This is the
+//!   standard critical-path basis for parallel-DES scaling claims and
+//!   is what `scaling.speedup_1_to_4` reports.
+//!
+//! The series also cross-checks `result_hash` equality across every
+//! shard count — a free determinism gate on every bench run.
+//!
+//! Usage: `cargo bench -p rem-bench --bench fleet_json [-- --test]`
+//! (`--test` shrinks the workload to a ~100-train smoke run; the JSON
+//! is written either way). Output lands in the working directory, or
+//! at `$BENCH_FLEET_JSON` when set. `REM_BENCH_SKIP_MANIFEST=1` skips
+//! the sibling run manifest (offline stub builds, where serde_json is
+//! a type-check-only stand-in).
+
+use rem_fleet::{run_fleet, FleetSpec, FleetTiming, RunOptions};
+use std::time::Instant;
+
+/// One measured point of the shard series.
+struct Point {
+    shards: u32,
+    wall_s: f64,
+    timing: FleetTiming,
+    hash: String,
+    trains: u32,
+    ue_events: u64,
+    sim_s: f64,
+}
+
+fn measure(spec: &FleetSpec, shards: u32) -> Point {
+    // threads = 1 keeps the advance phase serial, so `wall_s` is a
+    // clean single-core baseline and `critical_path_s` is measured
+    // without thread-pool noise on small CI hosts.
+    let t0 = Instant::now();
+    let (report, timing) =
+        run_fleet(spec, RunOptions { shards, threads: 1 }).expect("bench spec is valid");
+    let wall_s = t0.elapsed().as_secs_f64();
+    Point {
+        shards,
+        wall_s,
+        hash: report.result_hash(),
+        trains: report.trains,
+        ue_events: report.ue_events,
+        sim_s: report.sim_window_ms as f64 / 1_000.0,
+        timing,
+    }
+}
+
+fn point_json(p: &Point) -> String {
+    let parallel_s = p.timing.critical_path_s + p.timing.exchange_s;
+    format!(
+        concat!(
+            "{{\"shards\":{},\"threads\":1,\"wall_s\":{:.6},",
+            "\"critical_path_s\":{:.6},\"busy_s\":{:.6},\"exchange_s\":{:.6},",
+            "\"trains_per_sec_wall\":{:.1},\"ue_events_per_sec_wall\":{:.1},",
+            "\"trains_per_sec_critical_path\":{:.1},",
+            "\"realtime_factor_wall\":{:.1}}}"
+        ),
+        p.shards,
+        p.wall_s,
+        p.timing.critical_path_s,
+        p.timing.busy_s,
+        p.timing.exchange_s,
+        p.trains as f64 / p.wall_s,
+        p.ue_events as f64 / p.wall_s,
+        p.trains as f64 / parallel_s.max(1e-9),
+        p.sim_s / p.wall_s,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    // Headline: 10^4 trains x 100 UEs = 10^6 UE contexts over a 60 km
+    // corridor loaded from both ends (5000 departures per end at 120 ms
+    // headway — the aggregate of many parallel lines feeding one
+    // corridor). Smoke: ~100 trains, CI-sized.
+    let spec = if smoke {
+        FleetSpec {
+            trains: 100,
+            ues_per_train: 100,
+            corridor_km: 30.0,
+            headway_s: 2.0,
+            duration_s: 120.0,
+            ..FleetSpec::default()
+        }
+    } else {
+        FleetSpec {
+            trains: 10_000,
+            ues_per_train: 100,
+            corridor_km: 60.0,
+            headway_s: 0.12,
+            duration_s: 600.0,
+            ..FleetSpec::default()
+        }
+    };
+    spec.validate().expect("bench spec is valid");
+
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shard_series: &[u32] = &[1, 2, 4, 8];
+
+    let points: Vec<Point> = shard_series
+        .iter()
+        .map(|&shards| {
+            let p = measure(&spec, shards);
+            println!(
+                "fleet: {} trains, {} shards -> wall {:.3} s, critical path {:.3} s ({})",
+                p.trains, shards, p.wall_s, p.timing.critical_path_s, p.hash
+            );
+            p
+        })
+        .collect();
+
+    // Determinism gate: the digest must not move with the shard count.
+    for p in &points[1..] {
+        assert_eq!(p.hash, points[0].hash, "shard count {} moved the result hash", p.shards);
+    }
+
+    let speedup_1_to_4 = {
+        let p1 = points.iter().find(|p| p.shards == 1).expect("series has 1");
+        let p4 = points.iter().find(|p| p.shards == 4).expect("series has 4");
+        (p1.timing.critical_path_s + p1.timing.exchange_s)
+            / (p4.timing.critical_path_s + p4.timing.exchange_s).max(1e-9)
+    };
+
+    let series: Vec<String> = points.iter().map(point_json).collect();
+    let head = &points[0];
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet_json\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_cores\": {cores},\n",
+            "  \"spec\": {spec},\n",
+            "  \"hash\": \"{hash}\",\n",
+            "  \"trains\": {trains},\n",
+            "  \"ues\": {ues},\n",
+            "  \"ue_events\": {events},\n",
+            "  \"sim_window_s\": {sim},\n",
+            "  \"series\": [\n    {series}\n  ],\n",
+            "  \"scaling\": {{\n",
+            "    \"basis\": \"critical_path_s + exchange_s (measured per-epoch max \
+             shard advance; wall_s shows no parallel speedup on a {cores}-core host)\",\n",
+            "    \"speedup_1_to_4\": {speedup:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        mode = if smoke { "smoke" } else { "full" },
+        cores = host_cores,
+        spec = spec.fingerprint(),
+        hash = head.hash,
+        trains = head.trains,
+        ues = spec.total_ues(),
+        events = head.ue_events,
+        sim = head.sim_s,
+        series = series.join(",\n    "),
+        speedup = speedup_1_to_4,
+    );
+
+    let path = std::env::var("BENCH_FLEET_JSON").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    std::fs::write(&path, &report).expect("write BENCH_fleet.json");
+    print!("{report}");
+    if std::env::var_os("REM_BENCH_SKIP_MANIFEST").is_none() {
+        let manifest =
+            rem_obs::RunManifest::new("bench:fleet_json", &spec.fingerprint(), 1)
+                .with_result_hash(head.hash.clone());
+        let mpath = format!("{path}.manifest.json");
+        manifest.save(std::path::Path::new(&mpath)).expect("write bench manifest");
+        println!("wrote {path} (+ {mpath})");
+    } else {
+        println!("wrote {path} (manifest skipped)");
+    }
+    println!(
+        "fleet: {} trains / {} UEs, {:.0} trains/s wall, shard scaling 1->4: {:.2}x \
+         (critical path)",
+        head.trains,
+        spec.total_ues(),
+        head.trains as f64 / head.wall_s,
+        speedup_1_to_4
+    );
+}

@@ -9,6 +9,7 @@
 //! rem train   --clients 8 --dataset bs --speed 300
 //! rem faults  --dataset bt --plane legacy --seeds 3 --verify 2
 //! rem net     study --seeds 3 --hash --json BENCH_net.json
+//! rem fleet   --trains 1000 --shards 4 --hash
 //! rem scenario validate scenarios/
 //! ```
 
@@ -74,6 +75,7 @@ fn main() {
         // `storm` is the historical name of `train`; both spellings run
         // the whole-train study.
         "train" | "storm" => cmd_train(rest),
+        "fleet" => cmd_fleet(rest),
         "faults" => cmd_faults(rest),
         "net" => cmd_net(rest),
         "serve" => serve::cmd_serve(rest),
@@ -327,6 +329,24 @@ COMMANDS:
               --clients <n>        (default 8)
               --seed <n>           (default 7)
               --dataset/--speed/--route-km/--plane as above
+  fleet     Fleet-scale sharded corridor campaign: thousands of trains
+            (each a moving bundle of UE contexts) over a bidirectional
+            rail corridor, sharded by geography onto the worker pool.
+            Cross-shard handover intents exchange at epoch barriers in
+            canonical train-id order, so the result digest is
+            bit-identical for every --shards and --threads choice.
+              --trains <n>         (default 64)
+              --ues <n>            UE contexts per train (default 100)
+              --corridor-km <km>   (default 60)
+              --cell-spacing-m <m> (default 1000)
+              --speed <km/h>       (default 300)
+              --jitter <frac>      per-train speed jitter (default 0.1)
+              --headway <s>        departure spacing per end (default 10)
+              --duration <s>       simulated window (default 120)
+              --epoch-ms <ms>      exchange cadence (default 100)
+              --seed <n>           (default 7)
+              --shards <n>         geographic shards (default 4)
+              --scenario <file>    base config from the [fleet] section
   faults    Fault-injection campaign: seeded faults (Table 2 taxonomy),
             recovery statistics, and the classification oracle.
             Exits non-zero if any classified cause contradicts the
@@ -384,9 +404,9 @@ COMMANDS:
   obs       Offline tools over observability artifacts
               summarize <trace.jsonl>  per-kind event counts of an
                                        --obs-trace file
-  rerun     Replay a campaign (compare, aggregate, bler, train) from
-            its run manifest alone and verify the recomputed result
-            digest (exit 1 on mismatch)
+  rerun     Replay a campaign (compare, aggregate, bler, train, net,
+            fleet) from its run manifest alone and verify the
+            recomputed result digest (exit 1 on mismatch)
               <file.manifest.json>     written by --obs-trace or
                                        --checkpoint
               --threads <n>            (default 0 = all cores; results
@@ -1155,6 +1175,115 @@ fn cmd_train(rest: Vec<String>) -> Result<(), CliError> {
     }
     if !checked.is_clean() {
         return Err(ExperimentError::Quarantined { trials: checked.quarantined }.into());
+    }
+    Ok(())
+}
+
+/// `rem fleet` — the fleet-scale sharded corridor campaign: thousands
+/// of trains with per-UE signaling state over a geographically sharded
+/// corridor, bit-identical for every `--shards`/`--threads` choice.
+/// Base configuration comes from the `[fleet]` scenario section when
+/// `--scenario` is given; explicit flags win over the file.
+fn cmd_fleet(rest: Vec<String>) -> Result<(), CliError> {
+    use rem_core::rem_fleet::{run_fleet, RunOptions};
+
+    let a = Args::parse(rest)?;
+    let common = CommonArgs::parse(&a)?;
+    let scn = scenario_from(&a, &common)?;
+    let session = ObsSession::begin(&common);
+    let scn_fp = scn.as_ref().map(ScenarioSpec::fingerprint);
+
+    let mut spec = scn.as_ref().and_then(ScenarioSpec::fleet_spec).unwrap_or_default();
+    if let Some(v) = a.int_opt("trains")? {
+        spec.trains = v as u32;
+    }
+    if let Some(v) = a.int_opt("ues")? {
+        spec.ues_per_train = v as u32;
+    }
+    if let Some(v) = a.num_opt("corridor-km")? {
+        spec.corridor_km = v;
+    }
+    if let Some(v) = a.num_opt("cell-spacing-m")? {
+        spec.cell_spacing_m = v;
+    }
+    if let Some(v) = a.num_opt("speed")? {
+        spec.speed_kmh = v;
+    }
+    if let Some(v) = a.num_opt("jitter")? {
+        spec.speed_jitter = v;
+    }
+    if let Some(v) = a.num_opt("headway")? {
+        spec.headway_s = v;
+    }
+    if let Some(v) = a.num_opt("duration")? {
+        spec.duration_s = v;
+    }
+    if let Some(v) = a.num_opt("epoch-ms")? {
+        spec.epoch_ms = v;
+    }
+    if let Some(v) = a.int_opt("seed")? {
+        spec.seed = v;
+    }
+    if let Some(v) = a.int_opt("shards")? {
+        spec.shards = v as u32;
+    }
+    // A bad overlay is a bad invocation: same usage exit as a bad file.
+    spec.validate().map_err(ArgError)?;
+
+    let threads = common
+        .threads
+        .or_else(|| scn.as_ref().map(|s| s.run.threads))
+        .unwrap_or(0);
+    let opts = RunOptions { shards: spec.shards, threads };
+    // Unreachable after the validate() above, but map it the same way.
+    let (report, timing) = run_fleet(&spec, opts).map_err(ArgError)?;
+
+    println!(
+        "{} trains / {} UEs over {} cells ({} km corridor), {} epochs of {} ms",
+        report.trains, report.ues, report.cells, spec.corridor_km, report.epochs, spec.epoch_ms
+    );
+    println!(
+        "handovers {} (denied {}), rlfs {}, ue events {} (ue failures {})",
+        report.handovers, report.denied, report.rlfs, report.ue_events, report.ue_failures
+    );
+    let sim_s = report.sim_window_ms as f64 / 1_000.0;
+    println!(
+        "wall {:.3} s ({:.0}x realtime), critical path {:.3} s, exchange {:.3} s, \
+         {} shards x {} threads",
+        timing.wall_s,
+        sim_s / timing.wall_s.max(1e-9),
+        timing.critical_path_s,
+        timing.exchange_s,
+        spec.shards,
+        threads
+    );
+    if let Some(s) = &scn {
+        println!("scenario: {}", s.fingerprint());
+    }
+    if common.hash {
+        println!("hash: {}", report.result_hash());
+    }
+    if session.wants_manifest(None) {
+        let policy = match &scn {
+            Some(s) => s.run_policy(),
+            None => common.run_policy(),
+        };
+        let mut manifest = obs::campaign_manifest(
+            "fleet",
+            &spec.fingerprint(),
+            spec.trains as usize,
+            &policy,
+            // Chaos injection rides the trial runner, which the fleet
+            // engine does not use; never record chaos that cannot fire.
+            &None,
+            Some(obs::hash_string(&report.to_json())),
+            scn_fp,
+        )?;
+        manifest.fleet = Some(
+            serde_json::to_value(&timing)
+                .map_err(|e| ArgError(format!("serialize fleet timing: {e}")))?,
+        );
+        session.finish(&manifest, None)?;
     }
     Ok(())
 }

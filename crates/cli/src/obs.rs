@@ -275,9 +275,21 @@ pub fn cmd_rerun(rest: Vec<String>) -> Result<(), CliError> {
             let report = checked.into_result()?;
             report.to_json_pretty(&spec)
         }
+        "fleet" => {
+            use rem_core::rem_fleet::{run_fleet, FleetSpec, RunOptions};
+            let spec: FleetSpec = serde_json::from_str(&manifest.spec_json).map_err(|e| {
+                ArgError(format!("manifest spec_json is not a fleet fingerprint: {e}"))
+            })?;
+            // Shards ride the spec; threads are this invocation's
+            // choice — both are identity-free by construction.
+            let opts = RunOptions { shards: spec.shards, threads: policy.threads };
+            let (report, _timing) = run_fleet(&spec, opts).map_err(ArgError)?;
+            report.to_json()
+        }
         other => {
             return Err(ArgError(format!(
-                "cannot rerun kind '{other}' (supported: compare, aggregate, bler, train, net)"
+                "cannot rerun kind '{other}' (supported: compare, aggregate, bler, train, \
+                 net, fleet)"
             ))
             .into())
         }

@@ -68,6 +68,7 @@ pub use rem_channel;
 pub use rem_crossband;
 pub use rem_exec;
 pub use rem_faults;
+pub use rem_fleet;
 pub use rem_mobility;
 pub use rem_net;
 pub use rem_num;

@@ -34,6 +34,7 @@ use crate::checkpoint::{fnv1a64, RunPolicy};
 use crate::experiment::CampaignSpec;
 use rem_channel::models::ChannelModel;
 use rem_faults::{ChaosConfig, FaultConfig, NetFaultConfig};
+use rem_fleet::FleetSpec;
 use rem_mobility::Earfcn;
 use rem_phy::link::{BlerScenario, Waveform};
 use rem_sim::deployment::CarrierPlan;
@@ -500,6 +501,9 @@ pub struct ScenarioSpec {
     /// Transport-pathology mix; `None` leaves `rem net` on its stock
     /// schedule.
     pub net: Option<NetSpec>,
+    /// Fleet-scale corridor campaign (`rem fleet`); `None` leaves the
+    /// command on its flag defaults.
+    pub fleet: Option<FleetSpec>,
     /// Run policy.
     pub run: RunSpec,
     /// Whole-train study parameters.
@@ -529,6 +533,7 @@ impl ScenarioSpec {
             link: LinkSpec::default(),
             faults: None,
             net: None,
+            fleet: None,
             run: RunSpec::default(),
             train: TrainSpec::default(),
         }
@@ -598,6 +603,10 @@ impl ScenarioSpec {
             Some(mut t) => Some(read_net(&mut t)?),
             None => None,
         };
+        let fleet = match take_table(&mut doc, "fleet")? {
+            Some(mut t) => Some(read_fleet(&mut t)?),
+            None => None,
+        };
         let run = match take_table(&mut doc, "run")? {
             Some(mut t) => read_run(&mut t)?,
             None => RunSpec::default(),
@@ -610,8 +619,19 @@ impl ScenarioSpec {
             return Err(ScenarioError::Unknown { path: key.clone() });
         }
 
-        let spec =
-            Self { name, trajectory, cells, channel, policy, link, faults, net, run, train };
+        let spec = Self {
+            name,
+            trajectory,
+            cells,
+            channel,
+            policy,
+            link,
+            faults,
+            net,
+            fleet,
+            run,
+            train,
+        };
         spec.validate()?;
         Ok(spec)
     }
@@ -764,6 +784,21 @@ impl ScenarioSpec {
             kv_of(&mut s, "loss_prob", ns.loss_prob);
         }
 
+        if let Some(fl) = &self.fleet {
+            s.push_str("\n[fleet]\n");
+            kv_i(&mut s, "trains", fl.trains as u64);
+            kv_i(&mut s, "ues_per_train", fl.ues_per_train as u64);
+            kv_f(&mut s, "corridor_km", fl.corridor_km);
+            kv_f(&mut s, "cell_spacing_m", fl.cell_spacing_m);
+            kv_f(&mut s, "speed_kmh", fl.speed_kmh);
+            kv_f(&mut s, "speed_jitter", fl.speed_jitter);
+            kv_f(&mut s, "headway_s", fl.headway_s);
+            kv_f(&mut s, "duration_s", fl.duration_s);
+            kv_f(&mut s, "epoch_ms", fl.epoch_ms);
+            kv_i(&mut s, "seed", fl.seed);
+            kv_i(&mut s, "shards", fl.shards as u64);
+        }
+
         s.push_str("\n[run]\n");
         let seeds: Vec<String> = self.run.seeds.iter().map(|v| v.to_string()).collect();
         s.push_str(&format!("seeds = [{}]\n", seeds.join(", ")));
@@ -876,6 +911,15 @@ impl ScenarioSpec {
             ns.to_config().validate().map_err(|reason| ScenarioError::OutOfRange {
                 path: "net".into(),
                 value: "<derived net fault config>".into(),
+                reason,
+            })?;
+        }
+        if let Some(fl) = &self.fleet {
+            // FleetSpec::validate already speaks `fleet.<field>: ...`
+            // paths; keep its message as the reason verbatim.
+            fl.validate().map_err(|reason| ScenarioError::OutOfRange {
+                path: "fleet".into(),
+                value: "<fleet section>".into(),
                 reason,
             })?;
         }
@@ -1051,6 +1095,15 @@ impl ScenarioSpec {
             .with_train_len_m(self.train.train_len_m)
             .with_window_ms(self.train.window_ms)
             .with_threads(self.run.threads)
+    }
+
+    /// The [`FleetSpec`] of the `[fleet]` section, when the scenario
+    /// describes a fleet campaign. Speed and epoch defaults come from
+    /// the section itself, not `[trajectory]`: the fleet corridor is a
+    /// different geometry (many trains, both directions) than the
+    /// single-client route the rest of the scenario replays.
+    pub fn fleet_spec(&self) -> Option<FleetSpec> {
+        self.fleet.clone()
     }
 
     /// Scenario fingerprint for run manifests:
@@ -1372,6 +1425,25 @@ fn read_net(t: &mut Tbl) -> Result<NetSpec, ScenarioError> {
     Ok(spec)
 }
 
+fn read_fleet(t: &mut Tbl) -> Result<FleetSpec, ScenarioError> {
+    let defaults = FleetSpec::default();
+    let spec = FleetSpec {
+        trains: t.u64_or("trains", defaults.trains as u64)? as u32,
+        ues_per_train: t.u64_or("ues_per_train", defaults.ues_per_train as u64)? as u32,
+        corridor_km: t.f64_or("corridor_km", defaults.corridor_km)?,
+        cell_spacing_m: t.f64_or("cell_spacing_m", defaults.cell_spacing_m)?,
+        speed_kmh: t.f64_or("speed_kmh", defaults.speed_kmh)?,
+        speed_jitter: t.f64_or("speed_jitter", defaults.speed_jitter)?,
+        headway_s: t.f64_or("headway_s", defaults.headway_s)?,
+        duration_s: t.f64_or("duration_s", defaults.duration_s)?,
+        epoch_ms: t.f64_or("epoch_ms", defaults.epoch_ms)?,
+        seed: t.u64_or("seed", defaults.seed)?,
+        shards: t.u64_or("shards", defaults.shards as u64)? as u32,
+    };
+    t.done()?;
+    Ok(spec)
+}
+
 fn read_run(t: &mut Tbl) -> Result<RunSpec, ScenarioError> {
     let defaults = RunSpec::default();
     let seeds = match t.map.remove("seeds") {
@@ -1575,6 +1647,42 @@ mod tests {
 
         // No [net] section: no study.
         assert!(ScenarioSpec::from_toml(MINIMAL).unwrap().net_study_spec().is_none());
+    }
+
+    #[test]
+    fn fleet_section_overlays_defaults_and_round_trips() {
+        let doc = format!("{MINIMAL}\n[fleet]\ntrains = 200\ncorridor_km = 30.0\nshards = 8\n");
+        let spec = ScenarioSpec::from_toml(&doc).unwrap();
+        let fleet = spec.fleet_spec().expect("[fleet] present");
+        assert_eq!(fleet.trains, 200);
+        assert_eq!(fleet.corridor_km, 30.0);
+        assert_eq!(fleet.shards, 8);
+        // Untouched knobs keep the fleet defaults, not trajectory's.
+        assert_eq!(fleet.ues_per_train, FleetSpec::default().ues_per_train);
+        assert_eq!(fleet.epoch_ms, FleetSpec::default().epoch_ms);
+
+        // Canonical TOML reproduces an equal spec (fingerprint-stable).
+        let canon = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&canon).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), canon);
+
+        // Unknown keys are rejected with their dotted path.
+        let doc = format!("{MINIMAL}\n[fleet]\ntrians = 200\n");
+        let e = ScenarioSpec::from_toml(&doc).unwrap_err();
+        assert_eq!(e, ScenarioError::Unknown { path: "fleet.trians".into() });
+
+        // Invalid values surface FleetSpec's own dotted-path message.
+        let doc = format!("{MINIMAL}\n[fleet]\nspeed_jitter = 1.5\n");
+        let e = ScenarioSpec::from_toml(&doc).unwrap_err();
+        assert!(e.to_string().contains("fleet.speed_jitter"), "{e}");
+
+        // No [fleet] section: the command keeps its flag defaults, and
+        // the canonical TOML stays byte-identical to the pre-fleet
+        // format (the CI hash gate depends on this).
+        let bare = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert!(bare.fleet_spec().is_none());
+        assert!(!bare.to_toml().contains("[fleet]"));
     }
 
     #[test]

@@ -29,6 +29,20 @@
 //! | [`FaultKind::DropX2`]       | X2 preparation / state transfer lost on the backhaul | `CommandLoss` |
 //! | [`FaultKind::MaskCell`]     | measurement pipeline blinded (multi-stage gap) | `MissedCell` |
 //! | [`FaultKind::CoverageHole`] | timed radio blackout window | `CoverageHole` |
+//!
+//! ```
+//! use rem_faults::{FaultConfig, FaultKind, FaultPlan};
+//!
+//! let cfg = FaultConfig::aggressive();
+//! let plan = FaultPlan::generate(&cfg, 7, 0, 120_000.0);
+//! assert!(plan.count(FaultKind::DropCommand) > 0);
+//! // A plan is a pure function of (config, seed, client): regenerating
+//! // it reproduces the schedule exactly, at any worker-thread count.
+//! let again = FaultPlan::generate(&cfg, 7, 0, 120_000.0);
+//! assert_eq!(plan.faults().len(), again.faults().len());
+//! // Every window lies inside the horizon and is live at its own start.
+//! assert!(plan.faults().iter().all(|f| f.start_ms < 120_000.0 && f.active_at(f.start_ms)));
+//! ```
 
 use rand::Rng;
 use rem_mobility::FailureCause;

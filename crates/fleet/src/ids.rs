@@ -1,0 +1,50 @@
+//! Interned identifiers for the fleet's struct-of-arrays state.
+//!
+//! The single-train simulator keys everything off rich structs; at
+//! fleet scale that costs pointer chases and cache misses in the hot
+//! loop. Here every entity is a dense index into an SoA table:
+//! [`CellId`] indexes the uniform corridor deployment, [`TrainId`]
+//! indexes the spawn schedule, and [`UeId`] is derived arithmetic —
+//! `train * ues_per_train + seat` — so per-UE state never needs a map.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a corridor cell (`0..n_cells`, west to east).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+/// Dense index of a train in the spawn schedule (`0..trains`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TrainId(pub u32);
+
+/// Dense index of one UE across the whole fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UeId(pub u64);
+
+impl UeId {
+    /// The UE in `seat` on `train`, for a fleet with `ues_per_train`
+    /// sessions per train.
+    pub fn of(train: TrainId, seat: u32, ues_per_train: u32) -> Self {
+        UeId(train.0 as u64 * ues_per_train as u64 + seat as u64)
+    }
+
+    /// Inverse of [`UeId::of`]: which train and seat this UE is.
+    pub fn split(self, ues_per_train: u32) -> (TrainId, u32) {
+        let train = (self.0 / ues_per_train as u64) as u32;
+        let seat = (self.0 % ues_per_train as u64) as u32;
+        (TrainId(train), seat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ue_ids_are_dense_and_invertible() {
+        let ues_per_train = 100;
+        let ue = UeId::of(TrainId(42), 17, ues_per_train);
+        assert_eq!(ue, UeId(4_217));
+        assert_eq!(ue.split(ues_per_train), (TrainId(42), 17));
+    }
+}

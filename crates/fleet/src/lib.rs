@@ -1,0 +1,63 @@
+#![deny(missing_docs)]
+
+//! # rem-fleet
+//!
+//! Fleet-scale corridor simulation for the REM reproduction: thousands
+//! of trains and millions of UE contexts over a sharded rail corridor,
+//! bit-identical for every shard and thread count.
+//!
+//! The paper's reliability argument is *network-wide* — missed and
+//! delayed handovers matter because they compound across a corridor
+//! full of trains — but `rem-sim` replays one train at 20 ms fidelity.
+//! This crate trades per-report fidelity for scale: a 100 ms epoch,
+//! struct-of-arrays state behind interned [`CellId`]/[`TrainId`]/
+//! [`UeId`], per-cell batched measurement evaluation, and geographic
+//! shards that exchange handover intents only at epoch barriers.
+//!
+//! ## Determinism
+//!
+//! Two structural rules make the result independent of the
+//! decomposition, extending `rem-exec`'s canonical-order contract to
+//! stateful sharded simulation:
+//!
+//! - **Stateless draws.** Every stochastic value is a pure hash of
+//!   `(seed, entity, epoch, purpose)` ([`rng`]) — no sequential RNG
+//!   stream exists whose consumption order a schedule could perturb.
+//! - **Canonical-order exchange.** Shards only *propose* events; all
+//!   cross-train interaction (admission control, migration) happens in
+//!   a serial barrier phase sorted by train id ([`engine`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rem_fleet::{run_fleet, FleetSpec, RunOptions};
+//!
+//! let spec = FleetSpec {
+//!     trains: 8,
+//!     ues_per_train: 10,
+//!     corridor_km: 6.0,
+//!     duration_s: 30.0,
+//!     headway_s: 3.0,
+//!     ..FleetSpec::default()
+//! };
+//! // Shard and thread counts are execution knobs, not identity:
+//! let (serial, _) = run_fleet(&spec, RunOptions { shards: 1, threads: 1 }).unwrap();
+//! let (sharded, _) = run_fleet(&spec, RunOptions { shards: 4, threads: 2 }).unwrap();
+//! assert_eq!(serial.result_hash(), sharded.result_hash());
+//! assert!(serial.handovers > 0);
+//! ```
+
+pub mod engine;
+pub mod ids;
+pub mod metrics;
+pub mod params;
+pub mod rng;
+pub mod shard;
+pub mod spec;
+
+pub use engine::{run_fleet, RunOptions};
+pub use ids::{CellId, TrainId, UeId};
+pub use metrics::{fnv1a64, FleetReport, FleetTiming, TrainRecord};
+pub use params::Params;
+pub use shard::{Intent, IntentKind, Shard, TrainState};
+pub use spec::FleetSpec;

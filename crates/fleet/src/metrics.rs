@@ -1,0 +1,205 @@
+//! Fleet campaign results and timing.
+//!
+//! [`FleetReport`] is the *identity-bearing* result: every field is an
+//! integer counter or a canonical-order digest, so its serde JSON is
+//! the byte string `--hash` digests and shard/thread counts can never
+//! perturb it. [`FleetTiming`] carries the wall-clock measurements and
+//! is deliberately a separate type: timings differ on every run and
+//! host and must never leak into the hash.
+
+use serde::{Deserialize, Serialize};
+
+/// Seed value of the FNV-1a 64 fold (same constants as
+/// `rem_core::fnv1a64`, restated here because the engine sits below
+/// `rem-core` in the dependency graph).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes` starting from `state` — fold-friendly so the
+/// per-train digest can be built incrementally in canonical order.
+pub fn fnv1a64_fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64 of `bytes` (the workspace's standard result digest).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_fold(FNV_OFFSET, bytes)
+}
+
+/// Per-train terminal record, digested (in train-id order) into
+/// [`FleetReport::train_digest`]. Kept as a struct so tests and the
+/// engine agree on exactly what the digest covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainRecord {
+    /// Train id (canonical digest order).
+    pub train: u32,
+    /// Serving cell at despawn / end of window.
+    pub final_cell: u32,
+    /// Position at despawn / end of window, quantised to millimetres
+    /// so the digest covers trajectory state without hashing raw
+    /// floats.
+    pub final_pos_mm: i64,
+    /// Completed handovers.
+    pub handovers: u32,
+    /// Handover attempts denied by cell admission control.
+    pub denied: u32,
+    /// Radio-link failures (with re-establishment).
+    pub rlfs: u32,
+    /// UE signaling events processed for this train.
+    pub ue_events: u64,
+    /// UE-level handover signaling failures.
+    pub ue_failures: u64,
+}
+
+impl TrainRecord {
+    /// Folds this record into a running FNV-1a state as a fixed-width
+    /// little-endian byte image (no allocation in the hot path).
+    pub fn fold(&self, state: u64) -> u64 {
+        let mut state = fnv1a64_fold(state, &self.train.to_le_bytes());
+        state = fnv1a64_fold(state, &self.final_cell.to_le_bytes());
+        state = fnv1a64_fold(state, &self.final_pos_mm.to_le_bytes());
+        state = fnv1a64_fold(state, &self.handovers.to_le_bytes());
+        state = fnv1a64_fold(state, &self.denied.to_le_bytes());
+        state = fnv1a64_fold(state, &self.rlfs.to_le_bytes());
+        state = fnv1a64_fold(state, &self.ue_events.to_le_bytes());
+        fnv1a64_fold(state, &self.ue_failures.to_le_bytes())
+    }
+}
+
+/// The shard/thread-invariant result of one fleet campaign.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Trains in the schedule.
+    pub trains: u32,
+    /// Total UEs across the schedule.
+    pub ues: u64,
+    /// Cells in the corridor deployment.
+    pub cells: u32,
+    /// Epochs simulated.
+    pub epochs: u32,
+    /// Simulated window (ms, integer so the report stays float-free).
+    pub sim_window_ms: u64,
+    /// Completed handovers fleet-wide.
+    pub handovers: u64,
+    /// Handover attempts denied by per-cell admission control.
+    pub denied: u64,
+    /// Radio-link failures fleet-wide.
+    pub rlfs: u64,
+    /// UE signaling events processed (the per-UE work unit the bench
+    /// reports as UE-events/sec).
+    pub ue_events: u64,
+    /// UE-level handover signaling failures.
+    pub ue_failures: u64,
+    /// FNV-1a 64 fold of every [`TrainRecord`] in train-id order:
+    /// the part of the digest that covers per-train terminal state.
+    pub train_digest: u64,
+}
+
+impl FleetReport {
+    /// Canonical JSON of the report — the byte string `--hash` digests
+    /// and manifests record. Hand-rolled (field order fixed, integers
+    /// only) so the digest never depends on a serializer's formatting
+    /// choices; `serde_json::from_str` parses it back to an equal
+    /// report.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"trains\":{},\"ues\":{},\"cells\":{},\"epochs\":{},",
+                "\"sim_window_ms\":{},\"handovers\":{},\"denied\":{},",
+                "\"rlfs\":{},\"ue_events\":{},\"ue_failures\":{},",
+                "\"train_digest\":{}}}"
+            ),
+            self.trains,
+            self.ues,
+            self.cells,
+            self.epochs,
+            self.sim_window_ms,
+            self.handovers,
+            self.denied,
+            self.rlfs,
+            self.ue_events,
+            self.ue_failures,
+            self.train_digest,
+        )
+    }
+
+    /// The `--hash` digest: `fnv1a64:<16 hex>` over [`Self::to_json`].
+    pub fn result_hash(&self) -> String {
+        format!("fnv1a64:{:016x}", fnv1a64(self.to_json().as_bytes()))
+    }
+}
+
+/// Wall-clock measurements of one engine run. Never hashed.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct FleetTiming {
+    /// End-to-end wall time (s), including exchange and spawn phases.
+    pub wall_s: f64,
+    /// Sum over epochs of the *maximum* per-shard advance time (s):
+    /// the measured critical path a perfectly parallel host would pay.
+    /// On a single-core host this is the honest basis for shard
+    /// scaling claims; on a many-core host it converges to `wall_s`
+    /// minus the serial exchange.
+    pub critical_path_s: f64,
+    /// Sum over epochs and shards of per-shard advance time (s): the
+    /// total compute the decomposition distributed.
+    pub busy_s: f64,
+    /// Time spent in the serial epoch-barrier phases (s): intent
+    /// routing, canonical-order application, spawns.
+    pub exchange_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_the_workspace_reference_vectors() {
+        // Same constants as rem_core::fnv1a64 (FNV-1a 64 test vectors).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn train_record_fold_is_order_sensitive() {
+        let a = TrainRecord {
+            train: 0,
+            final_cell: 3,
+            final_pos_mm: 1_000,
+            handovers: 2,
+            denied: 0,
+            rlfs: 0,
+            ue_events: 200,
+            ue_failures: 1,
+        };
+        let b = TrainRecord { train: 1, ..a };
+        let ab = b.fold(a.fold(FNV_OFFSET));
+        let ba = a.fold(b.fold(FNV_OFFSET));
+        assert_ne!(ab, ba, "digest must pin the canonical order");
+    }
+
+    #[test]
+    fn report_hash_is_stable_for_equal_reports() {
+        let r = FleetReport {
+            trains: 4,
+            ues: 400,
+            cells: 60,
+            epochs: 1200,
+            sim_window_ms: 120_000,
+            handovers: 37,
+            denied: 1,
+            rlfs: 2,
+            ue_events: 3_700,
+            ue_failures: 12,
+            train_digest: 0xdead_beef,
+        };
+        assert_eq!(r.result_hash(), r.clone().result_hash());
+        let mut r2 = r.clone();
+        r2.handovers += 1;
+        assert_ne!(r.result_hash(), r2.result_hash());
+    }
+}

@@ -87,6 +87,12 @@ pub struct RunManifest {
     /// stall study hash-identically from that alone.
     #[serde(default)]
     pub net: Option<serde_json::Value>,
+    /// Fleet campaign execution record (shard and thread counts the
+    /// run actually used) when the run was a `rem fleet` campaign.
+    /// Provenance only: results are bit-identical for every shard and
+    /// thread count, so `rem rerun` is free to pick its own.
+    #[serde(default)]
+    pub fleet: Option<serde_json::Value>,
 }
 
 impl RunManifest {
@@ -112,6 +118,7 @@ impl RunManifest {
             result_hash: None,
             scenario: None,
             net: None,
+            fleet: None,
         }
     }
 

@@ -10,12 +10,13 @@
 //! or REM's delay-Doppler overlay, producing the failure/conflict
 //! metrics behind Tables 2/3/5 and Figs 2/3/4/9/15.
 //!
-//! ```no_run
+//! ```
 //! use rem_sim::{DatasetSpec, Plane, RunConfig, simulate_run};
 //!
-//! let spec = DatasetSpec::beijing_taiyuan(50.0, 300.0);
+//! let spec = DatasetSpec::beijing_taiyuan(10.0, 300.0);
 //! let legacy = simulate_run(&RunConfig::new(spec.clone(), Plane::Legacy, 7));
 //! let rem = simulate_run(&RunConfig::new(spec, Plane::Rem, 7));
+//! assert!(!legacy.handovers.is_empty());
 //! assert!(rem.failure_ratio() <= legacy.failure_ratio());
 //! ```
 

@@ -54,9 +54,8 @@ pub struct ClientTrial {
 /// `train_len_m` of train, each replaying the base configuration's
 /// plane, their signaling merged into network-side burst statistics.
 ///
-/// Builder-style (the old positional `simulate_train` entry point is
-/// gone). Defaults mirror the CLI: 8 clients over a 400 m train, a
-/// 1 s burst window, all available threads.
+/// Builder-style. Defaults mirror the CLI: 8 clients over a 400 m
+/// train, a 1 s burst window, all available threads.
 ///
 /// ```
 /// use rem_sim::{DatasetSpec, Plane, RunConfig, TrainScenario};

@@ -1,0 +1,87 @@
+//! Fleet-engine integration: the `rem fleet` result digest is
+//! bit-identical across shard and thread counts (the property the CI
+//! fleet job gates from the CLI), and the shipped fleet scenario file
+//! lowers to a spec the engine actually runs.
+
+use rem_core::rem_fleet::{run_fleet, FleetSpec, RunOptions};
+use rem_core::ScenarioSpec;
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// A workload small enough for the test profile but busy enough that
+/// every interaction path fires: both directions loaded, admission
+/// pressure from clustered departures, and enough epochs for RLFs.
+fn busy_spec() -> FleetSpec {
+    FleetSpec {
+        trains: 32,
+        ues_per_train: 25,
+        corridor_km: 12.0,
+        headway_s: 1.0,
+        duration_s: 60.0,
+        ..FleetSpec::default()
+    }
+}
+
+#[test]
+fn result_hash_is_bit_identical_across_shards_and_threads() {
+    let spec = busy_spec();
+    let (baseline, _) =
+        run_fleet(&spec, RunOptions { shards: 1, threads: 1 }).expect("serial run");
+    assert!(baseline.handovers > 0, "the corridor must exercise handovers");
+    assert!(baseline.ue_events > 0, "handovers must fan out to UE signaling");
+    for shards in [1, 4] {
+        for threads in [1, 4] {
+            let (report, _) =
+                run_fleet(&spec, RunOptions { shards, threads }).expect("sharded run");
+            assert_eq!(
+                report.result_hash(),
+                baseline.result_hash(),
+                "shards={shards} threads={threads} must reproduce the serial digest"
+            );
+            assert_eq!(report, baseline, "every counter must match, not just the digest");
+        }
+    }
+}
+
+#[test]
+fn seeds_and_spec_changes_move_the_digest() {
+    let spec = busy_spec();
+    let (a, _) = run_fleet(&spec, RunOptions::default()).expect("run");
+    let (b, _) = run_fleet(&FleetSpec { seed: spec.seed + 1, ..spec.clone() }, RunOptions::default())
+        .expect("run");
+    assert_ne!(a.result_hash(), b.result_hash(), "the seed must move the digest");
+    let (c, _) = run_fleet(&FleetSpec { trains: spec.trains + 1, ..spec }, RunOptions::default())
+        .expect("run");
+    assert_ne!(a.result_hash(), c.result_hash(), "the schedule must move the digest");
+}
+
+#[test]
+fn shipped_fleet_scenario_lowers_and_runs_truncated() {
+    // Mirrors scenario_spec.rs's truncated-metro smoke: shrink the
+    // shipped file's workload and drive the real entry point.
+    let mut spec = ScenarioSpec::load(&scenarios_dir().join("fleet_corridor.toml"))
+        .expect("load fleet scenario");
+    let mut fleet = spec.fleet_spec().expect("[fleet] section present");
+    assert!(fleet.trains >= 100, "the shipped corridor is fleet-scale");
+
+    fleet.trains = 16;
+    fleet.ues_per_train = 10;
+    fleet.duration_s = 30.0;
+    spec.fleet = Some(fleet.clone());
+    spec.validate().expect("truncated fleet spec stays valid");
+
+    let (serial, _) =
+        run_fleet(&fleet, RunOptions { shards: 1, threads: 1 }).expect("serial run");
+    let (sharded, timing) =
+        run_fleet(&fleet, RunOptions { shards: fleet.shards, threads: 2 }).expect("sharded run");
+    assert_eq!(serial.result_hash(), sharded.result_hash());
+    assert!(serial.handovers > 0);
+    assert!(timing.wall_s > 0.0);
+    assert!(
+        timing.critical_path_s <= timing.busy_s + 1e-9,
+        "the critical path can never exceed the total distributed work"
+    );
+}
